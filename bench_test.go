@@ -1,0 +1,99 @@
+package coarse
+
+// Benchmark harness: one benchmark per paper table/figure plus the
+// ablations. Each benchmark regenerates its artifact through the same
+// code path cmd/coarsebench uses (quick configuration) and prints the
+// resulting tables once, so `go test -bench=.` both exercises and
+// displays the full evaluation. Training runs are memoized inside the
+// experiments package; the first iteration pays the real cost.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"coarse/internal/experiments"
+)
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.Config{Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			b.StopTimer()
+			fmt.Printf("\n# %s — paper: %s\n", e.Title, e.Paper)
+			for _, t := range tables {
+				fmt.Println(t.String())
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkFig3PrototypeBandwidth(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig8BandwidthMatrix(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9Pipeline(b *testing.B)             { benchExperiment(b, "fig9") }
+func BenchmarkFig10Deadlock(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig13CCIBandwidth(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14DMABandwidth(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15Routing(b *testing.B)             { benchExperiment(b, "fig15") }
+func BenchmarkFig16TrainingSpeedup(b *testing.B)     { benchExperiment(b, "fig16") }
+func BenchmarkFig17BlockedComm(b *testing.B)         { benchExperiment(b, "fig17") }
+func BenchmarkTable1Machines(b *testing.B)           { benchExperiment(b, "tab1") }
+func BenchmarkAblationRouting(b *testing.B)          { benchExperiment(b, "ablation-routing") }
+func BenchmarkAblationPartitioning(b *testing.B)     { benchExperiment(b, "ablation-partition") }
+func BenchmarkAblationDualSync(b *testing.B)         { benchExperiment(b, "ablation-dual") }
+func BenchmarkAblationCoherenceSharing(b *testing.B) { benchExperiment(b, "ablation-sharing") }
+func BenchmarkExtStraggler(b *testing.B)             { benchExperiment(b, "ext-straggler") }
+func BenchmarkExtNVLink(b *testing.B)                { benchExperiment(b, "ext-nvlink") }
+func BenchmarkExtHierarchical(b *testing.B)          { benchExperiment(b, "ext-hierarchical") }
+func BenchmarkExtSensitivity(b *testing.B)           { benchExperiment(b, "ext-sensitivity") }
+func BenchmarkExtDynamic(b *testing.B)               { benchExperiment(b, "ext-dynamic") }
+func BenchmarkExtRecovery(b *testing.B)              { benchExperiment(b, "ext-recovery") }
+
+// BenchmarkTrainingIteration measures raw simulator throughput for one
+// full training configuration per strategy — how fast the simulation
+// itself runs, independent of the figures.
+func BenchmarkTrainingIteration(b *testing.B) {
+	for _, s := range []Strategy{StrategyDENSE, StrategyAllReduce, StrategyCOARSE} {
+		b.Run(string(s), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(AWSV100(), ResNet50(), 16, 2, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProfiler measures the offline probe profiler.
+func BenchmarkProfiler(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Profile(AWSV100())
+	}
+}
+
+// BenchmarkRealTraining measures the numeric path: actual backprop and
+// float synchronization through the simulated fabric.
+func BenchmarkRealTraining(b *testing.B) {
+	ds := Blobs(3, 200, 8, 4, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainReal(SDSCP100(), []int{16}, ds, 8, 5, StrategyCOARSE); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

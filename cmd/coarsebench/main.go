@@ -1,0 +1,78 @@
+// Command coarsebench regenerates the paper's evaluation: every figure
+// and table of Section V plus the design ablations, printed as aligned
+// text tables.
+//
+// Usage:
+//
+//	coarsebench               # run everything, full configuration
+//	coarsebench -quick        # trimmed iteration counts
+//	coarsebench -only fig16   # one experiment
+//	coarsebench -list         # list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"coarse/internal/experiments"
+	"coarse/internal/metrics"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trim iteration counts for a fast pass")
+	only := flag.String("only", "", "run a single experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	todo := experiments.All()
+	if *only != "" {
+		e, ok := experiments.ByID(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coarsebench: unknown experiment %q; try -list\n", *only)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	if *asJSON {
+		type jsonExp struct {
+			ID     string           `json:"id"`
+			Title  string           `json:"title"`
+			Paper  string           `json:"paper"`
+			Tables []*metrics.Table `json:"tables"`
+		}
+		var out []jsonExp
+		for _, e := range todo {
+			out = append(out, jsonExp{ID: e.ID, Title: e.Title, Paper: e.Paper, Tables: e.Run(cfg)})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "coarsebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("\n################ %s\n", e.Title)
+		fmt.Printf("# paper: %s\n\n", e.Paper)
+		for _, tab := range e.Run(cfg) {
+			fmt.Println(tab.String())
+		}
+		fmt.Printf("# (%s regenerated in %.1fs)\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,62 @@
+// Command coarseprof runs the offline communication profiler on a
+// machine preset and prints each worker's routing table: the
+// latency-best proxy, the bandwidth-best proxy, the size threshold S and
+// the partition shard size S' (paper Section III-E).
+//
+// Usage:
+//
+//	coarseprof -machine v100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	coarse "coarse"
+)
+
+func main() {
+	machine := flag.String("machine", "v100", "machine preset: t4, sdsc, v100, v100-2to1, multi")
+	flag.Parse()
+
+	var spec coarse.MachineSpec
+	switch *machine {
+	case "t4":
+		spec = coarse.AWST4()
+	case "sdsc":
+		spec = coarse.SDSCP100()
+	case "v100":
+		spec = coarse.AWSV100()
+	case "v100-2to1":
+		spec = coarse.AWSV100TwoToOne()
+	case "multi":
+		spec = coarse.MultiNodeV100(2)
+	default:
+		fmt.Fprintf(os.Stderr, "coarseprof: unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+
+	fmt.Printf("offline profile of %s\n\n", spec.Label)
+	for w, table := range coarse.Profile(spec) {
+		fmt.Printf("worker %d: LatProxy=%d BwProxy=%d threshold=%s partition=%s non-uniform=%v\n",
+			w, table.LatProxy, table.BwProxy,
+			size(table.ThresholdBytes), size(table.PartitionBytes), table.NonUniform())
+		for _, m := range table.Measurements {
+			fmt.Printf("    proxy %d: latency=%v bandwidth=%.2f GB/s\n",
+				m.Proxy, m.Latency, m.Bandwidth/1e9)
+		}
+	}
+}
+
+func size(b int64) string {
+	switch {
+	case b >= 1<<40:
+		return "inf"
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,147 @@
+// Command coarsesim runs a single training simulation: one machine, one
+// model, one batch size, one or more synchronization strategies.
+//
+// Usage:
+//
+//	coarsesim -machine v100 -model bert-base -batch 2 -iters 4
+//	coarsesim -machine sdsc -model resnet50 -batch 64 -strategy COARSE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	coarse "coarse"
+	"coarse/internal/config"
+	"coarse/internal/core"
+	"coarse/internal/paramserver"
+	"coarse/internal/trace"
+	"coarse/internal/train"
+)
+
+var machines = map[string]func() coarse.MachineSpec{
+	"t4":        coarse.AWST4,
+	"sdsc":      coarse.SDSCP100,
+	"v100":      coarse.AWSV100,
+	"v100-2to1": coarse.AWSV100TwoToOne,
+	"multi":     func() coarse.MachineSpec { return coarse.MultiNodeV100(2) },
+}
+
+var models = map[string]func() *coarse.Model{
+	"resnet50":   coarse.ResNet50,
+	"bert-base":  coarse.BERTBase,
+	"bert-large": coarse.BERTLarge,
+	"vgg16":      coarse.VGG16,
+	"mlp":        func() *coarse.Model { return coarse.MLP("mlp", 1024, 512, 256, 10) },
+}
+
+func keys[V any](m map[string]V) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return strings.Join(ks, ", ")
+}
+
+func main() {
+	machine := flag.String("machine", "v100", "machine preset: "+keys(machines))
+	modelName := flag.String("model", "bert-base", "model: "+keys(models))
+	batch := flag.Int("batch", 2, "per-GPU batch size")
+	iters := flag.Int("iters", 4, "training iterations")
+	strategy := flag.String("strategy", "all", "DENSE, AllReduce, COARSE, CentralPS, or all")
+	jitter := flag.Float64("jitter", 0, "per-worker compute skew (0.3 = slowest worker 30% slower)")
+	traceFile := flag.String("trace", "", "write a chrome://tracing JSON timeline to this file (single-strategy runs)")
+	configFile := flag.String("config", "", "load a JSON scenario (overrides the other flags)")
+	flag.Parse()
+
+	var spec coarse.MachineSpec
+	var m *coarse.Model
+	var strategies []coarse.Strategy
+
+	if *configFile != "" {
+		scn, err := config.Load(*configFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsesim:", err)
+			os.Exit(1)
+		}
+		spec = scn.BuildSpec()
+		m, err = scn.BuildModel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsesim:", err)
+			os.Exit(1)
+		}
+		*batch = scn.Batch
+		*iters = scn.Iterations
+		*jitter = scn.ComputeJitter
+		for _, s := range scn.StrategyNames() {
+			strategies = append(strategies, coarse.Strategy(s))
+		}
+	} else {
+		mk, ok := machines[*machine]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coarsesim: unknown machine %q (have %s)\n", *machine, keys(machines))
+			os.Exit(1)
+		}
+		mdl, ok := models[*modelName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coarsesim: unknown model %q (have %s)\n", *modelName, keys(models))
+			os.Exit(1)
+		}
+		spec = mk()
+		m = mdl()
+		if *strategy == "all" {
+			strategies = coarse.Strategies()
+		} else {
+			strategies = []coarse.Strategy{coarse.Strategy(*strategy)}
+		}
+	}
+	fmt.Printf("machine=%s model=%s (%.1fM params) batch=%d iters=%d\n\n",
+		spec.Label, m.Name, float64(m.ParamElems())/1e6, *batch, *iters)
+	fmt.Printf("%-10s %14s %14s %14s %8s %14s %10s %10s\n",
+		"strategy", "iter time", "compute", "blocked comm", "util", "throughput", "edge bus", "cci bus")
+	for _, s := range strategies {
+		cfg := train.DefaultConfig(spec, m, *batch, *iters)
+		cfg.ComputeJitter = *jitter
+		var rec *trace.Recorder
+		if *traceFile != "" {
+			rec = trace.New()
+			cfg.Trace = rec
+		}
+		var strat train.Strategy
+		switch s {
+		case coarse.StrategyDENSE:
+			strat = paramserver.NewDENSE()
+		case coarse.StrategyCentralPS:
+			strat = paramserver.NewCentralPS()
+		case coarse.StrategyAllReduce:
+			strat = train.NewAllReduce()
+		case coarse.StrategyCOARSE:
+			strat = core.New(core.DefaultOptions())
+		default:
+			fmt.Fprintf(os.Stderr, "coarsesim: unknown strategy %q\n", s)
+			os.Exit(1)
+		}
+		res, err := train.Run(cfg, strat)
+		if err != nil {
+			fmt.Printf("%-10s %s\n", s, err)
+			continue
+		}
+		fmt.Printf("%-10s %14v %14v %14v %7.1f%% %10.1f s/s %9.1f%% %9.1f%%\n",
+			s, res.IterTime, res.ComputeTime, res.BlockedComm, 100*res.GPUUtil, res.Throughput(),
+			100*res.EdgeBusUtil, 100*res.CCIBusUtil)
+		if rec != nil {
+			f, err := os.Create(fmt.Sprintf("%s.%s.json", strings.TrimSuffix(*traceFile, ".json"), s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coarsesim:", err)
+				os.Exit(1)
+			}
+			if err := rec.WriteChrome(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coarsesim:", err)
+			}
+			f.Close()
+			fmt.Printf("           trace: %d events written\n", rec.Len())
+		}
+	}
+}

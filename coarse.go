@@ -1,0 +1,304 @@
+// Package coarse is a Go reproduction of COARSE, the cache-coherent
+// disaggregated-memory parameter-synchronization system for distributed
+// deep-learning training (Wang, Sim, Lim, Zhao — HPCA 2022).
+//
+// The package simulates the paper's full stack — PCIe/CCI fabrics with
+// max-min fair bandwidth sharing, directory coherence, disaggregated
+// memory devices with near-memory sync cores, worker GPUs with roofline
+// compute timing — and runs real data-parallel training over it with
+// four synchronization strategies: a centralized CPU parameter server,
+// the naive DENSE CCI design, NCCL-style ring AllReduce, and COARSE
+// itself (decentralized proxies, bandwidth-aware tensor routing,
+// equal-shard partitioning, dual synchronization, queue-based deadlock
+// avoidance, copy-on-write checkpointing).
+//
+// Quick start:
+//
+//	res, err := coarse.Train(coarse.AWSV100(), coarse.BERTBase(), 2, 4, coarse.StrategyCOARSE)
+//	fmt.Println(res.IterTime, res.BlockedComm)
+//
+// Every figure and table of the paper's evaluation regenerates through
+// RunExperiment; see EXPERIMENTS.md for the paper-vs-measured record.
+package coarse
+
+import (
+	"fmt"
+
+	"coarse/internal/cci"
+	"coarse/internal/core"
+	"coarse/internal/data"
+	"coarse/internal/experiments"
+	"coarse/internal/model"
+	"coarse/internal/nn"
+	"coarse/internal/profiler"
+	"coarse/internal/sim"
+	"coarse/internal/tensor"
+	"coarse/internal/topology"
+	"coarse/internal/train"
+)
+
+// Re-exported core types. Aliases keep the public surface small while
+// the implementation lives in focused internal packages.
+type (
+	// Model is a DL model's parameter-tensor inventory.
+	Model = model.Model
+	// MachineSpec describes a machine preset (Table I).
+	MachineSpec = topology.Spec
+	// Result is a training run's measurements.
+	Result = train.Result
+	// CoarseOptions toggles COARSE's mechanisms.
+	CoarseOptions = core.Options
+	// RoutingTable is a client's profiled routing table (Section III-E).
+	RoutingTable = profiler.Table
+	// Dataset is an in-memory supervised dataset.
+	Dataset = data.Dataset
+	// Tensor is a named float32 parameter buffer.
+	Tensor = tensor.Tensor
+	// Session is COARSE's standalone push/pull parameter-server
+	// interface, for framework integrations that drive synchronization
+	// directly instead of through Train.
+	Session = core.Session
+	// Client is one worker's push/pull handle within a Session.
+	Client = core.Client
+)
+
+// NewSession opens a push/pull session on a machine preset with the
+// full COARSE design enabled.
+func NewSession(machine MachineSpec) (*Session, error) {
+	return core.NewSession(machine, DefaultCoarseOptions())
+}
+
+// NewSessionWithOptions opens a push/pull session with explicit COARSE
+// options.
+func NewSessionWithOptions(machine MachineSpec, opts CoarseOptions) (*Session, error) {
+	return core.NewSession(machine, opts)
+}
+
+// Model zoo (paper Section V-D workloads plus extras).
+var (
+	ResNet50  = model.ResNet50
+	BERTBase  = model.BERTBase
+	BERTLarge = model.BERTLarge
+	VGG16     = model.VGG16
+	MLP       = model.MLP
+)
+
+// Machine presets (paper Table I).
+var (
+	AWST4           = topology.AWST4
+	SDSCP100        = topology.SDSCP100
+	AWSV100         = topology.AWSV100
+	AWSV100TwoToOne = topology.AWSV100TwoToOne
+	MultiNodeV100   = topology.MultiNodeV100
+	Presets         = topology.Presets
+)
+
+// DefaultCoarseOptions enables COARSE's full design.
+var DefaultCoarseOptions = core.DefaultOptions
+
+// GPUSpecOf builds a GPU description for custom machine specs.
+func GPUSpecOf(model string, tflops float64, memBytes int64, memBW float64) topology.GPUSpec {
+	return topology.GPUSpec{Model: model, TFLOPS: tflops, MemBytes: memBytes, MemBW: memBW}
+}
+
+// Blobs generates a seeded Gaussian-blob classification dataset.
+var Blobs = data.Blobs
+
+// Strategy selects a parameter-synchronization scheme.
+type Strategy string
+
+// The four synchronization strategies of the evaluation.
+const (
+	StrategyCentralPS Strategy = "CentralPS"
+	StrategyDENSE     Strategy = "DENSE"
+	StrategyAllReduce Strategy = "AllReduce"
+	StrategyCOARSE    Strategy = "COARSE"
+)
+
+// Strategies lists all strategies in the figures' order.
+func Strategies() []Strategy {
+	return []Strategy{StrategyCentralPS, StrategyDENSE, StrategyAllReduce, StrategyCOARSE}
+}
+
+func newStrategy(s Strategy, opts CoarseOptions) (train.Strategy, error) {
+	switch s {
+	case StrategyCentralPS:
+		return paramserverCentral(), nil
+	case StrategyDENSE:
+		return paramserverDENSE(), nil
+	case StrategyAllReduce:
+		return train.NewAllReduce(), nil
+	case StrategyCOARSE:
+		return core.New(opts), nil
+	}
+	return nil, fmt.Errorf("coarse: unknown strategy %q", s)
+}
+
+// Train simulates data-parallel training of a model on a machine preset
+// and returns its measurements. It fails with an out-of-memory error
+// when a replica plus the strategy's on-GPU state does not fit device
+// memory — the paper's Figure 16e batch-size effect.
+func Train(machine MachineSpec, m *Model, batch, iterations int, strategy Strategy) (*Result, error) {
+	return TrainWithOptions(machine, m, batch, iterations, strategy, DefaultCoarseOptions())
+}
+
+// TrainWithOptions is Train with explicit COARSE options (ignored for
+// other strategies).
+func TrainWithOptions(machine MachineSpec, m *Model, batch, iterations int, strategy Strategy, opts CoarseOptions) (*Result, error) {
+	strat, err := newStrategy(strategy, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := train.DefaultConfig(machine, m, batch, iterations)
+	return train.Run(cfg, strat)
+}
+
+// MaxFeasibleBatch returns the largest per-GPU batch size in [1, limit]
+// whose model replica — plus the strategy's on-GPU training state —
+// fits device memory, or an error when even batch 1 does not fit. It is
+// the decision the paper's Figure 16e turns on: AllReduce carries full
+// optimizer state per GPU and caps out earlier than COARSE, which
+// offloads that state to the memory devices.
+func MaxFeasibleBatch(machine MachineSpec, m *Model, strategy Strategy, limit int) (int, error) {
+	if limit < 1 {
+		return 0, fmt.Errorf("coarse: limit %d", limit)
+	}
+	fits := func(batch int) bool {
+		strat, err := newStrategy(strategy, DefaultCoarseOptions())
+		if err != nil {
+			return false
+		}
+		cfg := train.DefaultConfig(machine, m, batch, 1)
+		_, err = train.New(cfg, strat)
+		return err == nil
+	}
+	if !fits(1) {
+		return 0, fmt.Errorf("coarse: %s does not fit %s at batch 1", m.Name, machine.Label)
+	}
+	lo, hi := 1, limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// Profile builds every worker's routing table on a machine by running
+// the offline probe profiler over the simulated fabric.
+func Profile(machine MachineSpec) []RoutingTable {
+	eng := sim.NewEngine()
+	mc := topology.Build(eng, machine)
+	p := profiler.New(cci.NewFabric(mc.Topology, cci.DefaultParams()))
+	var tables []RoutingTable
+	for _, w := range mc.Workers {
+		tables = append(tables, p.BuildTable(w, mc.Devs))
+	}
+	return tables
+}
+
+// ExperimentIDs lists the regenerable paper artifacts (fig3...fig17,
+// tab1, ablations).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper figure or table, returning its
+// rendered tables. quick trims iteration counts for fast runs.
+func RunExperiment(id string, quick bool) ([]string, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("coarse: unknown experiment %q (have %v)", id, experiments.IDs())
+	}
+	var out []string
+	for _, tab := range e.Run(experiments.Config{Quick: quick}) {
+		out = append(out, tab.String())
+	}
+	return out, nil
+}
+
+// ExperimentInfo returns an experiment's title and the paper's reported
+// result for it.
+func ExperimentInfo(id string) (title, paper string, err error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return "", "", fmt.Errorf("coarse: unknown experiment %q", id)
+	}
+	return e.Title, e.Paper, nil
+}
+
+// RealTrainingReport is the outcome of an end-to-end numeric run: a
+// real MLP trained by real backpropagation, with gradients synchronized
+// through the selected strategy's simulated machinery.
+type RealTrainingReport struct {
+	Result    *Result
+	LossStart float64
+	LossEnd   float64
+	Accuracy  float64
+}
+
+// TrainReal trains an actual MLP (real forward/backward math, real SGD)
+// on a dataset, with every worker computing gradients on its own data
+// shard and the strategy synchronizing them. It demonstrates that the
+// synchronization paths are numerically faithful, not just timed.
+func TrainReal(machine MachineSpec, hidden []int, ds *Dataset, batch, iterations int, strategy Strategy) (*RealTrainingReport, error) {
+	sizes := append([]int{ds.Dim()}, hidden...)
+	sizes = append(sizes, ds.Classes)
+	spec := model.MLP("real-mlp", sizes...)
+
+	strat, err := newStrategy(strategy, DefaultCoarseOptions())
+	if err != nil {
+		return nil, err
+	}
+	cfg := train.DefaultConfig(machine, spec, batch, iterations)
+	cfg.Numeric = true
+	cfg.LR = 0.1
+	tr, err := train.New(cfg, strat)
+	if err != nil {
+		return nil, err
+	}
+	ctx := tr.Ctx()
+
+	// Give every replica the same Xavier init and its own data shard.
+	nets := make([]*nn.MLP, ctx.NumWorkers())
+	shards := make([]*Dataset, ctx.NumWorkers())
+	for w := range nets {
+		nets[w] = nn.FromParams(sizes, ctx.Params[w])
+		nets[w].InitXavier(11)
+		shards[w] = ds.Shard(w, ctx.NumWorkers())
+	}
+	lossStart := nets[0].Loss(ds.X, ds.Y)
+
+	// Real gradients: each worker backpropagates its shard's batch. The
+	// trainer invokes this per layer in production order; backprop runs
+	// once per (iteration, worker) and is cached.
+	type gradSet struct {
+		it    int
+		grads []*Tensor
+	}
+	cache := make([]gradSet, ctx.NumWorkers())
+	tr.SetGradientFunc(func(it, w, layer int, grad *Tensor) {
+		if cache[w].grads == nil || cache[w].it != it {
+			gs := make([]*Tensor, len(ctx.Grads[w]))
+			for l, g := range ctx.Grads[w] {
+				gs[l] = tensor.New(g.Name, g.Len())
+			}
+			xs, ys := shards[w].Batch(it, batch)
+			nets[w].Backward(xs, ys, gs)
+			cache[w] = gradSet{it: it, grads: gs}
+		}
+		copy(grad.Data, cache[w].grads[layer].Data)
+	})
+
+	res, err := tr.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &RealTrainingReport{
+		Result:    res,
+		LossStart: lossStart,
+		LossEnd:   nets[0].Loss(ds.X, ds.Y),
+		Accuracy:  nets[0].Accuracy(ds.X, ds.Y),
+	}, nil
+}

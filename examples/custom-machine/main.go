@@ -1,0 +1,58 @@
+// Custom machine: model your own disaggregated-memory system.
+//
+// MachineSpec is a plain struct, so a hypothetical machine — here a
+// CXL-2.0-class box with PCIe gen5 links and big memory expanders — is
+// a literal away. The same profiler, strategies and trainer run on it
+// unchanged, which is the workflow a systems designer would use to ask
+// "would COARSE help on *my* fabric?".
+//
+//	go run ./examples/custom-machine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coarse "coarse"
+)
+
+func main() {
+	const gb = 1e9
+	// A next-generation machine: PCIe gen5 x16 edges (~50 GB/s), a
+	// switch whose peer path is better than its uplink (conventional
+	// locality), and CXL links between the memory expanders.
+	spec := coarse.MachineSpec{
+		Label:     "CXL gen5 box",
+		Switches:  4,
+		Slots:     []string{"WM"},
+		EdgeBW:    50 * gb,
+		PeerBW:    48 * gb,
+		UpBW:      32 * gb,
+		HostBW:    120 * gb,
+		CCIRingBW: 45 * gb,
+		CCIHostBW: 40 * gb,
+		EdgeLat:   250,
+		SwitchLat: 400,
+		HostLat:   700,
+		CCILat:    150,
+		P2P:       true,
+		GPU:       coarse.GPUSpecOf("H100-class", 60, 80<<30, 3000*gb),
+	}
+
+	fmt.Printf("profiling %s...\n\n", spec.Label)
+	for w, table := range coarse.Profile(spec) {
+		best := table.Measurements[table.BwProxy]
+		fmt.Printf("worker %d: LatProxy=%d BwProxy=%d (%.1f GB/s), non-uniform=%v\n",
+			w, table.LatProxy, table.BwProxy, best.Bandwidth/1e9, table.NonUniform())
+	}
+
+	fmt.Println("\ntraining BERT-Large, batch 8:")
+	for _, s := range []coarse.Strategy{coarse.StrategyAllReduce, coarse.StrategyCOARSE} {
+		res, err := coarse.Train(spec, coarse.BERTLarge(), 8, 3, s)
+		if err != nil {
+			log.Fatalf("%s: %v", s, err)
+		}
+		fmt.Printf("  %-10s iter=%11v blocked=%11v util=%5.1f%%\n",
+			s, res.IterTime, res.BlockedComm, 100*res.GPUUtil)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: train a real model through COARSE.
+//
+// This example builds a small classification dataset, spins up the
+// simulated SDSC machine (two worker GPUs, two CCI memory devices), and
+// trains an actual MLP with real backpropagation — gradients are
+// synchronized through COARSE's clients, proxies and sync cores, so the
+// run demonstrates both the timing model and numerical correctness.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coarse "coarse"
+)
+
+func main() {
+	// A seeded, linearly separable 4-class problem.
+	ds := coarse.Blobs(42, 1000, 16, 4, 5)
+
+	fmt.Println("training a 16-32-4 MLP on the simulated SDSC P100 machine with COARSE...")
+	rep, err := coarse.TrainReal(coarse.SDSCP100(), []int{32}, ds, 32, 60, coarse.StrategyCOARSE)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n  loss:        %.4f -> %.4f\n", rep.LossStart, rep.LossEnd)
+	fmt.Printf("  accuracy:    %.1f%%\n", 100*rep.Accuracy)
+	fmt.Printf("  iteration:   %v (compute %v, blocked comm %v)\n",
+		rep.Result.IterTime, rep.Result.ComputeTime, rep.Result.BlockedComm)
+	fmt.Printf("  GPU util:    %.1f%%\n", 100*rep.Result.GPUUtil)
+	fmt.Printf("  throughput:  %.0f samples/s across %d workers\n",
+		rep.Result.Throughput(), rep.Result.Workers)
+
+	// The same run over NCCL-style AllReduce produces the identical
+	// parameter trajectory — COARSE is a drop-in synchronization scheme.
+	ar, err := coarse.TrainReal(coarse.SDSCP100(), []int{32}, ds, 32, 60, coarse.StrategyAllReduce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAllReduce reaches the same loss: %.6f vs %.6f\n", ar.LossEnd, rep.LossEnd)
+}

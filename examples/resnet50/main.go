@@ -1,0 +1,42 @@
+// ResNet-50 sweep: the paper's vision workload across every machine
+// preset and synchronization strategy.
+//
+// This reproduces the Figure 16a experiment shape at the command line:
+// iteration time, blocked communication time and GPU utilization for
+// DENSE, AllReduce and COARSE on each Table I machine.
+//
+//	go run ./examples/resnet50
+package main
+
+import (
+	"fmt"
+
+	coarse "coarse"
+)
+
+func main() {
+	m := coarse.ResNet50()
+	fmt.Printf("ResNet-50: %.1fM parameters in %d tensors, batch 64 per GPU\n\n",
+		float64(m.ParamElems())/1e6, len(m.Layers))
+
+	for _, spec := range []coarse.MachineSpec{
+		coarse.AWST4(), coarse.SDSCP100(), coarse.AWSV100(), coarse.AWSV100TwoToOne(),
+	} {
+		fmt.Printf("%s\n", spec.Label)
+		var dense float64
+		for _, s := range []coarse.Strategy{coarse.StrategyDENSE, coarse.StrategyAllReduce, coarse.StrategyCOARSE} {
+			res, err := coarse.Train(spec, m, 64, 3, s)
+			if err != nil {
+				fmt.Printf("  %-10s %v\n", s, err)
+				continue
+			}
+			if s == coarse.StrategyDENSE {
+				dense = res.IterTime.ToSeconds()
+			}
+			fmt.Printf("  %-10s iter=%11v blocked=%11v util=%5.1f%% speedup=%.2fx\n",
+				s, res.IterTime, res.BlockedComm, 100*res.GPUUtil,
+				dense/res.IterTime.ToSeconds())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module coarse
+
+go 1.22

@@ -1,0 +1,229 @@
+// Package cci models the cache-coherent interconnect protocol layer: how
+// hosts and devices move bytes over the serial-bus fabric, and at what
+// effective bandwidth.
+//
+// Three access modes are modelled, matching the paper's prototype
+// profile (Section V-B, Figures 3/13/14):
+//
+//   - LoadStore: the host CPU issues cache-line load/store instructions
+//     into the CCI address space. Throughput is line-rate bound — a small
+//     window of outstanding line requests, each paying the protocol round
+//     trip — so effective bandwidth is flat across access sizes.
+//   - DMA: a device engine moves a descriptor-described block at link
+//     speed after a fixed setup overhead. Bandwidth grows with access
+//     size and saturates once the payload dwarfs the overhead (the
+//     paper's prototype saturates at 2 MiB).
+//   - Indirect: device-to-device via a bounce through host memory; the
+//     two hops pipeline chunk-by-chunk, so the slower hop binds.
+//
+// The same parameter set drives both the analytic curves (what the
+// figures plot) and the timed operations the training simulator issues,
+// so the figures and the end-to-end results cannot drift apart.
+package cci
+
+import (
+	"fmt"
+
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+// Params calibrates the protocol model. Defaults reproduce the paper's
+// FPGA prototype anchors: GPU-Direct read 9-17x over host load/store,
+// write 1.25-4x, DMA saturation at 2 MiB.
+type Params struct {
+	// LineBytes is the coherence/transfer granule of load/store traffic.
+	LineBytes int64
+	// ReadLineLat / WriteLineLat are protocol round-trip times per line.
+	ReadLineLat  sim.Time
+	WriteLineLat sim.Time
+	// ReadOutstanding / WriteOutstanding bound the number of in-flight
+	// line requests (LSQ / write-combining depth).
+	ReadOutstanding  int
+	WriteOutstanding int
+	// DMASetup is the fixed cost of launching one DMA descriptor.
+	DMASetup sim.Time
+	// CoherencePerSharer is the fraction of extra protocol traffic added
+	// per additional device sharing a coherent region; it discounts the
+	// bandwidth available to payload (Section III-D).
+	CoherencePerSharer float64
+	// StageChunks is the pipelining depth of indirect (bounced) copies.
+	StageChunks int
+}
+
+// DefaultParams returns the calibration used across the evaluation.
+func DefaultParams() Params {
+	return Params{
+		LineBytes:          64,
+		ReadLineLat:        850, // ns; uncached device read round trip
+		WriteLineLat:       420, // ns; posted writes retire faster
+		ReadOutstanding:    10,
+		WriteOutstanding:   10,
+		DMASetup:           18_000, // 18us descriptor + doorbell
+		CoherencePerSharer: 0.15,
+		StageChunks:        4,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.LineBytes <= 0:
+		return fmt.Errorf("cci: LineBytes %d", p.LineBytes)
+	case p.ReadLineLat <= 0 || p.WriteLineLat <= 0:
+		return fmt.Errorf("cci: non-positive line latency")
+	case p.ReadOutstanding <= 0 || p.WriteOutstanding <= 0:
+		return fmt.Errorf("cci: non-positive outstanding window")
+	case p.DMASetup < 0:
+		return fmt.Errorf("cci: negative DMA setup")
+	case p.CoherencePerSharer < 0:
+		return fmt.Errorf("cci: negative coherence penalty")
+	case p.StageChunks <= 0:
+		return fmt.Errorf("cci: StageChunks %d", p.StageChunks)
+	}
+	return nil
+}
+
+// LoadStoreBandwidth returns the flat host load/store throughput in
+// bytes/sec: a window of outstanding lines, each paying the round trip.
+func (p Params) LoadStoreBandwidth(write bool) float64 {
+	lat, out := p.ReadLineLat, p.ReadOutstanding
+	if write {
+		lat, out = p.WriteLineLat, p.WriteOutstanding
+	}
+	return float64(p.LineBytes) * float64(out) / lat.ToSeconds()
+}
+
+// DMATime returns the time one DMA of size bytes takes at linkBW.
+func (p Params) DMATime(size int64, linkBW float64) sim.Time {
+	return p.DMASetup + sim.Seconds(float64(size)/linkBW)
+}
+
+// DMABandwidth returns the effective DMA throughput for one transfer of
+// size bytes over a link of linkBW bytes/sec.
+func (p Params) DMABandwidth(size int64, linkBW float64) float64 {
+	t := p.DMATime(size, linkBW)
+	if t <= 0 {
+		return linkBW
+	}
+	return float64(size) / t.ToSeconds()
+}
+
+// IndirectBandwidth returns the effective throughput of a bounced copy:
+// a load/store hop between host memory and the CCI device pipelined with
+// a DMA hop between host memory and the far device. The slower hop binds
+// once the pipeline fills.
+func (p Params) IndirectBandwidth(size int64, linkBW float64, write bool) float64 {
+	ls := p.LoadStoreBandwidth(write)
+	chunk := size / int64(p.StageChunks)
+	if chunk <= 0 {
+		chunk = size
+	}
+	dma := p.DMABandwidth(chunk, linkBW)
+	if ls < dma {
+		return ls
+	}
+	return dma
+}
+
+// SharingPenalty scales a payload bandwidth down for coherence traffic
+// when n devices share the region: bw_eff = bw / (1 + c*(n-1)).
+func (p Params) SharingPenalty(bw float64, sharers int) float64 {
+	if sharers <= 1 {
+		return bw
+	}
+	return bw / (1 + p.CoherencePerSharer*float64(sharers-1))
+}
+
+// DMASaturationSize returns the smallest power-of-two access size whose
+// effective DMA bandwidth reaches frac of the link rate; the paper's
+// prototype reaches 90% at 2 MiB.
+func (p Params) DMASaturationSize(linkBW, frac float64) int64 {
+	for size := int64(4 << 10); size <= 1<<30; size <<= 1 {
+		if p.DMABandwidth(size, linkBW) >= frac*linkBW {
+			return size
+		}
+	}
+	return 1 << 30
+}
+
+// Fabric issues timed CCI operations over a topology.
+type Fabric struct {
+	Topo   *topology.Topology
+	Params Params
+}
+
+// NewFabric wires the protocol model to a topology.
+func NewFabric(t *topology.Topology, p Params) *Fabric {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Fabric{Topo: t, Params: p}
+}
+
+// DMACopy moves size bytes from src to dst. On machines with
+// peer-to-peer support this is a single DMA over the routed path; on
+// machines without it (the paper's T4 instance) the copy bounces through
+// CPU memory, pipelined in StageChunks chunks.
+func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
+	if size < 0 {
+		panic("cci: negative copy size")
+	}
+	eng := f.Topo.Eng
+	if f.Topo.P2PSupported || src.Kind == topology.KindCPU || dst.Kind == topology.KindCPU {
+		eng.Schedule(f.Params.DMASetup, func() {
+			f.Topo.Transfer(src, dst, size, onDone)
+		})
+		return
+	}
+	// Bounce through the CPU on src's node.
+	cpu := f.Topo.CPUs[src.Node]
+	chunks := int64(f.Params.StageChunks)
+	base := size / chunks
+	rem := size % chunks
+	remaining := int(chunks)
+	if size == 0 {
+		remaining = 1
+	}
+	done := func() {
+		remaining--
+		if remaining == 0 && onDone != nil {
+			onDone()
+		}
+	}
+	eng.Schedule(f.Params.DMASetup, func() {
+		for i := int64(0); i < chunks; i++ {
+			sz := base
+			if i < rem {
+				sz++
+			}
+			if size == 0 && i > 0 {
+				break
+			}
+			f.Topo.Transfer(src, cpu, sz, func() {
+				eng.Schedule(f.Params.DMASetup, func() {
+					f.Topo.Transfer(cpu, dst, sz, done)
+				})
+			})
+		}
+	})
+}
+
+// LoadStoreCopy moves size bytes between the CPU and a CCI device using
+// load/store line traffic. The line window, not the link, is the
+// bottleneck, so it is modelled as a flow whose rate is capped by
+// injecting it over the routed path in line-window rounds.
+func (f *Fabric) LoadStoreCopy(cpu, dev *topology.Device, size int64, write bool, onDone func()) {
+	bw := f.Params.LoadStoreBandwidth(write)
+	// The path's physical capacity also applies.
+	pathBW := f.Topo.PathBandwidth(cpu, dev)
+	if pathBW < bw {
+		bw = pathBW
+	}
+	t := sim.Seconds(float64(size)/bw) + f.Topo.PathLatency(cpu, dev)
+	f.Topo.Eng.Schedule(t, func() {
+		if onDone != nil {
+			onDone()
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package cci
+
+import (
+	"fmt"
+
+	"coarse/internal/ccimem"
+	"coarse/internal/coherence"
+)
+
+// CoherentRegion is a CCI memory region fronted by per-sharer coherent
+// caches — the DENSE architecture's parameter cache (paper Figure 5):
+// every GPU reads and writes the shared parameter region through its
+// own cache, the directory keeps the copies coherent, and the protocol
+// traffic that motivates COARSE's decentralization accumulates in the
+// stats.
+//
+// Data lives in the underlying ccimem region (the device DRAM); the
+// coherence layer tracks line states and a per-line version so the
+// protocol's data-value invariant stays checkable.
+type CoherentRegion struct {
+	region    *ccimem.Region
+	dir       *coherence.Directory
+	caches    []*coherence.Cache
+	lineBytes int64
+	version   uint64
+}
+
+// NewCoherentRegion fronts the region with sharers coherent caches at
+// the given line size.
+func NewCoherentRegion(region *ccimem.Region, lineBytes int64, sharers int) *CoherentRegion {
+	if sharers < 1 {
+		panic(fmt.Sprintf("cci: %d sharers", sharers))
+	}
+	cr := &CoherentRegion{
+		region:    region,
+		dir:       coherence.NewDirectory(lineBytes),
+		lineBytes: lineBytes,
+	}
+	for i := 0; i < sharers; i++ {
+		cr.caches = append(cr.caches, cr.dir.NewCache())
+	}
+	return cr
+}
+
+// Sharers returns the number of coherent caches.
+func (cr *CoherentRegion) Sharers() int { return len(cr.caches) }
+
+// Stats returns the accumulated protocol message counts.
+func (cr *CoherentRegion) Stats() coherence.Stats { return cr.dir.Stats() }
+
+// CheckInvariants verifies the protocol's single-writer invariant.
+func (cr *CoherentRegion) CheckInvariants() error { return cr.dir.CheckInvariants() }
+
+func (cr *CoherentRegion) lineRange(off, bytes int64) (first, last coherence.LineAddr) {
+	return coherence.LineAddr(off / cr.lineBytes),
+		coherence.LineAddr((off + bytes - 1) / cr.lineBytes)
+}
+
+// WriteFloats stores vals at the float offset through sharer's cache:
+// every touched line goes through a coherent write (invalidating other
+// copies) before the data lands in device memory.
+func (cr *CoherentRegion) WriteFloats(sharer int, off int64, vals []float32) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	cache := cr.caches[sharer]
+	byteOff := off * 4
+	first, last := cr.lineRange(byteOff, int64(len(vals))*4)
+	for line := first; line <= last; line++ {
+		cr.version++
+		cache.Write(line, cr.version)
+	}
+	return cr.region.WriteFloats(byteOff, vals)
+}
+
+// ReadFloats loads count floats from the float offset through sharer's
+// cache: touched lines are fetched coherently (downgrading a remote
+// writer if needed) and the payload comes from device memory.
+func (cr *CoherentRegion) ReadFloats(sharer int, off int64, count int) ([]float32, error) {
+	cache := cr.caches[sharer]
+	byteOff := off * 4
+	first, last := cr.lineRange(byteOff, int64(count)*4)
+	for line := first; line <= last; line++ {
+		cache.Read(line)
+	}
+	return cr.region.ReadFloats(byteOff, count)
+}

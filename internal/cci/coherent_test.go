@@ -1,0 +1,130 @@
+package cci
+
+import (
+	"testing"
+
+	"coarse/internal/ccimem"
+)
+
+func newRegion(t *testing.T, bytes int64) *ccimem.Region {
+	t.Helper()
+	space := ccimem.NewSpace()
+	dev := space.AddDevice("dev0", 1<<24)
+	r, err := dev.Alloc(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCoherentReadAfterRemoteWrite(t *testing.T) {
+	cr := NewCoherentRegion(newRegion(t, 4096), 64, 4)
+	if err := cr.WriteFloats(0, 0, []float32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cr.ReadFloats(3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if err := cr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherentWriteInvalidatesPeers(t *testing.T) {
+	cr := NewCoherentRegion(newRegion(t, 4096), 64, 3)
+	cr.WriteFloats(0, 0, make([]float32, 64))
+	for s := 0; s < 3; s++ {
+		cr.ReadFloats(s, 0, 64) // everyone caches the lines
+	}
+	before := cr.Stats().Invalidations
+	cr.WriteFloats(1, 0, make([]float32, 64))
+	if cr.Stats().Invalidations == before {
+		t.Fatal("write to shared lines generated no invalidations")
+	}
+	if err := cr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherentDENSEExchangePattern(t *testing.T) {
+	// The DENSE parameter flow of Figure 5, functionally: workers write
+	// gradient contributions into disjoint slots, the server reads all,
+	// writes the averaged parameters, and every worker reads them back.
+	const workers = 4
+	const elems = 256
+	cr := NewCoherentRegion(newRegion(t, int64((workers+1)*elems*4)), 64, workers+1)
+	server := workers
+
+	// Two iterations: the second round's server write hits lines every
+	// worker holds Shared, producing the invalidation storm DENSE pays.
+	for iter := 1; iter <= 2; iter++ {
+		for w := 0; w < workers; w++ {
+			contrib := make([]float32, elems)
+			for i := range contrib {
+				contrib[i] = float32(iter * (w + 1))
+			}
+			if err := cr.WriteFloats(w, int64(w*elems), contrib); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Server aggregates: mean of iter*(1..workers).
+		sum := make([]float32, elems)
+		for w := 0; w < workers; w++ {
+			got, err := cr.ReadFloats(server, int64(w*elems), elems)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got {
+				sum[i] += v
+			}
+		}
+		for i := range sum {
+			sum[i] /= workers
+		}
+		if err := cr.WriteFloats(server, int64(workers*elems), sum); err != nil {
+			t.Fatal(err)
+		}
+		want := float32(iter) * float32(1+workers) / 2
+		for w := 0; w < workers; w++ {
+			got, err := cr.ReadFloats(w, int64(workers*elems), elems)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range got {
+				if v != want {
+					t.Fatalf("iter %d: worker %d read %v, want %v", iter, w, v, want)
+				}
+			}
+		}
+	}
+	st := cr.Stats()
+	if st.Invalidations == 0 || st.DataMsgs == 0 {
+		t.Fatalf("exchange produced no protocol traffic: %+v", st)
+	}
+	if err := cr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherentRegionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCoherentRegion(newRegion(t, 64), 64, 0)
+}
+
+func TestCoherentEmptyWriteNoop(t *testing.T) {
+	cr := NewCoherentRegion(newRegion(t, 64), 64, 1)
+	if err := cr.WriteFloats(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Stats().WriteMisses != 0 {
+		t.Fatal("empty write touched the protocol")
+	}
+}

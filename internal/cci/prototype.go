@@ -1,0 +1,116 @@
+package cci
+
+import (
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+// PrototypeSpec describes the two-FPGA disaggregated-memory rig of paper
+// Section IV-C / Figure 12: one FPGA exposing its DRAM as a CCI memory
+// pool on PCIe, profiled from the host CPU and from a GPU.
+type PrototypeSpec struct {
+	// FPGAReadBW / FPGAWriteBW are the DMA-visible link rates out of and
+	// into the FPGA DRAM. The prototype reads faster than it writes.
+	FPGAReadBW  float64
+	FPGAWriteBW float64
+	// GPUEdgeBW is the GPU's own PCIe lane limit.
+	GPUEdgeBW float64
+	// HostBW is the host-bridge capacity.
+	HostBW float64
+	Lat    sim.Time
+}
+
+// DefaultPrototype returns the calibration that matches the paper's
+// measured prototype: GPU-Direct large-block reads around 12.5 GB/s,
+// writes around 6 GB/s.
+func DefaultPrototype() PrototypeSpec {
+	return PrototypeSpec{
+		FPGAReadBW:  12.5 * topology.GB,
+		FPGAWriteBW: 6 * topology.GB,
+		GPUEdgeBW:   13 * topology.GB,
+		HostBW:      24 * topology.GB,
+		Lat:         500,
+	}
+}
+
+// Prototype is the built rig: a CPU, a GPU and an FPGA memory device
+// under one PCIe switch.
+type Prototype struct {
+	*topology.Topology
+	CPU  *topology.Device
+	GPU  *topology.Device
+	FPGA *topology.Device
+	Spec PrototypeSpec
+}
+
+// NewPrototype builds the profiling rig on eng.
+func NewPrototype(eng *sim.Engine, spec PrototypeSpec) *Prototype {
+	t := topology.New(eng)
+	t.Label = "CCI prototype rig"
+	cpu := t.AddDevice(topology.KindCPU, 0, 0)
+	host := t.AddDevice(topology.KindHostBridge, 0, 0)
+	peer := t.AddDevice(topology.KindSwitchPeer, 0, 0)
+	up := t.AddDevice(topology.KindSwitchUp, 0, 0)
+	gpu := t.AddDevice(topology.KindGPU, 0, 0)
+	fpga := t.AddDevice(topology.KindMemDev, 0, 0)
+	gport := t.AddDevice(topology.KindPort, 0, gpu.ID)
+	fport := t.AddDevice(topology.KindPort, 0, fpga.ID)
+
+	t.Connect(cpu, host, spec.HostBW, spec.HostBW, spec.Lat)
+	t.Connect(up, host, spec.HostBW, spec.HostBW, spec.Lat)
+	t.Connect(gpu, gport, spec.GPUEdgeBW, spec.GPUEdgeBW, spec.Lat)
+	// FPGA edge: out-of-FPGA (reads) faster than into-FPGA (writes).
+	t.Connect(fpga, fport, spec.FPGAReadBW, spec.FPGAWriteBW, spec.Lat)
+	t.Connect(gport, peer, spec.GPUEdgeBW, spec.GPUEdgeBW, spec.Lat)
+	t.Connect(fport, peer, spec.FPGAReadBW, spec.FPGAReadBW, spec.Lat)
+	t.Connect(gport, up, spec.GPUEdgeBW, spec.GPUEdgeBW, spec.Lat)
+	t.Connect(fport, up, spec.FPGAReadBW, spec.FPGAReadBW, spec.Lat)
+	return &Prototype{Topology: t, CPU: cpu, GPU: gpu, FPGA: fpga, Spec: spec}
+}
+
+// AccessMode selects a profiling path, matching Figure 13's series.
+type AccessMode int
+
+// Profiling modes.
+const (
+	ModeCCI         AccessMode = iota // host load/store into FPGA memory
+	ModeGPUIndirect                   // FPGA -> host memory -> GPU
+	ModeGPUDirect                     // FPGA <-> GPU peer-to-peer DMA
+)
+
+var modeNames = map[AccessMode]string{
+	ModeCCI:         "CCI",
+	ModeGPUIndirect: "GPU Indirect",
+	ModeGPUDirect:   "GPU Direct",
+}
+
+// String names the mode as the paper's figures do.
+func (m AccessMode) String() string { return modeNames[m] }
+
+// Bandwidth returns the effective bandwidth for one access of size
+// bytes in the given mode and direction. write=true means data flows
+// toward the FPGA memory.
+func (pr *Prototype) Bandwidth(p Params, mode AccessMode, size int64, write bool) float64 {
+	linkBW := pr.Spec.FPGAReadBW
+	if write {
+		linkBW = pr.Spec.FPGAWriteBW
+	}
+	if pr.Spec.GPUEdgeBW < linkBW {
+		linkBW = pr.Spec.GPUEdgeBW
+	}
+	switch mode {
+	case ModeCCI:
+		return p.LoadStoreBandwidth(write)
+	case ModeGPUIndirect:
+		return p.IndirectBandwidth(size, linkBW, write)
+	case ModeGPUDirect:
+		return p.DMABandwidth(size, linkBW)
+	}
+	panic("cci: unknown access mode")
+}
+
+// DMAProfile returns the raw FPGA DMA engine curve of Figure 14:
+// effective bandwidth per access size, for reads and writes.
+func (pr *Prototype) DMAProfile(p Params, size int64) (read, write float64) {
+	return p.DMABandwidth(size, pr.Spec.FPGAReadBW), p.DMABandwidth(size, pr.Spec.FPGAWriteBW)
+}

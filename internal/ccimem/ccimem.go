@@ -1,0 +1,249 @@
+// Package ccimem implements the CCI-unified memory address space of
+// paper Sections II-C and IV-C: every memory device maps its local DRAM
+// into one shared byte-addressable space, which the host CPU and other
+// devices access with load/store instructions (the prototype exposes it
+// as an mmap-able PCIe BAR region).
+//
+// The space is a flat 64-bit range carved into per-device windows. An
+// allocator hands out regions inside a device's window; reads and
+// writes resolve the owning device by address and are backed by real
+// byte storage, so the functional paths (parameter storage, checkpoint
+// serialization) can sit directly on CCI memory semantics. Timed access
+// goes through the cci package's transfer models; this package owns
+// placement, translation and the data itself.
+package ccimem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Addr is a CCI-space address.
+type Addr uint64
+
+// WindowBits sets each device's window size: 40 bits = 1 TiB of
+// address space per device, far above any physical DRAM, so window
+// boundaries never constrain allocation.
+const WindowBits = 40
+
+// WindowSize is the per-device address window in bytes.
+const WindowSize = 1 << WindowBits
+
+// Space is the unified address space shared by the host and all memory
+// devices.
+type Space struct {
+	devices []*Window
+}
+
+// NewSpace creates an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// AddDevice maps a new device's DRAM into the space and returns its
+// window. capacity is the device's physical DRAM in bytes.
+func (s *Space) AddDevice(name string, capacity int64) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ccimem: device %q capacity %d", name, capacity))
+	}
+	if capacity > WindowSize {
+		panic(fmt.Sprintf("ccimem: device %q capacity %d exceeds window", name, capacity))
+	}
+	w := &Window{
+		space:    s,
+		Name:     name,
+		Index:    len(s.devices),
+		Base:     Addr(len(s.devices)) << WindowBits,
+		Capacity: capacity,
+	}
+	s.devices = append(s.devices, w)
+	return w
+}
+
+// Devices returns the mapped windows in device order.
+func (s *Space) Devices() []*Window { return s.devices }
+
+// Resolve returns the window owning an address and the offset within
+// its DRAM, or an error for unmapped or out-of-capacity addresses.
+func (s *Space) Resolve(a Addr) (*Window, int64, error) {
+	idx := int(a >> WindowBits)
+	if idx >= len(s.devices) {
+		return nil, 0, fmt.Errorf("ccimem: address %#x beyond mapped windows", uint64(a))
+	}
+	w := s.devices[idx]
+	off := int64(a & (WindowSize - 1))
+	if off >= w.Capacity {
+		return nil, 0, fmt.Errorf("ccimem: address %#x beyond device %q capacity", uint64(a), w.Name)
+	}
+	return w, off, nil
+}
+
+// ReadAt copies len(dst) bytes starting at a into dst. The access must
+// stay within one device window (hardware enforces the same).
+func (s *Space) ReadAt(a Addr, dst []byte) error {
+	w, off, err := s.Resolve(a)
+	if err != nil {
+		return err
+	}
+	if off+int64(len(dst)) > w.Capacity {
+		return fmt.Errorf("ccimem: read of %d at %#x crosses device %q capacity", len(dst), uint64(a), w.Name)
+	}
+	w.ensure(off + int64(len(dst)))
+	copy(dst, w.data[off:])
+	return nil
+}
+
+// WriteAt copies src into the space starting at a.
+func (s *Space) WriteAt(a Addr, src []byte) error {
+	w, off, err := s.Resolve(a)
+	if err != nil {
+		return err
+	}
+	if off+int64(len(src)) > w.Capacity {
+		return fmt.Errorf("ccimem: write of %d at %#x crosses device %q capacity", len(src), uint64(a), w.Name)
+	}
+	w.ensure(off + int64(len(src)))
+	copy(w.data[off:], src)
+	return nil
+}
+
+// Window is one device's slice of the unified space plus a first-fit
+// allocator over its physical DRAM.
+type Window struct {
+	space    *Space
+	Name     string
+	Index    int
+	Base     Addr
+	Capacity int64
+
+	data   []byte // backing storage, grown on demand
+	allocs []span // sorted by offset
+}
+
+type span struct {
+	off  int64
+	size int64
+}
+
+func (w *Window) ensure(size int64) {
+	if int64(len(w.data)) < size {
+		grown := make([]byte, size)
+		copy(grown, w.data)
+		w.data = grown
+	}
+}
+
+// Used returns the allocated bytes.
+func (w *Window) Used() int64 {
+	var total int64
+	for _, s := range w.allocs {
+		total += s.size
+	}
+	return total
+}
+
+// Region is an allocated range of CCI memory.
+type Region struct {
+	window *Window
+	Addr   Addr
+	Size   int64
+}
+
+// Alloc reserves size bytes in the device's DRAM using first-fit and
+// returns the region, or an error when fragmented space cannot fit it.
+func (w *Window) Alloc(size int64) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("ccimem: alloc %d", size)
+	}
+	off := int64(0)
+	idx := len(w.allocs)
+	for i, s := range w.allocs {
+		if s.off-off >= size {
+			idx = i
+			break
+		}
+		off = s.off + s.size
+	}
+	if off+size > w.Capacity {
+		return nil, fmt.Errorf("ccimem: device %q cannot fit %d (used %d of %d)", w.Name, size, w.Used(), w.Capacity)
+	}
+	w.allocs = append(w.allocs, span{})
+	copy(w.allocs[idx+1:], w.allocs[idx:])
+	w.allocs[idx] = span{off: off, size: size}
+	return &Region{window: w, Addr: w.Base + Addr(off), Size: size}, nil
+}
+
+// Free releases a region back to its window's allocator.
+func (r *Region) Free() {
+	w := r.window
+	off := int64(r.Addr - w.Base)
+	for i, s := range w.allocs {
+		if s.off == off && s.size == r.Size {
+			w.allocs = append(w.allocs[:i], w.allocs[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("ccimem: double free of %#x", uint64(r.Addr)))
+}
+
+// Device returns the window owning the region.
+func (r *Region) Device() *Window { return r.window }
+
+// WriteFloats stores a float32 slice into the region (little-endian).
+func (r *Region) WriteFloats(off int64, vals []float32) error {
+	if off+int64(len(vals))*4 > r.Size {
+		return fmt.Errorf("ccimem: write of %d floats at %d overruns region of %d bytes", len(vals), off, r.Size)
+	}
+	buf := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		putFloat(buf[i*4:], v)
+	}
+	return r.window.space.WriteAt(r.Addr+Addr(off), buf)
+}
+
+// ReadFloats loads count float32 values from the region.
+func (r *Region) ReadFloats(off int64, count int) ([]float32, error) {
+	if off+int64(count)*4 > r.Size {
+		return nil, fmt.Errorf("ccimem: read of %d floats at %d overruns region of %d bytes", count, off, r.Size)
+	}
+	buf := make([]byte, count*4)
+	if err := r.window.space.ReadAt(r.Addr+Addr(off), buf); err != nil {
+		return nil, err
+	}
+	vals := make([]float32, count)
+	for i := range vals {
+		vals[i] = getFloat(buf[i*4:])
+	}
+	return vals, nil
+}
+
+// CheckInvariants verifies the allocator's bookkeeping: spans sorted,
+// non-overlapping, within capacity.
+func (w *Window) CheckInvariants() error {
+	if !sort.SliceIsSorted(w.allocs, func(i, j int) bool { return w.allocs[i].off < w.allocs[j].off }) {
+		return fmt.Errorf("ccimem: %q spans unsorted", w.Name)
+	}
+	prevEnd := int64(0)
+	for _, s := range w.allocs {
+		if s.off < prevEnd {
+			return fmt.Errorf("ccimem: %q spans overlap at %d", w.Name, s.off)
+		}
+		prevEnd = s.off + s.size
+	}
+	if prevEnd > w.Capacity {
+		return fmt.Errorf("ccimem: %q spans exceed capacity", w.Name)
+	}
+	return nil
+}
+
+func putFloat(b []byte, v float32) {
+	bits := math.Float32bits(v)
+	b[0] = byte(bits)
+	b[1] = byte(bits >> 8)
+	b[2] = byte(bits >> 16)
+	b[3] = byte(bits >> 24)
+}
+
+func getFloat(b []byte) float32 {
+	bits := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return math.Float32frombits(bits)
+}

@@ -1,0 +1,279 @@
+package ccimem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowLayout(t *testing.T) {
+	s := NewSpace()
+	a := s.AddDevice("dev0", 1<<30)
+	b := s.AddDevice("dev1", 1<<30)
+	if a.Base != 0 || b.Base != 1<<WindowBits {
+		t.Fatalf("bases %#x/%#x", uint64(a.Base), uint64(b.Base))
+	}
+	if len(s.Devices()) != 2 {
+		t.Fatal("device count")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := NewSpace()
+	s.AddDevice("dev0", 1000)
+	d1 := s.AddDevice("dev1", 1000)
+	w, off, err := s.Resolve(d1.Base + 500)
+	if err != nil || w != d1 || off != 500 {
+		t.Fatalf("resolve: %v %v %v", w, off, err)
+	}
+	if _, _, err := s.Resolve(Addr(5) << WindowBits); err == nil {
+		t.Fatal("unmapped address resolved")
+	}
+	if _, _, err := s.Resolve(d1.Base + 1000); err == nil {
+		t.Fatal("out-of-capacity address resolved")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := NewSpace()
+	d := s.AddDevice("dev0", 1<<20)
+	src := []byte{1, 2, 3, 4, 5}
+	if err := s.WriteAt(d.Base+100, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 5)
+	if err := s.ReadAt(d.Base+100, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("dst = %v", dst)
+		}
+	}
+	// Untouched memory reads as zero.
+	zero := make([]byte, 4)
+	if err := s.ReadAt(d.Base+1000, zero); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("fresh memory not zeroed")
+		}
+	}
+}
+
+func TestAccessBeyondCapacityRejected(t *testing.T) {
+	s := NewSpace()
+	d := s.AddDevice("dev0", 100)
+	if err := s.WriteAt(d.Base+90, make([]byte, 20)); err == nil {
+		t.Fatal("cross-capacity write accepted")
+	}
+	if err := s.ReadAt(d.Base+90, make([]byte, 20)); err == nil {
+		t.Fatal("cross-capacity read accepted")
+	}
+}
+
+func TestAllocFirstFit(t *testing.T) {
+	s := NewSpace()
+	d := s.AddDevice("dev0", 1000)
+	r1, err := d.Alloc(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d.Alloc(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Addr != d.Base || r2.Addr != d.Base+300 {
+		t.Fatalf("addrs %#x %#x", uint64(r1.Addr), uint64(r2.Addr))
+	}
+	// Free the first region; the next fitting alloc reuses its hole.
+	r1.Free()
+	r3, err := d.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Addr != d.Base {
+		t.Fatalf("first-fit did not reuse the hole: %#x", uint64(r3.Addr))
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	s := NewSpace()
+	d := s.AddDevice("dev0", 1000)
+	if _, err := d.Alloc(1001); err == nil {
+		t.Fatal("over-capacity alloc succeeded")
+	}
+	if _, err := d.Alloc(0); err == nil {
+		t.Fatal("zero alloc succeeded")
+	}
+	r, _ := d.Alloc(1000)
+	if _, err := d.Alloc(1); err == nil {
+		t.Fatal("alloc on full device succeeded")
+	}
+	r.Free()
+	if _, err := d.Alloc(1000); err != nil {
+		t.Fatalf("re-alloc after free failed: %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s := NewSpace()
+	d := s.AddDevice("dev0", 1000)
+	r, _ := d.Alloc(100)
+	r.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Free()
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	s := NewSpace()
+	d := s.AddDevice("dev0", 1<<20)
+	r, err := d.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float32{1.5, -2.25, 3e-9, 0}
+	if err := r.WriteFloats(16, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadFloats(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if err := r.WriteFloats(4090, vals); err == nil {
+		t.Fatal("overrun write accepted")
+	}
+	if _, err := r.ReadFloats(4090, 4); err == nil {
+		t.Fatal("overrun read accepted")
+	}
+}
+
+func TestRegionsIsolatedAcrossDevices(t *testing.T) {
+	s := NewSpace()
+	d0 := s.AddDevice("dev0", 1<<20)
+	d1 := s.AddDevice("dev1", 1<<20)
+	r0, _ := d0.Alloc(1024)
+	r1, _ := d1.Alloc(1024)
+	r0.WriteFloats(0, []float32{42})
+	r1.WriteFloats(0, []float32{7})
+	v0, _ := r0.ReadFloats(0, 1)
+	v1, _ := r1.ReadFloats(0, 1)
+	if v0[0] != 42 || v1[0] != 7 {
+		t.Fatalf("cross-device interference: %v %v", v0, v1)
+	}
+	if r0.Device() != d0 || r1.Device() != d1 {
+		t.Fatal("region ownership wrong")
+	}
+}
+
+func TestBadDevicePanics(t *testing.T) {
+	for _, capacity := range []int64{0, -1, WindowSize + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d: expected panic", capacity)
+				}
+			}()
+			NewSpace().AddDevice("bad", capacity)
+		}()
+	}
+}
+
+// Property: random alloc/free sequences keep the allocator's invariants
+// and never hand out overlapping regions.
+func TestPropertyAllocatorInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSpace()
+		d := s.AddDevice("dev0", 4096)
+		var live []*Region
+		ops := int(opsRaw)%150 + 20
+		for i := 0; i < ops; i++ {
+			if r.Intn(2) == 0 || len(live) == 0 {
+				size := int64(r.Intn(512) + 1)
+				reg, err := d.Alloc(size)
+				if err == nil {
+					live = append(live, reg)
+				}
+			} else {
+				idx := r.Intn(len(live))
+				live[idx].Free()
+				live = append(live[:idx], live[idx+1:]...)
+			}
+			if d.CheckInvariants() != nil {
+				return false
+			}
+		}
+		// No two live regions overlap.
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.Addr < b.Addr+Addr(b.Size) && b.Addr < a.Addr+Addr(a.Size) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data written to any region survives arbitrary writes to
+// other regions (no aliasing through the allocator).
+func TestPropertyDataIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSpace()
+		d := s.AddDevice("dev0", 1<<16)
+		type rec struct {
+			reg  *Region
+			vals []float32
+		}
+		var recs []rec
+		for i := 0; i < 8; i++ {
+			n := r.Intn(100) + 1
+			reg, err := d.Alloc(int64(n) * 4)
+			if err != nil {
+				continue
+			}
+			vals := make([]float32, n)
+			for j := range vals {
+				vals[j] = r.Float32()
+			}
+			if reg.WriteFloats(0, vals) != nil {
+				return false
+			}
+			recs = append(recs, rec{reg, vals})
+		}
+		for _, rc := range recs {
+			got, err := rc.reg.ReadFloats(0, len(rc.vals))
+			if err != nil {
+				return false
+			}
+			for j := range rc.vals {
+				if got[j] != rc.vals[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package checkpoint serializes parameter snapshots and manages the
+// per-epoch checkpoint policy of paper Section IV-A: memory devices
+// accumulate copy-on-write versions during the epoch and persist one
+// snapshot at epoch end, so a failed worker recovers from the latest
+// epoch instead of retraining from scratch.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"coarse/internal/kvstore"
+)
+
+// magic identifies the checkpoint container format.
+const magic uint64 = 0x434f415253454b31 // "COARSEK1"
+
+const formatVersion uint32 = 1
+
+// maxTensorElems bounds a single tensor read to guard against corrupt
+// length fields (1 << 31 elements = 8 GiB of float32).
+const maxTensorElems = 1 << 31
+
+// Write serializes a snapshot. The format is little-endian:
+// magic, version, tensor count, then per tensor: name, version, data.
+func Write(w io.Writer, snap *kvstore.Snapshot) error {
+	if err := writeU64(w, magic); err != nil {
+		return err
+	}
+	if err := writeU32(w, formatVersion); err != nil {
+		return err
+	}
+	names := snap.Names()
+	if err := writeU64(w, uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		if err := writeU64(w, snap.Version(name)); err != nil {
+			return err
+		}
+		data := snap.Get(name)
+		if err := writeU64(w, uint64(len(data))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes a checkpoint written by Write.
+func Read(r io.Reader) (*kvstore.Snapshot, error) {
+	m, err := readU64(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", m)
+	}
+	ver, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d", ver)
+	}
+	count, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	tensors := make(map[string][]float32, count)
+	versions := make(map[string]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: tensor %d name: %w", i, err)
+		}
+		v, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		if n > maxTensorElems {
+			return nil, fmt.Errorf("checkpoint: tensor %q length %d implausible", name, n)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("checkpoint: tensor %q data: %w", name, err)
+		}
+		data := make([]float32, n)
+		for j := range data {
+			data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		if _, dup := tensors[name]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate tensor %q", name)
+		}
+		tensors[name] = data
+		versions[name] = v
+	}
+	return kvstore.LoadSnapshot(tensors, versions), nil
+}
+
+// Manager applies the epoch-granular checkpoint policy to one store.
+type Manager struct {
+	store *kvstore.Store
+	// Keep bounds how many past checkpoints are retained; 0 means one.
+	Keep    int
+	history []*kvstore.Snapshot
+	epoch   int
+}
+
+// NewManager wraps a store with a checkpoint policy retaining keep
+// snapshots.
+func NewManager(store *kvstore.Store, keep int) *Manager {
+	if keep < 1 {
+		keep = 1
+	}
+	return &Manager{store: store, Keep: keep}
+}
+
+// EpochEnd snapshots the store, retiring the oldest retained checkpoint
+// if over the retention bound, and returns the new snapshot.
+func (m *Manager) EpochEnd() *kvstore.Snapshot {
+	m.epoch++
+	snap := m.store.Snapshot()
+	m.history = append(m.history, snap)
+	if len(m.history) > m.Keep {
+		m.history = m.history[len(m.history)-m.Keep:]
+	}
+	return snap
+}
+
+// Epoch returns how many epochs have been checkpointed.
+func (m *Manager) Epoch() int { return m.epoch }
+
+// Latest returns the most recent checkpoint, nil before the first epoch.
+func (m *Manager) Latest() *kvstore.Snapshot {
+	if len(m.history) == 0 {
+		return nil
+	}
+	return m.history[len(m.history)-1]
+}
+
+// Recover restores the store to the latest checkpoint, reporting
+// whether one existed.
+func (m *Manager) Recover() bool {
+	snap := m.Latest()
+	if snap == nil {
+		return false
+	}
+	m.store.Restore(snap)
+	return true
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("name length %d implausible", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,191 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coarse/internal/kvstore"
+)
+
+func storeWith(t *testing.T, tensors map[string][]float32) *kvstore.Store {
+	t.Helper()
+	s := kvstore.New()
+	for name, data := range tensors {
+		s.Put(name, data)
+	}
+	return s
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := storeWith(t, map[string][]float32{
+		"w1": {1.5, -2.25, 3e-9},
+		"w2": {},
+		"w3": {42},
+	})
+	s.Update("w3", func(d []float32) { d[0] = 7 }) // version 2
+	snap := s.Snapshot()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names()) != 3 {
+		t.Fatalf("names = %v", got.Names())
+	}
+	for _, name := range snap.Names() {
+		want := snap.Get(name)
+		data := got.Get(name)
+		if len(data) != len(want) {
+			t.Fatalf("%s: len %d != %d", name, len(data), len(want))
+		}
+		for i := range want {
+			if data[i] != want[i] {
+				t.Fatalf("%s[%d] = %v, want %v", name, i, data[i], want[i])
+			}
+		}
+		if got.Version(name) != snap.Version(name) {
+			t.Fatalf("%s version %d != %d", name, got.Version(name), snap.Version(name))
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("expected error on zero magic")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	s := storeWith(t, map[string][]float32{"w": make([]float32, 100)})
+	var buf bytes.Buffer
+	if err := Write(&buf, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 8, 13, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestReadRejectsCorruptLength(t *testing.T) {
+	s := storeWith(t, map[string][]float32{"w": {1}})
+	var buf bytes.Buffer
+	if err := Write(&buf, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Tensor element count sits after magic(8)+ver(4)+count(8)+nameLen(4)+
+	// name(1)+version(8); blow it up.
+	off := 8 + 4 + 8 + 4 + 1 + 8
+	for i := 0; i < 8; i++ {
+		b[off+i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupt element count not detected")
+	}
+}
+
+func TestManagerEpochPolicy(t *testing.T) {
+	s := storeWith(t, map[string][]float32{"w": {0}})
+	m := NewManager(s, 2)
+	if m.Latest() != nil {
+		t.Fatal("Latest before any epoch should be nil")
+	}
+	if m.Recover() {
+		t.Fatal("Recover with no checkpoint should report false")
+	}
+	for epoch := 1; epoch <= 4; epoch++ {
+		s.Update("w", func(d []float32) { d[0] = float32(epoch) })
+		m.EpochEnd()
+	}
+	if m.Epoch() != 4 {
+		t.Fatalf("Epoch = %d", m.Epoch())
+	}
+	if got := m.Latest().Get("w")[0]; got != 4 {
+		t.Fatalf("latest = %v, want 4", got)
+	}
+}
+
+func TestManagerRecover(t *testing.T) {
+	s := storeWith(t, map[string][]float32{"w": {1}})
+	m := NewManager(s, 1)
+	m.EpochEnd()
+	s.Update("w", func(d []float32) { d[0] = 99 }) // mid-epoch "crash" state
+	if !m.Recover() {
+		t.Fatal("Recover failed")
+	}
+	if got := s.Get("w")[0]; got != 1 {
+		t.Fatalf("recovered w = %v, want 1", got)
+	}
+}
+
+func TestManagerKeepDefaultsToOne(t *testing.T) {
+	s := storeWith(t, map[string][]float32{"w": {1}})
+	m := NewManager(s, 0)
+	if m.Keep != 1 {
+		t.Fatalf("Keep = %d", m.Keep)
+	}
+}
+
+// Property: serialize/deserialize preserves arbitrary float payloads
+// bit-exactly, including NaN-adjacent values.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := kvstore.New()
+		tensors := int(nRaw%8) + 1
+		for i := 0; i < tensors; i++ {
+			data := make([]float32, r.Intn(200))
+			for j := range data {
+				data[j] = float32(r.NormFloat64() * 1e3)
+			}
+			s.Put(string(rune('a'+i)), data)
+		}
+		snap := s.Snapshot()
+		var buf bytes.Buffer
+		if Write(&buf, snap) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for _, name := range snap.Names() {
+			a, b := snap.Get(name), got.Get(name)
+			if len(a) != len(b) {
+				return false
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCheckpointWrite(b *testing.B) {
+	s := kvstore.New()
+	s.Put("w", make([]float32, 1<<20))
+	snap := s.Snapshot()
+	b.SetBytes(4 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

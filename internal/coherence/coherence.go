@@ -1,0 +1,304 @@
+// Package coherence implements a directory-based MESI protocol over the
+// CCI address space.
+//
+// The paper's DENSE baseline keeps a parameter cache on every GPU,
+// coherent with the global parameters on one memory device (Figure 5),
+// and observes that "coherence traffic also increases with the number of
+// computation devices sharing the same memory region, reducing the
+// bandwidth available to accommodate parameter data transfer" (Section
+// III-D). This package produces that traffic organically: caches issue
+// reads and writes, the directory generates invalidations, fetches and
+// writebacks, and the byte counts feed the fabric as protocol overhead.
+//
+// The protocol is functional, not just counted: every line carries a
+// value, so tests can assert the single-writer/multiple-reader invariant
+// and the data-value invariant (a read always returns the most recently
+// written value) under arbitrary operation interleavings.
+package coherence
+
+import "fmt"
+
+// State is a MESI cache-line state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+var stateNames = [...]string{"I", "S", "E", "M"}
+
+// String returns the single-letter state name.
+func (s State) String() string { return stateNames[s] }
+
+// LineAddr identifies a cache line in the shared address space.
+type LineAddr uint64
+
+// Stats counts protocol messages. Control messages are requests, grants
+// and invalidation acks; data messages carry a full line.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Upgrades    uint64 // S->M without data transfer
+
+	Invalidations uint64 // directory-initiated line kills
+	Fetches       uint64 // owner-to-requester data forwards
+	Writebacks    uint64 // dirty data returned to home memory
+	ControlMsgs   uint64
+	DataMsgs      uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ReadHits += other.ReadHits
+	s.ReadMisses += other.ReadMisses
+	s.WriteHits += other.WriteHits
+	s.WriteMisses += other.WriteMisses
+	s.Upgrades += other.Upgrades
+	s.Invalidations += other.Invalidations
+	s.Fetches += other.Fetches
+	s.Writebacks += other.Writebacks
+	s.ControlMsgs += other.ControlMsgs
+	s.DataMsgs += other.DataMsgs
+}
+
+// TrafficBytes converts message counts to wire bytes given the line size
+// and a fixed control-message size of 8 bytes.
+func (s Stats) TrafficBytes(lineBytes int64) int64 {
+	const ctrl = 8
+	return int64(s.ControlMsgs)*ctrl + int64(s.DataMsgs)*lineBytes
+}
+
+type dirEntry struct {
+	owner   int    // cache holding E or M, -1 when none
+	sharers uint64 // bitmask of caches holding S
+	value   uint64 // memory's copy of the line value
+}
+
+// Directory is the home agent: it tracks every line's global state and
+// serializes all coherence transactions.
+type Directory struct {
+	lineBytes int64
+	caches    []*Cache
+	lines     map[LineAddr]*dirEntry
+	stats     Stats
+}
+
+// NewDirectory creates a directory for lines of the given size.
+func NewDirectory(lineBytes int64) *Directory {
+	if lineBytes <= 0 {
+		panic(fmt.Sprintf("coherence: line size %d", lineBytes))
+	}
+	return &Directory{lineBytes: lineBytes, lines: make(map[LineAddr]*dirEntry)}
+}
+
+// NewCache registers a new cache with the directory. At most 64 caches
+// are supported (sharer bitmask width).
+func (d *Directory) NewCache() *Cache {
+	if len(d.caches) == 64 {
+		panic("coherence: too many caches")
+	}
+	c := &Cache{id: len(d.caches), dir: d, lines: make(map[LineAddr]*cacheLine)}
+	d.caches = append(d.caches, c)
+	return c
+}
+
+// Stats returns the accumulated protocol message counts.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// ResetStats clears the message counters.
+func (d *Directory) ResetStats() { d.stats = Stats{} }
+
+// LineBytes returns the coherence granule size.
+func (d *Directory) LineBytes() int64 { return d.lineBytes }
+
+func (d *Directory) entry(addr LineAddr) *dirEntry {
+	e, ok := d.lines[addr]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.lines[addr] = e
+	}
+	return e
+}
+
+type cacheLine struct {
+	state State
+	value uint64
+}
+
+// Cache is one device's coherent cache.
+type Cache struct {
+	id    int
+	dir   *Directory
+	lines map[LineAddr]*cacheLine
+}
+
+// ID returns the cache's directory-assigned id.
+func (c *Cache) ID() int { return c.id }
+
+// StateOf returns the cache's current state for a line.
+func (c *Cache) StateOf(addr LineAddr) State {
+	if l, ok := c.lines[addr]; ok {
+		return l.state
+	}
+	return Invalid
+}
+
+// Read returns the line's value, driving a coherence transaction when
+// the line is not present.
+func (c *Cache) Read(addr LineAddr) uint64 {
+	d := c.dir
+	l, ok := c.lines[addr]
+	if ok && l.state != Invalid {
+		d.stats.ReadHits++
+		return l.value
+	}
+	d.stats.ReadMisses++
+	d.stats.ControlMsgs++ // read request to home
+	e := d.entry(addr)
+	var value uint64
+	switch {
+	case e.owner >= 0:
+		// Owner holds E or M: forward data, downgrade owner to S.
+		owner := d.caches[e.owner]
+		ol := owner.lines[addr]
+		value = ol.value
+		if ol.state == Modified {
+			d.stats.Writebacks++
+			d.stats.DataMsgs++ // dirty data back to home
+			e.value = ol.value
+		}
+		ol.state = Shared
+		d.stats.Fetches++
+		d.stats.DataMsgs++ // forwarded line to requester
+		d.stats.ControlMsgs++
+		e.sharers |= 1<<uint(e.owner) | 1<<uint(c.id)
+		e.owner = -1
+		c.setLine(addr, Shared, value)
+	case e.sharers != 0:
+		value = e.value
+		d.stats.DataMsgs++ // line from home memory
+		e.sharers |= 1 << uint(c.id)
+		c.setLine(addr, Shared, value)
+	default:
+		value = e.value
+		d.stats.DataMsgs++
+		e.owner = c.id
+		c.setLine(addr, Exclusive, value)
+	}
+	return value
+}
+
+// Write stores value into the line, invalidating other copies.
+func (c *Cache) Write(addr LineAddr, value uint64) {
+	d := c.dir
+	e := d.entry(addr)
+	l, ok := c.lines[addr]
+	if ok && l.state != Invalid {
+		switch l.state {
+		case Modified:
+			d.stats.WriteHits++
+		case Exclusive:
+			d.stats.WriteHits++
+			l.state = Modified // silent upgrade
+		case Shared:
+			d.stats.Upgrades++
+			d.stats.ControlMsgs++ // upgrade request
+			d.invalidateOthers(e, addr, c.id)
+			e.sharers = 0
+			e.owner = c.id
+			l.state = Modified
+		}
+		l.value = value
+		return
+	}
+	d.stats.WriteMisses++
+	d.stats.ControlMsgs++ // write request to home
+	if e.owner >= 0 && e.owner != c.id {
+		owner := d.caches[e.owner]
+		ol := owner.lines[addr]
+		if ol.state == Modified {
+			d.stats.Writebacks++
+			d.stats.DataMsgs++
+			e.value = ol.value
+		}
+		ol.state = Invalid
+		d.stats.Invalidations++
+		d.stats.ControlMsgs++
+	}
+	d.invalidateOthers(e, addr, c.id)
+	d.stats.DataMsgs++ // line delivered with write permission
+	e.sharers = 0
+	e.owner = c.id
+	c.setLine(addr, Modified, value)
+}
+
+// Evict drops the line from this cache, writing dirty data home.
+func (c *Cache) Evict(addr LineAddr) {
+	d := c.dir
+	l, ok := c.lines[addr]
+	if !ok || l.state == Invalid {
+		return
+	}
+	e := d.entry(addr)
+	switch l.state {
+	case Modified:
+		d.stats.Writebacks++
+		d.stats.DataMsgs++
+		e.value = l.value
+		e.owner = -1
+	case Exclusive:
+		d.stats.ControlMsgs++
+		e.owner = -1
+	case Shared:
+		d.stats.ControlMsgs++
+		e.sharers &^= 1 << uint(c.id)
+	}
+	delete(c.lines, addr)
+}
+
+func (c *Cache) setLine(addr LineAddr, st State, value uint64) {
+	c.lines[addr] = &cacheLine{state: st, value: value}
+}
+
+func (d *Directory) invalidateOthers(e *dirEntry, addr LineAddr, except int) {
+	for id := 0; id < len(d.caches); id++ {
+		if id == except || e.sharers&(1<<uint(id)) == 0 {
+			continue
+		}
+		other := d.caches[id]
+		if l, ok := other.lines[addr]; ok {
+			l.state = Invalid
+		}
+		d.stats.Invalidations++
+		d.stats.ControlMsgs += 2 // invalidate + ack
+	}
+}
+
+// CheckInvariants verifies the single-writer/multiple-reader property
+// for every line the directory has seen, returning the first violation.
+func (d *Directory) CheckInvariants() error {
+	for addr := range d.lines {
+		owners, sharers := 0, 0
+		for _, c := range d.caches {
+			switch c.StateOf(addr) {
+			case Modified, Exclusive:
+				owners++
+			case Shared:
+				sharers++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("coherence: line %d has %d owners", addr, owners)
+		}
+		if owners == 1 && sharers > 0 {
+			return fmt.Errorf("coherence: line %d has an owner and %d sharers", addr, sharers)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package collective
+
+import (
+	"testing"
+
+	"coarse/internal/sim"
+)
+
+func TestAllReduceBytesMatchesFunctionalTiming(t *testing.T) {
+	// The timed-only path must take exactly as long as the functional
+	// path for the same payload: strategies that switch between them
+	// must not change the simulation's timing.
+	for _, p := range []int{2, 3, 4, 8} {
+		elems := 12288 // divisible by every p, so both paths split identically
+		bytes := int64(elems * 4)
+
+		engF := sim.NewEngine()
+		rf := NewRing(engF, p, timedSend(engF, 1e6))
+		buffers, _ := randBuffers(p, elems, 1)
+		var doneF sim.Time
+		rf.AllReduce(buffers, false, false, func() { doneF = engF.Now() })
+		engF.Run()
+
+		engB := sim.NewEngine()
+		rb := NewRing(engB, p, timedSend(engB, 1e6))
+		var doneB sim.Time
+		rb.AllReduceBytes(bytes, false, func() { doneB = engB.Now() })
+		engB.Run()
+
+		if doneF != doneB {
+			t.Fatalf("p=%d: functional %v != bytes-only %v", p, doneF, doneB)
+		}
+	}
+}
+
+func TestAllReduceBytesUnevenPayload(t *testing.T) {
+	// Payloads that don't divide evenly across participants must still
+	// complete and take no less time than an even payload of same size.
+	eng := sim.NewEngine()
+	r := NewRing(eng, 3, timedSend(eng, 1e6))
+	done := false
+	r.AllReduceBytes(1000, false, func() { done = true }) // 1000 = 334+333+333
+	eng.Run()
+	if !done {
+		t.Fatal("uneven allreduce never completed")
+	}
+}
+
+func TestAllReduceBytesSingleParticipant(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRing(eng, 1, timedSend(eng, 1e6))
+	var done sim.Time = -1
+	r.AllReduceBytes(1<<20, false, func() { done = eng.Now() })
+	eng.Run()
+	if done != 0 {
+		t.Fatalf("single participant should complete instantly, got %v", done)
+	}
+}
+
+func TestAllReduceBytesNegativePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRing(eng, 2, timedSend(eng, 1e6))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.AllReduceBytes(-1, false, nil)
+}
+
+func TestAllReduceBytesALUChargedOnReduceRoundsOnly(t *testing.T) {
+	eng := sim.NewEngine()
+	p := 4
+	r := NewRing(eng, p, timedSend(eng, 1024))
+	r.ALUBytesPerSec = 1024
+	var done sim.Time
+	r.AllReduceBytes(4096, false, func() { done = eng.Now() })
+	eng.Run()
+	segSecs := 1024.0 / 1024 // 1s per segment transfer or reduce
+	want := sim.Seconds(float64(p-1)*segSecs*2 + float64(p-1)*segSecs)
+	if done != want {
+		t.Fatalf("took %v, want %v (ALU only on reduce-scatter rounds)", done, want)
+	}
+}

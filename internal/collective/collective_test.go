@@ -1,0 +1,310 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coarse/internal/sim"
+	"coarse/internal/tensor"
+	"coarse/internal/topology"
+)
+
+// instantSend completes transfers immediately (zero virtual time).
+func instantSend(eng *sim.Engine) SendFunc {
+	return func(i int, reverse bool, size int64, onDone func()) {
+		eng.Schedule(0, onDone)
+	}
+}
+
+// timedSend completes transfers at a fixed bytes/sec rate, one hop at a
+// time, without contention (analytic check of the ring's step count).
+func timedSend(eng *sim.Engine, bw float64) SendFunc {
+	return func(i int, reverse bool, size int64, onDone func()) {
+		eng.Schedule(sim.Seconds(float64(size)/bw), onDone)
+	}
+}
+
+func randBuffers(p, n int, seed int64) ([][]float32, []float32) {
+	r := rand.New(rand.NewSource(seed))
+	buffers := make([][]float32, p)
+	want := make([]float32, n)
+	for i := range buffers {
+		buffers[i] = make([]float32, n)
+		for j := range buffers[i] {
+			buffers[i][j] = float32(r.Intn(64)) // exact in float32 arithmetic
+			want[j] += buffers[i][j]
+		}
+	}
+	return buffers, want
+}
+
+func TestAllReduceSums(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{1, 7, 64, 1000} {
+			eng := sim.NewEngine()
+			r := NewRing(eng, p, instantSend(eng))
+			buffers, want := randBuffers(p, n, int64(p*1000+n))
+			done := false
+			r.AllReduce(buffers, false, false, func() { done = true })
+			eng.Run()
+			if !done {
+				t.Fatalf("p=%d n=%d: never completed", p, n)
+			}
+			for i, b := range buffers {
+				for j := range b {
+					if b[j] != want[j] {
+						t.Fatalf("p=%d n=%d: buffer %d elem %d = %v, want %v", p, n, i, j, b[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceReverseDirection(t *testing.T) {
+	eng := sim.NewEngine()
+	p, n := 4, 100
+	r := NewRing(eng, p, instantSend(eng))
+	buffers, want := randBuffers(p, n, 42)
+	r.AllReduce(buffers, true, false, nil)
+	eng.Run()
+	for i, b := range buffers {
+		for j := range b {
+			if b[j] != want[j] {
+				t.Fatalf("reverse ring: buffer %d elem %d = %v, want %v", i, j, b[j], want[j])
+			}
+		}
+	}
+}
+
+func TestAllReduceAverage(t *testing.T) {
+	eng := sim.NewEngine()
+	p, n := 4, 64
+	r := NewRing(eng, p, instantSend(eng))
+	buffers := make([][]float32, p)
+	for i := range buffers {
+		buffers[i] = make([]float32, n)
+		for j := range buffers[i] {
+			buffers[i][j] = 8
+		}
+	}
+	r.AllReduce(buffers, false, true, nil)
+	eng.Run()
+	for _, b := range buffers {
+		for _, v := range b {
+			if v != 8 {
+				t.Fatalf("average of identical buffers changed value: %v", v)
+			}
+		}
+	}
+}
+
+func TestReduceScatterOwnership(t *testing.T) {
+	eng := sim.NewEngine()
+	p, n := 4, 8
+	r := NewRing(eng, p, instantSend(eng))
+	buffers, want := randBuffers(p, n, 7)
+	r.ReduceScatter(buffers, false, nil)
+	eng.Run()
+	// Participant i must hold the fully reduced segment (i+1) mod p.
+	for i := 0; i < p; i++ {
+		seg := (i + 1) % p
+		lo, hi := segment(n, p, seg)
+		for j := lo; j < hi; j++ {
+			if buffers[i][j] != want[j] {
+				t.Fatalf("participant %d segment %d elem %d = %v, want %v", i, seg, j, buffers[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	eng := sim.NewEngine()
+	p, n := 5, 33
+	r := NewRing(eng, p, instantSend(eng))
+	buffers, _ := randBuffers(p, n, 11)
+	root := 2
+	rootCopy := append([]float32(nil), buffers[root]...)
+	r.Broadcast(buffers, root, nil)
+	eng.Run()
+	for i, b := range buffers {
+		for j := range b {
+			if b[j] != rootCopy[j] {
+				t.Fatalf("participant %d elem %d = %v, want root's %v", i, j, b[j], rootCopy[j])
+			}
+		}
+	}
+}
+
+func TestAllReduceTiming(t *testing.T) {
+	// With per-hop rate B and equal segments, a ring allreduce of n bytes
+	// takes 2(p-1) rounds of (n/p)/B each.
+	eng := sim.NewEngine()
+	p := 4
+	elems := 1024 // 4096 bytes
+	bw := 1024.0  // bytes/sec
+	r := NewRing(eng, p, timedSend(eng, bw))
+	buffers, _ := randBuffers(p, elems, 3)
+	var done sim.Time
+	r.AllReduce(buffers, false, false, func() { done = eng.Now() })
+	eng.Run()
+	segBytes := float64(elems / p * tensor.BytesPerElem)
+	want := sim.Seconds(float64(2*(p-1)) * segBytes / bw)
+	if done != want {
+		t.Fatalf("allreduce took %v, want %v", done, want)
+	}
+}
+
+func TestALUThroughputAddsTime(t *testing.T) {
+	eng := sim.NewEngine()
+	p, elems := 4, 1024
+	r := NewRing(eng, p, timedSend(eng, 1024))
+	r.ALUBytesPerSec = 1024
+	buffers, _ := randBuffers(p, elems, 5)
+	var done sim.Time
+	r.AllReduce(buffers, false, false, func() { done = eng.Now() })
+	eng.Run()
+	segSecs := float64(elems/p*tensor.BytesPerElem) / 1024
+	// Reduce-scatter rounds pay transfer+ALU; all-gather only transfer.
+	want := sim.Seconds(float64(p-1)*segSecs*2 + float64(p-1)*segSecs)
+	if done != want {
+		t.Fatalf("allreduce with ALU took %v, want %v", done, want)
+	}
+}
+
+func TestRingOverRealFabric(t *testing.T) {
+	// Wire the ring over the SDSC machine's CCI links between memory
+	// devices and check the reduction result survives real contention.
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.AWSV100())
+	devs := m.Devs
+	p := len(devs)
+	send := func(i int, reverse bool, size int64, onDone func()) {
+		j := (i + 1) % p
+		if reverse {
+			j = (i - 1 + p) % p
+		}
+		m.Transfer(devs[i], devs[j], size, onDone)
+	}
+	r := NewRing(eng, p, send)
+	buffers, want := randBuffers(p, 1<<16, 9)
+	var done sim.Time
+	r.AllReduce(buffers, false, false, func() { done = eng.Now() })
+	eng.Run()
+	if done == 0 {
+		t.Fatal("allreduce never completed")
+	}
+	for i, b := range buffers {
+		for j := range b {
+			if b[j] != want[j] {
+				t.Fatalf("buffer %d elem %d = %v, want %v", i, j, b[j], want[j])
+			}
+		}
+	}
+}
+
+func TestDualDirectionRingsShareLinks(t *testing.T) {
+	// Two rings in opposite directions over the same full-duplex links
+	// (paper Figure 11b) should take the same time as one ring alone,
+	// because they use disjoint channel directions.
+	run := func(both bool) sim.Time {
+		eng := sim.NewEngine()
+		m := topology.Build(eng, topology.AWSV100())
+		devs := m.Devs
+		p := len(devs)
+		send := func(i int, reverse bool, size int64, onDone func()) {
+			j := (i + 1) % p
+			if reverse {
+				j = (i - 1 + p) % p
+			}
+			m.Transfer(devs[i], devs[j], size, onDone)
+		}
+		var last sim.Time
+		n := 1 << 18
+		fwd, _ := randBuffers(p, n, 1)
+		r1 := NewRing(eng, p, send)
+		r1.AllReduce(fwd, false, false, func() { last = eng.Now() })
+		if both {
+			rev, _ := randBuffers(p, n, 2)
+			r2 := NewRing(eng, p, send)
+			r2.AllReduce(rev, true, false, func() {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return last
+	}
+	alone := run(false)
+	together := run(true)
+	if together != alone {
+		t.Fatalf("dual rings took %v, single ring %v — opposite directions must not contend", together, alone)
+	}
+}
+
+func TestRingBytesPerParticipant(t *testing.T) {
+	if got := RingBytesPerParticipant(1000, 4); got != 1500 {
+		t.Fatalf("got %d, want 1500 (=2*3/4*1000)", got)
+	}
+	if got := RingBytesPerParticipant(1000, 1); got != 0 {
+		t.Fatalf("single participant sends %d, want 0", got)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRing(eng, 2, instantSend(eng))
+	for name, fn := range map[string]func(){
+		"wrong count":    func() { r.AllReduce(make([][]float32, 3), false, false, nil) },
+		"ragged buffers": func() { r.AllReduce([][]float32{make([]float32, 2), make([]float32, 3)}, false, false, nil) },
+		"zero ring":      func() { NewRing(eng, 0, instantSend(eng)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: allreduce equals the element-wise sum for any participant
+// count, buffer length, direction and values.
+func TestPropertyAllReduceEqualsSum(t *testing.T) {
+	f := func(pRaw, nRaw uint8, reverse bool, seed int64) bool {
+		p := int(pRaw%7) + 1
+		n := int(nRaw)%200 + 1
+		eng := sim.NewEngine()
+		r := NewRing(eng, p, instantSend(eng))
+		buffers, want := randBuffers(p, n, seed)
+		r.AllReduce(buffers, reverse, false, nil)
+		eng.Run()
+		for _, b := range buffers {
+			for j := range b {
+				if math.Abs(float64(b[j]-want[j])) > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRingAllReduce(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		r := NewRing(eng, 8, instantSend(eng))
+		buffers, _ := randBuffers(8, 1<<14, 1)
+		r.AllReduce(buffers, false, false, nil)
+		eng.Run()
+	}
+}

@@ -1,0 +1,172 @@
+package collective
+
+import (
+	"fmt"
+
+	"coarse/internal/sim"
+)
+
+// PairSendFunc issues a timed transfer of size bytes between two
+// specific participants.
+type PairSendFunc func(from, to int, size int64, onDone func())
+
+// Hierarchy performs two-level collectives for multi-node machines:
+// an intra-node ring allreduce per node, a cross-node ring among node
+// leaders, then an intra-node broadcast. Each cross-node round moves
+// the full payload only between leaders, so the slow datacenter links
+// carry 2(m-1)/m·n bytes instead of a flat ring's repeated crossings —
+// the standard hierarchical optimization (an extension beyond the
+// paper's flat-ring baseline).
+type Hierarchy struct {
+	eng    *sim.Engine
+	groups [][]int // participant ids per node, in ring order
+	send   PairSendFunc
+	// ALUBytesPerSec models reduction throughput, as in Ring.
+	ALUBytesPerSec float64
+}
+
+// NewHierarchy builds a hierarchy over the given per-node participant
+// groups. Every participant id must appear in exactly one group.
+func NewHierarchy(eng *sim.Engine, groups [][]int, send PairSendFunc) *Hierarchy {
+	if len(groups) == 0 {
+		panic("collective: empty hierarchy")
+	}
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if len(g) == 0 {
+			panic("collective: empty node group")
+		}
+		for _, id := range g {
+			if seen[id] {
+				panic(fmt.Sprintf("collective: participant %d in two groups", id))
+			}
+			seen[id] = true
+		}
+	}
+	return &Hierarchy{eng: eng, groups: groups, send: send}
+}
+
+// ringOver adapts a participant-id subset to a Ring.
+func (h *Hierarchy) ringOver(ids []int) *Ring {
+	send := func(i int, reverse bool, size int64, onDone func()) {
+		j := (i + 1) % len(ids)
+		if reverse {
+			j = (i - 1 + len(ids)) % len(ids)
+		}
+		if len(ids) == 1 {
+			h.eng.Schedule(0, onDone)
+			return
+		}
+		h.send(ids[i], ids[j], size, onDone)
+	}
+	r := NewRing(h.eng, len(ids), send)
+	r.ALUBytesPerSec = h.ALUBytesPerSec
+	return r
+}
+
+// AllReduceBytes runs the two-level timing for a payload of totalBytes.
+func (h *Hierarchy) AllReduceBytes(totalBytes int64, onDone func()) {
+	// Phase 1: intra-node allreduce, all nodes concurrently.
+	remaining := len(h.groups)
+	phase2 := func() {
+		// Phase 2: leaders allreduce across nodes.
+		leaders := make([]int, len(h.groups))
+		for i, g := range h.groups {
+			leaders[i] = g[0]
+		}
+		h.ringOver(leaders).AllReduceBytes(totalBytes, false, func() {
+			// Phase 3: leaders broadcast within their nodes.
+			left := len(h.groups)
+			for _, g := range h.groups {
+				g := g
+				h.broadcastBytes(g, totalBytes, func() {
+					left--
+					if left == 0 && onDone != nil {
+						onDone()
+					}
+				})
+			}
+		})
+	}
+	for _, g := range h.groups {
+		h.ringOver(g).AllReduceBytes(totalBytes, false, func() {
+			remaining--
+			if remaining == 0 {
+				phase2()
+			}
+		})
+	}
+}
+
+// broadcastBytes pipelines the payload down the node's chain.
+func (h *Hierarchy) broadcastBytes(ids []int, bytes int64, onDone func()) {
+	if len(ids) == 1 {
+		h.eng.Schedule(0, onDone)
+		return
+	}
+	var hop func(i int)
+	hop = func(i int) {
+		if i == len(ids)-1 {
+			onDone()
+			return
+		}
+		h.send(ids[i], ids[i+1], bytes, func() { hop(i + 1) })
+	}
+	hop(0)
+}
+
+// AllReduce is the functional two-level collective: every buffer ends
+// with the global sum (or mean with average=true).
+func (h *Hierarchy) AllReduce(buffers [][]float32, average bool, onDone func()) {
+	total := 0
+	for _, g := range h.groups {
+		total += len(g)
+	}
+	if len(buffers) != total {
+		panic(fmt.Sprintf("collective: %d buffers for %d participants", len(buffers), total))
+	}
+	remaining := len(h.groups)
+	phase2 := func() {
+		leaders := make([]int, len(h.groups))
+		leaderBufs := make([][]float32, len(h.groups))
+		for i, g := range h.groups {
+			leaders[i] = g[0]
+			leaderBufs[i] = buffers[g[0]]
+		}
+		h.ringOver(leaders).AllReduce(leaderBufs, false, false, func() {
+			left := len(h.groups)
+			for _, g := range h.groups {
+				g := g
+				h.broadcastBytes(g, int64(len(buffers[g[0]]))*4, func() {
+					for _, id := range g[1:] {
+						copy(buffers[id], buffers[g[0]])
+					}
+					if average {
+						inv := 1 / float32(total)
+						for _, id := range g {
+							for i := range buffers[id] {
+								buffers[id][i] *= inv
+							}
+						}
+					}
+					left--
+					if left == 0 && onDone != nil {
+						onDone()
+					}
+				})
+			}
+		})
+	}
+	for _, g := range h.groups {
+		bufs := make([][]float32, len(g))
+		for i, id := range g {
+			bufs[i] = buffers[id]
+		}
+		h.ringOver(g).AllReduce(bufs, false, false, func() {
+			remaining--
+			if remaining == 0 {
+				phase2()
+			}
+		})
+	}
+}

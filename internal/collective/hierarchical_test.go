@@ -1,0 +1,155 @@
+package collective
+
+import (
+	"testing"
+
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+// pairSend completes transfers at a rate that depends on whether the
+// two participants share a "node" (ids 0-3 vs 4-7): intra fast, inter
+// slow — a two-node machine in miniature.
+func pairSend(eng *sim.Engine, intraBW, interBW float64) PairSendFunc {
+	return func(from, to int, size int64, onDone func()) {
+		bw := intraBW
+		if (from < 4) != (to < 4) {
+			bw = interBW
+		}
+		eng.Schedule(sim.Seconds(float64(size)/bw), onDone)
+	}
+}
+
+func twoNodeGroups() [][]int { return [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} }
+
+func TestHierarchicalAllReduceSums(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, twoNodeGroups(), pairSend(eng, 1e9, 1e8))
+	buffers, want := randBuffers(8, 512, 3)
+	done := false
+	h.AllReduce(buffers, false, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("never completed")
+	}
+	for i, b := range buffers {
+		for j := range b {
+			if b[j] != want[j] {
+				t.Fatalf("buffer %d elem %d = %v, want %v", i, j, b[j], want[j])
+			}
+		}
+	}
+}
+
+func TestHierarchicalAverage(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, twoNodeGroups(), pairSend(eng, 1e9, 1e8))
+	buffers := make([][]float32, 8)
+	for i := range buffers {
+		buffers[i] = []float32{16}
+	}
+	h.AllReduce(buffers, true, nil)
+	eng.Run()
+	for i, b := range buffers {
+		if b[0] != 16 {
+			t.Fatalf("buffer %d = %v, want 16 (mean of equals)", i, b[0])
+		}
+	}
+}
+
+func TestHierarchicalBeatsFlatOnSlowInterconnect(t *testing.T) {
+	// With a 10x slower inter-node link, the two-level collective must
+	// beat a flat ring that crosses the boundary every round.
+	const bytes = 64 << 20
+	flatTime := func() sim.Time {
+		eng := sim.NewEngine()
+		send := pairSend(eng, 1e9, 1e8)
+		r := NewRing(eng, 8, func(i int, reverse bool, size int64, onDone func()) {
+			j := (i + 1) % 8
+			if reverse {
+				j = (i + 7) % 8
+			}
+			send(i, j, size, onDone)
+		})
+		var done sim.Time
+		r.AllReduceBytes(bytes, false, func() { done = eng.Now() })
+		eng.Run()
+		return done
+	}()
+	hierTime := func() sim.Time {
+		eng := sim.NewEngine()
+		h := NewHierarchy(eng, twoNodeGroups(), pairSend(eng, 1e9, 1e8))
+		var done sim.Time
+		h.AllReduceBytes(bytes, func() { done = eng.Now() })
+		eng.Run()
+		return done
+	}()
+	if hierTime >= flatTime {
+		t.Fatalf("hierarchical %v not faster than flat %v on slow interconnect", hierTime, flatTime)
+	}
+}
+
+func TestHierarchicalSingleNodeDegenerates(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHierarchy(eng, [][]int{{0, 1, 2}}, pairSend(eng, 1e9, 1e8))
+	buffers, want := randBuffers(3, 64, 5)
+	h.AllReduce(buffers, false, nil)
+	eng.Run()
+	for i, b := range buffers {
+		for j := range b {
+			if b[j] != want[j] {
+				t.Fatalf("buffer %d elem %d wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestHierarchicalOverRealMultiNodeFabric(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.MultiNodeV100(2))
+	groups := [][]int{{}, {}}
+	for i, w := range m.Workers {
+		groups[w.Node] = append(groups[w.Node], i)
+	}
+	send := func(from, to int, size int64, onDone func()) {
+		m.Transfer(m.Workers[from], m.Workers[to], size, onDone)
+	}
+	h := NewHierarchy(eng, groups, send)
+	buffers, want := randBuffers(len(m.Workers), 1<<14, 7)
+	var done sim.Time
+	h.AllReduce(buffers, false, func() { done = eng.Now() })
+	eng.Run()
+	if done == 0 {
+		t.Fatal("never completed")
+	}
+	for i, b := range buffers {
+		for j := range b {
+			if b[j] != want[j] {
+				t.Fatalf("buffer %d elem %d wrong over real fabric", i, j)
+			}
+		}
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	send := pairSend(eng, 1, 1)
+	for name, fn := range map[string]func(){
+		"empty":      func() { NewHierarchy(eng, nil, send) },
+		"empty node": func() { NewHierarchy(eng, [][]int{{}}, send) },
+		"duplicate":  func() { NewHierarchy(eng, [][]int{{0, 1}, {1, 2}}, send) },
+		"buffer mismatch": func() {
+			h := NewHierarchy(eng, [][]int{{0, 1}}, send)
+			h.AllReduce(make([][]float32, 3), false, nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,181 @@
+// Package config loads training scenarios from JSON so coarsesim can
+// run custom machines and sweeps without recompilation: a scenario
+// names a machine preset (optionally overriding its link parameters),
+// a model, batch size, iteration count and strategies.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"coarse/internal/model"
+	"coarse/internal/topology"
+)
+
+// Scenario is one training configuration.
+type Scenario struct {
+	// Machine names a preset: t4, sdsc, v100, v100-2to1, v100-nvlink,
+	// multi.
+	Machine string `json:"machine"`
+	// Nodes overrides the node count for the multi preset.
+	Nodes int `json:"nodes,omitempty"`
+	// Overrides adjusts preset fields; zero values keep the preset's.
+	Overrides *SpecOverrides `json:"overrides,omitempty"`
+	// Model names the workload: resnet50, bert-base, bert-large, vgg16,
+	// or mlp:IN,HIDDEN...,OUT.
+	Model string `json:"model"`
+	// Batch is the per-GPU batch size.
+	Batch int `json:"batch"`
+	// Iterations is the simulated iteration count.
+	Iterations int `json:"iterations"`
+	// Strategies lists the schemes to run; empty means all four.
+	Strategies []string `json:"strategies,omitempty"`
+	// ComputeJitter spreads per-worker compute speed (stragglers).
+	ComputeJitter float64 `json:"compute_jitter,omitempty"`
+}
+
+// SpecOverrides are optional machine-parameter overrides, in the
+// paper's units (GB/s for bandwidths, ns for latencies).
+type SpecOverrides struct {
+	EdgeGBps  float64 `json:"edge_gbps,omitempty"`
+	PeerGBps  float64 `json:"peer_gbps,omitempty"`
+	UpGBps    float64 `json:"up_gbps,omitempty"`
+	HostGBps  float64 `json:"host_gbps,omitempty"`
+	CCIGBps   float64 `json:"cci_gbps,omitempty"`
+	NetGBps   float64 `json:"net_gbps,omitempty"`
+	GPUMemGiB int64   `json:"gpu_mem_gib,omitempty"`
+	GPUTFLOPS float64 `json:"gpu_tflops,omitempty"`
+}
+
+// Presets maps machine names to constructors.
+func presets(nodes int) map[string]func() topology.Spec {
+	if nodes < 2 {
+		nodes = 2
+	}
+	return map[string]func() topology.Spec{
+		"t4":          topology.AWST4,
+		"sdsc":        topology.SDSCP100,
+		"v100":        topology.AWSV100,
+		"v100-2to1":   topology.AWSV100TwoToOne,
+		"v100-nvlink": topology.AWSV100NVLink,
+		"multi":       func() topology.Spec { return topology.MultiNodeV100(nodes) },
+	}
+}
+
+// Load reads a scenario file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses a scenario from JSON.
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the scenario's fields.
+func (s *Scenario) Validate() error {
+	if _, ok := presets(s.Nodes)[s.Machine]; !ok {
+		return fmt.Errorf("config: unknown machine %q", s.Machine)
+	}
+	if _, err := s.BuildModel(); err != nil {
+		return err
+	}
+	if s.Batch < 1 {
+		return fmt.Errorf("config: batch %d", s.Batch)
+	}
+	if s.Iterations < 1 {
+		return fmt.Errorf("config: iterations %d", s.Iterations)
+	}
+	for _, st := range s.Strategies {
+		switch st {
+		case "DENSE", "AllReduce", "COARSE", "CentralPS":
+		default:
+			return fmt.Errorf("config: unknown strategy %q", st)
+		}
+	}
+	if s.ComputeJitter < 0 {
+		return fmt.Errorf("config: negative jitter")
+	}
+	return nil
+}
+
+// BuildSpec constructs the machine spec with overrides applied.
+func (s *Scenario) BuildSpec() topology.Spec {
+	spec := presets(s.Nodes)[s.Machine]()
+	if o := s.Overrides; o != nil {
+		set := func(dst *float64, gbps float64) {
+			if gbps > 0 {
+				*dst = gbps * topology.GB
+			}
+		}
+		set(&spec.EdgeBW, o.EdgeGBps)
+		set(&spec.PeerBW, o.PeerGBps)
+		set(&spec.UpBW, o.UpGBps)
+		set(&spec.HostBW, o.HostGBps)
+		set(&spec.CCIRingBW, o.CCIGBps)
+		set(&spec.NetBW, o.NetGBps)
+		if o.GPUMemGiB > 0 {
+			spec.GPU.MemBytes = o.GPUMemGiB << 30
+		}
+		if o.GPUTFLOPS > 0 {
+			spec.GPU.TFLOPS = o.GPUTFLOPS
+		}
+	}
+	return spec
+}
+
+// BuildModel constructs the workload model.
+func (s *Scenario) BuildModel() (*model.Model, error) {
+	switch s.Model {
+	case "resnet50":
+		return model.ResNet50(), nil
+	case "bert-base":
+		return model.BERTBase(), nil
+	case "bert-large":
+		return model.BERTLarge(), nil
+	case "vgg16":
+		return model.VGG16(), nil
+	}
+	if strings.HasPrefix(s.Model, "mlp:") {
+		parts := strings.Split(s.Model[4:], ",")
+		var sizes []int
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("config: bad mlp sizes in %q", s.Model)
+			}
+			sizes = append(sizes, v)
+		}
+		if len(sizes) < 2 {
+			return nil, fmt.Errorf("config: mlp needs >=2 sizes in %q", s.Model)
+		}
+		return model.MLP("mlp", sizes...), nil
+	}
+	return nil, fmt.Errorf("config: unknown model %q", s.Model)
+}
+
+// StrategyNames returns the scenario's strategies, defaulting to all.
+func (s *Scenario) StrategyNames() []string {
+	if len(s.Strategies) > 0 {
+		return s.Strategies
+	}
+	return []string{"CentralPS", "DENSE", "AllReduce", "COARSE"}
+}

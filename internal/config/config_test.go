@@ -1,0 +1,110 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coarse/internal/topology"
+)
+
+func parse(t *testing.T, js string) *Scenario {
+	t.Helper()
+	s, err := Read(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMinimalScenario(t *testing.T) {
+	s := parse(t, `{"machine":"v100","model":"bert-base","batch":2,"iterations":3}`)
+	spec := s.BuildSpec()
+	if spec.Label != "AWS V100" {
+		t.Fatalf("label %q", spec.Label)
+	}
+	m, err := s.BuildModel()
+	if err != nil || m.Name != "BERT-Base" {
+		t.Fatalf("model %v %v", m, err)
+	}
+	if got := s.StrategyNames(); len(got) != 4 {
+		t.Fatalf("default strategies = %v", got)
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	s := parse(t, `{
+		"machine":"sdsc","model":"resnet50","batch":8,"iterations":2,
+		"overrides":{"edge_gbps":20,"up_gbps":10,"gpu_mem_gib":32,"gpu_tflops":20}
+	}`)
+	spec := s.BuildSpec()
+	if spec.EdgeBW != 20*topology.GB || spec.UpBW != 10*topology.GB {
+		t.Fatalf("bw overrides not applied: %v %v", spec.EdgeBW, spec.UpBW)
+	}
+	if spec.GPU.MemBytes != 32<<30 || spec.GPU.TFLOPS != 20 {
+		t.Fatalf("gpu overrides not applied: %+v", spec.GPU)
+	}
+	// Untouched fields keep preset values.
+	if spec.PeerBW != topology.SDSCP100().PeerBW {
+		t.Fatal("unset override changed a field")
+	}
+}
+
+func TestMLPModelSpec(t *testing.T) {
+	s := parse(t, `{"machine":"t4","model":"mlp:64,32,10","batch":4,"iterations":2}`)
+	m, err := s.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 2 || m.ParamElems() != 64*32+32+32*10+10 {
+		t.Fatalf("mlp parse wrong: %d layers, %d params", len(m.Layers), m.ParamElems())
+	}
+}
+
+func TestMultiNodePreset(t *testing.T) {
+	s := parse(t, `{"machine":"multi","nodes":3,"model":"bert-large","batch":2,"iterations":2}`)
+	if s.BuildSpec().NodeCount != 3 {
+		t.Fatalf("nodes = %d", s.BuildSpec().NodeCount)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	bad := []string{
+		`{"machine":"nope","model":"bert-base","batch":2,"iterations":2}`,
+		`{"machine":"v100","model":"nope","batch":2,"iterations":2}`,
+		`{"machine":"v100","model":"bert-base","batch":0,"iterations":2}`,
+		`{"machine":"v100","model":"bert-base","batch":2,"iterations":0}`,
+		`{"machine":"v100","model":"bert-base","batch":2,"iterations":2,"strategies":["Nope"]}`,
+		`{"machine":"v100","model":"mlp:","batch":2,"iterations":2}`,
+		`{"machine":"v100","model":"mlp:5","batch":2,"iterations":2}`,
+		`{"machine":"v100","model":"mlp:5,x","batch":2,"iterations":2}`,
+		`{"machine":"v100","model":"bert-base","batch":2,"iterations":2,"compute_jitter":-1}`,
+		`{"machine":"v100","model":"bert-base","batch":2,"iterations":2,"typo_field":1}`,
+		`not json`,
+	}
+	for i, js := range bad {
+		if _, err := Read(strings.NewReader(js)); err == nil {
+			t.Errorf("case %d accepted: %s", i, js)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	js := `{"machine":"v100","model":"resnet50","batch":16,"iterations":2,"strategies":["COARSE"]}`
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StrategyNames()[0] != "COARSE" {
+		t.Fatalf("strategies = %v", s.StrategyNames())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,757 @@
+// Package core implements COARSE — the Cache cOherent interconnected
+// pARameter SErver (paper Section III).
+//
+// Each worker GPU runs a parameter client; each memory device runs a
+// parameter proxy and a parameter storage. A client hands every
+// backward-pass gradient to the synchronization machinery:
+//
+//   - Dual synchronization (Section III-F) splits the parameter volume:
+//     the first m bytes produced by the backward pass (the deep layers)
+//     are pushed to proxies and synchronized by the memory devices' sync
+//     cores, off the GPUs; the final layers — needed first by the next
+//     forward pass — are synchronized immediately on the worker GPUs.
+//     m minimizes the paper's Equation (1) iteration-time model.
+//
+//   - Tensor routing (Section III-E) sends small tensors to the
+//     latency-best proxy and large tensors to the bandwidth-best proxy,
+//     per the profiler's routing table — on the AWS V100 machine that is
+//     a *remote* proxy, exploiting anti-locality.
+//
+//   - Tensor partitioning splits large tensors into equal shards no
+//     smaller than the profiled saturation size, filling both directions
+//     of the serial bus with pipelined push/pull traffic (Figure 9).
+//
+//   - Queue-based synchronization (Section III-F) gives every proxy one
+//     queue per client, drained concurrently, which avoids the FCFS
+//     head-of-line deadlock of Figure 10. The FCFS mode is implemented
+//     too, so the deadlock is demonstrable.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"coarse/internal/collective"
+	"coarse/internal/memdev"
+	"coarse/internal/model"
+	"coarse/internal/profiler"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+	"coarse/internal/train"
+)
+
+// Scheduler selects the proxy's service discipline.
+type Scheduler int
+
+// Proxy scheduling disciplines.
+const (
+	// QueueBased is COARSE's deadlock-free discipline: per-client queues
+	// drained concurrently.
+	QueueBased Scheduler = iota
+	// FCFS serves pushes strictly in arrival order; with crossed routing
+	// it deadlocks (paper Figure 10). It exists for the demonstration.
+	FCFS
+)
+
+// Options toggles COARSE's mechanisms; the ablation benches flip them.
+type Options struct {
+	// Routing enables bandwidth-aware tensor routing; off routes every
+	// tensor to the client's local proxy.
+	Routing bool
+	// Partitioning enables equal-shard tensor partitioning; off pushes
+	// whole tensors.
+	Partitioning bool
+	// DualSync enables the GPU/proxy split; off sends everything to the
+	// proxies.
+	DualSync bool
+	// Scheduler picks the proxy service discipline.
+	Scheduler Scheduler
+	// SyncGroups is the number of parallel sync-core groups.
+	SyncGroups int
+	// ReprofileEvery re-derives routing tables every N iterations
+	// (0 disables); the paper's dynamic profiling.
+	ReprofileEvery int
+	// MFraction overrides the dual-sync split: the fraction of the
+	// parameter volume sent to the proxies. Negative (the default) lets
+	// the Equation (1) planner choose. The ablation benches sweep it.
+	MFraction float64
+	// Checkpoint snapshots parameter storage at the end of every epoch
+	// (here: every EpochIters iterations).
+	EpochIters int
+	// ProxyCache enables the proxy-side parameter cache of Section
+	// III-D: the first pull of a synchronized shard reads it out of
+	// storage DRAM into the proxy, subsequent pulls of the same shard
+	// hit the cache. Off, every pull pays the storage read.
+	ProxyCache bool
+}
+
+// DefaultOptions enables the full design.
+func DefaultOptions() Options {
+	return Options{
+		Routing:        true,
+		Partitioning:   true,
+		DualSync:       true,
+		Scheduler:      QueueBased,
+		SyncGroups:     4,
+		ReprofileEvery: 50,
+		MFraction:      -1,
+		ProxyCache:     true,
+	}
+}
+
+// Strategy is COARSE's train.Strategy implementation.
+type Strategy struct {
+	Opts Options
+
+	ctx    *train.Ctx
+	pool   *memdev.Pool
+	tables []profiler.Table
+	// localProxy[w] is the proxy sharing worker w's switch (or nearest).
+	localProxy []int
+	gpuRing    *collective.Ring
+	// proxySynced[layer] records the dual-sync assignment.
+	proxySynced []bool
+	mBytes      int64
+	rr          int // round-robin over sync groups
+
+	iters map[int]*iterState
+	prox  []*proxy
+
+	// stats
+	Reprofiles     int
+	PushedToBw     int64 // bytes routed to a non-local bandwidth proxy
+	PushedToLat    int64
+	GPUSyncedBytes int64
+	PullHits       int64 // pulls served from a proxy's parameter cache
+	PullMisses     int64 // pulls that had to read storage DRAM first
+}
+
+// New returns a COARSE strategy with the given options.
+func New(opts Options) *Strategy {
+	if opts.SyncGroups < 1 {
+		opts.SyncGroups = 1
+	}
+	return &Strategy{Opts: opts}
+}
+
+// Name implements train.Strategy.
+func (s *Strategy) Name() string { return "COARSE" }
+
+// WorkerStateBytes implements train.Strategy: the GPU keeps parameters
+// and gradients plus the client's in-flight shard queue; optimizer state
+// lives in the memory devices' extended storage (that headroom is what
+// enables the larger batch in Figure 16e).
+func (s *Strategy) WorkerStateBytes(m *model.Model) int64 {
+	const clientQueue = 64 << 20
+	return 2*m.ParamBytes() + clientQueue
+}
+
+type iterState struct {
+	// shardArrived counts, per shard key, how many clients' copies have
+	// reached the proxies.
+	shardArrived map[string]int
+	// shardsLeft counts, per (worker, layer), shards not yet pulled back.
+	shardsLeft map[[2]int]int
+	// gpuArrived counts, per layer, workers that produced the gradient
+	// (GPU-synced layers).
+	gpuArrived map[int]int
+	// workersLeft counts, per proxy-synced layer, workers that have not
+	// finished pulling yet.
+	workersLeft map[int]int
+	// averaged marks layers whose gradients have been numerically
+	// averaged (once per layer, at first shard-sync completion — before
+	// any worker can consume them).
+	averaged map[int]bool
+	// layersLeft counts layers not yet synchronized for every worker;
+	// the iteration's state is dropped (and the epoch checkpoint taken)
+	// when it reaches zero.
+	layersLeft int
+	// assign freezes the dual-sync assignment for this iteration, so a
+	// mid-iteration re-profile (which may re-plan the split) cannot put
+	// two workers' copies of one layer on different paths.
+	assign []bool
+}
+
+// proxy is one memory device's communication service.
+type proxy struct {
+	dev *memdev.Device
+	// FCFS mode: one head-of-line queue of un-registered arrivals.
+	fifo []*arrival
+	// queue-based mode needs no structure here: per-client queues drain
+	// concurrently, so arrivals register immediately.
+
+	// cached marks shard keys whose synchronized value this proxy has
+	// already staged from storage DRAM (the Section III-D parameter
+	// cache). A cached shard's pull skips the storage read.
+	cached map[string]bool
+}
+
+type arrival struct {
+	key    string
+	client int
+	fn     func()
+}
+
+// Setup implements train.Strategy: build the device pool, profile every
+// client, and solve the dual-synchronization split.
+func (s *Strategy) Setup(ctx *train.Ctx) error {
+	s.ctx = ctx
+	s.iters = make(map[int]*iterState)
+	devs := ctx.Machine.Devs
+	if len(devs) == 0 {
+		return fmt.Errorf("coarse: machine %q has no memory devices", ctx.Machine.Label)
+	}
+	s.pool = memdev.NewPool(ctx.CCI, devs, ctx.Cfg.MemDev, s.Opts.SyncGroups)
+	for _, d := range s.pool.Devices {
+		s.prox = append(s.prox, &proxy{dev: d, cached: make(map[string]bool)})
+		// Extended parameter storage: master weights and both Adam
+		// moments, sharded across devices.
+		shard := 3 * ctx.Cfg.Model.ParamBytes() / int64(len(devs))
+		if err := d.Alloc(shard); err != nil {
+			return fmt.Errorf("coarse: optimizer shard: %w", err)
+		}
+	}
+
+	// Offline profiling (engine is idle during Setup).
+	prof := profiler.New(ctx.CCI)
+	for _, g := range ctx.Workers {
+		table := prof.BuildTable(g.Dev, devs)
+		s.tables = append(s.tables, table)
+	}
+	s.spreadBwProxies()
+	for _, g := range ctx.Workers {
+		local := 0
+		bestLat := sim.Time(1<<62 - 1)
+		for i, dev := range devs {
+			if ctx.Machine.SameSwitch(g.Dev, dev) {
+				local = i
+				bestLat = -1
+				break
+			}
+			if lat := ctx.Machine.PathLatency(g.Dev, dev); lat < bestLat {
+				bestLat = lat
+				local = i
+			}
+		}
+		s.localProxy = append(s.localProxy, local)
+	}
+
+	// GPU ring for the dual-sync high-priority tail.
+	n := ctx.NumWorkers()
+	send := func(i int, reverse bool, size int64, onDone func()) {
+		if n == 1 {
+			ctx.Eng.Schedule(0, onDone)
+			return
+		}
+		j := (i + 1) % n
+		if reverse {
+			j = (i - 1 + n) % n
+		}
+		ctx.CCI.DMACopy(ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, onDone)
+	}
+	s.gpuRing = collective.NewRing(ctx.Eng, n, send)
+
+	s.planDualSync()
+	return nil
+}
+
+// spreadBwProxies load-balances the bandwidth-friendly proxy choice:
+// when several proxies tie for a client's best measured bandwidth (all
+// remote devices look alike on a symmetric machine), the naive
+// first-max pick would aim every client at the same device and turn its
+// links into a hotspot. Clients with tied options are spread round-robin
+// across their tied-best sets.
+func (s *Strategy) spreadBwProxies() {
+	const tolerance = 0.95
+	taken := make(map[int]int) // proxy -> clients already aimed at it
+	for w := range s.tables {
+		t := &s.tables[w]
+		best := t.Measurements[t.BwProxy].Bandwidth
+		// Candidates within tolerance of the best.
+		var cands []int
+		for _, m := range t.Measurements {
+			if m.Bandwidth >= tolerance*best {
+				cands = append(cands, m.Proxy)
+			}
+		}
+		pick := cands[0]
+		for _, c := range cands {
+			if taken[c] < taken[pick] {
+				pick = c
+			}
+		}
+		t.BwProxy = pick
+		taken[pick]++
+	}
+}
+
+// planDualSync decides which layers the proxies synchronize and which
+// the worker GPUs do. It implements the paper's Section III-F model with
+// the priority principle applied per layer: Equation (1) balances the
+// two paths' volumes, but a layer may only take the proxy path when its
+// synchronization fits inside its overlap window — the time between its
+// gradient's production (during backward) and its parameters' next use
+// (during the following forward). The front layers have a zero window
+// ("immediately consumed by the forward pass of the next iteration"),
+// which is exactly why the paper synchronizes them on the GPUs.
+func (s *Strategy) planDualSync() {
+	ctx := s.ctx
+	layers := ctx.Layers()
+	n := ctx.Cfg.Model.ParamBytes()
+	s.proxySynced = make([]bool, len(layers))
+
+	if !s.Opts.DualSync {
+		for l := range layers {
+			s.proxySynced[l] = true
+		}
+		s.mBytes = n
+		return
+	}
+	if s.Opts.MFraction >= 0 {
+		s.assignSplit(int64(s.Opts.MFraction * float64(n)))
+		return
+	}
+
+	// The proxy ring runs over the memory devices, whose count differs
+	// from the worker count in shared-proxy (2:1) configurations.
+	devs := float64(len(s.pool.Devices))
+	proxyRingFactor := 2 * (devs - 1) / devs
+	bProxy := s.ringBandwidth(func(i int) int { return i }, len(s.pool.Devices), false)
+	// Alternating-direction groups double the proxy path's usable
+	// bandwidth.
+	if s.Opts.SyncGroups > 1 {
+		bProxy *= 2
+	}
+	// Client push/pull rides the edge to the routed proxy; when several
+	// clients share a proxy its edge splits among them.
+	bEdge := s.tables[0].Measurements[s.tables[0].BwProxy].Bandwidth
+	for _, t := range s.tables[1:] {
+		if bw := t.Measurements[t.BwProxy].Bandwidth; bw < bEdge {
+			bEdge = bw
+		}
+	}
+	clientsPerProxy := (ctx.NumWorkers() + len(s.pool.Devices) - 1) / len(s.pool.Devices)
+	bEdge /= float64(clientsPerProxy)
+
+	g := ctx.Workers[0]
+	tBP := g.BwdTime(ctx.Cfg.Model, ctx.Cfg.Batch).ToSeconds()
+
+	// prefixFwd[l]: forward time before layer l; suffixBwd[l]: backward
+	// time until layer l's gradient exists.
+	prefixFwd := make([]float64, len(layers))
+	acc := 0.0
+	for l := range layers {
+		prefixFwd[l] = acc
+		acc += g.LayerFwdTime(layers[l], ctx.Cfg.Batch).ToSeconds()
+	}
+	suffixBwd := make([]float64, len(layers))
+	acc = 0.0
+	for l := len(layers) - 1; l >= 0; l-- {
+		acc += g.LayerBwdTime(layers[l], ctx.Cfg.Batch).ToSeconds()
+		suffixBwd[l] = acc
+	}
+
+	// On a machine without peer-to-peer support there is no disjoint CCI
+	// fabric: proxy traffic, GPU-ring traffic, pushes and pulls all
+	// bounce through the one host bridge. The proxy path's effective
+	// bandwidth and its usable window shrink accordingly (this is the
+	// regime where the paper reports COARSE "does not work efficiently").
+	windowFrac := 1.0
+	if !ctx.Machine.P2PSupported {
+		bProxy /= 2
+		windowFrac = 0.4
+	}
+
+	// Walk in production order (deep layers first). A layer is proxied
+	// while the accumulated proxy backlog still fits its window;
+	// afterwards everything shallower takes the GPU ring.
+	var m int64
+	for l := len(layers) - 1; l >= 0; l-- {
+		size := layers[l].SizeBytes()
+		backlog := proxyRingFactor*float64(m+size)/bProxy + 2*float64(size)/bEdge
+		window := (tBP + prefixFwd[l] - suffixBwd[l]) * windowFrac
+		if window <= backlog {
+			break
+		}
+		m += size
+	}
+	s.assignSplit(m)
+}
+
+// assignSplit sets the dual-sync layer assignment: backward produces
+// layers in reverse order, and the first m bytes produced go to the
+// proxies.
+func (s *Strategy) assignSplit(m int64) {
+	layers := s.ctx.Layers()
+	s.mBytes = m
+	var cum int64
+	for l := len(layers) - 1; l >= 0; l-- {
+		if cum < m {
+			s.proxySynced[l] = true
+			cum += layers[l].SizeBytes()
+		} else {
+			s.proxySynced[l] = false
+		}
+	}
+}
+
+// ringBandwidth returns the bottleneck link bandwidth around a ring of
+// workers (gpu=true) or memory devices. On machines without peer-to-peer
+// support every hop bounces through host memory — two legs sharing the
+// host bridge — so the effective rate is half the slower leg.
+func (s *Strategy) ringBandwidth(idx func(int) int, count int, gpus bool) float64 {
+	if count <= 1 {
+		return 1e18
+	}
+	ctx := s.ctx
+	dev := func(i int) *topology.Device {
+		if gpus {
+			return ctx.Workers[idx(i)].Dev
+		}
+		return s.pool.Devices[idx(i)].Dev
+	}
+	min := -1.0
+	for i := 0; i < count; i++ {
+		a, b := dev(i), dev((i+1)%count)
+		var bw float64
+		if ctx.Machine.P2PSupported {
+			bw = ctx.Machine.PathBandwidth(a, b)
+		} else {
+			cpu := ctx.Machine.CPUs[a.Node]
+			up := ctx.Machine.PathBandwidth(a, cpu)
+			down := ctx.Machine.PathBandwidth(cpu, b)
+			bw = up
+			if down < bw {
+				bw = down
+			}
+			bw /= 2
+		}
+		if min < 0 || bw < min {
+			min = bw
+		}
+	}
+	return min
+}
+
+// MBytes exposes the dual-sync split for tests and reports.
+func (s *Strategy) MBytes() int64 { return s.mBytes }
+
+// ProxySynced reports whether a layer takes the proxy path.
+func (s *Strategy) ProxySynced(layer int) bool { return s.proxySynced[layer] }
+
+// Tables exposes the per-client routing tables.
+func (s *Strategy) Tables() []profiler.Table { return s.tables }
+
+// Pool exposes the memory-device pool (experiments and examples read
+// its checkpoint and storage statistics).
+func (s *Strategy) Pool() *memdev.Pool { return s.pool }
+
+func (s *Strategy) state(it int) *iterState {
+	st, ok := s.iters[it]
+	if !ok {
+		st = &iterState{
+			shardArrived: make(map[string]int),
+			shardsLeft:   make(map[[2]int]int),
+			gpuArrived:   make(map[int]int),
+			workersLeft:  make(map[int]int),
+			averaged:     make(map[int]bool),
+			layersLeft:   len(s.ctx.Layers()),
+			assign:       append([]bool(nil), s.proxySynced...),
+		}
+		s.iters[it] = st
+	}
+	return st
+}
+
+// GradientReady implements train.Strategy.
+func (s *Strategy) GradientReady(it, w, layer int) {
+	if s.Opts.ReprofileEvery > 0 && w == 0 && layer == len(s.ctx.Layers())-1 &&
+		it > 0 && it%s.Opts.ReprofileEvery == 0 {
+		s.reprofile()
+	}
+	if s.state(it).assign[layer] {
+		s.pushToProxies(it, w, layer)
+	} else {
+		s.gpuSync(it, w, layer)
+	}
+}
+
+// gpuSync: the high-priority tail synchronizes directly on worker GPUs.
+func (s *Strategy) gpuSync(it, w, layer int) {
+	ctx := s.ctx
+	st := s.state(it)
+	st.gpuArrived[layer]++
+	if st.gpuArrived[layer] < ctx.NumWorkers() {
+		return
+	}
+	size := ctx.Layers()[layer].SizeBytes()
+	s.GPUSyncedBytes += size
+	s.gpuRing.AllReduceBytes(size, false, func() {
+		if ctx.Cfg.Numeric {
+			s.averageGrads(layer)
+			s.captureParam(it, layer)
+		}
+		for dst := 0; dst < ctx.NumWorkers(); dst++ {
+			ctx.MarkReady(it, dst, layer)
+		}
+		s.layerDone(it)
+	})
+}
+
+// pushToProxies: partition, route, push; proxies register arrivals and
+// sync shards whose every client copy has arrived.
+func (s *Strategy) pushToProxies(it, w, layer int) {
+	ctx := s.ctx
+	size := ctx.Layers()[layer].SizeBytes()
+	table := s.tables[w]
+
+	var shardSizes []int64
+	if s.Opts.Partitioning && size > table.PartitionBytes {
+		k := size / table.PartitionBytes
+		base := size / k
+		rem := size % k
+		for i := int64(0); i < k; i++ {
+			sz := base
+			if i < rem {
+				sz++
+			}
+			shardSizes = append(shardSizes, sz)
+		}
+	} else {
+		shardSizes = []int64{size}
+	}
+
+	st := s.state(it)
+	st.shardsLeft[[2]int{w, layer}] = len(shardSizes)
+	if _, ok := st.workersLeft[layer]; !ok {
+		st.workersLeft[layer] = ctx.NumWorkers()
+	}
+
+	for idx, shardSize := range shardSizes {
+		dst := s.localProxy[w]
+		if s.Opts.Routing {
+			dst = table.Route(shardSize)
+		}
+		if dst == s.localProxy[w] {
+			s.PushedToLat += shardSize
+		} else {
+			s.PushedToBw += shardSize
+		}
+		key := fmt.Sprintf("%d/%d/%d", it, layer, idx)
+		shardSize := shardSize
+		idx := idx
+		ctx.CCI.DMACopy(ctx.Workers[w].Dev, s.pool.Devices[dst].Dev, shardSize, func() {
+			s.onProxyArrival(it, w, layer, idx, shardSize, dst, key)
+		})
+	}
+}
+
+func (s *Strategy) onProxyArrival(it, w, layer, idx int, shardSize int64, dst int, key string) {
+	px := s.prox[dst]
+	register := func() {
+		s.registerShard(it, layer, idx, shardSize, key)
+	}
+	if s.Opts.Scheduler == QueueBased {
+		// Per-client queues drain concurrently: the arrival registers
+		// immediately regardless of what else this proxy is serving.
+		register()
+		return
+	}
+	// FCFS: only the head of the proxy's single arrival queue may
+	// register; everything behind waits for the head's shard to finish.
+	px.fifo = append(px.fifo, &arrival{key: key, client: w, fn: register})
+	if len(px.fifo) == 1 {
+		px.fifo[0].fn()
+	}
+}
+
+// registerShard counts a shard copy's arrival; when all clients' copies
+// are in, the shard synchronizes on a sync group.
+func (s *Strategy) registerShard(it, layer, idx int, shardSize int64, key string) {
+	ctx := s.ctx
+	st := s.state(it)
+	st.shardArrived[key]++
+	if st.shardArrived[key] < ctx.NumWorkers() {
+		return
+	}
+	delete(st.shardArrived, key)
+	group := s.pool.Group(s.rr)
+	s.rr++
+	group.AllReduceBytes(shardSize, func() {
+		s.onShardSynced(it, layer, idx, shardSize, key)
+	})
+}
+
+func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string) {
+	ctx := s.ctx
+	if ctx.Cfg.Numeric {
+		// Average once per layer, before any worker can pull and apply.
+		if st := s.state(it); !st.averaged[layer] {
+			st.averaged[layer] = true
+			s.averageGrads(layer)
+			s.captureParam(it, layer)
+		}
+	}
+	// FCFS: the synced shard releases the head of every proxy queue
+	// holding it, letting the next arrival register.
+	if s.Opts.Scheduler == FCFS {
+		for _, px := range s.prox {
+			for len(px.fifo) > 0 && px.fifo[0].key == key {
+				px.fifo = px.fifo[1:]
+				if len(px.fifo) > 0 {
+					px.fifo[0].fn()
+				}
+			}
+		}
+	}
+	// Pull: every worker retrieves the shard from its routed proxy. The
+	// first pull through a proxy stages the shard out of storage DRAM
+	// into the proxy's parameter cache; later pulls of the same shard
+	// hit the cache (Section III-D).
+	for w := 0; w < ctx.NumWorkers(); w++ {
+		w := w
+		src := s.localProxy[w]
+		if s.Opts.Routing {
+			src = s.tables[w].Route(shardSize)
+		}
+		var stage sim.Time
+		if px := s.prox[src]; s.Opts.ProxyCache && px.cached[key] {
+			s.PullHits++
+		} else {
+			s.PullMisses++
+			stage = px.dev.DRAMTime(shardSize)
+			if s.Opts.ProxyCache {
+				px.cached[key] = true
+			}
+		}
+		ctx.Eng.Schedule(stage, func() {
+			s.pullShard(it, w, layer, shardSize, src)
+		})
+	}
+}
+
+// pullShard moves one synchronized shard from its proxy back to a
+// worker and accounts layer completion.
+func (s *Strategy) pullShard(it, w, layer int, shardSize int64, src int) {
+	ctx := s.ctx
+	ctx.CCI.DMACopy(s.pool.Devices[src].Dev, ctx.Workers[w].Dev, shardSize, func() {
+		st := s.state(it)
+		k := [2]int{w, layer}
+		st.shardsLeft[k]--
+		if st.shardsLeft[k] > 0 {
+			return
+		}
+		delete(st.shardsLeft, k)
+		ctx.MarkReady(it, w, layer)
+		st.workersLeft[layer]--
+		if st.workersLeft[layer] == 0 {
+			delete(st.workersLeft, layer)
+			s.layerDone(it)
+		}
+	})
+}
+
+// averageGrads applies the synchronization's numeric effect.
+func (s *Strategy) averageGrads(layer int) {
+	ctx := s.ctx
+	n := ctx.NumWorkers()
+	inv := 1 / float32(n)
+	sum := ctx.Grads[0][layer].Data
+	for w := 1; w < n; w++ {
+		for i, v := range ctx.Grads[w][layer].Data {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] *= inv
+	}
+	for w := 1; w < n; w++ {
+		copy(ctx.Grads[w][layer].Data, sum)
+	}
+}
+
+// captureParam writes the master copy of a layer's parameters into its
+// home device's storage (numeric mode, epoch boundaries only): the
+// parameter-storage tier of Section III-D holding the state the epoch
+// checkpoint snapshots. With plain SGD the captured value includes the
+// boundary iteration's update (exactly what every worker will apply at
+// its next forward pass); stateful optimizers checkpoint the
+// pre-update epoch-boundary state.
+func (s *Strategy) captureParam(it, layer int) {
+	ctx := s.ctx
+	if !ctx.Cfg.Numeric || s.Opts.EpochIters <= 0 || (it+1)%s.Opts.EpochIters != 0 {
+		return
+	}
+	home := s.pool.Devices[layer%len(s.pool.Devices)]
+	home.Store.Put(ctx.Params[0][layer].Name, ctx.PreviewUpdate(0, layer))
+}
+
+// RestoreLatest loads the most recent epoch checkpoint back into every
+// worker's parameters, returning false when no checkpoint exists. It is
+// the recovery path of Section IV-A: a failed worker resumes from the
+// storage tier's snapshot instead of retraining from scratch.
+func (s *Strategy) RestoreLatest() bool {
+	for _, d := range s.pool.Devices {
+		if !d.Ckpt.Recover() {
+			return false
+		}
+	}
+	ctx := s.ctx
+	for layer := range ctx.Layers() {
+		home := s.pool.Devices[layer%len(s.pool.Devices)]
+		data := home.Store.Get(ctx.Params[0][layer].Name)
+		if data == nil {
+			return false
+		}
+		for w := 0; w < ctx.NumWorkers(); w++ {
+			copy(ctx.Params[w][layer].Data, data)
+		}
+	}
+	return true
+}
+
+// layerDone accounts a fully synchronized layer; when the whole
+// iteration has synchronized, its state is dropped and the epoch-end
+// checkpoint fires.
+func (s *Strategy) layerDone(it int) {
+	st, ok := s.iters[it]
+	if !ok {
+		return
+	}
+	st.layersLeft--
+	if st.layersLeft > 0 {
+		return
+	}
+	delete(s.iters, it)
+	// The iteration's shards will never be pulled again: evict them
+	// from the proxy caches.
+	prefix := fmt.Sprintf("%d/", it)
+	for _, px := range s.prox {
+		for key := range px.cached {
+			if strings.HasPrefix(key, prefix) {
+				delete(px.cached, key)
+			}
+		}
+	}
+	if s.Opts.EpochIters > 0 && (it+1)%s.Opts.EpochIters == 0 {
+		for _, d := range s.pool.Devices {
+			d.Ckpt.EpochEnd()
+		}
+	}
+}
+
+// reprofile re-derives routing tables analytically (dynamic profiling,
+// Section III-E: "while training is in progress, COARSE periodically
+// profiles the communication and updates the routing and partitioning
+// strategies"). Interconnect conditions may have changed since the
+// offline profile — a degraded lane, a noisy neighbor — so the tables,
+// the tie-spreading and the dual-sync split are all recomputed.
+func (s *Strategy) reprofile() {
+	endpoints := s.ctx.Machine.Devs
+	for w, g := range s.ctx.Workers {
+		s.tables[w] = profiler.AnalyticTable(s.ctx.CCI, g.Dev, endpoints)
+	}
+	s.spreadBwProxies()
+	s.planDualSync()
+	s.Reprofiles++
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"coarse/internal/sim"
+	"coarse/internal/tensor"
+	"coarse/internal/topology"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(topology.AWSV100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionPushPullAverages(t *testing.T) {
+	s := newSession(t)
+	clients := s.Clients()
+	if len(clients) != 4 {
+		t.Fatalf("clients = %d", len(clients))
+	}
+	for i, c := range clients {
+		g := tensor.New("grad", 1000)
+		g.Fill(float32(i + 1)) // contributions 1,2,3,4 -> mean 2.5
+		c.Push(g)
+	}
+	got := make([]*tensor.Tensor, len(clients))
+	for i, c := range clients {
+		i := i
+		c.Pull("grad", func(t *tensor.Tensor) { got[i] = t })
+	}
+	s.Drain()
+	for i, g := range got {
+		if g == nil {
+			t.Fatalf("client %d pull never completed", i)
+		}
+		for _, v := range g.Data {
+			if v != 2.5 {
+				t.Fatalf("client %d pulled %v, want 2.5", i, v)
+			}
+		}
+	}
+}
+
+func TestSessionPullBeforePush(t *testing.T) {
+	s := newSession(t)
+	clients := s.Clients()
+	var got *tensor.Tensor
+	clients[0].Pull("w", func(t *tensor.Tensor) { got = t })
+	for _, c := range clients {
+		g := tensor.New("w", 8)
+		g.Fill(4)
+		c.Push(g)
+	}
+	s.Drain()
+	if got == nil || got.Data[0] != 4 {
+		t.Fatalf("early pull got %v", got)
+	}
+}
+
+func TestSessionPullReturnsPrivateCopy(t *testing.T) {
+	s := newSession(t)
+	clients := s.Clients()
+	var a, b *tensor.Tensor
+	for _, c := range clients {
+		g := tensor.New("w", 4)
+		g.Fill(1)
+		c.Push(g)
+	}
+	clients[0].Pull("w", func(t *tensor.Tensor) { a = t })
+	clients[1].Pull("w", func(t *tensor.Tensor) { b = t })
+	s.Drain()
+	a.Data[0] = 99
+	if b.Data[0] == 99 {
+		t.Fatal("pulled tensors share storage")
+	}
+}
+
+func TestSessionTimingIsVirtual(t *testing.T) {
+	s := newSession(t)
+	for _, c := range s.Clients() {
+		g := tensor.New("w", 1<<20)
+		c.Push(g)
+	}
+	end := s.Drain()
+	if end <= 0 {
+		t.Fatal("push/pull consumed no virtual time")
+	}
+	if end > sim.Seconds(1) {
+		t.Fatalf("4 MiB sync took %v of virtual time — implausible", end)
+	}
+}
+
+func TestSessionStoresSynchronizedTensor(t *testing.T) {
+	s := newSession(t)
+	for _, c := range s.Clients() {
+		g := tensor.New("w", 16)
+		g.Fill(2)
+		c.Push(g)
+	}
+	s.Drain()
+	found := false
+	for _, d := range s.pool.Devices {
+		if data := d.Store.Get("w"); data != nil {
+			found = true
+			if data[0] != 2 {
+				t.Fatalf("stored value %v, want 2", data[0])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("synchronized tensor not in any device store")
+	}
+}
+
+func TestSessionReset(t *testing.T) {
+	s := newSession(t)
+	for round := 1; round <= 2; round++ {
+		for _, c := range s.Clients() {
+			g := tensor.New("w", 8)
+			g.Fill(float32(round))
+			c.Push(g)
+		}
+		var got *tensor.Tensor
+		s.Clients()[0].Pull("w", func(t *tensor.Tensor) { got = t })
+		s.Drain()
+		if got.Data[0] != float32(round) {
+			t.Fatalf("round %d pulled %v", round, got.Data[0])
+		}
+		s.Reset()
+	}
+}
+
+func TestSessionMismatchedPushPanics(t *testing.T) {
+	s := newSession(t)
+	clients := s.Clients()
+	clients[0].Push(tensor.New("w", 8))
+	clients[1].Push(tensor.New("w", 9))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched tensor size")
+		}
+	}()
+	s.Drain()
+}
+
+func TestSessionNoMemDevsRejected(t *testing.T) {
+	spec := topology.SDSCP100()
+	spec.Slots = []string{"WW"}
+	if _, err := NewSession(spec, DefaultOptions()); err == nil {
+		t.Fatal("machine without memory devices accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Section V). Each experiment runs the actual simulated
+// machinery — the same fabric, protocol models and strategies the unit
+// tests exercise — and renders the rows or series the paper plots.
+//
+// Absolute numbers differ from the paper's testbed; the experiments
+// exist to reproduce the *shape*: which scheme wins, by what rough
+// factor, and where the crossovers fall. EXPERIMENTS.md records the
+// paper-vs-measured comparison for each entry.
+package experiments
+
+import (
+	"fmt"
+
+	"coarse/internal/core"
+	"coarse/internal/metrics"
+	"coarse/internal/model"
+	"coarse/internal/paramserver"
+	"coarse/internal/topology"
+	"coarse/internal/train"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick trims iteration counts so the full suite runs in seconds;
+	// the harness default runs the full configuration.
+	Quick bool
+}
+
+func (c Config) iterations() int {
+	if c.Quick {
+		return 2
+	}
+	return 4
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string // "fig16", "tab1", "ablation-routing", ...
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	Run   func(cfg Config) []*metrics.Table
+}
+
+// All returns every experiment in paper order, ablations last.
+func All() []Experiment {
+	return []Experiment{
+		Fig3(), Fig8(), Fig9(), Fig10(), Fig13(), Fig14(), Fig15(),
+		Fig16(), Fig17(), Table1(),
+		AblationRouting(), AblationPartitioning(), AblationDualSync(), AblationSharing(),
+		ExtStraggler(), ExtNVLink(), ExtHierarchical(), ExtSensitivity(), ExtDynamic(), ExtRecovery(),
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// --- shared training-run infrastructure -----------------------------
+
+// strategyNames in figure order.
+var strategyNames = []string{"DENSE", "AllReduce", "COARSE"}
+
+func newStrategy(name string) train.Strategy {
+	switch name {
+	case "DENSE":
+		return paramserver.NewDENSE()
+	case "AllReduce":
+		return train.NewAllReduce()
+	case "COARSE":
+		return core.New(core.DefaultOptions())
+	case "CentralPS":
+		return paramserver.NewCentralPS()
+	}
+	panic(fmt.Sprintf("experiments: unknown strategy %q", name))
+}
+
+type runKey struct {
+	machine  string
+	model    string
+	batch    int
+	strategy string
+	iters    int
+}
+
+var runCache = map[runKey]*train.Result{}
+
+// trainingRun runs (and memoizes) one training configuration. A nil
+// result means the configuration does not fit in GPU memory.
+func trainingRun(cfg Config, spec topology.Spec, m *model.Model, batch int, strategy string) (*train.Result, error) {
+	key := runKey{spec.Label, m.Name, batch, strategy, cfg.iterations()}
+	if res, ok := runCache[key]; ok {
+		return res, nil
+	}
+	tcfg := train.DefaultConfig(spec, m, batch, cfg.iterations())
+	res, err := train.Run(tcfg, newStrategy(strategy))
+	if err != nil {
+		return nil, err
+	}
+	runCache[key] = res
+	return res, nil
+}
+
+// evalModel returns the model used for a figure panel; quick mode
+// substitutes BERT-Base for BERT-Large except where the Large model's
+// memory footprint is the point.
+func evalModel(name string) *model.Model {
+	switch name {
+	case "ResNet50":
+		return model.ResNet50()
+	case "BERT":
+		return model.BERTBase()
+	case "BERT-Large":
+		return model.BERTLarge()
+	}
+	panic("experiments: unknown model " + name)
+}
+
+// singleNodePanels are Figure 16/17's per-machine panels (a-d).
+type panel struct {
+	id       string
+	spec     topology.Spec
+	model    string
+	batch    int
+	paperTag string
+}
+
+func singleNodePanels() []panel {
+	return []panel{
+		{"a", topology.AWST4(), "ResNet50", 64, "T4 ResNet50"},
+		{"b", topology.AWST4(), "BERT", 2, "T4 BERT"},
+		{"c", topology.SDSCP100(), "BERT", 2, "P100 BERT"},
+		{"d", topology.AWSV100(), "BERT", 2, "V100 BERT"},
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coarse/internal/cci"
+	"coarse/internal/fabric"
+	"coarse/internal/metrics"
+	"coarse/internal/profiler"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+// Fig3 reproduces the prototype bandwidth comparison: CCI host
+// load/store vs GPU Indirect vs GPU Direct, large-block read and write.
+// The paper measures 17x read and 4x write speedup for GPU Direct.
+func Fig3() Experiment {
+	return Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: disaggregated memory prototype bandwidth",
+		Paper: "GPU Direct p2p achieves 17x read / 4x write speedup over host CCI access",
+		Run: func(cfg Config) []*metrics.Table {
+			params := cci.DefaultParams()
+			pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+			const block = 256 << 20
+			tab := metrics.NewTable("Figure 3: prototype bandwidth (256 MiB blocks)",
+				"mode", "read", "write", "read speedup", "write speedup")
+			base := [2]float64{}
+			for _, mode := range []cci.AccessMode{cci.ModeCCI, cci.ModeGPUIndirect, cci.ModeGPUDirect} {
+				read := pr.Bandwidth(params, mode, block, false)
+				write := pr.Bandwidth(params, mode, block, true)
+				if mode == cci.ModeCCI {
+					base = [2]float64{read, write}
+				}
+				tab.AddRow(mode.String(), metrics.GBps(read), metrics.GBps(write),
+					metrics.Speedup(read/base[0]), metrics.Speedup(write/base[1]))
+			}
+			return []*metrics.Table{tab}
+		},
+	}
+}
+
+// Fig8 reproduces the PCIe device-to-device bidirectional bandwidth
+// matrices: conventional locality on the SDSC P100 machine and
+// anti-locality on the AWS V100 machine.
+func Fig8() Experiment {
+	return Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: PCIe p2p bidirectional bandwidth",
+		Paper: "SDSC local > remote (locality); AWS V100 remote > local (anti-locality)",
+		Run: func(cfg Config) []*metrics.Table {
+			var tables []*metrics.Table
+			for _, spec := range []topology.Spec{topology.AWSV100(), topology.SDSCP100()} {
+				eng := sim.NewEngine()
+				m := topology.Build(eng, spec)
+				// The testbed's "GPUs" are all endpoint devices: workers
+				// plus the GPUs emulating memory devices.
+				var gpus []*topology.Device
+				gpus = append(gpus, m.Workers...)
+				for _, d := range m.Devs {
+					gpus = append(gpus, d)
+				}
+				tab := metrics.NewTable(
+					fmt.Sprintf("Figure 8: %s bidirectional bandwidth", spec.Label),
+					"pair", "locality", "bidir bw")
+				for i := 0; i < len(gpus); i++ {
+					for j := i + 1; j < len(gpus); j++ {
+						bw := bidirBandwidth(m, gpus[i], gpus[j])
+						loc := "remote"
+						if m.SameSwitch(gpus[i], gpus[j]) {
+							loc = "local"
+						}
+						tab.AddRow(fmt.Sprintf("%s<->%s", gpus[i], gpus[j]), loc, metrics.GBps(bw))
+					}
+				}
+				tables = append(tables, tab)
+			}
+			return tables
+		},
+	}
+}
+
+// bidirBandwidth measures a pair's aggregate bandwidth by running equal
+// flows in both directions concurrently.
+func bidirBandwidth(m *topology.Machine, a, b *topology.Device) float64 {
+	const size = 256 << 20
+	eng := m.Topology.Eng
+	start := eng.Now()
+	var last sim.Time
+	done := func() {
+		if eng.Now() > last {
+			last = eng.Now()
+		}
+	}
+	m.Transfer(a, b, size, done)
+	m.Transfer(b, a, size, done)
+	eng.Run()
+	return 2 * size / (last - start).ToSeconds()
+}
+
+// Fig9 reproduces the FIFO-vs-partitioned pipeline comparison: with
+// unequal tensors, whole-tensor FIFO leaves the reverse bus direction
+// idle; equal shards fill both directions.
+func Fig9() Experiment {
+	return Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: tensor partitioning pipeline",
+		Paper: "partitioned pipeline fills bidirectional bus; FIFO leaves gaps",
+		Run: func(cfg Config) []*metrics.Table {
+			tensors := []int64{24 << 20, 6 << 20} // unequal, like the figure
+			const shard = 2 << 20
+			fifo := pipelineMakespan(tensors, 0)
+			part := pipelineMakespan(tensors, shard)
+			var total int64
+			for _, t := range tensors {
+				total += t
+			}
+			tab := metrics.NewTable("Figure 9: push+sync+pull makespan, 24+6 MiB tensors",
+				"scheme", "makespan", "bidir utilization")
+			linkBW := 12.5 * topology.GB
+			for _, row := range []struct {
+				name string
+				t    sim.Time
+			}{{"FIFO (whole tensors)", fifo}, {"Partitioned (2 MiB shards)", part}} {
+				util := float64(2*total) / (2 * linkBW * row.t.ToSeconds())
+				tab.AddRow(row.name, metrics.Ms(row.t), metrics.Pct(util))
+			}
+			tab.AddRow("speedup", metrics.Speedup(fifo.ToSeconds()/part.ToSeconds()), "")
+			return []*metrics.Table{tab}
+		},
+	}
+}
+
+// pipelineMakespan simulates push+instant-sync+pull of the tensors over
+// one full-duplex 12.5 GB/s link. shard == 0 means whole-tensor FIFO:
+// the pull of tensor i may not start until its push completes AND the
+// previous tensor's pull has finished (one outstanding transfer per
+// direction, strict order). With sharding, each shard pulls as soon as
+// it is synced, so pulls of earlier shards overlap pushes of later ones.
+func pipelineMakespan(tensors []int64, shard int64) sim.Time {
+	eng := sim.NewEngine()
+	net := fabric.NewNetwork(eng)
+	link := net.NewLink("client-proxy", 12.5*topology.GB, 12.5*topology.GB, 1000)
+
+	var chunks []int64
+	for _, t := range tensors {
+		if shard <= 0 {
+			chunks = append(chunks, t)
+			continue
+		}
+		for off := int64(0); off < t; off += shard {
+			c := shard
+			if t-off < c {
+				c = t - off
+			}
+			chunks = append(chunks, c)
+		}
+	}
+	var makespan sim.Time
+	pullFree := sim.Time(0) // pulls retire strictly in order
+	var push func(i int)
+	push = func(i int) {
+		if i == len(chunks) {
+			return
+		}
+		c := chunks[i]
+		net.Transfer([]*fabric.Channel{link.Fwd()}, c, func() {
+			// The client's push DMA queue is serial: the next chunk goes
+			// out only after this one lands.
+			push(i + 1)
+			// Synced instantly at the proxy; pull in FIFO order.
+			start := eng.Now()
+			if pullFree > start {
+				start = pullFree
+			}
+			pullFree = start + sim.Seconds(float64(c)/(12.5*topology.GB))
+			eng.At(start, func() {
+				net.Transfer([]*fabric.Channel{link.Rev()}, c, func() {
+					if eng.Now() > makespan {
+						makespan = eng.Now()
+					}
+				})
+			})
+		})
+	}
+	push(0)
+	eng.Run()
+	return makespan
+}
+
+// Fig13 reproduces the CCI prototype's bandwidth-vs-access-size curves
+// for the three access modes, read and write.
+func Fig13() Experiment {
+	return Experiment{
+		ID:    "fig13",
+		Title: "Figure 13: CCI bandwidth vs access size",
+		Paper: "CCI flat; GPU Indirect bounded by CCI; GPU Direct 9-17x read, 1.25-4x write",
+		Run: func(cfg Config) []*metrics.Table {
+			params := cci.DefaultParams()
+			pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+			tab := metrics.NewTable("Figure 13: prototype bandwidth vs access size",
+				"size", "CCI rd", "Indirect rd", "Direct rd", "CCI wr", "Indirect wr", "Direct wr")
+			for size := int64(4 << 10); size <= 64<<20; size <<= 2 {
+				tab.AddRow(byteSize(size),
+					metrics.GBps(pr.Bandwidth(params, cci.ModeCCI, size, false)),
+					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUIndirect, size, false)),
+					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUDirect, size, false)),
+					metrics.GBps(pr.Bandwidth(params, cci.ModeCCI, size, true)),
+					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUIndirect, size, true)),
+					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUDirect, size, true)))
+			}
+			return []*metrics.Table{tab}
+		},
+	}
+}
+
+// Fig14 reproduces the FPGA DMA engine profile: bandwidth rises with
+// access size and saturates at 2 MiB.
+func Fig14() Experiment {
+	return Experiment{
+		ID:    "fig14",
+		Title: "Figure 14: FPGA DMA bandwidth vs access size",
+		Paper: "DMA reaches max bandwidth at 2 MB or larger accesses",
+		Run: func(cfg Config) []*metrics.Table {
+			params := cci.DefaultParams()
+			pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+			tab := metrics.NewTable("Figure 14: DMA bandwidth vs access size",
+				"size", "DMA read", "DMA write", "read frac of peak")
+			for size := int64(4 << 10); size <= 64<<20; size <<= 1 {
+				rd, wr := pr.DMAProfile(params, size)
+				tab.AddRow(byteSize(size), metrics.GBps(rd), metrics.GBps(wr),
+					metrics.Pct(rd/pr.Spec.FPGAReadBW))
+			}
+			sat := params.DMASaturationSize(pr.Spec.FPGAReadBW, 0.9)
+			tab.AddRow("saturation (90%)", byteSize(sat), "", "")
+			return []*metrics.Table{tab}
+		},
+	}
+}
+
+// Fig15 reproduces the routing profile: one client's probe sweep to its
+// local proxy and to the best remote proxy, per machine.
+func Fig15() Experiment {
+	return Experiment{
+		ID:    "fig15",
+		Title: "Figure 15: client-to-proxy communication profile",
+		Paper: "V100: remote proxy wins at large sizes; P100/T4: local wins or parity",
+		Run: func(cfg Config) []*metrics.Table {
+			var tables []*metrics.Table
+			for _, spec := range []topology.Spec{topology.AWST4(), topology.SDSCP100(), topology.AWSV100()} {
+				eng := sim.NewEngine()
+				m := topology.Build(eng, spec)
+				f := cci.NewFabric(m.Topology, cci.DefaultParams())
+				p := profiler.New(f)
+				client := m.Workers[0]
+				local := m.Devs[0]
+				// Best remote proxy by measured bandwidth.
+				table := p.BuildTable(client, m.Devs)
+				remote := m.Devs[0]
+				bestBW := 0.0
+				for i, meas := range table.Measurements {
+					if i == 0 {
+						continue
+					}
+					if meas.Bandwidth > bestBW {
+						bestBW = meas.Bandwidth
+						remote = m.Devs[i]
+					}
+				}
+				tab := metrics.NewTable(
+					fmt.Sprintf("Figure 15: %s client0 transfer time by size", spec.Label),
+					"size", "local proxy", "best remote proxy", "winner")
+				localTimes := p.Sweep(client, local)
+				remoteTimes := p.Sweep(client, remote)
+				for i, size := range p.SweepSizes {
+					winner := "local"
+					if remoteTimes[i] < localTimes[i] {
+						winner = "remote"
+					}
+					tab.AddRow(byteSize(size), metrics.Ms(localTimes[i]), metrics.Ms(remoteTimes[i]), winner)
+				}
+				tab.AddRow("threshold S", byteSize(table.ThresholdBytes), "", "")
+				tab.AddRow("partition S'", byteSize(table.PartitionBytes), "", "")
+				tables = append(tables, tab)
+			}
+			return tables
+		},
+	}
+}
+
+// Table1 prints the machine inventory.
+func Table1() Experiment {
+	return Experiment{
+		ID:    "tab1",
+		Title: "Table I: evaluated machine instances",
+		Paper: "AWS T4, SDSC P100, AWS V100 (+2:1), multi-node V100",
+		Run: func(cfg Config) []*metrics.Table {
+			tab := metrics.NewTable("Table I: machine presets",
+				"machine", "GPU", "workers", "memdevs", "p2p", "local bw", "remote bw", "nodes")
+			for _, spec := range topology.Presets() {
+				m := topology.Build(sim.NewEngine(), spec)
+				local := m.PathBandwidth(m.Workers[0], m.Devs[0])
+				remote := local
+				if len(m.Devs) > 1 {
+					remote = m.PathBandwidth(m.Workers[0], m.Devs[1])
+				}
+				nodes := spec.NodeCount
+				if nodes < 1 {
+					nodes = 1
+				}
+				tab.AddRow(spec.Label, spec.GPU.Model, len(m.Workers), len(m.Devs),
+					fmt.Sprint(spec.P2P), metrics.GBps(local), metrics.GBps(remote), nodes)
+			}
+			return []*metrics.Table{tab}
+		},
+	}
+}
+
+func byteSize(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGiB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,391 @@
+// Package fabric simulates an interconnect at flow granularity.
+//
+// Links are full-duplex: each link owns two independent directed channels
+// with their own capacity, which is what lets the simulation reproduce the
+// paper's bidirectional-bandwidth effects (Section III-E: a PCIe link
+// carries a push and a pull concurrently at close to 2x the unidirectional
+// rate). A transfer is a Flow over a path of channels. Whenever the set of
+// active flows changes, the network recomputes every flow's rate with
+// progressive-filling max-min fairness, so contention on shared hops (a
+// switch uplink, the CPU host bridge) emerges from the topology rather
+// than from per-experiment constants.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coarse/internal/sim"
+)
+
+// Channel is one direction of a link. Capacity is in bytes per second.
+type Channel struct {
+	name     string
+	capacity float64
+	latency  sim.Time
+
+	active []*Flow // flows currently crossing this channel
+
+	// accounting
+	bytesCarried float64
+	busyIntegral float64  // integral of allocated rate over time, bytes
+	lastAccount  sim.Time // last time busyIntegral was folded
+	currentRate  float64  // sum of allocated flow rates right now
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Channel) Name() string { return c.name }
+
+// Capacity returns the channel capacity in bytes per second.
+func (c *Channel) Capacity() float64 { return c.capacity }
+
+// Latency returns the channel propagation latency.
+func (c *Channel) Latency() sim.Time { return c.latency }
+
+// BytesCarried returns the total payload bytes that have finished
+// crossing this channel.
+func (c *Channel) BytesCarried() float64 { return c.bytesCarried }
+
+// Utilization returns the mean fraction of capacity used on [0, now].
+func (c *Channel) Utilization(now sim.Time) float64 {
+	if now <= 0 || c.capacity <= 0 {
+		return 0
+	}
+	integral := c.busyIntegral + c.currentRate*(now-c.lastAccount).ToSeconds()
+	return integral / (c.capacity * now.ToSeconds())
+}
+
+func (c *Channel) account(now sim.Time, newRate float64) {
+	dt := (now - c.lastAccount).ToSeconds()
+	if dt > 0 {
+		c.busyIntegral += c.currentRate * dt
+	}
+	c.lastAccount = now
+	c.currentRate = newRate
+}
+
+// Link is a full-duplex connection between two topology endpoints.
+type Link struct {
+	name string
+	fwd  *Channel
+	rev  *Channel
+}
+
+// Name returns the link name given at creation.
+func (l *Link) Name() string { return l.name }
+
+// Fwd returns the forward-direction channel (A to B).
+func (l *Link) Fwd() *Channel { return l.fwd }
+
+// Rev returns the reverse-direction channel (B to A).
+func (l *Link) Rev() *Channel { return l.rev }
+
+// Flow is a single in-flight transfer across a path of channels.
+type Flow struct {
+	id        uint64
+	path      []*Channel
+	size      float64
+	remaining float64
+	rate      float64
+	lastTick  sim.Time
+	done      *sim.Event
+	onDone    func()
+	started   bool
+	finished  bool
+	net       *Network
+	start     sim.Time
+	finish    sim.Time
+}
+
+// Size returns the flow's total payload in bytes.
+func (f *Flow) Size() float64 { return f.size }
+
+// Remaining returns the bytes not yet delivered.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current max-min allocated rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Finished reports whether the flow has fully delivered its payload.
+func (f *Flow) Finished() bool { return f.finished }
+
+// StartTime returns when the flow entered the bandwidth phase.
+func (f *Flow) StartTime() sim.Time { return f.start }
+
+// FinishTime returns when the flow delivered its last byte; it is only
+// meaningful once Finished reports true.
+func (f *Flow) FinishTime() sim.Time { return f.finish }
+
+// Network owns the channels and active flows and drives rate allocation.
+type Network struct {
+	eng    *sim.Engine
+	flows  []*Flow
+	nextID uint64
+	links  []*Link
+}
+
+// NewNetwork creates an empty network bound to a simulation engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng}
+}
+
+// Engine returns the simulation engine the network schedules on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Links returns all links created on this network, in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// ActiveFlows returns the number of flows in their bandwidth phase.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// NewLink creates a full-duplex link. fwdCap and revCap are bytes per
+// second for the two directions; most physical links are symmetric but
+// e.g. the paper's FPGA prototype writes slower than it reads.
+func (n *Network) NewLink(name string, fwdCap, revCap float64, latency sim.Time) *Link {
+	if fwdCap <= 0 || revCap <= 0 {
+		panic(fmt.Sprintf("fabric: link %q with non-positive capacity", name))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("fabric: link %q with negative latency", name))
+	}
+	l := &Link{
+		name: name,
+		fwd:  &Channel{name: name + "/fwd", capacity: fwdCap, latency: latency},
+		rev:  &Channel{name: name + "/rev", capacity: revCap, latency: latency},
+	}
+	n.links = append(n.links, l)
+	return l
+}
+
+// PathLatency sums the propagation latency along a path.
+func PathLatency(path []*Channel) sim.Time {
+	var total sim.Time
+	for _, c := range path {
+		total += c.latency
+	}
+	return total
+}
+
+// StartFlow begins a transfer of size bytes along path. The flow first
+// waits out the path propagation latency, then enters the shared
+// bandwidth phase. onDone (may be nil) fires when the last byte arrives.
+// A zero-size flow completes right after the latency phase.
+func (n *Network) StartFlow(path []*Channel, size float64, onDone func()) *Flow {
+	if len(path) == 0 {
+		panic("fabric: flow with empty path")
+	}
+	if size < 0 {
+		panic("fabric: flow with negative size")
+	}
+	n.nextID++
+	f := &Flow{
+		id:        n.nextID,
+		path:      path,
+		size:      size,
+		remaining: size,
+		onDone:    onDone,
+		net:       n,
+	}
+	lat := PathLatency(path)
+	n.eng.Schedule(lat, func() { n.admit(f) })
+	return f
+}
+
+// Transfer is a convenience wrapper for StartFlow with an int64 size.
+func (n *Network) Transfer(path []*Channel, size int64, onDone func()) *Flow {
+	return n.StartFlow(path, float64(size), onDone)
+}
+
+func (n *Network) admit(f *Flow) {
+	now := n.eng.Now()
+	f.started = true
+	f.start = now
+	if f.remaining == 0 {
+		f.finished = true
+		f.finish = now
+		if f.onDone != nil {
+			f.onDone()
+		}
+		return
+	}
+	n.settle(now)
+	n.flows = append(n.flows, f)
+	f.lastTick = now
+	for _, c := range f.path {
+		c.active = append(c.active, f)
+	}
+	n.reallocate(now)
+}
+
+// settle folds elapsed time into every active flow's remaining count so a
+// rate change applies from "now" onward.
+func (n *Network) settle(now sim.Time) {
+	for _, f := range n.flows {
+		dt := (now - f.lastTick).ToSeconds()
+		if dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.lastTick = now
+	}
+}
+
+// reallocate recomputes max-min fair rates by progressive filling and
+// reschedules every flow's completion event.
+func (n *Network) reallocate(now sim.Time) {
+	// Collect the channels touched by active flows.
+	type chanState struct {
+		residual   float64
+		unassigned int
+	}
+	states := make(map[*Channel]*chanState)
+	for _, f := range n.flows {
+		f.rate = -1 // unassigned marker
+		for _, c := range f.path {
+			if _, ok := states[c]; !ok {
+				states[c] = &chanState{residual: c.capacity}
+			}
+			states[c].unassigned++
+		}
+	}
+	unassigned := len(n.flows)
+	for unassigned > 0 {
+		// Find the bottleneck: the channel with the smallest fair share.
+		var bottleneck *Channel
+		share := math.Inf(1)
+		// Deterministic order: scan flows (creation order) and their paths.
+		for _, f := range n.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			for _, c := range f.path {
+				st := states[c]
+				if st.unassigned == 0 {
+					continue
+				}
+				s := st.residual / float64(st.unassigned)
+				if s < share {
+					share = s
+					bottleneck = c
+				}
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Every unassigned flow crossing the bottleneck gets the share.
+		for _, f := range n.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			crosses := false
+			for _, c := range f.path {
+				if c == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = share
+			unassigned--
+			for _, c := range f.path {
+				st := states[c]
+				st.residual -= share
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.unassigned--
+			}
+		}
+	}
+	for _, f := range n.flows {
+		if f.rate < 0 {
+			f.rate = 0 // stalled: no residual capacity anywhere on its path
+		}
+	}
+	// Fold per-channel utilization accounting and schedule completions.
+	// Every channel is visited (not just the ones with active flows) so a
+	// channel that just went idle stops accumulating busy time.
+	for _, l := range n.links {
+		for _, c := range []*Channel{l.fwd, l.rev} {
+			rate := 0.0
+			for _, f := range c.active {
+				if f.rate > 0 {
+					rate += f.rate
+				}
+			}
+			c.account(now, rate)
+		}
+	}
+	for _, f := range n.flows {
+		if f.done != nil {
+			n.eng.Cancel(f.done)
+			f.done = nil
+		}
+		if f.rate <= 0 {
+			continue // stalled; will be rescheduled on the next change
+		}
+		secs := f.remaining / f.rate
+		delay := sim.Time(math.Ceil(secs * 1e9))
+		ff := f
+		f.done = n.eng.Schedule(delay, func() { n.complete(ff) })
+	}
+}
+
+func (n *Network) complete(f *Flow) {
+	now := n.eng.Now()
+	n.settle(now)
+	f.remaining = 0
+	f.finished = true
+	f.finish = now
+	f.done = nil
+	// Remove from active sets.
+	for _, c := range f.path {
+		c.bytesCarried += f.size
+		c.active = removeFlow(c.active, f)
+	}
+	n.flows = removeFlow(n.flows, f)
+	n.reallocate(now)
+	if f.onDone != nil {
+		f.onDone()
+	}
+}
+
+func removeFlow(s []*Flow, f *Flow) []*Flow {
+	for i, x := range s {
+		if x == f {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// SortChannels orders channels by name; used by diagnostics that need a
+// stable listing out of map-keyed aggregations.
+func SortChannels(cs []*Channel) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+}
+
+// SetLinkCapacity changes a link's per-direction capacities at the
+// current virtual time — a degraded lane, a throttled switch port, a
+// noisy multi-tenant neighbor. In-flight flows are settled at their old
+// rates first, then every allocation is recomputed. This is what makes
+// the paper's dynamic re-profiling observable: conditions genuinely
+// change under a running workload.
+func (n *Network) SetLinkCapacity(l *Link, fwdCap, revCap float64) {
+	if fwdCap <= 0 || revCap <= 0 {
+		panic(fmt.Sprintf("fabric: link %q capacity change to non-positive", l.name))
+	}
+	now := n.eng.Now()
+	n.settle(now)
+	l.fwd.account(now, l.fwd.currentRate)
+	l.rev.account(now, l.rev.currentRate)
+	l.fwd.capacity = fwdCap
+	l.rev.capacity = revCap
+	n.reallocate(now)
+}

@@ -1,0 +1,376 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coarse/internal/sim"
+)
+
+const (
+	gib = 1024 * 1024 * 1024
+	mib = 1024 * 1024
+)
+
+func newNet() (*sim.Engine, *Network) {
+	eng := sim.NewEngine()
+	return eng, NewNetwork(eng)
+}
+
+func TestSingleFlowFullBandwidth(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	done := sim.Time(-1)
+	net.Transfer([]*Channel{l.Fwd()}, 10*gib, func() { done = eng.Now() })
+	eng.Run()
+	if done != sim.Seconds(1) {
+		t.Fatalf("10GiB over 10GiB/s link finished at %v, want 1s", done)
+	}
+}
+
+func TestLatencyAddsOnce(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 1*gib, 1*gib, sim.Seconds(0.5))
+	done := sim.Time(-1)
+	net.Transfer([]*Channel{l.Fwd()}, 1*gib, func() { done = eng.Now() })
+	eng.Run()
+	if done != sim.Seconds(1.5) {
+		t.Fatalf("finish = %v, want 1.5s (0.5 latency + 1.0 transfer)", done)
+	}
+}
+
+func TestZeroByteFlowCompletesAfterLatency(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 1*gib, 1*gib, sim.Seconds(0.25))
+	done := sim.Time(-1)
+	net.Transfer([]*Channel{l.Fwd()}, 0, func() { done = eng.Now() })
+	eng.Run()
+	if done != sim.Seconds(0.25) {
+		t.Fatalf("finish = %v, want 0.25s", done)
+	}
+}
+
+func TestTwoFlowsShareChannelFairly(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		net.Transfer([]*Channel{l.Fwd()}, 5*gib, func() { done = append(done, eng.Now()) })
+	}
+	eng.Run()
+	// Each flow gets 5 GiB/s, so both 5 GiB flows finish at t=1s.
+	for _, d := range done {
+		if d != sim.Seconds(1) {
+			t.Fatalf("finish times = %v, want both at 1s", done)
+		}
+	}
+}
+
+func TestBidirectionalFlowsDoNotContend(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	var done []sim.Time
+	net.Transfer([]*Channel{l.Fwd()}, 10*gib, func() { done = append(done, eng.Now()) })
+	net.Transfer([]*Channel{l.Rev()}, 10*gib, func() { done = append(done, eng.Now()) })
+	eng.Run()
+	// Opposite directions are independent channels: both finish at 1s,
+	// delivering 2x aggregate bandwidth (the paper's bidirectional effect).
+	for _, d := range done {
+		if d != sim.Seconds(1) {
+			t.Fatalf("finish times = %v, want both at 1s", done)
+		}
+	}
+}
+
+func TestRateReallocatedWhenFlowFinishes(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	var shortDone, longDone sim.Time
+	net.Transfer([]*Channel{l.Fwd()}, 5*gib, func() { shortDone = eng.Now() })
+	net.Transfer([]*Channel{l.Fwd()}, 10*gib, func() { longDone = eng.Now() })
+	eng.Run()
+	// Both run at 5 GiB/s until t=1s when the short one finishes; the long
+	// one then has 5 GiB left at 10 GiB/s -> finishes at 1.5s.
+	if shortDone != sim.Seconds(1) {
+		t.Fatalf("short finish = %v, want 1s", shortDone)
+	}
+	if longDone != sim.Seconds(1.5) {
+		t.Fatalf("long finish = %v, want 1.5s", longDone)
+	}
+}
+
+func TestLateArrivalSlowsExistingFlow(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	var firstDone sim.Time
+	net.Transfer([]*Channel{l.Fwd()}, 10*gib, func() { firstDone = eng.Now() })
+	eng.Schedule(sim.Seconds(0.5), func() {
+		net.Transfer([]*Channel{l.Fwd()}, 10*gib, nil)
+	})
+	eng.Run()
+	// First flow: 5 GiB at full rate by 0.5s, then shares -> 5 GiB at
+	// 5 GiB/s = 1s more. Finish at 1.5s.
+	if firstDone != sim.Seconds(1.5) {
+		t.Fatalf("first finish = %v, want 1.5s", firstDone)
+	}
+}
+
+func TestMultiHopBottleneck(t *testing.T) {
+	eng, net := newNet()
+	fast := net.NewLink("gpu-sw", 16*gib, 16*gib, 0)
+	slow := net.NewLink("sw-cpu", 4*gib, 4*gib, 0)
+	var done sim.Time
+	net.Transfer([]*Channel{fast.Fwd(), slow.Fwd()}, 4*gib, func() { done = eng.Now() })
+	eng.Run()
+	if done != sim.Seconds(1) {
+		t.Fatalf("finish = %v, want 1s (bottlenecked at 4GiB/s)", done)
+	}
+}
+
+func TestMaxMinUnevenPaths(t *testing.T) {
+	// Flow A crosses only the big link; flow B crosses big and small.
+	// Max-min: B is capped at 2 by the small link, A picks up the
+	// leftover 8 on the big link.
+	eng, net := newNet()
+	big := net.NewLink("big", 10, 10, 0)
+	small := net.NewLink("small", 2, 2, 0)
+	fa := net.StartFlow([]*Channel{big.Fwd()}, 1000, nil)
+	fb := net.StartFlow([]*Channel{big.Fwd(), small.Fwd()}, 1000, nil)
+	eng.RunUntil(1) // let admissions at t=0 fire
+	if math.Abs(fb.Rate()-2) > 1e-9 {
+		t.Fatalf("constrained flow rate = %v, want 2", fb.Rate())
+	}
+	if math.Abs(fa.Rate()-8) > 1e-9 {
+		t.Fatalf("unconstrained flow rate = %v, want 8", fa.Rate())
+	}
+}
+
+func TestAsymmetricLinkCapacities(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("fpga", 8*gib, 2*gib, 0) // reads fast, writes slow
+	var readDone, writeDone sim.Time
+	net.Transfer([]*Channel{l.Fwd()}, 8*gib, func() { readDone = eng.Now() })
+	net.Transfer([]*Channel{l.Rev()}, 8*gib, func() { writeDone = eng.Now() })
+	eng.Run()
+	if readDone != sim.Seconds(1) {
+		t.Fatalf("read finish = %v, want 1s", readDone)
+	}
+	if writeDone != sim.Seconds(4) {
+		t.Fatalf("write finish = %v, want 4s", writeDone)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	net.Transfer([]*Channel{l.Fwd()}, 5*gib, nil)
+	eng.Run()
+	end := eng.RunUntil(sim.Seconds(1)) // idle second half
+	if end != sim.Seconds(1) {
+		t.Fatalf("end = %v", end)
+	}
+	u := l.Fwd().Utilization(eng.Now())
+	if math.Abs(u-0.5) > 1e-6 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if got := l.Fwd().BytesCarried(); got != 5*gib {
+		t.Fatalf("bytes carried = %v, want 5GiB", got)
+	}
+}
+
+func TestPanicsOnBadInputs(t *testing.T) {
+	eng, net := newNet()
+	_ = eng
+	for name, fn := range map[string]func(){
+		"zero capacity":  func() { net.NewLink("x", 0, 1, 0) },
+		"neg latency":    func() { net.NewLink("x", 1, 1, -1) },
+		"empty path":     func() { net.StartFlow(nil, 1, nil) },
+		"negative bytes": func() { net.StartFlow([]*Channel{net.NewLink("y", 1, 1, 0).Fwd()}, -1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: with N equal flows on one channel, every flow gets exactly
+// capacity/N and all finish simultaneously.
+func TestPropertyEqualSharing(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		eng, net := newNet()
+		l := net.NewLink("c", 1*gib, 1*gib, 0)
+		finishes := make([]sim.Time, 0, n)
+		for i := 0; i < n; i++ {
+			net.Transfer([]*Channel{l.Fwd()}, mib, func() { finishes = append(finishes, eng.Now()) })
+		}
+		eng.Run()
+		if len(finishes) != n {
+			return false
+		}
+		want := finishes[0]
+		for _, ft := range finishes {
+			if ft != want {
+				return false
+			}
+		}
+		// n MiB total over 1 GiB/s = n/1024 seconds.
+		expect := sim.Time(math.Ceil(float64(n*mib) / gib * 1e9))
+		return absTime(want-expect) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocated rates never exceed any channel capacity and the
+// allocation is max-min (every flow is bottlenecked somewhere).
+func TestPropertyMaxMinFeasibleAndSaturated(t *testing.T) {
+	f := func(sizes []uint16, pathBits []bool) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 12 {
+			sizes = sizes[:12]
+		}
+		eng, net := newNet()
+		l1 := net.NewLink("l1", 100, 100, 0)
+		l2 := net.NewLink("l2", 37, 37, 0)
+		var flows []*Flow
+		for i, s := range sizes {
+			path := []*Channel{l1.Fwd()}
+			if i < len(pathBits) && pathBits[i] {
+				path = append(path, l2.Fwd())
+			}
+			flows = append(flows, net.StartFlow(path, float64(s)+1e6, nil))
+		}
+		eng.RunUntil(0) // fire admissions at t=0
+		// Feasibility per channel.
+		for _, ch := range []*Channel{l1.Fwd(), l2.Fwd()} {
+			sum := 0.0
+			for _, fl := range ch.active {
+				sum += fl.rate
+			}
+			if sum > ch.capacity*(1+1e-9) {
+				return false
+			}
+		}
+		// Max-min: every flow crosses at least one saturated channel.
+		for _, fl := range flows {
+			bottlenecked := false
+			for _, ch := range fl.path {
+				sum := 0.0
+				for _, g := range ch.active {
+					sum += g.rate
+				}
+				if sum >= ch.capacity*(1-1e-9) {
+					bottlenecked = true
+				}
+			}
+			if !bottlenecked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total bytes carried equals total bytes sent, regardless of
+// arrival pattern.
+func TestPropertyConservationOfBytes(t *testing.T) {
+	f := func(sizes []uint16, delays []uint16) bool {
+		eng, net := newNet()
+		l := net.NewLink("c", 1e6, 1e6, 0)
+		var total float64
+		for i, s := range sizes {
+			var d sim.Time
+			if i < len(delays) {
+				d = sim.Time(delays[i]) * 1000
+			}
+			size := float64(s)
+			total += size
+			eng.Schedule(d, func() {
+				net.StartFlow([]*Channel{l.Fwd()}, size, nil)
+			})
+		}
+		eng.Run()
+		return math.Abs(l.Fwd().BytesCarried()-total) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absTime(t sim.Time) sim.Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+func BenchmarkReallocate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, net := newNet()
+		links := make([]*Link, 8)
+		for j := range links {
+			links[j] = net.NewLink("l", 16*gib, 16*gib, 0)
+		}
+		for j := 0; j < 64; j++ {
+			path := []*Channel{links[j%8].Fwd(), links[(j+1)%8].Fwd()}
+			net.StartFlow(path, 64*mib, nil)
+		}
+		eng.Run()
+	}
+}
+
+func TestSetLinkCapacityMidFlow(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	var done sim.Time
+	net.Transfer([]*Channel{l.Fwd()}, 10*gib, func() { done = eng.Now() })
+	// Halve the capacity at t=0.5s: 5 GiB moved, 5 GiB left at 5 GiB/s.
+	eng.Schedule(sim.Seconds(0.5), func() {
+		net.SetLinkCapacity(l, 5*gib, 5*gib)
+	})
+	eng.Run()
+	if done != sim.Seconds(1.5) {
+		t.Fatalf("finish = %v, want 1.5s", done)
+	}
+}
+
+func TestSetLinkCapacityIncrease(t *testing.T) {
+	eng, net := newNet()
+	l := net.NewLink("pcie", 5*gib, 5*gib, 0)
+	var done sim.Time
+	net.Transfer([]*Channel{l.Fwd()}, 10*gib, func() { done = eng.Now() })
+	eng.Schedule(sim.Seconds(1), func() {
+		net.SetLinkCapacity(l, 10*gib, 10*gib)
+	})
+	eng.Run()
+	// 5 GiB in the first second, 5 GiB in the next 0.5s.
+	if done != sim.Seconds(1.5) {
+		t.Fatalf("finish = %v, want 1.5s", done)
+	}
+}
+
+func TestSetLinkCapacityRejectsNonPositive(t *testing.T) {
+	eng, net := newNet()
+	_ = eng
+	l := net.NewLink("pcie", gib, gib, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.SetLinkCapacity(l, 0, gib)
+}

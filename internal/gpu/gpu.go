@@ -1,0 +1,118 @@
+// Package gpu models a worker GPU: roofline execution timing for
+// forward/backward passes and device-memory capacity accounting.
+//
+// Timing follows a two-ceiling roofline — a layer runs at the lesser of
+// the compute ceiling (peak FLOPs derated by an achievable-efficiency
+// factor) and the memory ceiling (activation traffic at HBM bandwidth) —
+// plus a fixed per-kernel launch overhead that dominates tiny layers.
+// Memory accounting is what decides the paper's Figure 16e: whether a
+// batch-4 BERT-Large replica fits in 16 GB alongside optimizer state.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+// ErrOOM is returned when an allocation exceeds the device's free memory.
+var ErrOOM = errors.New("gpu: out of memory")
+
+// GPU is one worker device.
+type GPU struct {
+	Dev  *topology.Device
+	Spec topology.GPUSpec
+
+	// Efficiency is the achieved fraction of peak FLOPs on DL kernels.
+	Efficiency float64
+	// KernelOverhead is the fixed launch cost per layer invocation.
+	KernelOverhead sim.Time
+	// Reserved is memory unavailable to the framework (CUDA context,
+	// cuDNN workspaces), subtracted from capacity up front.
+	Reserved int64
+
+	used int64
+}
+
+// New creates a GPU bound to a topology device with default derating.
+func New(dev *topology.Device, spec topology.GPUSpec) *GPU {
+	return &GPU{
+		Dev:            dev,
+		Spec:           spec,
+		Efficiency:     0.45,
+		KernelOverhead: 8_000, // 8us per kernel launch
+		Reserved:       1 << 30,
+	}
+}
+
+// Capacity returns the memory available to allocations.
+func (g *GPU) Capacity() int64 { return g.Spec.MemBytes - g.Reserved }
+
+// Used returns currently allocated bytes.
+func (g *GPU) Used() int64 { return g.used }
+
+// Available returns the free bytes.
+func (g *GPU) Available() int64 { return g.Capacity() - g.used }
+
+// Alloc reserves bytes, failing with ErrOOM when they do not fit.
+func (g *GPU) Alloc(bytes int64) error {
+	if bytes < 0 {
+		panic(fmt.Sprintf("gpu: negative allocation %d", bytes))
+	}
+	if g.used+bytes > g.Capacity() {
+		return fmt.Errorf("%w: need %d, free %d of %d", ErrOOM, bytes, g.Available(), g.Capacity())
+	}
+	g.used += bytes
+	return nil
+}
+
+// Free releases bytes.
+func (g *GPU) Free(bytes int64) {
+	if bytes < 0 || bytes > g.used {
+		panic(fmt.Sprintf("gpu: freeing %d with %d used", bytes, g.used))
+	}
+	g.used -= bytes
+}
+
+// LayerFwdTime returns the forward execution time of one layer at the
+// given batch size.
+func (g *GPU) LayerFwdTime(l model.Layer, batch int) sim.Time {
+	flops := l.FwdFLOPs * float64(batch)
+	compute := flops / (g.Spec.TFLOPS * 1e12 * g.Efficiency)
+	// Memory ceiling: activations in+out plus parameters once.
+	bytes := float64(2*l.ActBytes*int64(batch) + l.SizeBytes())
+	mem := bytes / g.Spec.MemBW
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return g.KernelOverhead + sim.Seconds(t)
+}
+
+// LayerBwdTime returns the backward execution time of one layer: two
+// matmul-equivalents (activation gradient and weight gradient) for each
+// forward one.
+func (g *GPU) LayerBwdTime(l model.Layer, batch int) sim.Time {
+	return 2 * g.LayerFwdTime(l, batch)
+}
+
+// FwdTime returns the full forward-pass time for a model replica.
+func (g *GPU) FwdTime(m *model.Model, batch int) sim.Time {
+	var total sim.Time
+	for _, l := range m.Layers {
+		total += g.LayerFwdTime(l, batch)
+	}
+	return total
+}
+
+// BwdTime returns the full backward-pass time.
+func (g *GPU) BwdTime(m *model.Model, batch int) sim.Time {
+	var total sim.Time
+	for _, l := range m.Layers {
+		total += g.LayerBwdTime(l, batch)
+	}
+	return total
+}

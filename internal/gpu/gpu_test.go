@@ -1,0 +1,130 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+func v100() *GPU {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.AWSV100())
+	return New(m.Workers[0], m.Spec.GPU)
+}
+
+func TestResNetIterationTimePlausible(t *testing.T) {
+	g := v100()
+	m := model.ResNet50()
+	fwd := g.FwdTime(m, 64)
+	bwd := g.BwdTime(m, 64)
+	// Paper-era V100 ResNet-50 batch-64 iterations run roughly 100-300ms
+	// fwd+bwd; the roofline must land in that order of magnitude.
+	total := (fwd + bwd).ToSeconds()
+	if total < 0.05 || total > 0.8 {
+		t.Fatalf("ResNet50 b64 iteration = %.3fs, want 0.05-0.8s", total)
+	}
+	if bwd != 2*fwd {
+		t.Fatalf("bwd %v != 2x fwd %v", bwd, fwd)
+	}
+}
+
+func TestBERTSlowerThanResNetPerSample(t *testing.T) {
+	g := v100()
+	bert := g.FwdTime(model.BERTLarge(), 1)
+	resnet := g.FwdTime(model.ResNet50(), 1)
+	if bert <= resnet {
+		t.Fatalf("BERT-Large fwd %v should exceed ResNet50 fwd %v", bert, resnet)
+	}
+}
+
+func TestFwdTimeScalesWithBatch(t *testing.T) {
+	g := v100()
+	m := model.BERTBase()
+	b1 := g.FwdTime(m, 1)
+	b4 := g.FwdTime(m, 4)
+	if b4 <= 2*b1 {
+		// With per-kernel overhead, batch 4 is less than 4x batch 1 but
+		// must still clearly grow.
+		t.Fatalf("b4 %v not >2x b1 %v", b4, b1)
+	}
+	if b4 >= 4*b1 {
+		t.Fatalf("b4 %v should amortize launch overhead vs 4x b1 %v", b4, 4*b1)
+	}
+}
+
+func TestKernelOverheadDominatesTinyLayers(t *testing.T) {
+	g := v100()
+	tiny := model.Layer{Name: "bn", ParamElems: 128, FwdFLOPs: 1000, ActBytes: 512}
+	got := g.LayerFwdTime(tiny, 1)
+	if got < g.KernelOverhead || got > 2*g.KernelOverhead {
+		t.Fatalf("tiny layer time %v, want ~launch overhead %v", got, g.KernelOverhead)
+	}
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	g := v100()
+	if err := g.Alloc(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if g.Used() != 1<<30 {
+		t.Fatalf("used = %d", g.Used())
+	}
+	g.Free(1 << 30)
+	if g.Used() != 0 {
+		t.Fatalf("used after free = %d", g.Used())
+	}
+}
+
+func TestAllocOOM(t *testing.T) {
+	g := v100()
+	if err := g.Alloc(g.Capacity() + 1); !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	// Exactly-capacity allocation must succeed.
+	if err := g.Alloc(g.Capacity()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Alloc(1); !errors.Is(err, ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM when full", err)
+	}
+}
+
+func TestReservedMemorySubtracted(t *testing.T) {
+	g := v100()
+	if g.Capacity() != g.Spec.MemBytes-g.Reserved {
+		t.Fatalf("capacity = %d", g.Capacity())
+	}
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v100().Alloc(-1)
+}
+
+func TestOverFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v100().Free(1)
+}
+
+func TestSlowerGPUTakesLonger(t *testing.T) {
+	eng := sim.NewEngine()
+	mv := topology.Build(eng, topology.AWSV100())
+	mt := topology.Build(eng, topology.AWST4())
+	fast := New(mv.Workers[0], mv.Spec.GPU)
+	slow := New(mt.Workers[0], mt.Spec.GPU)
+	m := model.ResNet50()
+	if slow.FwdTime(m, 32) <= fast.FwdTime(m, 32) {
+		t.Fatal("T4 should be slower than V100")
+	}
+}

@@ -1,0 +1,204 @@
+// Package kvstore implements the parameter storage table: a versioned
+// key→tensor map with copy-on-write snapshots.
+//
+// This is the "parameter storage" tier of COARSE's hierarchy (paper
+// Section III-D) and the substrate of its fault-tolerance design
+// (Section IV-A): when a memory device receives a parameter update it
+// performs copy-on-write only if the tensor is pinned by a live
+// snapshot, and at the end of each epoch the device freezes the current
+// versions as a checkpoint. Snapshots therefore cost nothing for
+// parameters that did not change and one buffer copy for those that did.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+type entry struct {
+	data    []float32
+	version uint64
+	frozen  bool // pinned by at least one snapshot; next write must copy
+}
+
+// Stats counts copy-on-write behaviour for the checkpointing benches.
+type Stats struct {
+	Puts        uint64
+	InPlace     uint64 // writes that reused the existing buffer
+	Copies      uint64 // writes that had to copy (CoW)
+	CopiedBytes int64
+	Snapshots   uint64
+}
+
+// Store is a single storage node's parameter table. It is not
+// goroutine-safe; the simulation is single-threaded by design.
+type Store struct {
+	entries map[string]*entry
+	stats   Stats
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{entries: make(map[string]*entry)}
+}
+
+// Stats returns copy-on-write counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Len returns the number of stored tensors.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Names returns all tensor names in sorted order.
+func (s *Store) Names() []string {
+	names := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes returns the live payload volume.
+func (s *Store) TotalBytes() int64 {
+	var total int64
+	for _, e := range s.entries {
+		total += int64(len(e.data)) * 4
+	}
+	return total
+}
+
+// Version returns the tensor's current version, 0 when absent.
+func (s *Store) Version(name string) uint64 {
+	if e, ok := s.entries[name]; ok {
+		return e.version
+	}
+	return 0
+}
+
+// Get returns the live tensor data, or nil when absent. Callers must
+// not mutate the returned slice directly — use Put or Update, which
+// enforce copy-on-write.
+func (s *Store) Get(name string) []float32 {
+	if e, ok := s.entries[name]; ok {
+		return e.data
+	}
+	return nil
+}
+
+// Put stores data under name, copying it into the store's own buffer.
+// If the current buffer is pinned by a snapshot, a fresh buffer is
+// allocated (copy-on-write); otherwise the existing one is reused.
+func (s *Store) Put(name string, data []float32) uint64 {
+	s.stats.Puts++
+	e, ok := s.entries[name]
+	if !ok {
+		e = &entry{data: append([]float32(nil), data...)}
+		s.entries[name] = e
+		e.version = 1
+		s.stats.Copies++
+		s.stats.CopiedBytes += int64(len(data)) * 4
+		return e.version
+	}
+	if e.frozen || len(e.data) != len(data) {
+		e.data = append([]float32(nil), data...)
+		e.frozen = false
+		s.stats.Copies++
+		s.stats.CopiedBytes += int64(len(data)) * 4
+	} else {
+		copy(e.data, data)
+		s.stats.InPlace++
+	}
+	e.version++
+	return e.version
+}
+
+// Update mutates the tensor in place through fn, applying copy-on-write
+// first when the buffer is pinned. It panics when the tensor is absent:
+// storage nodes are initialized with the full parameter set up front.
+func (s *Store) Update(name string, fn func(dst []float32)) uint64 {
+	e, ok := s.entries[name]
+	if !ok {
+		panic(fmt.Sprintf("kvstore: update of missing tensor %q", name))
+	}
+	s.stats.Puts++
+	if e.frozen {
+		e.data = append([]float32(nil), e.data...)
+		e.frozen = false
+		s.stats.Copies++
+		s.stats.CopiedBytes += int64(len(e.data)) * 4
+	} else {
+		s.stats.InPlace++
+	}
+	fn(e.data)
+	e.version++
+	return e.version
+}
+
+// Snapshot pins every current tensor version and returns an immutable
+// view. Later writes copy; unchanged tensors keep sharing storage.
+func (s *Store) Snapshot() *Snapshot {
+	s.stats.Snapshots++
+	snap := &Snapshot{
+		ID:       s.stats.Snapshots,
+		tensors:  make(map[string][]float32, len(s.entries)),
+		versions: make(map[string]uint64, len(s.entries)),
+	}
+	for name, e := range s.entries {
+		e.frozen = true
+		snap.tensors[name] = e.data
+		snap.versions[name] = e.version
+	}
+	return snap
+}
+
+// Restore replaces the store's live contents with a snapshot's.
+func (s *Store) Restore(snap *Snapshot) {
+	s.entries = make(map[string]*entry, len(snap.tensors))
+	for name, data := range snap.tensors {
+		s.entries[name] = &entry{
+			// The snapshot stays immutable: restoring pins its buffers
+			// so the next write copies.
+			data:    data,
+			version: snap.versions[name],
+			frozen:  true,
+		}
+	}
+}
+
+// Snapshot is an immutable point-in-time view of a store.
+type Snapshot struct {
+	ID       uint64
+	tensors  map[string][]float32
+	versions map[string]uint64
+}
+
+// LoadSnapshot reconstructs a snapshot from externally held data — the
+// checkpoint deserializer uses it. The maps are adopted, not copied.
+func LoadSnapshot(tensors map[string][]float32, versions map[string]uint64) *Snapshot {
+	return &Snapshot{tensors: tensors, versions: versions}
+}
+
+// Names returns the snapshot's tensor names, sorted.
+func (sn *Snapshot) Names() []string {
+	names := make([]string, 0, len(sn.tensors))
+	for n := range sn.tensors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the snapshot's copy of a tensor, nil when absent.
+func (sn *Snapshot) Get(name string) []float32 { return sn.tensors[name] }
+
+// Version returns the version captured for name.
+func (sn *Snapshot) Version(name string) uint64 { return sn.versions[name] }
+
+// TotalBytes returns the snapshot payload volume.
+func (sn *Snapshot) TotalBytes() int64 {
+	var total int64
+	for _, d := range sn.tensors {
+		total += int64(len(d)) * 4
+	}
+	return total
+}

@@ -1,0 +1,233 @@
+package kvstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	v := s.Put("w", []float32{1, 2, 3})
+	if v != 1 {
+		t.Fatalf("first version = %d, want 1", v)
+	}
+	got := s.Get("w")
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Get = %v", got)
+	}
+	if s.Get("missing") != nil {
+		t.Fatal("missing tensor should return nil")
+	}
+}
+
+func TestPutCopiesCallerBuffer(t *testing.T) {
+	s := New()
+	buf := []float32{1, 2, 3}
+	s.Put("w", buf)
+	buf[0] = 99
+	if s.Get("w")[0] != 1 {
+		t.Fatal("store aliases caller buffer")
+	}
+}
+
+func TestVersionIncrements(t *testing.T) {
+	s := New()
+	s.Put("w", []float32{1})
+	s.Put("w", []float32{2})
+	v := s.Update("w", func(d []float32) { d[0] = 3 })
+	if v != 3 || s.Version("w") != 3 {
+		t.Fatalf("version = %d / %d, want 3", v, s.Version("w"))
+	}
+	if s.Version("missing") != 0 {
+		t.Fatal("missing tensor version should be 0")
+	}
+}
+
+func TestInPlaceWriteWithoutSnapshot(t *testing.T) {
+	s := New()
+	s.Put("w", make([]float32, 100))
+	before := s.Stats()
+	s.Put("w", make([]float32, 100))
+	s.Update("w", func(d []float32) { d[0] = 1 })
+	st := s.Stats()
+	if st.InPlace-before.InPlace != 2 {
+		t.Fatalf("in-place writes = %d, want 2", st.InPlace-before.InPlace)
+	}
+	if st.Copies != before.Copies {
+		t.Fatal("unpinned writes must not copy")
+	}
+}
+
+func TestSnapshotIsImmutableUnderWrites(t *testing.T) {
+	s := New()
+	s.Put("w", []float32{1, 2})
+	s.Put("v", []float32{9})
+	snap := s.Snapshot()
+	s.Put("w", []float32{7, 8})
+	s.Update("v", func(d []float32) { d[0] = -1 })
+	if got := snap.Get("w"); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("snapshot w = %v, mutated by later Put", got)
+	}
+	if snap.Get("v")[0] != 9 {
+		t.Fatal("snapshot v mutated by later Update")
+	}
+	if s.Get("w")[0] != 7 || s.Get("v")[0] != -1 {
+		t.Fatal("live values wrong")
+	}
+}
+
+func TestCopyOnWriteOnlyForChangedTensors(t *testing.T) {
+	// The paper's fine-grained CoW: unchanged parameters share storage
+	// with the snapshot; only updated ones pay a copy.
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Put(string(rune('a'+i)), make([]float32, 1000))
+	}
+	s.Snapshot()
+	before := s.Stats()
+	s.Update("a", func(d []float32) { d[0] = 1 })
+	s.Update("a", func(d []float32) { d[1] = 2 }) // second write: no copy
+	st := s.Stats()
+	if st.Copies-before.Copies != 1 {
+		t.Fatalf("copies = %d, want exactly 1", st.Copies-before.Copies)
+	}
+	if st.CopiedBytes-before.CopiedBytes != 4000 {
+		t.Fatalf("copied bytes = %d, want 4000", st.CopiedBytes-before.CopiedBytes)
+	}
+}
+
+func TestTwoSnapshotsDiverge(t *testing.T) {
+	s := New()
+	s.Put("w", []float32{1})
+	s1 := s.Snapshot()
+	s.Update("w", func(d []float32) { d[0] = 2 })
+	s2 := s.Snapshot()
+	s.Update("w", func(d []float32) { d[0] = 3 })
+	if s1.Get("w")[0] != 1 || s2.Get("w")[0] != 2 || s.Get("w")[0] != 3 {
+		t.Fatalf("versions = %v/%v/%v, want 1/2/3", s1.Get("w")[0], s2.Get("w")[0], s.Get("w")[0])
+	}
+}
+
+func TestRestore(t *testing.T) {
+	s := New()
+	s.Put("w", []float32{1, 2})
+	snap := s.Snapshot()
+	s.Put("w", []float32{5, 6})
+	s.Put("new", []float32{3})
+	s.Restore(snap)
+	if got := s.Get("w"); got[0] != 1 {
+		t.Fatalf("restored w = %v", got)
+	}
+	if s.Get("new") != nil {
+		t.Fatal("tensor created after snapshot survived restore")
+	}
+	// The snapshot must survive writes after restore too.
+	s.Update("w", func(d []float32) { d[0] = 42 })
+	if snap.Get("w")[0] != 1 {
+		t.Fatal("restore aliased snapshot storage mutably")
+	}
+}
+
+func TestUpdateMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Update("nope", func([]float32) {})
+}
+
+func TestNamesSortedAndTotals(t *testing.T) {
+	s := New()
+	s.Put("b", make([]float32, 2))
+	s.Put("a", make([]float32, 3))
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if s.TotalBytes() != 20 {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	snap := s.Snapshot()
+	if snap.TotalBytes() != 20 {
+		t.Fatalf("snapshot TotalBytes = %d", snap.TotalBytes())
+	}
+	if got := snap.Names(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("snapshot Names = %v", got)
+	}
+	if snap.Version("a") != 1 {
+		t.Fatalf("snapshot version = %d", snap.Version("a"))
+	}
+}
+
+// Property: any interleaving of puts, updates and snapshots preserves
+// every snapshot's captured values exactly.
+func TestPropertySnapshotIsolation(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		names := []string{"a", "b", "c"}
+		for _, n := range names {
+			s.Put(n, []float32{0})
+		}
+		type snapRec struct {
+			snap *Snapshot
+			want map[string]float32
+		}
+		var snaps []snapRec
+		live := map[string]float32{"a": 0, "b": 0, "c": 0}
+		ops := int(opsRaw)%100 + 10
+		for i := 0; i < ops; i++ {
+			n := names[r.Intn(3)]
+			switch r.Intn(3) {
+			case 0:
+				v := float32(i + 1)
+				s.Put(n, []float32{v})
+				live[n] = v
+			case 1:
+				v := float32(-i - 1)
+				s.Update(n, func(d []float32) { d[0] = v })
+				live[n] = v
+			case 2:
+				want := map[string]float32{}
+				for k, v := range live {
+					want[k] = v
+				}
+				snaps = append(snaps, snapRec{s.Snapshot(), want})
+			}
+		}
+		for _, rec := range snaps {
+			for n, want := range rec.want {
+				if rec.snap.Get(n)[0] != want {
+					return false
+				}
+			}
+		}
+		for n, want := range live {
+			if s.Get(n)[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUpdateWithCoW(b *testing.B) {
+	s := New()
+	s.Put("w", make([]float32, 1<<16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%100 == 0 {
+			s.Snapshot()
+		}
+		s.Update("w", func(d []float32) { d[0] = float32(i) })
+	}
+}

@@ -1,0 +1,228 @@
+package memdev
+
+import (
+	"math/rand"
+	"testing"
+
+	"coarse/internal/cci"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+func newPool(t *testing.T, spec topology.Spec, groups int) (*sim.Engine, *Pool) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := topology.Build(eng, spec)
+	return eng, NewPool(cci.NewFabric(m.Topology, cci.DefaultParams()), m.Devs, DefaultConfig(), groups)
+}
+
+func randBuffers(p, n int, seed int64) ([][]float32, []float32) {
+	r := rand.New(rand.NewSource(seed))
+	buffers := make([][]float32, p)
+	want := make([]float32, n)
+	for i := range buffers {
+		buffers[i] = make([]float32, n)
+		for j := range buffers[i] {
+			buffers[i][j] = float32(r.Intn(32))
+			want[j] += buffers[i][j]
+		}
+	}
+	return buffers, want
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadConfig(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.DRAMBytes = 0 },
+		func(c *Config) { c.DRAMBW = 0 },
+		func(c *Config) { c.SyncCores = 0 },
+		func(c *Config) { c.BufEntries = -1 },
+		func(c *Config) { c.ALUBytesPerSec = 0 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewDeviceRejectsWrongKind(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.SDSCP100())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDevice(m.Workers[0], DefaultConfig())
+}
+
+func TestDRAMAllocation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.SDSCP100())
+	d := NewDevice(m.Devs[0], DefaultConfig())
+	if err := d.Alloc(64 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(64 << 30); err == nil {
+		t.Fatal("over-capacity alloc succeeded")
+	}
+	if d.Used() != 64<<30 {
+		t.Fatalf("Used = %d", d.Used())
+	}
+}
+
+func TestPoolGroupAllReduceSums(t *testing.T) {
+	eng, p := newPool(t, topology.AWSV100(), 2)
+	buffers, want := randBuffers(len(p.Devices), 4096, 1)
+	done := false
+	p.Group(0).AllReduce(buffers, false, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("allreduce never completed")
+	}
+	for i, b := range buffers {
+		for j := range b {
+			if b[j] != want[j] {
+				t.Fatalf("device %d elem %d = %v, want %v", i, j, b[j], want[j])
+			}
+		}
+	}
+}
+
+func TestGroupsAlternateDirection(t *testing.T) {
+	_, p := newPool(t, topology.AWSV100(), 4)
+	if len(p.Groups()) != 4 {
+		t.Fatalf("groups = %d", len(p.Groups()))
+	}
+	for i, g := range p.Groups() {
+		if g.Reverse != (i%2 == 1) {
+			t.Fatalf("group %d reverse = %v", i, g.Reverse)
+		}
+	}
+}
+
+func TestGroupCountCappedBySyncCores(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.AWSV100())
+	cfg := DefaultConfig()
+	cfg.SyncCores = 3
+	p := NewPool(cci.NewFabric(m.Topology, cci.DefaultParams()), m.Devs, cfg, 16)
+	if len(p.Groups()) != 3 {
+		t.Fatalf("groups = %d, want 3", len(p.Groups()))
+	}
+}
+
+func TestOppositeGroupsOverlapPerfectly(t *testing.T) {
+	// Two opposite-direction groups syncing concurrently take the same
+	// wall time as one (they use disjoint link directions), which is the
+	// point of Figure 11b.
+	run := func(groups int) sim.Time {
+		eng, p := newPool(t, topology.AWSV100(), 2)
+		var last sim.Time
+		for g := 0; g < groups; g++ {
+			buffers, _ := randBuffers(len(p.Devices), 1<<18, int64(g))
+			p.Group(g).AllReduce(buffers, false, func() {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return last
+	}
+	one := run(1)
+	two := run(2)
+	if two != one {
+		t.Fatalf("two opposite groups took %v, one group %v", two, one)
+	}
+}
+
+func TestSameGroupSerializes(t *testing.T) {
+	// Two syncs on the same group must run back to back, not overlap.
+	eng, p := newPool(t, topology.AWSV100(), 1)
+	var first, second sim.Time
+	b1, _ := randBuffers(len(p.Devices), 1<<16, 1)
+	b2, _ := randBuffers(len(p.Devices), 1<<16, 2)
+	g := p.Group(0)
+	g.AllReduce(b1, false, func() { first = eng.Now() })
+	g.AllReduce(b2, false, func() { second = eng.Now() })
+	if g.QueueDepth() != 2 {
+		t.Fatalf("queue depth = %d, want 2", g.QueueDepth())
+	}
+	eng.Run()
+	if second < 2*first-first/10 {
+		t.Fatalf("second sync at %v did not serialize after first at %v", second, first)
+	}
+	if g.QueueDepth() != 0 {
+		t.Fatalf("queue depth after run = %d", g.QueueDepth())
+	}
+}
+
+func TestAllReduceAverage(t *testing.T) {
+	eng, p := newPool(t, topology.SDSCP100(), 1)
+	n := len(p.Devices)
+	buffers := make([][]float32, n)
+	for i := range buffers {
+		buffers[i] = []float32{2, 4}
+	}
+	p.Group(0).AllReduce(buffers, true, nil)
+	eng.Run()
+	for _, b := range buffers {
+		if b[0] != 2 || b[1] != 4 {
+			t.Fatalf("average = %v", b)
+		}
+	}
+}
+
+func TestAllReduceWrongBufferCountPanics(t *testing.T) {
+	_, p := newPool(t, topology.SDSCP100(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Group(0).AllReduce(make([][]float32, 1), false, nil)
+}
+
+func TestEmptyPoolPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.SDSCP100())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(cci.NewFabric(m.Topology, cci.DefaultParams()), nil, DefaultConfig(), 1)
+}
+
+func TestCheckpointIntegration(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.SDSCP100())
+	d := NewDevice(m.Devs[0], DefaultConfig())
+	d.Store.Put("w", []float32{1, 2, 3})
+	d.Ckpt.EpochEnd()
+	d.Store.Update("w", func(x []float32) { x[0] = 9 })
+	if !d.Ckpt.Recover() {
+		t.Fatal("recover failed")
+	}
+	if d.Store.Get("w")[0] != 1 {
+		t.Fatal("checkpoint did not restore")
+	}
+}
+
+func TestDRAMTimeScalesLinearly(t *testing.T) {
+	eng := sim.NewEngine()
+	m := topology.Build(eng, topology.SDSCP100())
+	d := NewDevice(m.Devs[0], DefaultConfig())
+	if d.DRAMTime(2<<20) != 2*d.DRAMTime(1<<20) {
+		t.Fatal("DRAM time not linear")
+	}
+}

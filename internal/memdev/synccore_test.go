@@ -1,0 +1,78 @@
+package memdev
+
+import (
+	"testing"
+
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+func TestDetailedCompletes(t *testing.T) {
+	eng, p := newPool(t, topology.AWSV100(), 1)
+	done := false
+	p.Group(0).AllReduceDetailed(8<<20, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("detailed allreduce never completed")
+	}
+}
+
+func TestDetailedZeroBytes(t *testing.T) {
+	eng, p := newPool(t, topology.AWSV100(), 1)
+	done := false
+	p.Group(0).AllReduceDetailed(0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("zero-byte detailed allreduce never completed")
+	}
+}
+
+func TestDetailedMatchesAbstract(t *testing.T) {
+	// The chunk-pipelined Figure 11c model and the abstract staged model
+	// must agree on timing within a modest factor: the detailed path
+	// pays per-chunk DMA setup on every ring round, the abstract path
+	// overlaps less DRAM time, and neither may drift into a different
+	// regime.
+	run := func(detailed bool, bytes int64) sim.Time {
+		eng, p := newPool(t, topology.AWSV100(), 1)
+		var done sim.Time
+		if detailed {
+			p.Group(0).AllReduceDetailed(bytes, func() { done = eng.Now() })
+		} else {
+			p.Group(0).AllReduceBytes(bytes, func() { done = eng.Now() })
+		}
+		eng.Run()
+		return done
+	}
+	for _, bytes := range []int64{1 << 20, 8 << 20, 32 << 20} {
+		abstract := run(false, bytes)
+		detailed := run(true, bytes)
+		ratio := detailed.ToSeconds() / abstract.ToSeconds()
+		if ratio < 0.5 || ratio > 8 {
+			t.Fatalf("%d bytes: detailed %v vs abstract %v (%.2fx) — models diverged",
+				bytes, detailed, abstract, ratio)
+		}
+	}
+}
+
+func TestDetailedSerializesOnGroup(t *testing.T) {
+	eng, p := newPool(t, topology.AWSV100(), 1)
+	var first, second sim.Time
+	g := p.Group(0)
+	g.AllReduceDetailed(4<<20, func() { first = eng.Now() })
+	g.AllReduceDetailed(4<<20, func() { second = eng.Now() })
+	eng.Run()
+	if second <= first {
+		t.Fatalf("second detailed sync at %v did not serialize after first at %v", second, first)
+	}
+}
+
+func TestDetailedNegativePanics(t *testing.T) {
+	_, p := newPool(t, topology.AWSV100(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Group(0).AllReduceDetailed(-1, nil)
+}

@@ -1,0 +1,166 @@
+// Package metrics collects and renders the measurements the evaluation
+// reports: iteration times, blocked-communication time, utilization, and
+// formatted tables matching the paper's figures.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"coarse/internal/sim"
+)
+
+// Recorder accumulates counters and named durations during one run.
+type Recorder struct {
+	counters  map[string]float64
+	durations map[string]sim.Time
+	series    map[string][]float64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		counters:  make(map[string]float64),
+		durations: make(map[string]sim.Time),
+		series:    make(map[string][]float64),
+	}
+}
+
+// Add increments a named counter.
+func (r *Recorder) Add(name string, v float64) { r.counters[name] += v }
+
+// Counter returns a counter's value (0 when never set).
+func (r *Recorder) Counter(name string) float64 { return r.counters[name] }
+
+// AddTime accumulates a named duration.
+func (r *Recorder) AddTime(name string, d sim.Time) { r.durations[name] += d }
+
+// Time returns an accumulated duration.
+func (r *Recorder) Time(name string) sim.Time { return r.durations[name] }
+
+// Append adds a sample to a named series.
+func (r *Recorder) Append(name string, v float64) {
+	r.series[name] = append(r.series[name], v)
+}
+
+// Series returns the samples recorded under name.
+func (r *Recorder) Series(name string) []float64 { return r.series[name] }
+
+// Names returns all metric names, sorted, for stable dumps.
+func (r *Recorder) Names() []string {
+	seen := map[string]bool{}
+	for k := range r.counters {
+		seen[k] = true
+	}
+	for k := range r.durations {
+		seen[k] = true
+	}
+	for k := range r.series {
+		seen[k] = true
+	}
+	names := make([]string, 0, len(seen))
+	for k := range seen {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Mean returns the arithmetic mean of a series, 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table renders experiment output in the aligned text format the
+// harness prints for each figure.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the formatted rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.4g", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Columns, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// MarshalJSON renders the table as {"title", "columns", "rows"} for
+// machine consumption (coarsebench -json).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, rows})
+}
+
+// GBps formats a bytes/sec value as GB/s for table cells.
+func GBps(v float64) string { return fmt.Sprintf("%.2f GB/s", v/1e9) }
+
+// Ms formats a sim duration as milliseconds.
+func Ms(t sim.Time) string { return fmt.Sprintf("%.3f ms", float64(t)/1e6) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Speedup formats a speedup factor as the paper quotes them.
+func Speedup(v float64) string { return fmt.Sprintf("%.2fx", v) }

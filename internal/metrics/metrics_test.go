@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCountersAndDurations(t *testing.T) {
+	r := NewRecorder()
+	r.Add("bytes", 10)
+	r.Add("bytes", 5)
+	if r.Counter("bytes") != 15 {
+		t.Fatalf("counter = %v", r.Counter("bytes"))
+	}
+	r.AddTime("blocked", 100)
+	r.AddTime("blocked", 50)
+	if r.Time("blocked") != 150 {
+		t.Fatalf("duration = %v", r.Time("blocked"))
+	}
+	if r.Counter("missing") != 0 || r.Time("missing") != 0 {
+		t.Fatal("missing metrics should be zero")
+	}
+}
+
+func TestSeriesAndMean(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []float64{1, 2, 3} {
+		r.Append("iter", v)
+	}
+	if got := Mean(r.Series("iter")); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Add("z", 1)
+	r.AddTime("a", 1)
+	r.Append("m", 1)
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure X", "model", "speedup")
+	tab.AddRow("ResNet50", 3.25)
+	tab.AddRow("BERT", 13.3)
+	out := tab.String()
+	for _, want := range []string{"== Figure X ==", "model", "speedup", "ResNet50", "3.250", "13.3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows()))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := GBps(12.5e9); got != "12.50 GB/s" {
+		t.Fatalf("GBps = %q", got)
+	}
+	if got := Ms(1_500_000); got != "1.500 ms" {
+		t.Fatalf("Ms = %q", got)
+	}
+	if got := Pct(0.483); got != "48.3%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Speedup(13.3); got != "13.30x" {
+		t.Fatalf("Speedup = %q", got)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := NewTable("Fig", "a", "b")
+	tab.AddRow("x", 1.5)
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Fig" || len(got.Columns) != 2 || got.Rows[0][1] != "1.500" {
+		t.Fatalf("json = %s", data)
+	}
+	// Empty table still yields an array, not null.
+	empty, _ := json.Marshal(NewTable("E", "c"))
+	if strings.Contains(string(empty), "null") {
+		t.Fatalf("empty table marshals null: %s", empty)
+	}
+}

@@ -1,0 +1,257 @@
+// Package nn implements a small but real neural network — dense layers
+// with ReLU activations and a softmax cross-entropy loss, trained by
+// actual backpropagation.
+//
+// It is the functional stand-in for the paper's TensorFlow integration:
+// the parameter layout matches model.MLP tensor for tensor, so an nn
+// network can run directly over the trainer's parameter buffers and the
+// synchronization strategies move real gradients. The end-to-end
+// convergence tests and the quickstart example train through this path.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coarse/internal/tensor"
+)
+
+// MLP is a multi-layer perceptron over externally owned parameters.
+// Layer l's tensor holds the weight matrix row-major (in x out) followed
+// by the bias vector — the same layout model.MLP declares
+// (ParamElems = in*out + out).
+type MLP struct {
+	Sizes  []int
+	Params []*tensor.Tensor
+}
+
+// FromParams wraps parameter tensors in a network view. It validates
+// that every tensor has exactly the declared layout.
+func FromParams(sizes []int, params []*tensor.Tensor) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	if len(params) != len(sizes)-1 {
+		panic(fmt.Sprintf("nn: %d param tensors for %d layers", len(params), len(sizes)-1))
+	}
+	for l := 0; l < len(sizes)-1; l++ {
+		want := sizes[l]*sizes[l+1] + sizes[l+1]
+		if params[l].Len() != want {
+			panic(fmt.Sprintf("nn: layer %d has %d params, want %d", l, params[l].Len(), want))
+		}
+	}
+	return &MLP{Sizes: sizes, Params: params}
+}
+
+// InitXavier fills the parameters with Xavier-uniform weights and zero
+// biases, deterministically from seed.
+func (m *MLP) InitXavier(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for l := 0; l < len(m.Sizes)-1; l++ {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		limit := float32(math.Sqrt(6.0 / float64(in+out)))
+		data := m.Params[l].Data
+		for i := 0; i < in*out; i++ {
+			data[i] = (r.Float32()*2 - 1) * limit
+		}
+		for i := in * out; i < len(data); i++ {
+			data[i] = 0
+		}
+	}
+}
+
+func (m *MLP) weights(l int) ([]float32, []float32) {
+	in, out := m.Sizes[l], m.Sizes[l+1]
+	data := m.Params[l].Data
+	return data[:in*out], data[in*out:]
+}
+
+// Forward computes the network output (pre-softmax logits) for one
+// input, returning every layer's post-activation for backprop.
+func (m *MLP) Forward(x []float32) [][]float32 {
+	if len(x) != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.Sizes[0]))
+	}
+	acts := make([][]float32, len(m.Sizes))
+	acts[0] = x
+	for l := 0; l < len(m.Sizes)-1; l++ {
+		w, b := m.weights(l)
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		h := make([]float32, out)
+		for j := 0; j < out; j++ {
+			sum := b[j]
+			for i := 0; i < in; i++ {
+				sum += acts[l][i] * w[i*out+j]
+			}
+			h[j] = sum
+		}
+		if l < len(m.Sizes)-2 { // hidden layers: ReLU
+			for j := range h {
+				if h[j] < 0 {
+					h[j] = 0
+				}
+			}
+		}
+		acts[l+1] = h
+	}
+	return acts
+}
+
+// Predict returns the argmax class for an input.
+func (m *MLP) Predict(x []float32) int {
+	acts := m.Forward(x)
+	return argmax(acts[len(acts)-1])
+}
+
+func argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// softmaxCE returns softmax probabilities and the cross-entropy loss
+// against the label.
+func softmaxCE(logits []float32, label int) ([]float32, float64) {
+	maxv := logits[0]
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	probs := make([]float32, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxv))
+		probs[i] = float32(e)
+		sum += e
+	}
+	for i := range probs {
+		probs[i] = float32(float64(probs[i]) / sum)
+	}
+	p := float64(probs[label])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return probs, -math.Log(p)
+}
+
+// Loss returns the mean cross-entropy over a batch.
+func (m *MLP) Loss(xs [][]float32, ys []int) float64 {
+	total := 0.0
+	for i, x := range xs {
+		acts := m.Forward(x)
+		_, l := softmaxCE(acts[len(acts)-1], ys[i])
+		total += l
+	}
+	return total / float64(len(xs))
+}
+
+// Backward computes the mean-over-batch gradient of the cross-entropy
+// loss, accumulating into grads (same layout as Params, zeroed first),
+// and returns the batch loss.
+func (m *MLP) Backward(xs [][]float32, ys []int, grads []*tensor.Tensor) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("nn: bad batch")
+	}
+	if len(grads) != len(m.Params) {
+		panic("nn: grads/params mismatch")
+	}
+	for l, g := range grads {
+		if g.Len() != m.Params[l].Len() {
+			panic(fmt.Sprintf("nn: grad %d size mismatch", l))
+		}
+		g.Fill(0)
+	}
+	totalLoss := 0.0
+	L := len(m.Sizes) - 1
+	for s, x := range xs {
+		acts := m.Forward(x)
+		probs, loss := softmaxCE(acts[L], ys[s])
+		totalLoss += loss
+		// delta at output: softmax CE gradient.
+		delta := make([]float32, m.Sizes[L])
+		copy(delta, probs)
+		delta[ys[s]] -= 1
+		for l := L - 1; l >= 0; l-- {
+			in, out := m.Sizes[l], m.Sizes[l+1]
+			w, _ := m.weights(l)
+			gdata := grads[l].Data
+			gw := gdata[:in*out]
+			gb := gdata[in*out:]
+			aIn := acts[l]
+			for j := 0; j < out; j++ {
+				gb[j] += delta[j]
+				for i := 0; i < in; i++ {
+					gw[i*out+j] += aIn[i] * delta[j]
+				}
+			}
+			if l > 0 {
+				next := make([]float32, in)
+				for i := 0; i < in; i++ {
+					sum := float32(0)
+					for j := 0; j < out; j++ {
+						sum += w[i*out+j] * delta[j]
+					}
+					// ReLU derivative on the hidden activation.
+					if acts[l][i] > 0 {
+						next[i] = sum
+					}
+				}
+				delta = next
+			}
+		}
+	}
+	inv := float32(1) / float32(len(xs))
+	for _, g := range grads {
+		g.Scale(inv)
+	}
+	return totalLoss / float64(len(xs))
+}
+
+// Accuracy returns the fraction of correct argmax predictions.
+func (m *MLP) Accuracy(xs [][]float32, ys []int) float64 {
+	correct := 0
+	for i, x := range xs {
+		if m.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// NumericalGradientCheck compares analytic gradients against central
+// differences on a few coordinates; returns the max relative error.
+// Test infrastructure for the backprop implementation itself.
+func (m *MLP) NumericalGradientCheck(x []float32, y int, probes int, seed int64) float64 {
+	grads := make([]*tensor.Tensor, len(m.Params))
+	for l, p := range m.Params {
+		grads[l] = tensor.New(p.Name, p.Len())
+	}
+	m.Backward([][]float32{x}, []int{y}, grads)
+	r := rand.New(rand.NewSource(seed))
+	const eps = 1e-3
+	worst := 0.0
+	for k := 0; k < probes; k++ {
+		l := r.Intn(len(m.Params))
+		i := r.Intn(m.Params[l].Len())
+		orig := m.Params[l].Data[i]
+		m.Params[l].Data[i] = orig + eps
+		_, lp := softmaxCE(m.Forward(x)[len(m.Sizes)-1], y)
+		m.Params[l].Data[i] = orig - eps
+		_, lm := softmaxCE(m.Forward(x)[len(m.Sizes)-1], y)
+		m.Params[l].Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(grads[l].Data[i])
+		denom := math.Abs(numeric) + math.Abs(analytic) + 1e-8
+		rel := math.Abs(numeric-analytic) / denom
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

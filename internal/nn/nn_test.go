@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"testing"
+
+	"coarse/internal/data"
+	"coarse/internal/model"
+	"coarse/internal/tensor"
+)
+
+func newNet(sizes ...int) *MLP {
+	spec := model.MLP("net", sizes...)
+	params := make([]*tensor.Tensor, len(spec.Layers))
+	for l, layer := range spec.Layers {
+		params[l] = tensor.New(layer.Name, layer.ParamElems)
+	}
+	net := FromParams(sizes, params)
+	net.InitXavier(7)
+	return net
+}
+
+func TestLayoutMatchesModelMLP(t *testing.T) {
+	// The whole point of nn: it runs over model.MLP's declared tensors.
+	spec := model.MLP("net", 10, 20, 5)
+	params := make([]*tensor.Tensor, len(spec.Layers))
+	for l, layer := range spec.Layers {
+		params[l] = tensor.New(layer.Name, layer.ParamElems)
+	}
+	FromParams([]int{10, 20, 5}, params) // must not panic
+}
+
+func TestForwardShapes(t *testing.T) {
+	net := newNet(4, 8, 3)
+	acts := net.Forward(make([]float32, 4))
+	if len(acts) != 3 || len(acts[1]) != 8 || len(acts[2]) != 3 {
+		t.Fatalf("activation shapes wrong: %d/%d/%d", len(acts), len(acts[1]), len(acts[2]))
+	}
+}
+
+func TestForwardWrongDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newNet(4, 3).Forward(make([]float32, 5))
+}
+
+func TestReLUAppliedToHiddenOnly(t *testing.T) {
+	net := newNet(2, 4, 2)
+	acts := net.Forward([]float32{-5, 5})
+	for _, v := range acts[1] {
+		if v < 0 {
+			t.Fatal("hidden activation negative after ReLU")
+		}
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Analytic backprop must match central differences.
+	net := newNet(6, 10, 8, 4)
+	x := []float32{0.5, -0.3, 1.2, 0.1, -0.8, 0.4}
+	// float32 forward passes with eps=1e-3 central differences leave a
+	// few percent of numerical noise; analytic bugs show up as O(1).
+	if worst := net.NumericalGradientCheck(x, 2, 200, 3); worst > 5e-2 {
+		t.Fatalf("gradient check worst relative error %v", worst)
+	}
+}
+
+func TestBackwardReducesLoss(t *testing.T) {
+	net := newNet(8, 16, 3)
+	ds := data.Blobs(11, 300, 8, 3, 4)
+	xs, ys := ds.Batch(0, 64)
+	grads := make([]*tensor.Tensor, len(net.Params))
+	for l, p := range net.Params {
+		grads[l] = tensor.New(p.Name, p.Len())
+	}
+	before := net.Loss(xs, ys)
+	for step := 0; step < 50; step++ {
+		net.Backward(xs, ys, grads)
+		for l, p := range net.Params {
+			p.AXPY(-0.1, grads[l])
+		}
+	}
+	after := net.Loss(xs, ys)
+	if after >= before/2 {
+		t.Fatalf("loss %v -> %v: SGD barely moved", before, after)
+	}
+}
+
+func TestTrainingReachesHighAccuracy(t *testing.T) {
+	net := newNet(8, 32, 4)
+	ds := data.Blobs(5, 800, 8, 4, 5)
+	grads := make([]*tensor.Tensor, len(net.Params))
+	for l, p := range net.Params {
+		grads[l] = tensor.New(p.Name, p.Len())
+	}
+	for step := 0; step < 120; step++ {
+		xs, ys := ds.Batch(step, 64)
+		net.Backward(xs, ys, grads)
+		for l, p := range net.Params {
+			p.AXPY(-0.1, grads[l])
+		}
+	}
+	if acc := net.Accuracy(ds.X, ds.Y); acc < 0.9 {
+		t.Fatalf("accuracy %.2f after training, want >= 0.9", acc)
+	}
+}
+
+func TestBackwardPanicsOnBadShapes(t *testing.T) {
+	net := newNet(4, 3)
+	grads := []*tensor.Tensor{tensor.New("g", 5)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.Backward([][]float32{make([]float32, 4)}, []int{0}, grads)
+}
+
+func TestInitXavierDeterministic(t *testing.T) {
+	a := newNet(6, 6, 6)
+	b := newNet(6, 6, 6)
+	for l := range a.Params {
+		if tensor.MaxAbsDiff(a.Params[l], b.Params[l]) != 0 {
+			t.Fatal("Xavier init nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGDStep(t *testing.T) {
+	s := NewSGD(0.5)
+	p := []float32{1, 2}
+	s.Step(0, p, []float32{2, -2})
+	if p[0] != 0 || p[1] != 3 {
+		t.Fatalf("p = %v", p)
+	}
+	if s.StateBytesPerParam() != 0 || s.Name() != "sgd" {
+		t.Fatal("SGD metadata wrong")
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	m := NewMomentum(1, 0.5, []int{1})
+	p := []float32{0}
+	m.Step(0, p, []float32{1}) // v=1, p=-1
+	m.Step(0, p, []float32{1}) // v=1.5, p=-2.5
+	if p[0] != -2.5 {
+		t.Fatalf("p = %v, want -2.5", p[0])
+	}
+	if m.StateBytesPerParam() != 4 {
+		t.Fatal("momentum state size")
+	}
+}
+
+func TestMomentumFasterThanSGDOnConstantGradient(t *testing.T) {
+	sgd := NewSGD(0.1)
+	mom := NewMomentum(0.1, 0.9, []int{1})
+	ps, pm := []float32{10}, []float32{10}
+	for i := 0; i < 20; i++ {
+		sgd.Step(0, ps, []float32{1})
+		mom.Step(0, pm, []float32{1})
+	}
+	if pm[0] >= ps[0] {
+		t.Fatalf("momentum %v not ahead of sgd %v", pm[0], ps[0])
+	}
+}
+
+func TestAdamBiasCorrection(t *testing.T) {
+	// First step with gradient g moves by ~lr regardless of g's scale
+	// (bias-corrected mHat/sqrt(vHat) = sign(g)).
+	for _, g := range []float32{0.001, 1, 1000} {
+		a := NewAdam(0.1, []int{1})
+		p := []float32{0}
+		a.Step(0, p, []float32{g})
+		if math.Abs(float64(p[0])+0.1) > 1e-3 {
+			t.Fatalf("g=%v: first Adam step %v, want ~-0.1", g, p[0])
+		}
+	}
+}
+
+func TestAdamStateSize(t *testing.T) {
+	a := NewAdam(0.001, []int{10})
+	if a.StateBytesPerParam() != 8 || a.Name() != "adam" {
+		t.Fatal("adam metadata wrong")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = x^2: gradient 2x.
+	a := NewAdam(0.1, []int{1})
+	p := []float32{5}
+	for i := 0; i < 300; i++ {
+		a.Step(0, p, []float32{2 * p[0]})
+	}
+	if math.Abs(float64(p[0])) > 0.05 {
+		t.Fatalf("Adam left x at %v", p[0])
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	mk := func() []float32 {
+		a := NewAdam(0.01, []int{4})
+		p := []float32{1, 2, 3, 4}
+		for i := 0; i < 10; i++ {
+			a.Step(0, p, []float32{0.1, -0.2, 0.3, -0.4})
+		}
+		return p
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("Adam nondeterministic")
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"sgd":          func() { NewSGD(0.1).Step(0, []float32{1}, []float32{1, 2}) },
+		"momentum len": func() { NewMomentum(0.1, 0.9, []int{2}).Step(0, []float32{1}, []float32{1}) },
+		"adam len":     func() { NewAdam(0.1, []int{2}).Step(0, []float32{1}, []float32{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,204 @@
+// Package paramserver implements the two centralized baselines the
+// paper compares against.
+//
+// CentralPS is the conventional parameter server on the host CPU
+// (Section II-B): every worker pushes gradients up through the host
+// bridge and pulls parameters back down, so the CPU's serial-bus lanes
+// — shared by all workers — are the structural bottleneck.
+//
+// DENSE is the paper's naive disaggregated design (Figure 5): the
+// parameter server runs on a single CCI memory device, workers keep
+// CCI-coherent parameter caches, and all traffic rides the CCI
+// load/store path whose line-rate bandwidth the prototype measured at
+// around 1 GB/s — further discounted by coherence traffic as more
+// workers share the parameter region (Section III-D). DENSE is the
+// normalization baseline of Figures 16 and 17.
+package paramserver
+
+import (
+	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/train"
+)
+
+// CentralPS is the host-CPU parameter server baseline.
+type CentralPS struct {
+	// UpdateBytesPerSec is the server-side aggregation rate (CPU memory
+	// bound).
+	UpdateBytesPerSec float64
+
+	ctx     *train.Ctx
+	arrived map[[2]int]int
+}
+
+// NewCentralPS returns the baseline with a memory-bound 30 GB/s
+// aggregation rate.
+func NewCentralPS() *CentralPS {
+	return &CentralPS{UpdateBytesPerSec: 30e9}
+}
+
+// Name implements train.Strategy.
+func (s *CentralPS) Name() string { return "CentralPS" }
+
+// WorkerStateBytes implements train.Strategy: workers keep parameters
+// and gradients; optimizer state lives on the server.
+func (s *CentralPS) WorkerStateBytes(m *model.Model) int64 { return 2 * m.ParamBytes() }
+
+// Setup implements train.Strategy.
+func (s *CentralPS) Setup(ctx *train.Ctx) error {
+	s.ctx = ctx
+	s.arrived = make(map[[2]int]int)
+	return nil
+}
+
+// GradientReady implements train.Strategy: push to the CPU; once every
+// worker's copy arrives the server updates and pushes back.
+func (s *CentralPS) GradientReady(it, w, layer int) {
+	ctx := s.ctx
+	size := ctx.Layers()[layer].SizeBytes()
+	cpu := ctx.Machine.CPUs[ctx.Workers[w].Dev.Node]
+	ctx.CCI.DMACopy(ctx.Workers[w].Dev, cpu, size, func() {
+		key := [2]int{it, layer}
+		s.arrived[key]++
+		if s.arrived[key] < ctx.NumWorkers() {
+			return
+		}
+		delete(s.arrived, key)
+		update := sim.Seconds(float64(size) / s.UpdateBytesPerSec)
+		ctx.Eng.Schedule(update, func() {
+			if ctx.Cfg.Numeric {
+				averageGrads(ctx, layer)
+			}
+			for dst := 0; dst < ctx.NumWorkers(); dst++ {
+				dst := dst
+				dstCPU := ctx.Machine.CPUs[ctx.Workers[dst].Dev.Node]
+				ctx.CCI.DMACopy(dstCPU, ctx.Workers[dst].Dev, size, func() {
+					ctx.MarkReady(it, dst, layer)
+				})
+			}
+		})
+	})
+}
+
+// pipe is a FIFO serial resource with a fixed byte rate: the CCI
+// load/store port of the DENSE device. All transfers through the port
+// queue behind each other, each paying a fixed per-request service time
+// (the on-device generalized processor handles every push/pull).
+type pipe struct {
+	ctx   *train.Ctx
+	rate  float64
+	perOp sim.Time
+	free  sim.Time
+}
+
+func (p *pipe) transfer(size int64, onDone func()) {
+	now := p.ctx.Eng.Now()
+	start := p.free
+	if now > start {
+		start = now
+	}
+	finish := start + p.perOp + sim.Seconds(float64(size)/p.rate)
+	p.free = finish
+	p.ctx.Eng.At(finish, onDone)
+}
+
+// DENSE is the naive single-device CCI parameter server.
+type DENSE struct {
+	// ProcessorBytesPerSec is the on-device generalized processor's
+	// aggregation rate; the paper's ARM cores are slow, which is what
+	// motivated the sync cores (Section IV-A).
+	ProcessorBytesPerSec float64
+	// RequestOverhead is the per-push/pull service time on the
+	// generalized processor; it dominates for models with many small
+	// tensors (ResNet's BN parameters).
+	RequestOverhead sim.Time
+
+	ctx     *train.Ctx
+	arrived map[[2]int]int
+	// The device's single CCI port, per direction. Coherence overhead
+	// scales with the number of workers sharing the region.
+	writePort *pipe
+	readPort  *pipe
+}
+
+// NewDENSE returns the baseline with an ARM-class 2 GB/s aggregation
+// rate and a 0.5 ms per-request service time.
+func NewDENSE() *DENSE {
+	return &DENSE{ProcessorBytesPerSec: 2e9, RequestOverhead: 500_000}
+}
+
+// Name implements train.Strategy.
+func (s *DENSE) Name() string { return "DENSE" }
+
+// WorkerStateBytes implements train.Strategy: the GPU keeps its CCI
+// parameter cache and gradients; global parameters and optimizer state
+// live on the memory device.
+func (s *DENSE) WorkerStateBytes(m *model.Model) int64 { return 2 * m.ParamBytes() }
+
+// Setup implements train.Strategy.
+func (s *DENSE) Setup(ctx *train.Ctx) error {
+	s.ctx = ctx
+	s.arrived = make(map[[2]int]int)
+	p := ctx.Cfg.CCIParams
+	sharers := ctx.NumWorkers()
+	s.writePort = &pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(true), sharers)}
+	s.readPort = &pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(false), sharers)}
+	return nil
+}
+
+// PortRate exposes a port's coherence-discounted byte rate; tests
+// validate it against the coherence protocol's measured overhead.
+func (s *DENSE) PortRate(write bool) float64 {
+	if write {
+		return s.writePort.rate
+	}
+	return s.readPort.rate
+}
+
+// GradientReady implements train.Strategy.
+func (s *DENSE) GradientReady(it, w, layer int) {
+	ctx := s.ctx
+	size := ctx.Layers()[layer].SizeBytes()
+	// Push: write into the CCI parameter region through the shared port.
+	s.writePort.transfer(size, func() {
+		key := [2]int{it, layer}
+		s.arrived[key]++
+		if s.arrived[key] < ctx.NumWorkers() {
+			return
+		}
+		delete(s.arrived, key)
+		update := sim.Seconds(float64(size) / s.ProcessorBytesPerSec)
+		ctx.Eng.Schedule(update, func() {
+			if ctx.Cfg.Numeric {
+				averageGrads(ctx, layer)
+			}
+			// Pull: each worker reads the updated parameters back
+			// through its coherent cache and the same shared port.
+			for dst := 0; dst < ctx.NumWorkers(); dst++ {
+				dst := dst
+				s.readPort.transfer(size, func() {
+					ctx.MarkReady(it, dst, layer)
+				})
+			}
+		})
+	})
+}
+
+// averageGrads replaces every worker's gradient for a layer with the
+// cross-worker mean — the server-side aggregation's numeric effect.
+func averageGrads(ctx *train.Ctx, layer int) {
+	n := ctx.NumWorkers()
+	inv := 1 / float32(n)
+	sum := ctx.Grads[0][layer].Data
+	for w := 1; w < n; w++ {
+		for i, v := range ctx.Grads[w][layer].Data {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] *= inv
+	}
+	for w := 1; w < n; w++ {
+		copy(ctx.Grads[w][layer].Data, sum)
+	}
+}

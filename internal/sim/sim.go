@@ -1,0 +1,241 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps virtual time as int64 nanoseconds and dispatches events
+// in (time, sequence) order, so two events scheduled for the same instant
+// fire in the order they were scheduled. Nothing in the engine consults the
+// wall clock or any other source of nondeterminism: running the same event
+// program twice yields the same trace, which the experiment harness relies
+// on to make figures reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is a distinct type so call sites cannot confuse virtual
+// timestamps with durations or wall-clock values.
+type Time int64
+
+// Infinity is a time later than any event the engine will ever dispatch.
+const Infinity Time = math.MaxInt64
+
+// Duration converts a standard library duration to virtual nanoseconds.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds converts a floating point number of seconds into virtual time,
+// rounding to the nearest nanosecond.
+func Seconds(s float64) Time { return Time(math.Round(s * 1e9)) }
+
+// ToSeconds converts a virtual time or duration to floating point seconds.
+func (t Time) ToSeconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time as a duration for human-readable traces.
+func (t Time) String() string {
+	if t == Infinity {
+		return "inf"
+	}
+	return time.Duration(t).String()
+}
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.Schedule and friends.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // position in the heap, -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether Cancel was called on the event before it fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Time returns the virtual instant the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// the whole simulation runs single-threaded for determinism.
+type Engine struct {
+	now        Time
+	seq        uint64
+	queue      eventQueue
+	dispatched uint64
+	running    bool
+}
+
+// NewEngine returns an engine with virtual time zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Dispatched returns the total number of events fired so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Schedule registers fn to run after delay. A negative delay panics:
+// scheduling into the past would silently reorder causality.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule with negative delay %d", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At registers fn to run at absolute virtual time t, which must not be in
+// the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event so it never fires. Cancelling an event
+// that already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving
+// its callback. If the event already fired it is re-armed.
+func (e *Engine) Reschedule(ev *Event, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", t, e.now))
+	}
+	fn := ev.fn
+	e.Cancel(ev)
+	ev.cancel = false
+	ev.at = t
+	e.seq++
+	ev.seq = e.seq
+	ev.fn = fn
+	heap.Push(&e.queue, ev)
+}
+
+// Step fires the earliest pending event and advances the clock to its
+// timestamp. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.dispatched++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains, then returns the final
+// virtual time.
+func (e *Engine) Run() Time {
+	e.running = true
+	for e.Step() {
+	}
+	e.running = false
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps at or before deadline, then
+// advances the clock exactly to deadline and returns it. Events scheduled
+// after deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.running = true
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	e.running = false
+	return e.now
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancel {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// Infinity when the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	ev := e.peek()
+	if ev == nil {
+		return Infinity
+	}
+	return ev.at
+}

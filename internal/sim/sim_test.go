@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("Run() = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v, want [10 15]", times)
+	}
+}
+
+func TestScheduleZeroDelayFiresAtNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(7, func() {
+		e.Schedule(0, func() {
+			fired = true
+			if e.Now() != 7 {
+				t.Errorf("zero-delay event at %v, want 7", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("zero-delay event never fired")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestAtInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling into the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil callback")
+		}
+	}()
+	NewEngine().Schedule(1, nil)
+}
+
+func TestCancelPreventsDispatch(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(10, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev)
+	e.Cancel(nil) // must not panic
+	e.Run()
+}
+
+func TestCancelDuringDispatch(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	e.Schedule(5, func() { e.Cancel(victim) })
+	victim = e.Schedule(10, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.Schedule(10, func() { at = e.Now() })
+	e.Reschedule(ev, 25)
+	e.Run()
+	if at != 25 {
+		t.Fatalf("rescheduled event fired at %v, want 25", at)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	now := e.RunUntil(12)
+	if now != 12 {
+		t.Fatalf("RunUntil = %v, want 12", now)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want exactly the events at 5 and 10", fired)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired = %v, want 4 events", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithNoEvents(t *testing.T) {
+	e := NewEngine()
+	if got := e.RunUntil(100); got != 100 {
+		t.Fatalf("RunUntil = %v, want 100", got)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(10)
+	if got := e.RunFor(5); got != 15 {
+		t.Fatalf("RunFor = %v, want 15", got)
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if e.NextEventTime() != Infinity {
+		t.Fatal("NextEventTime on empty queue should be Infinity")
+	}
+	ev := e.Schedule(42, func() {})
+	if e.NextEventTime() != 42 {
+		t.Fatalf("NextEventTime = %v, want 42", e.NextEventTime())
+	}
+	e.Cancel(ev)
+	if e.NextEventTime() != Infinity {
+		t.Fatal("NextEventTime should skip cancelled events")
+	}
+}
+
+func TestDispatchedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Dispatched() != 10 {
+		t.Fatalf("Dispatched = %d, want 10", e.Dispatched())
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 1e-9, 0.5, 1, 3.25, 1e3} {
+		if got := Seconds(s).ToSeconds(); got != s {
+			t.Fatalf("Seconds(%v).ToSeconds() = %v", s, got)
+		}
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(3*time.Millisecond) != 3_000_000 {
+		t.Fatal("Duration(3ms) != 3e6 ns")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if Infinity.String() != "inf" {
+		t.Fatalf("Infinity.String() = %q", Infinity.String())
+	}
+	if Time(1500).String() != "1.5µs" {
+		t.Fatalf("Time(1500).String() = %q", Time(1500).String())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the engine ends at the max delay.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		end := e.Run()
+		if len(delays) > 0 && end != max {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves exactly the complement
+// to fire.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint16, mask []bool) bool {
+		e := NewEngine()
+		fired := 0
+		var events []*Event
+		for _, d := range delays {
+			events = append(events, e.Schedule(Time(d), func() { fired++ }))
+		}
+		cancelled := 0
+		for i, ev := range events {
+			if i < len(mask) && mask[i] {
+				e.Cancel(ev)
+				cancelled++
+			}
+		}
+		e.Run()
+		return fired == len(delays)-cancelled
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,223 @@
+// Package tensor provides the parameter tensors that flow through the
+// synchronization paths: named float32 buffers, the equal-shard
+// partitioning scheme of paper Section III-E, and the arithmetic the
+// sync cores and optimizers apply to them.
+package tensor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// BytesPerElem is the storage size of one tensor element (float32).
+const BytesPerElem = 4
+
+// Tensor is a named, flat float32 parameter or gradient buffer. DL
+// frameworks carry shapes; for synchronization only the byte count and
+// the values matter, so tensors here are one-dimensional.
+type Tensor struct {
+	Name string
+	Data []float32
+}
+
+// New allocates a zero-filled tensor of n elements.
+func New(name string, n int) *Tensor {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: negative length %d", n))
+	}
+	return &Tensor{Name: name, Data: make([]float32, n)}
+}
+
+// FromData wraps an existing buffer without copying.
+func FromData(name string, data []float32) *Tensor {
+	return &Tensor{Name: name, Data: data}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// SizeBytes returns the payload size in bytes.
+func (t *Tensor) SizeBytes() int64 { return int64(len(t.Data)) * BytesPerElem }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.Data))
+	copy(d, t.Data)
+	return &Tensor{Name: t.Name, Data: d}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Fingerprint returns a content hash used by tests and the checkpoint
+// store to detect modification without comparing full payloads.
+func (t *Tensor) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, v := range t.Data {
+		bits := math.Float32bits(v)
+		b[0] = byte(bits)
+		b[1] = byte(bits >> 8)
+		b[2] = byte(bits >> 16)
+		b[3] = byte(bits >> 24)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Add accumulates src into t element-wise. Lengths must match.
+func (t *Tensor) Add(src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: add %q len %d into %q len %d",
+			src.Name, len(src.Data), t.Name, len(t.Data)))
+	}
+	AddSlice(t.Data, src.Data)
+}
+
+// Scale multiplies every element by f.
+func (t *Tensor) Scale(f float32) {
+	for i := range t.Data {
+		t.Data[i] *= f
+	}
+}
+
+// AXPY computes t += a*x, the SGD update step.
+func (t *Tensor) AXPY(a float32, x *Tensor) {
+	if len(x.Data) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: axpy %q len %d into %q len %d",
+			x.Name, len(x.Data), t.Name, len(t.Data)))
+	}
+	for i, v := range x.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// AddSlice accumulates src into dst element-wise; the primitive the sync
+// core ALUs execute.
+func AddSlice(dst, src []float32) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Shard is one piece of a partitioned tensor. Data aliases the parent
+// tensor's buffer on the push side; pulled shards own fresh buffers.
+type Shard struct {
+	Parent string // originating tensor name
+	Index  int    // shard ordinal within the partition
+	Total  int    // number of shards in the partition
+	Offset int    // element offset within the parent
+	Data   []float32
+}
+
+// Name returns a unique key for the shard within its parent's partition.
+func (s *Shard) Name() string {
+	if s.Total == 1 {
+		return s.Parent
+	}
+	return fmt.Sprintf("%s#%d/%d", s.Parent, s.Index, s.Total)
+}
+
+// SizeBytes returns the shard payload size.
+func (s *Shard) SizeBytes() int64 { return int64(len(s.Data)) * BytesPerElem }
+
+// Partition splits t into equal-sized shards of at least thresholdBytes
+// each (paper Section IV-B: "each shard's size is equal to or larger
+// than the threshold to maximize bandwidth utilization"). A tensor at or
+// below the threshold yields a single shard aliasing the whole tensor.
+func Partition(t *Tensor, thresholdBytes int64) []*Shard {
+	if thresholdBytes <= 0 {
+		panic(fmt.Sprintf("tensor: partition threshold %d", thresholdBytes))
+	}
+	size := t.SizeBytes()
+	k := 1
+	if size > thresholdBytes {
+		k = int(size / thresholdBytes) // floor: every shard stays >= threshold
+	}
+	if k > len(t.Data) {
+		k = len(t.Data)
+	}
+	if k < 1 {
+		k = 1
+	}
+	shards := make([]*Shard, 0, k)
+	n := len(t.Data)
+	base := n / k
+	extra := n % k
+	off := 0
+	for i := 0; i < k; i++ {
+		ln := base
+		if i < extra {
+			ln++
+		}
+		shards = append(shards, &Shard{
+			Parent: t.Name,
+			Index:  i,
+			Total:  k,
+			Offset: off,
+			Data:   t.Data[off : off+ln],
+		})
+		off += ln
+	}
+	return shards
+}
+
+// Reassemble writes a full set of shards back into dst, which must be
+// the partition's parent (same name and length).
+func Reassemble(dst *Tensor, shards []*Shard) {
+	if len(shards) == 0 {
+		panic("tensor: reassemble with no shards")
+	}
+	total := shards[0].Total
+	seen := make([]bool, total)
+	covered := 0
+	for _, s := range shards {
+		if s.Parent != dst.Name {
+			panic(fmt.Sprintf("tensor: shard of %q reassembled into %q", s.Parent, dst.Name))
+		}
+		if s.Total != total {
+			panic(fmt.Sprintf("tensor: shard %s disagrees on partition size", s.Name()))
+		}
+		if s.Index < 0 || s.Index >= total {
+			panic(fmt.Sprintf("tensor: shard index %d out of range", s.Index))
+		}
+		if seen[s.Index] {
+			panic(fmt.Sprintf("tensor: duplicate shard %s", s.Name()))
+		}
+		seen[s.Index] = true
+		if s.Offset+len(s.Data) > len(dst.Data) {
+			panic(fmt.Sprintf("tensor: shard %s overruns parent", s.Name()))
+		}
+		copy(dst.Data[s.Offset:], s.Data)
+		covered += len(s.Data)
+	}
+	for i, ok := range seen {
+		if !ok {
+			panic(fmt.Sprintf("tensor: missing shard %d of %q", i, dst.Name))
+		}
+	}
+	if covered != len(dst.Data) {
+		panic(fmt.Sprintf("tensor: shards cover %d of %d elements", covered, len(dst.Data)))
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference
+// between two equal-length tensors; test helper for numerical checks.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: length mismatch")
+	}
+	var max float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

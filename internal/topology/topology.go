@@ -1,0 +1,304 @@
+// Package topology models the hardware layout of the machines in the
+// paper's Table I: GPUs and CCI memory devices under PCIe switches, host
+// bridges, NVLink-free PCIe fabrics, a CCI ring between memory devices,
+// and (for multi-node runs) NICs behind a datacenter switch.
+//
+// A switch is modelled as two internal nodes: a peer-turnaround core and
+// an uplink core. Devices under the switch reach each other through the
+// peer core and reach the rest of the machine through the uplink core.
+// Giving the two cores different capacities is what reproduces the
+// paper's central Figure 8 observation: on the SDSC machine local
+// peer-to-peer bandwidth beats remote ("locality"), while on the AWS V100
+// machine the peer path through the switch chipset is the slower one
+// ("anti-locality", paper Section III-E and [31]).
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"coarse/internal/fabric"
+	"coarse/internal/sim"
+)
+
+// Kind classifies a device node in the topology graph.
+type Kind int
+
+// Device kinds. Ports, switch cores and host bridges are auxiliary nodes
+// that exist to shape bandwidth; GPUs, memory devices, CPUs and NICs are
+// addressable endpoints.
+const (
+	KindCPU Kind = iota
+	KindGPU
+	KindMemDev
+	KindPort
+	KindSwitchPeer
+	KindSwitchUp
+	KindHostBridge
+	KindNIC
+	KindNetSwitch
+)
+
+var kindNames = map[Kind]string{
+	KindCPU:        "cpu",
+	KindGPU:        "gpu",
+	KindMemDev:     "memdev",
+	KindPort:       "port",
+	KindSwitchPeer: "sw-peer",
+	KindSwitchUp:   "sw-up",
+	KindHostBridge: "hostbridge",
+	KindNIC:        "nic",
+	KindNetSwitch:  "netswitch",
+}
+
+// String returns the lower-case kind name.
+func (k Kind) String() string { return kindNames[k] }
+
+// Device is a node in the topology graph.
+type Device struct {
+	ID    int
+	Name  string
+	Kind  Kind
+	Node  int // server-node index, 0 for single-node machines
+	Index int // kind-local index within its server node
+}
+
+func (d *Device) String() string { return d.Name }
+
+type edge struct {
+	link *fabric.Link
+	peer *Device
+	fwd  bool // true when we are endpoint A of the link
+}
+
+// Topology is a device graph over a fabric network, with shortest-path
+// routing between endpoints.
+type Topology struct {
+	Eng *sim.Engine
+	Net *fabric.Network
+
+	devices  []*Device
+	adj      map[int][]edge
+	routes   map[[2]int][]*fabric.Channel
+	linkEnds map[*fabric.Link][2]*Device
+
+	// Convenience slices populated by presets, in index order.
+	GPUs    []*Device
+	MemDevs []*Device
+	CPUs    []*Device
+	NICs    []*Device
+
+	// P2PSupported reports whether GPUs on this machine can DMA directly
+	// to peer devices; when false, device-to-device copies must bounce
+	// through CPU memory (the paper's AWS T4 machine).
+	P2PSupported bool
+
+	// Label identifies the machine preset ("AWS T4", "SDSC P100", ...).
+	Label string
+}
+
+// New creates an empty topology bound to a fresh network on eng.
+func New(eng *sim.Engine) *Topology {
+	return &Topology{
+		Eng:          eng,
+		Net:          fabric.NewNetwork(eng),
+		adj:          make(map[int][]edge),
+		routes:       make(map[[2]int][]*fabric.Channel),
+		linkEnds:     make(map[*fabric.Link][2]*Device),
+		P2PSupported: true,
+	}
+}
+
+// AddDevice creates a device node of the given kind.
+func (t *Topology) AddDevice(kind Kind, node, index int) *Device {
+	d := &Device{
+		ID:    len(t.devices),
+		Name:  fmt.Sprintf("n%d/%s%d", node, kind, index),
+		Kind:  kind,
+		Node:  node,
+		Index: index,
+	}
+	t.devices = append(t.devices, d)
+	switch kind {
+	case KindGPU:
+		t.GPUs = append(t.GPUs, d)
+	case KindMemDev:
+		t.MemDevs = append(t.MemDevs, d)
+	case KindCPU:
+		t.CPUs = append(t.CPUs, d)
+	case KindNIC:
+		t.NICs = append(t.NICs, d)
+	}
+	return d
+}
+
+// Devices returns all devices in creation order.
+func (t *Topology) Devices() []*Device { return t.devices }
+
+// Connect joins two devices with a full-duplex link. fwdCap is the a→b
+// capacity in bytes/sec, revCap the b→a capacity.
+func (t *Topology) Connect(a, b *Device, fwdCap, revCap float64, latency sim.Time) *fabric.Link {
+	if a == b {
+		panic("topology: self link")
+	}
+	l := t.Net.NewLink(a.Name+"<->"+b.Name, fwdCap, revCap, latency)
+	t.adj[a.ID] = append(t.adj[a.ID], edge{link: l, peer: b, fwd: true})
+	t.adj[b.ID] = append(t.adj[b.ID], edge{link: l, peer: a, fwd: false})
+	t.linkEnds[l] = [2]*Device{a, b}
+	t.routes = map[[2]int][]*fabric.Channel{} // invalidate cache
+	return l
+}
+
+// Path returns the channels along a minimum-hop route from a to b.
+// Ties are broken toward lower device IDs, so routing is deterministic.
+// Path panics when no route exists: presets always build connected graphs,
+// so a missing route is a bug, not a condition to handle.
+func (t *Topology) Path(a, b *Device) []*fabric.Channel {
+	key := [2]int{a.ID, b.ID}
+	if p, ok := t.routes[key]; ok {
+		return p
+	}
+	if a == b {
+		panic("topology: path to self")
+	}
+	// BFS from a. Only infrastructure nodes may carry transit traffic:
+	// endpoints (GPUs, memory devices, CPUs, NICs) terminate flows, they
+	// do not forward them — without this rule the router would "shortcut"
+	// GPU traffic through a memory device's CCI ring port.
+	prev := make(map[int]edge)
+	visited := map[int]bool{a.ID: true}
+	frontier := []*Device{a}
+	found := false
+	for len(frontier) > 0 && !found {
+		var next []*Device
+		for _, d := range frontier {
+			if d != a && !transitKind(d.Kind) {
+				continue
+			}
+			edges := append([]edge(nil), t.adj[d.ID]...)
+			sort.Slice(edges, func(i, j int) bool { return edges[i].peer.ID < edges[j].peer.ID })
+			for _, e := range edges {
+				if visited[e.peer.ID] {
+					continue
+				}
+				visited[e.peer.ID] = true
+				prev[e.peer.ID] = edge{link: e.link, peer: d, fwd: e.fwd}
+				if e.peer == b {
+					found = true
+				}
+				next = append(next, e.peer)
+			}
+		}
+		frontier = next
+	}
+	if !found {
+		panic(fmt.Sprintf("topology: no route %s -> %s", a, b))
+	}
+	// Walk back from b.
+	var rev []*fabric.Channel
+	cur := b
+	for cur != a {
+		e := prev[cur.ID]
+		if e.fwd {
+			rev = append(rev, e.link.Fwd())
+		} else {
+			rev = append(rev, e.link.Rev())
+		}
+		cur = e.peer
+	}
+	path := make([]*fabric.Channel, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	t.routes[key] = path
+	return path
+}
+
+// Transfer starts a flow of size bytes from a to b.
+func (t *Topology) Transfer(a, b *Device, size int64, onDone func()) *fabric.Flow {
+	return t.Net.Transfer(t.Path(a, b), size, onDone)
+}
+
+// PathBandwidth returns the zero-load bandwidth of the a→b route: the
+// minimum channel capacity along the path.
+func (t *Topology) PathBandwidth(a, b *Device) float64 {
+	bw := -1.0
+	for _, c := range t.Path(a, b) {
+		if bw < 0 || c.Capacity() < bw {
+			bw = c.Capacity()
+		}
+	}
+	return bw
+}
+
+// PathLatency returns the propagation latency of the a→b route.
+func (t *Topology) PathLatency(a, b *Device) sim.Time {
+	return fabric.PathLatency(t.Path(a, b))
+}
+
+// SameSwitch reports whether two endpoint devices sit under the same PCIe
+// switch (their ports share a peer core). Presets arrange one worker GPU
+// and one memory device per switch, so this drives "local proxy" checks.
+func (t *Topology) SameSwitch(a, b *Device) bool {
+	pa, pb := t.switchOf(a), t.switchOf(b)
+	return pa >= 0 && pa == pb
+}
+
+// SetLinkCapacity changes a link's capacities and invalidates cached
+// routes' bandwidth assumptions (paths themselves are hop-based and
+// stay valid).
+func (t *Topology) SetLinkCapacity(l *fabric.Link, fwdCap, revCap float64) {
+	t.Net.SetLinkCapacity(l, fwdCap, revCap)
+}
+
+// LinksBetween returns the links whose endpoints have the two kinds (in
+// either order), in creation order.
+func (t *Topology) LinksBetween(a, b Kind) []*fabric.Link {
+	var out []*fabric.Link
+	for _, l := range t.Net.Links() {
+		ends, ok := t.linkEnds[l]
+		if !ok {
+			continue
+		}
+		if (ends[0].Kind == a && ends[1].Kind == b) || (ends[0].Kind == b && ends[1].Kind == a) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MeanUtilization returns the average fraction of capacity used across
+// both directions of the given links over [0, now].
+func MeanUtilization(links []*fabric.Link, now sim.Time) float64 {
+	if len(links) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, l := range links {
+		total += (l.Fwd().Utilization(now) + l.Rev().Utilization(now)) / 2
+	}
+	return total / float64(len(links))
+}
+
+func transitKind(k Kind) bool {
+	switch k {
+	case KindPort, KindSwitchPeer, KindSwitchUp, KindHostBridge, KindNIC, KindNetSwitch:
+		return true
+	}
+	return false
+}
+
+func (t *Topology) switchOf(d *Device) int {
+	// endpoint -> port -> {sw-peer, sw-up}: find the peer core id.
+	for _, e1 := range t.adj[d.ID] {
+		if e1.peer.Kind != KindPort {
+			continue
+		}
+		for _, e2 := range t.adj[e1.peer.ID] {
+			if e2.peer.Kind == KindSwitchPeer {
+				return e2.peer.ID
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,151 @@
+// Package trace records simulation timelines and writes them in the
+// Chrome trace-event format (chrome://tracing, Perfetto). The trainer
+// emits per-worker forward/backward/stall spans and strategies can add
+// synchronization spans, so a run's overlap behaviour — what Figure 9
+// and Figure 17 aggregate — can be inspected span by span.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"coarse/internal/sim"
+)
+
+// Event is one trace span or instant.
+type Event struct {
+	Name  string   // span label ("fwd enc03", "sync shard 4/2")
+	Cat   string   // category ("compute", "comm", "stall", "sync")
+	Track string   // timeline row ("worker 0", "proxy 2")
+	Start sim.Time // span begin
+	Dur   sim.Time // span length; zero means an instant event
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records
+// nothing, so call sites don't need enablement checks.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Span records a duration event. No-op on a nil recorder.
+func (r *Recorder) Span(track, cat, name string, start, end sim.Time) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		panic(fmt.Sprintf("trace: span %q ends (%v) before it starts (%v)", name, end, start))
+	}
+	r.events = append(r.events, Event{Name: name, Cat: cat, Track: track, Start: start, Dur: end - start})
+}
+
+// Instant records a point event. No-op on a nil recorder.
+func (r *Recorder) Instant(track, cat, name string, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Name: name, Cat: cat, Track: track, Start: at})
+}
+
+// Len returns the number of recorded events; zero for a nil recorder.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the recorded events in (start, track, name) order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalByCat sums span durations per category — a quick aggregate the
+// tests use to cross-check the trainer's own accounting.
+func (r *Recorder) TotalByCat(track string) map[string]sim.Time {
+	totals := make(map[string]sim.Time)
+	if r == nil {
+		return totals
+	}
+	for _, e := range r.events {
+		if track == "" || e.Track == track {
+			totals[e.Cat] += e.Dur
+		}
+	}
+	return totals
+}
+
+// chromeEvent is the trace-event JSON schema (ph "X" = complete event,
+// "i" = instant; timestamps in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChrome serializes the trace as a Chrome trace-event JSON array.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	events := r.Events()
+	// Stable track -> tid mapping, in first-appearance order.
+	tids := map[string]int{}
+	var order []string
+	for _, e := range events {
+		if _, ok := tids[e.Track]; !ok {
+			tids[e.Track] = len(tids)
+			order = append(order, e.Track)
+		}
+	}
+	var out []any
+	for _, track := range order {
+		out = append(out, chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, Pid: 1, Tid: tids[e.Track],
+			Ts: float64(e.Start) / 1e3, // ns -> us
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

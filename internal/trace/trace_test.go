@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Span("w0", "compute", "fwd", 0, 10) // must not panic
+	r.Instant("w0", "mark", "x", 5)
+	if r.Len() != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+	if r.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+	if len(r.TotalByCat("")) != 0 {
+		t.Fatal("nil recorder returned totals")
+	}
+}
+
+func TestSpanOrdering(t *testing.T) {
+	r := New()
+	r.Span("b", "c", "late", 20, 30)
+	r.Span("a", "c", "early", 0, 10)
+	r.Span("a", "c", "mid", 10, 15)
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	if ev[0].Name != "early" || ev[1].Name != "mid" || ev[2].Name != "late" {
+		t.Fatalf("order wrong: %v", ev)
+	}
+}
+
+func TestBackwardsSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Span("w", "c", "x", 10, 5)
+}
+
+func TestTotalByCat(t *testing.T) {
+	r := New()
+	r.Span("w0", "compute", "a", 0, 10)
+	r.Span("w0", "compute", "b", 10, 25)
+	r.Span("w0", "stall", "c", 25, 30)
+	r.Span("w1", "compute", "d", 0, 100)
+	t0 := r.TotalByCat("w0")
+	if t0["compute"] != 25 || t0["stall"] != 5 {
+		t.Fatalf("w0 totals = %v", t0)
+	}
+	all := r.TotalByCat("")
+	if all["compute"] != 125 {
+		t.Fatalf("all compute = %v", all["compute"])
+	}
+}
+
+func TestWriteChromeFormat(t *testing.T) {
+	r := New()
+	r.Span("worker 0", "compute", "fwd fc1", 1000, 3000)
+	r.Instant("worker 0", "mark", "iter done", 3000)
+	r.Span("proxy 1", "sync", "shard", 2000, 4000)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// 2 thread-name metadata + 3 events.
+	if len(events) != 5 {
+		t.Fatalf("got %d entries, want 5", len(events))
+	}
+	var phX, phI, phM int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			phX++
+			if e["dur"].(float64) <= 0 {
+				t.Fatal("complete event without duration")
+			}
+		case "i":
+			phI++
+		case "M":
+			phM++
+		}
+	}
+	if phX != 2 || phI != 1 || phM != 2 {
+		t.Fatalf("event mix X=%d i=%d M=%d", phX, phI, phM)
+	}
+	if !strings.Contains(buf.String(), "worker 0") {
+		t.Fatal("track name missing")
+	}
+}
+
+func TestChromeTimestampsInMicroseconds(t *testing.T) {
+	r := New()
+	r.Span("w", "c", "x", 2_000_000, 5_000_000) // 2ms..5ms
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	json.Unmarshal(buf.Bytes(), &events)
+	for _, e := range events {
+		if e["ph"] == "X" {
+			if e["ts"].(float64) != 2000 || e["dur"].(float64) != 3000 {
+				t.Fatalf("ts/dur = %v/%v, want 2000/3000 us", e["ts"], e["dur"])
+			}
+		}
+	}
+}

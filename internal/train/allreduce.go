@@ -1,0 +1,175 @@
+package train
+
+import (
+	"coarse/internal/collective"
+	"coarse/internal/model"
+)
+
+// AllReduce is the decentralized baseline (paper Section II-B): an
+// NCCL-style ring allreduce among the worker GPUs, with gradients fused
+// into fixed-size buckets the way DL frameworks batch small tensors.
+// Its performance is bounded by the lowest device-to-device bandwidth
+// on the ring — the weakness the paper quotes ("as low as 34%
+// utilization on NVIDIA DGX-1").
+type AllReduce struct {
+	// BucketBytes is the gradient-fusion threshold; a bucket launches
+	// when it exceeds this size or the backward pass ends.
+	BucketBytes int64
+	// Hierarchical switches multi-node machines to a two-level
+	// collective (intra-node rings + a cross-node leader ring) instead
+	// of one flat ring crossing the datacenter network every round. An
+	// extension beyond the paper's flat-ring baseline.
+	Hierarchical bool
+
+	ctx       *Ctx
+	ring      *collective.Ring
+	hierarchy *collective.Hierarchy
+	iter      map[int]*arIterState
+}
+
+type arIterState struct {
+	arrived []int // per layer, how many workers produced the gradient
+	bucket  []int // layers accumulated into the pending bucket
+	bytes   int64
+	closed  bool // backward finished on all workers for all layers
+	pending int  // layers not yet fully arrived
+}
+
+// NewAllReduce returns the baseline with the framework-typical 25 MB
+// fusion bucket.
+func NewAllReduce() *AllReduce {
+	return &AllReduce{BucketBytes: 25 << 20}
+}
+
+// Name implements Strategy.
+func (a *AllReduce) Name() string { return "AllReduce" }
+
+// WorkerStateBytes implements Strategy: parameters, gradients, both
+// Adam moments and the fusion buffer all live on the GPU — the memory
+// pressure that caps the batch size in Figure 16e.
+func (a *AllReduce) WorkerStateBytes(m *model.Model) int64 {
+	return 4*m.ParamBytes() + a.BucketBytes
+}
+
+// Setup implements Strategy: build the ring over worker GPUs.
+func (a *AllReduce) Setup(ctx *Ctx) error {
+	a.ctx = ctx
+	a.iter = make(map[int]*arIterState)
+	n := ctx.NumWorkers()
+	send := func(i int, reverse bool, size int64, onDone func()) {
+		if n == 1 {
+			ctx.Eng.Schedule(0, onDone)
+			return
+		}
+		j := (i + 1) % n
+		if reverse {
+			j = (i - 1 + n) % n
+		}
+		// Ring hops go through the CCI fabric so machines without
+		// peer-to-peer support (the T4 instance) pay the host bounce.
+		ctx.CCI.DMACopy(ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, onDone)
+	}
+	a.ring = collective.NewRing(ctx.Eng, n, send)
+
+	if a.Hierarchical {
+		nodes := map[int][]int{}
+		maxNode := 0
+		for i, g := range ctx.Workers {
+			nodes[g.Dev.Node] = append(nodes[g.Dev.Node], i)
+			if g.Dev.Node > maxNode {
+				maxNode = g.Dev.Node
+			}
+		}
+		groups := make([][]int, 0, maxNode+1)
+		for node := 0; node <= maxNode; node++ {
+			if len(nodes[node]) > 0 {
+				groups = append(groups, nodes[node])
+			}
+		}
+		pairSend := func(from, to int, size int64, onDone func()) {
+			ctx.CCI.DMACopy(ctx.Workers[from].Dev, ctx.Workers[to].Dev, size, onDone)
+		}
+		a.hierarchy = collective.NewHierarchy(ctx.Eng, groups, pairSend)
+	}
+	return nil
+}
+
+func (a *AllReduce) state(it int) *arIterState {
+	st, ok := a.iter[it]
+	if !ok {
+		st = &arIterState{
+			arrived: make([]int, len(a.ctx.Layers())),
+			pending: len(a.ctx.Layers()),
+		}
+		a.iter[it] = st
+	}
+	return st
+}
+
+// GradientReady implements Strategy. When every worker has produced a
+// layer's gradient it joins the current fusion bucket; full buckets (or
+// the final partial one) are allreduced over the ring.
+func (a *AllReduce) GradientReady(it, w, layer int) {
+	st := a.state(it)
+	st.arrived[layer]++
+	if st.arrived[layer] < a.ctx.NumWorkers() {
+		return
+	}
+	st.pending--
+	st.bucket = append(st.bucket, layer)
+	st.bytes += a.ctx.Layers()[layer].SizeBytes()
+	if st.bytes >= a.BucketBytes || st.pending == 0 {
+		a.flush(it, st)
+	}
+	if st.pending == 0 {
+		st.closed = true
+		delete(a.iter, it)
+	}
+}
+
+func (a *AllReduce) flush(it int, st *arIterState) {
+	if len(st.bucket) == 0 {
+		return
+	}
+	layers := st.bucket
+	bytes := st.bytes
+	st.bucket = nil
+	st.bytes = 0
+	done := func() {
+		if a.ctx.Cfg.Numeric {
+			a.averageGrads(layers)
+		}
+		for _, l := range layers {
+			for w := 0; w < a.ctx.NumWorkers(); w++ {
+				a.ctx.MarkReady(it, w, l)
+			}
+		}
+	}
+	if a.hierarchy != nil {
+		a.hierarchy.AllReduceBytes(bytes, done)
+		return
+	}
+	a.ring.AllReduceBytes(bytes, false, done)
+}
+
+// averageGrads replaces every worker's gradient with the cross-worker
+// mean for the given layers — the numerically exact equivalent of the
+// byte-level ring the timing path simulated.
+func (a *AllReduce) averageGrads(layers []int) {
+	n := a.ctx.NumWorkers()
+	inv := 1 / float32(n)
+	for _, l := range layers {
+		sum := a.ctx.Grads[0][l].Data
+		for w := 1; w < n; w++ {
+			for i, v := range a.ctx.Grads[w][l].Data {
+				sum[i] += v
+			}
+		}
+		for i := range sum {
+			sum[i] *= inv
+		}
+		for w := 1; w < n; w++ {
+			copy(a.ctx.Grads[w][l].Data, sum)
+		}
+	}
+}

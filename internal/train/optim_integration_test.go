@@ -1,0 +1,102 @@
+package train
+
+import (
+	"testing"
+
+	"coarse/internal/model"
+	"coarse/internal/optim"
+	"coarse/internal/tensor"
+	"coarse/internal/topology"
+)
+
+func runNumericWith(t *testing.T, strat Strategy, newOpt func([]int) optim.Optimizer) [][]*tensor.Tensor {
+	t.Helper()
+	cfg := DefaultConfig(topology.SDSCP100(), model.MLP("opt", 16, 8, 4), 2, 4)
+	cfg.Numeric = true
+	cfg.NewOptimizer = newOpt
+	tr, err := New(cfg, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Ctx().Params
+}
+
+func TestAdamEquivalenceAcrossStrategies(t *testing.T) {
+	adam := func(sizes []int) optim.Optimizer { return optim.NewAdam(0.01, sizes) }
+	ar := runNumericWith(t, NewAllReduce(), adam)
+	ar2 := runNumericWith(t, NewAllReduce(), adam)
+	// Determinism first.
+	for l := range ar[0] {
+		if tensor.MaxAbsDiff(ar[0][l], ar2[0][l]) != 0 {
+			t.Fatal("Adam training nondeterministic")
+		}
+	}
+	// Replicas identical under a stateful optimizer.
+	for l := range ar[0] {
+		for w := 1; w < len(ar); w++ {
+			if tensor.MaxAbsDiff(ar[0][l], ar[w][l]) != 0 {
+				t.Fatalf("Adam replicas diverged at layer %d", l)
+			}
+		}
+	}
+}
+
+func TestDifferentOptimizersDiverge(t *testing.T) {
+	sgd := runNumericWith(t, NewAllReduce(), nil)
+	adam := runNumericWith(t, NewAllReduce(), func(sizes []int) optim.Optimizer {
+		return optim.NewAdam(0.01, sizes)
+	})
+	same := true
+	for l := range sgd[0] {
+		if tensor.MaxAbsDiff(sgd[0][l], adam[0][l]) != 0 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("SGD and Adam produced identical parameters — optimizer not applied")
+	}
+}
+
+func TestPreviewUpdateSGDExact(t *testing.T) {
+	cfg := DefaultConfig(topology.SDSCP100(), model.MLP("p", 4, 2), 2, 1)
+	cfg.Numeric = true
+	tr, err := New(cfg, NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := tr.Ctx()
+	ctx.Params[0][0].Fill(1)
+	ctx.Grads[0][0].Fill(2)
+	got := ctx.PreviewUpdate(0, 0)
+	want := 1 - cfg.LR*2
+	for _, v := range got {
+		if v != want {
+			t.Fatalf("preview = %v, want %v", v, want)
+		}
+	}
+	// The preview must not mutate the live parameters.
+	if ctx.Params[0][0].Data[0] != 1 {
+		t.Fatal("preview mutated params")
+	}
+}
+
+func TestPreviewUpdateStatefulReturnsPreUpdate(t *testing.T) {
+	cfg := DefaultConfig(topology.SDSCP100(), model.MLP("p", 4, 2), 2, 1)
+	cfg.Numeric = true
+	cfg.NewOptimizer = func(sizes []int) optim.Optimizer { return optim.NewAdam(0.01, sizes) }
+	tr, err := New(cfg, NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := tr.Ctx()
+	ctx.Params[0][0].Fill(3)
+	ctx.Grads[0][0].Fill(5)
+	for _, v := range ctx.PreviewUpdate(0, 0) {
+		if v != 3 {
+			t.Fatalf("stateful preview = %v, want pre-update 3", v)
+		}
+	}
+}

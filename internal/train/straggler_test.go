@@ -1,0 +1,92 @@
+package train
+
+import (
+	"fmt"
+	"testing"
+
+	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+	"coarse/internal/trace"
+)
+
+func TestComputeJitterSlowsIteration(t *testing.T) {
+	run := func(jitter float64) *Result {
+		cfg := DefaultConfig(topology.AWSV100(), model.ResNet50(), 16, 3)
+		cfg.ComputeJitter = jitter
+		res, err := Run(cfg, NewAllReduce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(0)
+	skewed := run(0.3)
+	// The iteration is paced by the slowest worker: ~30% slower.
+	ratio := skewed.IterTime.ToSeconds() / base.IterTime.ToSeconds()
+	if ratio < 1.2 || ratio > 1.45 {
+		t.Fatalf("30%% jitter changed iteration time by %.2fx, want ~1.3x", ratio)
+	}
+}
+
+func TestComputeJitterBlocksFastWorkers(t *testing.T) {
+	// With a synchronous strategy, the fast workers' stall grows with
+	// jitter — the Section II-B straggler effect.
+	cfg := DefaultConfig(topology.AWSV100(), model.ResNet50(), 16, 3)
+	cfg.ComputeJitter = 0.3
+	res, err := Run(cfg, NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg0 := DefaultConfig(topology.AWSV100(), model.ResNet50(), 16, 3)
+	res0, err := Run(cfg0, NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockedComm <= res0.BlockedComm {
+		t.Fatalf("jitter blocked %v not above uniform %v", res.BlockedComm, res0.BlockedComm)
+	}
+}
+
+func TestTraceAccountsComputeAndStalls(t *testing.T) {
+	cfg := DefaultConfig(topology.SDSCP100(), model.ResNet50(), 8, 2)
+	rec := trace.New()
+	cfg.Trace = rec
+	res, err := Run(cfg, NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	totals := rec.TotalByCat("worker 0")
+	// Compute spans must sum to iterations x roofline compute.
+	wantCompute := res.ComputeTime * 2
+	if totals["compute"] != wantCompute {
+		t.Fatalf("traced compute %v != %v", totals["compute"], wantCompute)
+	}
+	// Stall spans must sum to the trainer's blocked accounting.
+	var blockedAll sim.Time
+	for w := 0; w < res.Workers; w++ {
+		blockedAll += rec.TotalByCat(fmt.Sprintf("worker %d", w))["stall"]
+	}
+	wantBlocked := res.BlockedComm * sim.Time(res.Workers) * 2 // per-worker per-iter mean
+	diff := blockedAll - wantBlocked
+	if diff < 0 {
+		diff = -diff
+	}
+	// Integer division in the mean loses at most a few ns per worker.
+	if diff > sim.Time(res.Workers*4) {
+		t.Fatalf("traced stalls %v != blocked accounting %v", blockedAll, wantBlocked)
+	}
+}
+
+func TestComputeJitterSingleWorkerNoop(t *testing.T) {
+	spec := topology.SDSCP100()
+	spec.Slots = []string{"WM", "M-"}
+	cfg := DefaultConfig(spec, model.MLP("t", 16, 8), 2, 2)
+	cfg.ComputeJitter = 0.5
+	if _, err := Run(cfg, NewAllReduce()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,507 @@
+// Package train implements the data-parallel training engine: the
+// iteration loop, the overlap of backward-pass gradient production with
+// parameter synchronization, and the measurements the paper's Figures 16
+// and 17 report (iteration time and blocked communication time).
+//
+// The trainer drives one schedule per worker GPU. An iteration's forward
+// pass consumes layers in order, and each layer's forward is gated on a
+// latch that the synchronization strategy opens once that layer's
+// parameters are up to date. Backward runs in reverse layer order,
+// handing every produced gradient to the strategy at its production
+// time — the paper's premise that deep layers' gradients appear early
+// and shallow layers' gradients appear last yet are needed first by the
+// next forward pass (Section III-F).
+//
+// Blocked communication time is measured exactly as the stall the
+// forward pass experiences waiting on latches; compute time is what the
+// GPU roofline charges. A strategy that overlaps all synchronization
+// under compute reports zero blocked time.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coarse/internal/cci"
+	"coarse/internal/gpu"
+	"coarse/internal/memdev"
+	"coarse/internal/model"
+	"coarse/internal/optim"
+	"coarse/internal/sim"
+	"coarse/internal/tensor"
+	"coarse/internal/topology"
+	"coarse/internal/trace"
+)
+
+// Latch is a one-shot condition variable on the simulation engine.
+type Latch struct {
+	open    bool
+	waiters []func()
+}
+
+// Wait runs fn once the latch opens (immediately when already open).
+func (l *Latch) Wait(fn func()) {
+	if l.open {
+		fn()
+		return
+	}
+	l.waiters = append(l.waiters, fn)
+}
+
+// Open releases the latch, running all waiters. Idempotent.
+func (l *Latch) Open() {
+	if l.open {
+		return
+	}
+	l.open = true
+	ws := l.waiters
+	l.waiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// IsOpen reports whether the latch has been opened.
+func (l *Latch) IsOpen() bool { return l.open }
+
+// Config describes one training run.
+type Config struct {
+	Spec       topology.Spec
+	Model      *model.Model
+	Batch      int
+	Iterations int
+	CCIParams  cci.Params
+	MemDev     memdev.Config
+	// FrameworkActOverhead multiplies activation memory to account for
+	// framework allocator slack and non-persistent workspaces; TF2-era
+	// training uses roughly 2x the analytic activation volume.
+	FrameworkActOverhead float64
+	// Numeric materializes real parameter and gradient buffers so
+	// strategies perform actual float arithmetic; leave false for the
+	// big-model timing runs.
+	Numeric bool
+	// NewOptimizer builds each worker's optimizer in numeric mode; nil
+	// means plain SGD at LR. Stateful optimizers (momentum, Adam) keep
+	// per-replica state, which stays identical across replicas because
+	// every replica applies the same averaged gradients.
+	NewOptimizer func(layerSizes []int) optim.Optimizer
+	// ComputeJitter spreads per-worker compute speed: worker w runs
+	// (1 + ComputeJitter*w/(W-1))x slower than worker 0. It models the
+	// stragglers that make synchronous communication block fast workers
+	// (paper Section II-B); zero disables it.
+	ComputeJitter float64
+	// Trace, when non-nil, records per-worker forward/backward/stall
+	// spans for chrome://tracing inspection.
+	Trace *trace.Recorder
+	// OnStart, when non-nil, runs after strategy setup and before the
+	// first iteration; tests and experiments use it to schedule runtime
+	// perturbations (link degradation, etc.) on the engine.
+	OnStart func(*Ctx)
+	// LR is the SGD learning rate used in numeric mode.
+	LR   float32
+	Seed int64
+}
+
+// DefaultConfig fills in the standard evaluation constants.
+func DefaultConfig(spec topology.Spec, m *model.Model, batch, iterations int) Config {
+	return Config{
+		Spec:                 spec,
+		Model:                m,
+		Batch:                batch,
+		Iterations:           iterations,
+		CCIParams:            cci.DefaultParams(),
+		MemDev:               memdev.DefaultConfig(),
+		FrameworkActOverhead: 2.0,
+		LR:                   0.1,
+		Seed:                 1,
+	}
+}
+
+// Ctx is the environment a strategy operates in.
+type Ctx struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Machine *topology.Machine
+	CCI     *cci.Fabric
+	Workers []*gpu.GPU
+
+	// Params and Grads are per-worker per-layer tensors; nil unless
+	// Cfg.Numeric. Strategies must leave every worker's gradient buffer
+	// holding the cross-worker average before marking the layer ready.
+	Params [][]*tensor.Tensor
+	Grads  [][]*tensor.Tensor
+
+	trainer *Trainer
+}
+
+// NumWorkers returns the worker count.
+func (c *Ctx) NumWorkers() int { return len(c.Workers) }
+
+// Layers returns the model's layer list.
+func (c *Ctx) Layers() []model.Layer { return c.Cfg.Model.Layers }
+
+// MarkReady signals that worker w's parameters for layer are up to date
+// with iteration it's gradients; it opens the latch gating that layer's
+// forward pass in iteration it+1.
+func (c *Ctx) MarkReady(it, w, layer int) {
+	c.trainer.markReady(it, w, layer)
+}
+
+// Strategy synchronizes gradients across workers.
+type Strategy interface {
+	// Name labels the strategy in reports ("COARSE", "AllReduce", ...).
+	Name() string
+	// WorkerStateBytes is the persistent per-GPU training state beyond
+	// activations: parameters, gradients, optimizer state kept on-GPU,
+	// fusion buffers. It decides batch-size feasibility (Figure 16e).
+	WorkerStateBytes(m *model.Model) int64
+	// Setup runs once before training with an idle engine; strategies
+	// run offline profiling here.
+	Setup(ctx *Ctx) error
+	// GradientReady is invoked at the virtual time worker w finishes
+	// layer's backward in iteration it. The strategy must eventually
+	// call ctx.MarkReady(it, w, layer) for every worker.
+	GradientReady(it, w, layer int)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Strategy   string
+	Machine    string
+	Model      string
+	Batch      int
+	Workers    int
+	Iterations int
+
+	TotalTime sim.Time
+	// IterTime is the steady-state iteration time: mean over iterations
+	// after the first.
+	IterTime sim.Time
+	// ComputeTime is the pure roofline fwd+bwd time per iteration.
+	ComputeTime sim.Time
+	// BlockedComm is the mean per-iteration, per-worker stall waiting on
+	// parameter synchronization — the Figure 17 metric.
+	BlockedComm sim.Time
+	// GPUUtil is ComputeTime / IterTime.
+	GPUUtil float64
+	// EdgeBusUtil is the mean utilization of the worker GPUs' serial-bus
+	// edge links over the run — the "interconnection bandwidth
+	// utilization" the paper's abstract claims COARSE improves.
+	EdgeBusUtil float64
+	// CCIBusUtil is the mean utilization of the memory devices' CCI ring
+	// links.
+	CCIBusUtil float64
+}
+
+// Throughput returns samples/sec across all workers.
+func (r Result) Throughput() float64 {
+	if r.IterTime <= 0 {
+		return 0
+	}
+	return float64(r.Batch*r.Workers) / r.IterTime.ToSeconds()
+}
+
+// Trainer runs one configuration with one strategy.
+type Trainer struct {
+	cfg   Config
+	strat Strategy
+	ctx   *Ctx
+
+	latches    map[latchKey]*Latch
+	blocked    []sim.Time // per worker, total forward stall
+	iterEnd    []sim.Time // completion time per iteration (max over workers)
+	workerDone []int      // iterations completed per worker
+	gradFn     func(it, w, layer int, grad *tensor.Tensor)
+	optimizers []optim.Optimizer // per worker, numeric mode only
+}
+
+type latchKey struct{ it, w, layer int }
+
+// New builds a trainer, its machine and its strategy context. It fails
+// when the model replica does not fit worker GPU memory — the OOM that
+// forces AllReduce down to batch 2 in Figure 16e.
+func New(cfg Config, strat Strategy) (*Trainer, error) {
+	if cfg.Iterations < 1 || cfg.Batch < 1 {
+		return nil, fmt.Errorf("train: iterations %d, batch %d", cfg.Iterations, cfg.Batch)
+	}
+	if cfg.FrameworkActOverhead <= 0 {
+		cfg.FrameworkActOverhead = 2.0
+	}
+	eng := sim.NewEngine()
+	machine := topology.Build(eng, cfg.Spec)
+	fabric := cci.NewFabric(machine.Topology, cfg.CCIParams)
+
+	ctx := &Ctx{Cfg: cfg, Eng: eng, Machine: machine, CCI: fabric}
+	for i, w := range machine.Workers {
+		g := gpu.New(w, cfg.Spec.GPU)
+		if cfg.ComputeJitter > 0 && len(machine.Workers) > 1 {
+			slowdown := 1 + cfg.ComputeJitter*float64(i)/float64(len(machine.Workers)-1)
+			g.Efficiency /= slowdown
+		}
+		ctx.Workers = append(ctx.Workers, g)
+	}
+	// Memory feasibility: persistent strategy state + activations.
+	state := strat.WorkerStateBytes(cfg.Model)
+	acts := int64(float64(cfg.Model.ActBytes()*int64(cfg.Batch)) * cfg.FrameworkActOverhead)
+	for _, g := range ctx.Workers {
+		if err := g.Alloc(state + acts); err != nil {
+			return nil, fmt.Errorf("%s replica (batch %d) does not fit: %w", cfg.Model.Name, cfg.Batch, err)
+		}
+	}
+	if cfg.Numeric {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		init := make([][]float32, len(cfg.Model.Layers))
+		for l, layer := range cfg.Model.Layers {
+			init[l] = make([]float32, layer.ParamElems)
+			for i := range init[l] {
+				init[l][i] = float32(r.NormFloat64() * 0.1)
+			}
+		}
+		for range ctx.Workers {
+			var ps, gs []*tensor.Tensor
+			for l, layer := range cfg.Model.Layers {
+				p := tensor.New(layer.Name, layer.ParamElems)
+				copy(p.Data, init[l]) // replicas start identical
+				ps = append(ps, p)
+				gs = append(gs, tensor.New(layer.Name, layer.ParamElems))
+			}
+			ctx.Params = append(ctx.Params, ps)
+			ctx.Grads = append(ctx.Grads, gs)
+		}
+	}
+
+	tr := &Trainer{
+		cfg:        cfg,
+		strat:      strat,
+		ctx:        ctx,
+		latches:    make(map[latchKey]*Latch),
+		blocked:    make([]sim.Time, len(ctx.Workers)),
+		iterEnd:    make([]sim.Time, cfg.Iterations),
+		workerDone: make([]int, len(ctx.Workers)),
+	}
+	if cfg.Numeric {
+		sizes := make([]int, len(cfg.Model.Layers))
+		for l, layer := range cfg.Model.Layers {
+			sizes[l] = layer.ParamElems
+		}
+		for range ctx.Workers {
+			var opt optim.Optimizer
+			if cfg.NewOptimizer != nil {
+				opt = cfg.NewOptimizer(sizes)
+			} else {
+				opt = optim.NewSGD(cfg.LR)
+			}
+			tr.optimizers = append(tr.optimizers, opt)
+		}
+	}
+	ctx.trainer = tr
+	return tr, nil
+}
+
+// PreviewUpdate returns what worker w's layer parameters will be once
+// the current averaged gradient is applied. For stateless SGD this is
+// exact; for stateful optimizers the preview returns the pre-update
+// parameters (previewing would mutate moment state), so checkpoints
+// taken through it hold epoch-boundary pre-update state instead.
+func (c *Ctx) PreviewUpdate(w, layer int) []float32 {
+	p := c.Params[w][layer]
+	out := make([]float32, len(p.Data))
+	copy(out, p.Data)
+	if sgd, ok := c.trainer.optimizers[w].(*optim.SGD); ok {
+		for i, g := range c.Grads[w][layer].Data {
+			out[i] -= sgd.LR * g
+		}
+	}
+	return out
+}
+
+// Ctx exposes the strategy context (tests and the facade use it).
+func (t *Trainer) Ctx() *Ctx { return t.ctx }
+
+func (t *Trainer) latch(it, w, layer int) *Latch {
+	k := latchKey{it, w, layer}
+	l, ok := t.latches[k]
+	if !ok {
+		l = &Latch{}
+		t.latches[k] = l
+	}
+	return l
+}
+
+func (t *Trainer) markReady(it, w, layer int) {
+	t.latch(it+1, w, layer).Open()
+}
+
+// Run executes the training simulation and returns its measurements.
+func (t *Trainer) Run() (*Result, error) {
+	ctx := t.ctx
+	if err := t.strat.Setup(ctx); err != nil {
+		return nil, fmt.Errorf("train: %s setup: %w", t.strat.Name(), err)
+	}
+	if t.cfg.OnStart != nil {
+		t.cfg.OnStart(ctx)
+	}
+	layers := ctx.Layers()
+	// Iteration 0's forward needs no synchronization: replicas start in
+	// sync.
+	for w := range ctx.Workers {
+		for l := range layers {
+			t.latch(0, w, l).Open()
+		}
+	}
+	for w := range ctx.Workers {
+		t.runWorker(w, 0)
+	}
+	ctx.Eng.Run()
+	for w, done := range t.workerDone {
+		if done != t.cfg.Iterations {
+			return nil, fmt.Errorf("train: %s stalled: worker %d finished %d of %d iterations (synchronization deadlock?)",
+				t.strat.Name(), w, done, t.cfg.Iterations)
+		}
+	}
+	return t.result(), nil
+}
+
+func (t *Trainer) runWorker(w, it int) {
+	if it == t.cfg.Iterations {
+		return
+	}
+	ctx := t.ctx
+	eng := ctx.Eng
+	g := ctx.Workers[w]
+	layers := ctx.Layers()
+
+	var fwd func(layer int)
+	var bwd func(layer int)
+
+	track := fmt.Sprintf("worker %d", w)
+
+	fwd = func(layer int) {
+		if layer == len(layers) {
+			bwd(len(layers) - 1)
+			return
+		}
+		arrived := eng.Now()
+		t.latch(it, w, layer).Wait(func() {
+			if stall := eng.Now() - arrived; stall > 0 {
+				t.blocked[w] += stall
+				t.cfg.Trace.Span(track, "stall",
+					fmt.Sprintf("wait params %s", layers[layer].Name), arrived, eng.Now())
+			}
+			if t.cfg.Numeric && it > 0 {
+				// Apply the optimizer step with the averaged gradient
+				// the strategy left in the buffer.
+				t.optimizers[w].Step(layer, ctx.Params[w][layer].Data, ctx.Grads[w][layer].Data)
+			}
+			start := eng.Now()
+			eng.Schedule(g.LayerFwdTime(layers[layer], t.cfg.Batch), func() {
+				t.cfg.Trace.Span(track, "compute", "fwd "+layers[layer].Name, start, eng.Now())
+				fwd(layer + 1)
+			})
+		})
+	}
+
+	bwd = func(layer int) {
+		start := eng.Now()
+		eng.Schedule(g.LayerBwdTime(layers[layer], t.cfg.Batch), func() {
+			t.cfg.Trace.Span(track, "compute", "bwd "+layers[layer].Name, start, eng.Now())
+			if t.cfg.Numeric {
+				t.fillGradient(it, w, layer)
+			}
+			t.strat.GradientReady(it, w, layer)
+			if layer > 0 {
+				bwd(layer - 1)
+				return
+			}
+			// Iteration complete for this worker.
+			if eng.Now() > t.iterEnd[it] {
+				t.iterEnd[it] = eng.Now()
+			}
+			t.workerDone[w] = it + 1
+			t.runWorker(w, it+1)
+		})
+	}
+
+	fwd(0)
+}
+
+// fillGradient produces worker w's local gradient for a layer in
+// iteration it. The values are a deterministic function of (seed, it,
+// w, layer) so numeric equivalence across strategies is testable without
+// a real loss function; the examples that train real models override
+// this path through the nn package.
+func (t *Trainer) fillGradient(it, w, layer int) {
+	grad := t.ctx.Grads[w][layer]
+	if t.gradFn != nil {
+		t.gradFn(it, w, layer, grad)
+		return
+	}
+	seed := t.cfg.Seed*1_000_003 + int64(it)*10_007 + int64(w)*101 + int64(layer)
+	r := rand.New(rand.NewSource(seed))
+	for i := range grad.Data {
+		grad.Data[i] = float32(r.NormFloat64())
+	}
+}
+
+// SetGradientFunc overrides synthetic gradient generation in numeric
+// mode. fn must fill grad with worker w's local gradient for the layer.
+func (t *Trainer) SetGradientFunc(fn func(it, w, layer int, grad *tensor.Tensor)) {
+	t.gradFn = fn
+}
+
+func (t *Trainer) result() *Result {
+	cfg := t.cfg
+	ctx := t.ctx
+	total := ctx.Eng.Now()
+	var iterSum sim.Time
+	count := 0
+	for it := 1; it < cfg.Iterations; it++ {
+		iterSum += t.iterEnd[it] - t.iterEnd[it-1]
+		count++
+	}
+	iterTime := t.iterEnd[0]
+	if count > 0 {
+		iterTime = iterSum / sim.Time(count)
+	}
+	var blockedSum sim.Time
+	for _, b := range t.blocked {
+		blockedSum += b
+	}
+	blocked := blockedSum / sim.Time(len(t.blocked)) / sim.Time(cfg.Iterations)
+
+	g := ctx.Workers[0]
+	compute := g.FwdTime(cfg.Model, cfg.Batch) + g.BwdTime(cfg.Model, cfg.Batch)
+	util := 0.0
+	if iterTime > 0 {
+		util = compute.ToSeconds() / iterTime.ToSeconds()
+		if util > 1 {
+			util = 1
+		}
+	}
+	return &Result{
+		Strategy:    t.strat.Name(),
+		Machine:     cfg.Spec.Label,
+		Model:       cfg.Model.Name,
+		Batch:       cfg.Batch,
+		Workers:     len(ctx.Workers),
+		Iterations:  cfg.Iterations,
+		TotalTime:   total,
+		IterTime:    iterTime,
+		ComputeTime: compute,
+		BlockedComm: blocked,
+		GPUUtil:     util,
+		EdgeBusUtil: topology.MeanUtilization(
+			ctx.Machine.LinksBetween(topology.KindGPU, topology.KindPort), total),
+		CCIBusUtil: topology.MeanUtilization(
+			ctx.Machine.LinksBetween(topology.KindMemDev, topology.KindMemDev), total),
+	}
+}
+
+// Run is the convenience entry point: build a trainer and run it.
+func Run(cfg Config, strat Strategy) (*Result, error) {
+	tr, err := New(cfg, strat)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Run()
+}

@@ -1,0 +1,12 @@
+package coarse
+
+import (
+	"coarse/internal/paramserver"
+	"coarse/internal/train"
+)
+
+// paramserverCentral and paramserverDENSE isolate the baseline
+// constructors so coarse.go reads as the API surface.
+func paramserverCentral() train.Strategy { return paramserver.NewCentralPS() }
+
+func paramserverDENSE() train.Strategy { return paramserver.NewDENSE() }
