@@ -1,0 +1,37 @@
+# Build/verify targets for the coarse repository.
+#
+# The parallel run harness (internal/runner) is the repo's first
+# concurrent code, so `race` is part of `ci` — the full gate every PR
+# must keep green.
+
+GO ?= go
+
+.PHONY: all build test race vet bench suite ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The runner fans simulation cells across goroutines; -race guards the
+# "no shared mutable state between cells" invariant.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Quick benchmark pass over every regenerable artifact.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Regenerate the full evaluation (quick mode) with suite timing on
+# stderr; compare `-parallel 1` against the default to verify the
+# byte-identical-output guarantee on your machine.
+suite:
+	$(GO) run ./cmd/coarsebench -quick -timing
+
+ci: build vet test race

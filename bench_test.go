@@ -26,14 +26,14 @@ func benchExperiment(b *testing.B, id string) {
 	cfg := experiments.Config{Quick: true}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(cfg)
-		if len(tables) == 0 {
+		rep := e.Run(cfg)
+		if rep == nil || len(rep.Tables) == 0 {
 			b.Fatalf("%s produced no tables", id)
 		}
 		if _, done := printOnce.LoadOrStore(id, true); !done {
 			b.StopTimer()
 			fmt.Printf("\n# %s — paper: %s\n", e.Title, e.Paper)
-			for _, t := range tables {
+			for _, t := range rep.Tables {
 				fmt.Println(t.String())
 			}
 			b.StartTimer()

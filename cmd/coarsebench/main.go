@@ -1,6 +1,11 @@
 // Command coarsebench regenerates the paper's evaluation: every figure
 // and table of Section V plus the design ablations, printed as aligned
-// text tables.
+// text tables or machine-readable JSON.
+//
+// Independent simulation cells fan out across a worker pool
+// (internal/runner); output is byte-identical at any -parallel setting,
+// so regenerated artifacts diff cleanly while the suite uses every
+// core.
 //
 // Usage:
 //
@@ -8,6 +13,13 @@
 //	coarsebench -quick        # trimmed iteration counts
 //	coarsebench -only fig16   # one experiment
 //	coarsebench -list         # list experiment ids
+//	coarsebench -parallel 1   # force serial execution
+//	coarsebench -json         # tables + structured per-run records
+//	coarsebench -timing       # include wall-clock timing (not byte-stable)
+//
+// A panicking experiment is reported to stderr with its id and the
+// remaining experiments still run; the exit status is non-zero when any
+// experiment failed.
 package main
 
 import (
@@ -15,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"coarse/internal/experiments"
@@ -22,57 +35,123 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "trim iteration counts for a fast pass")
 	only := flag.String("only", "", "run a single experiment id (see -list)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for independent simulation cells (1 = serial; output is identical at any setting)")
+	timing := flag.Bool("timing", false,
+		"include per-experiment wall time in output (wall time varies run to run, so output is no longer byte-stable)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{Quick: *quick, Parallel: *parallel}
 	todo := experiments.All()
 	if *only != "" {
 		e, ok := experiments.ByID(*only)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "coarsebench: unknown experiment %q; try -list\n", *only)
-			os.Exit(1)
+			return 1
 		}
 		todo = []experiments.Experiment{e}
 	}
 
+	suiteStart := time.Now()
+	failed := 0
+
 	if *asJSON {
 		type jsonExp struct {
-			ID     string           `json:"id"`
-			Title  string           `json:"title"`
-			Paper  string           `json:"paper"`
-			Tables []*metrics.Table `json:"tables"`
+			ID      string           `json:"id"`
+			Title   string           `json:"title"`
+			Paper   string           `json:"paper"`
+			Error   string           `json:"error,omitempty"`
+			Tables  []*metrics.Table `json:"tables"`
+			Records []metrics.Result `json:"records,omitempty"`
+			// WallMS is per-experiment regeneration wall time; only
+			// populated under -timing so default output stays
+			// byte-identical across runs and -parallel settings.
+			WallMS float64 `json:"wall_ms,omitempty"`
 		}
 		var out []jsonExp
 		for _, e := range todo {
-			out = append(out, jsonExp{ID: e.ID, Title: e.Title, Paper: e.Paper, Tables: e.Run(cfg)})
+			start := time.Now()
+			rep, err := runExperiment(e, cfg)
+			je := jsonExp{ID: e.ID, Title: e.Title, Paper: e.Paper}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coarsebench: %v\n", err)
+				je.Error = err.Error()
+				failed++
+			} else {
+				je.Tables = rep.Tables
+				je.Records = rep.Records
+			}
+			if *timing {
+				je.WallMS = float64(time.Since(start).Microseconds()) / 1000
+			}
+			out = append(out, je)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "coarsebench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+	} else {
+		for _, e := range todo {
+			start := time.Now()
+			fmt.Printf("\n################ %s\n", e.Title)
+			fmt.Printf("# paper: %s\n\n", e.Paper)
+			rep, err := runExperiment(e, cfg)
+			if err != nil {
+				// Keep stdout byte-stable: failures go to stderr and the
+				// run continues with the next experiment.
+				fmt.Fprintf(os.Stderr, "coarsebench: %v\n", err)
+				failed++
+				continue
+			}
+			for _, tab := range rep.Tables {
+				fmt.Println(tab.String())
+			}
+			// Wall time is nondeterministic, so it never lands on stdout.
+			fmt.Fprintf(os.Stderr, "# (%s regenerated in %.1fs)\n", e.ID, time.Since(start).Seconds())
+		}
 	}
 
-	for _, e := range todo {
-		start := time.Now()
-		fmt.Printf("\n################ %s\n", e.Title)
-		fmt.Printf("# paper: %s\n\n", e.Paper)
-		for _, tab := range e.Run(cfg) {
-			fmt.Println(tab.String())
-		}
-		fmt.Printf("# (%s regenerated in %.1fs)\n", e.ID, time.Since(start).Seconds())
+	if *timing {
+		fmt.Fprintf(os.Stderr, "# suite: %d experiments in %.1fs (parallel=%d)\n",
+			len(todo), time.Since(suiteStart).Seconds(), *parallel)
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "coarsebench: %d experiment(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// runExperiment regenerates one experiment, converting a panic anywhere
+// in its pipeline into an error so one bad experiment cannot kill a
+// whole regeneration run.
+func runExperiment(e experiments.Experiment, cfg experiments.Config) (rep *experiments.Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rep = nil
+			err = fmt.Errorf("experiment %s panicked: %v", e.ID, v)
+		}
+	}()
+	rep = e.Run(cfg)
+	if rep == nil {
+		return nil, fmt.Errorf("experiment %s produced no report", e.ID)
+	}
+	return rep, nil
 }

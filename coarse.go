@@ -212,7 +212,7 @@ func RunExperiment(id string, quick bool) ([]string, error) {
 		return nil, fmt.Errorf("coarse: unknown experiment %q (have %v)", id, experiments.IDs())
 	}
 	var out []string
-	for _, tab := range e.Run(experiments.Config{Quick: quick}) {
+	for _, tab := range e.Run(experiments.Config{Quick: quick}).Tables {
 		out = append(out, tab.String())
 	}
 	return out, nil

@@ -3,6 +3,12 @@
 // machinery — the same fabric, protocol models and strategies the unit
 // tests exercise — and renders the rows or series the paper plots.
 //
+// Every experiment routes its simulation cells through internal/runner:
+// it builds []runner.Spec, the runner fans the independent cells out
+// across a worker pool (byte-identical to serial execution), and the
+// experiment renders tables from the structured []runner.Result. The
+// raw records ride along in Report.Records for machine consumption.
+//
 // Absolute numbers differ from the paper's testbed; the experiments
 // exist to reproduce the *shape*: which scheme wins, by what rough
 // factor, and where the crossovers fall. EXPERIMENTS.md records the
@@ -16,15 +22,20 @@ import (
 	"coarse/internal/metrics"
 	"coarse/internal/model"
 	"coarse/internal/paramserver"
+	"coarse/internal/runner"
 	"coarse/internal/topology"
 	"coarse/internal/train"
 )
 
-// Config controls experiment scale.
+// Config controls experiment scale and execution.
 type Config struct {
 	// Quick trims iteration counts so the full suite runs in seconds;
 	// the harness default runs the full configuration.
 	Quick bool
+	// Parallel is the worker-goroutine count for independent simulation
+	// cells; <= 0 means GOMAXPROCS, 1 forces serial execution. Output
+	// is byte-identical at any setting.
+	Parallel int
 }
 
 func (c Config) iterations() int {
@@ -34,13 +45,27 @@ func (c Config) iterations() int {
 	return 4
 }
 
+func (c Config) pool() *runner.Pool { return &runner.Pool{Parallel: c.Parallel} }
+
+// Report is one experiment's output: rendered tables plus the
+// machine-readable per-run records they were rendered from.
+type Report struct {
+	Tables []*metrics.Table `json:"tables"`
+	// Records holds one structured record per simulation cell the
+	// experiment ran through the runner (empty for closed-form
+	// experiments that compute rows analytically).
+	Records []metrics.Result `json:"records,omitempty"`
+}
+
+func (r *Report) add(tabs ...*metrics.Table) { r.Tables = append(r.Tables, tabs...) }
+
 // Experiment is one regenerable paper artifact.
 type Experiment struct {
 	ID    string // "fig16", "tab1", "ablation-routing", ...
 	Title string
 	// Paper summarizes what the paper reports for this artifact.
 	Paper string
-	Run   func(cfg Config) []*metrics.Table
+	Run   func(cfg Config) *Report
 }
 
 // All returns every experiment in paper order, ablations last.
@@ -91,30 +116,54 @@ func newStrategy(name string) train.Strategy {
 	panic(fmt.Sprintf("experiments: unknown strategy %q", name))
 }
 
-type runKey struct {
-	machine  string
-	model    string
-	batch    int
-	strategy string
-	iters    int
+// stdSpec builds a cacheable runner spec for a named-strategy training
+// run. The cache key spans experiments: Figure 16, Figure 17 and the
+// NVLink extension render different views of the same runs and pay for
+// each once.
+func stdSpec(cfg Config, spec topology.Spec, m *model.Model, batch int, strategy string) runner.Spec {
+	iters := cfg.iterations()
+	id := fmt.Sprintf("%s/%s/b%d/%s/i%d", spec.Label, m.Name, batch, strategy, iters)
+	return runner.Spec{
+		ID:          id,
+		Key:         id,
+		Topology:    spec,
+		Model:       m,
+		Batch:       batch,
+		Iterations:  iters,
+		NewStrategy: func() train.Strategy { return newStrategy(strategy) },
+	}
 }
 
-var runCache = map[runKey]*train.Result{}
+// runSet accumulates specs (dedup by ID) and executes them as one
+// parallel batch; experiments look results up by spec ID when
+// rendering.
+type runSet struct {
+	specs []runner.Spec
+	index map[string]int
+}
 
-// trainingRun runs (and memoizes) one training configuration. A nil
-// result means the configuration does not fit in GPU memory.
-func trainingRun(cfg Config, spec topology.Spec, m *model.Model, batch int, strategy string) (*train.Result, error) {
-	key := runKey{spec.Label, m.Name, batch, strategy, cfg.iterations()}
-	if res, ok := runCache[key]; ok {
-		return res, nil
+// add registers a spec (first registration wins on duplicate IDs) and
+// returns its ID for later lookup.
+func (rs *runSet) add(s runner.Spec) string {
+	if rs.index == nil {
+		rs.index = make(map[string]int)
 	}
-	tcfg := train.DefaultConfig(spec, m, batch, cfg.iterations())
-	res, err := train.Run(tcfg, newStrategy(strategy))
-	if err != nil {
-		return nil, err
+	if _, dup := rs.index[s.ID]; !dup {
+		rs.index[s.ID] = len(rs.specs)
+		rs.specs = append(rs.specs, s)
 	}
-	runCache[key] = res
-	return res, nil
+	return s.ID
+}
+
+// results runs every accumulated spec through the pool and returns the
+// lookup-by-ID view plus the records in registration order.
+func (rs *runSet) results(cfg Config) (map[string]*runner.Result, []metrics.Result) {
+	out := cfg.pool().Train(rs.specs)
+	byID := make(map[string]*runner.Result, len(out))
+	for i, r := range out {
+		byID[rs.specs[i].ID] = r
+	}
+	return byID, runner.Records(out)
 }
 
 // evalModel returns the model used for a figure panel; quick mode

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"encoding/json"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+
+	"coarse/internal/runner"
 )
 
 var quick = Config{Quick: true}
@@ -14,12 +18,12 @@ func runExperiment(t *testing.T, id string) []string {
 	if !ok {
 		t.Fatalf("experiment %q not registered", id)
 	}
-	tables := e.Run(quick)
-	if len(tables) == 0 {
+	rep := e.Run(quick)
+	if rep == nil || len(rep.Tables) == 0 {
 		t.Fatalf("%s produced no tables", id)
 	}
 	var out []string
-	for _, tab := range tables {
+	for _, tab := range rep.Tables {
 		s := tab.String()
 		if !strings.Contains(s, "==") {
 			t.Fatalf("%s produced an untitled table", id)
@@ -287,6 +291,59 @@ func TestExperimentsDeterministic(t *testing.T) {
 				t.Fatalf("%s: nondeterministic output:\n%s\n---\n%s", id, a[i], b[i])
 			}
 		}
+	}
+}
+
+// TestTrainingExperimentSerialVsParallel is the harness's determinism
+// regression: one training experiment run twice serially and once via
+// the parallel runner must render byte-identical tables AND produce
+// byte-identical JSON records. The cache is cleared between runs so
+// every pass actually recomputes its cells.
+func TestTrainingExperimentSerialVsParallel(t *testing.T) {
+	// ext-straggler runs six genuine training cells (two strategies,
+	// three jitter settings) with no cache keys, so every regeneration
+	// recomputes from scratch; ClearCache guards against future keyed
+	// specs sneaking in.
+	regen := func(parallel int) (string, string) {
+		runner.ClearCache()
+		e, ok := ByID("ext-straggler")
+		if !ok {
+			t.Fatal("ext-straggler not registered")
+		}
+		rep := e.Run(Config{Quick: true, Parallel: parallel})
+		var text strings.Builder
+		for _, tab := range rep.Tables {
+			text.WriteString(tab.String())
+		}
+		if len(rep.Records) == 0 {
+			t.Fatal("ext-straggler produced no structured records")
+		}
+		js, err := json.Marshal(rep.Records)
+		if err != nil {
+			t.Fatalf("marshal records: %v", err)
+		}
+		return text.String(), string(js)
+	}
+
+	serial1, json1 := regen(1)
+	serial2, json2 := regen(1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 4 // still exercises the pool path
+	}
+	par, jsonPar := regen(workers)
+
+	if serial1 != serial2 {
+		t.Fatalf("serial re-run not byte-identical:\n%s\n---\n%s", serial1, serial2)
+	}
+	if serial1 != par {
+		t.Fatalf("parallel output differs from serial:\n%s\n---\n%s", serial1, par)
+	}
+	if json1 != json2 {
+		t.Fatalf("serial JSON records not byte-identical")
+	}
+	if json1 != jsonPar {
+		t.Fatalf("parallel JSON records differ from serial:\n%s\n---\n%s", json1, jsonPar)
 	}
 }
 

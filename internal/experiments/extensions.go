@@ -6,6 +6,7 @@ import (
 	"coarse/internal/core"
 	"coarse/internal/metrics"
 	"coarse/internal/model"
+	"coarse/internal/runner"
 	"coarse/internal/sim"
 	"coarse/internal/topology"
 	"coarse/internal/train"
@@ -21,22 +22,40 @@ func ExtStraggler() Experiment {
 		ID:    "ext-straggler",
 		Title: "Extension: straggler sensitivity",
 		Paper: "Section II-B motivation: synchronous schemes block fast workers on slow ones",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Extension: compute jitter on AWS V100, BERT batch 2",
-				"jitter", "strategy", "iter time", "blocked/iter")
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			type cell struct {
+				jitter float64
+				strat  string
+				id     string
+			}
+			var cells []cell
 			for _, jitter := range []float64{0, 0.15, 0.30} {
 				for _, strat := range []string{"AllReduce", "COARSE"} {
-					tcfg := train.DefaultConfig(topology.AWSV100(), evalModel("BERT"), 2, cfg.iterations())
-					tcfg.ComputeJitter = jitter
-					res, err := train.Run(tcfg, newStrategy(strat))
-					if err != nil {
-						tab.AddRow(metrics.Pct(jitter), strat, "ERR", err.Error())
-						continue
-					}
-					tab.AddRow(metrics.Pct(jitter), strat, metrics.Ms(res.IterTime), metrics.Ms(res.BlockedComm))
+					id := rs.add(runner.Spec{
+						ID:          fmt.Sprintf("ext-straggler/j%.2f/%s", jitter, strat),
+						Topology:    topology.AWSV100(),
+						Model:       evalModel("BERT"),
+						Batch:       2,
+						Iterations:  cfg.iterations(),
+						NewStrategy: func() train.Strategy { return newStrategy(strat) },
+						Configure:   func(c *train.Config) { c.ComputeJitter = jitter },
+					})
+					cells = append(cells, cell{jitter, strat, id})
 				}
 			}
-			return []*metrics.Table{tab}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Extension: compute jitter on AWS V100, BERT batch 2",
+				"jitter", "strategy", "iter time", "blocked/iter")
+			for _, c := range cells {
+				res := got[c.id]
+				if !res.OK() {
+					tab.AddRow(metrics.Pct(c.jitter), c.strat, "ERR", res.Err)
+					continue
+				}
+				tab.AddRow(metrics.Pct(c.jitter), c.strat, metrics.Ms(res.Train.IterTime), metrics.Ms(res.Train.BlockedComm))
+			}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -50,20 +69,32 @@ func ExtNVLink() Experiment {
 		ID:    "ext-nvlink",
 		Title: "Extension: NVLink-enabled AllReduce baseline",
 		Paper: "beyond the paper: COARSE's win presumes PCIe-class worker interconnect",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Extension: V100 BERT batch 2, PCIe vs NVLink mesh",
-				"machine", "strategy", "iter time", "blocked/iter")
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			type cell struct {
+				spec  topology.Spec
+				strat string
+				id    string
+			}
+			var cells []cell
 			for _, spec := range []topology.Spec{topology.AWSV100(), topology.AWSV100NVLink()} {
 				for _, strat := range []string{"AllReduce", "COARSE"} {
-					res, err := trainingRun(cfg, spec, evalModel("BERT"), 2, strat)
-					if err != nil {
-						tab.AddRow(spec.Label, strat, "ERR", err.Error())
-						continue
-					}
-					tab.AddRow(spec.Label, strat, metrics.Ms(res.IterTime), metrics.Ms(res.BlockedComm))
+					cells = append(cells, cell{spec, strat,
+						rs.add(stdSpec(cfg, spec, evalModel("BERT"), 2, strat))})
 				}
 			}
-			return []*metrics.Table{tab}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Extension: V100 BERT batch 2, PCIe vs NVLink mesh",
+				"machine", "strategy", "iter time", "blocked/iter")
+			for _, c := range cells {
+				res := got[c.id]
+				if !res.OK() {
+					tab.AddRow(c.spec.Label, c.strat, "ERR", res.Err)
+					continue
+				}
+				tab.AddRow(c.spec.Label, c.strat, metrics.Ms(res.Train.IterTime), metrics.Ms(res.Train.BlockedComm))
+			}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -77,35 +108,46 @@ func ExtHierarchical() Experiment {
 		ID:    "ext-hierarchical",
 		Title: "Extension: hierarchical AllReduce on two nodes",
 		Paper: "beyond the paper: a stronger multi-node baseline vs COARSE batch 4",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Extension: 2-node BERT-Large, flat vs hierarchical AllReduce vs COARSE",
-				"strategy", "batch", "iter time", "throughput")
+		Run: func(cfg Config) *Report {
 			bert := evalModel("BERT-Large")
 			spec := topology.MultiNodeV100(2)
 			runs := []struct {
 				label string
-				s     train.Strategy
 				batch int
+				build func() train.Strategy
 			}{
-				{"AllReduce (flat ring)", train.NewAllReduce(), 2},
-				{"AllReduce (hierarchical)", func() train.Strategy {
+				{"AllReduce (flat ring)", 2, func() train.Strategy { return train.NewAllReduce() }},
+				{"AllReduce (hierarchical)", 2, func() train.Strategy {
 					a := train.NewAllReduce()
 					a.Hierarchical = true
 					return a
-				}(), 2},
-				{"COARSE", core.New(core.DefaultOptions()), 4},
+				}},
+				{"COARSE", 4, func() train.Strategy { return core.New(core.DefaultOptions()) }},
 			}
+			rs := &runSet{}
+			var ids []string
 			for _, r := range runs {
-				tcfg := train.DefaultConfig(spec, bert, r.batch, cfg.iterations())
-				res, err := train.Run(tcfg, r.s)
-				if err != nil {
-					tab.AddRow(r.label, r.batch, "ERR", err.Error())
+				ids = append(ids, rs.add(runner.Spec{
+					ID:          "ext-hierarchical/" + r.label + fmt.Sprintf("/b%d", r.batch),
+					Topology:    spec,
+					Model:       bert,
+					Batch:       r.batch,
+					Iterations:  cfg.iterations(),
+					NewStrategy: r.build,
+				}))
+			}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Extension: 2-node BERT-Large, flat vs hierarchical AllReduce vs COARSE",
+				"strategy", "batch", "iter time", "throughput")
+			for i, r := range runs {
+				res := got[ids[i]]
+				if !res.OK() {
+					tab.AddRow(r.label, r.batch, "ERR", res.Err)
 					continue
 				}
-				tab.AddRow(r.label, r.batch, metrics.Ms(res.IterTime),
-					fmt.Sprintf("%.1f samples/s", res.Throughput()))
+				tab.AddRow(r.label, r.batch, metrics.Ms(res.Train.IterTime), throughputCell(res))
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -120,29 +162,52 @@ func ExtSensitivity() Experiment {
 		ID:    "ext-sensitivity",
 		Title: "Extension: non-uniform bandwidth sensitivity",
 		Paper: "beyond the paper: COARSE vs AllReduce as remote/local bandwidth ratio varies",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Extension: BERT batch 2 vs uplink bandwidth (local peer fixed at 8 GB/s)",
-				"uplink", "ratio", "AllReduce blocked", "COARSE blocked", "COARSE vs AllReduce")
-			for _, upGB := range []float64{6, 8, 11, 14, 17} {
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			uplinks := []float64{6, 8, 11, 14, 17}
+			strats := []string{"AllReduce", "COARSE"}
+			ids := make(map[float64][2]string)
+			for _, upGB := range uplinks {
 				spec := topology.AWSV100()
 				spec.UpBW = upGB * topology.GB
 				spec.Label = fmt.Sprintf("V100 up=%g", upGB)
+				var pair [2]string
+				for i, strat := range strats {
+					pair[i] = rs.add(runner.Spec{
+						ID:          fmt.Sprintf("ext-sensitivity/up%g/%s", upGB, strat),
+						Topology:    spec,
+						Model:       evalModel("BERT"),
+						Batch:       2,
+						Iterations:  cfg.iterations(),
+						NewStrategy: func() train.Strategy { return newStrategy(strat) },
+					})
+				}
+				ids[upGB] = pair
+			}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Extension: BERT batch 2 vs uplink bandwidth (local peer fixed at 8 GB/s)",
+				"uplink", "ratio", "AllReduce blocked", "COARSE blocked", "COARSE vs AllReduce")
+			for _, upGB := range uplinks {
 				var blocked [2]float64
-				for i, strat := range []string{"AllReduce", "COARSE"} {
-					tcfg := train.DefaultConfig(spec, evalModel("BERT"), 2, cfg.iterations())
-					res, err := train.Run(tcfg, newStrategy(strat))
-					if err != nil {
-						tab.AddRow(fmt.Sprintf("%g GB/s", upGB), "-", "ERR", err.Error(), "-")
-						continue
+				failed := false
+				for i := range strats {
+					res := got[ids[upGB][i]]
+					if !res.OK() {
+						tab.AddRow(fmt.Sprintf("%g GB/s", upGB), "-", "ERR", res.Err, "-")
+						failed = true
+						break
 					}
-					blocked[i] = res.BlockedComm.ToSeconds()
+					blocked[i] = res.Train.BlockedComm.ToSeconds()
+				}
+				if failed {
+					continue
 				}
 				tab.AddRow(fmt.Sprintf("%g GB/s", upGB),
 					fmt.Sprintf("%.2f", upGB/8),
-					metrics.Ms(toSimTime(blocked[0])), metrics.Ms(toSimTime(blocked[1])),
+					metrics.Ms(sim.Seconds(blocked[0])), metrics.Ms(sim.Seconds(blocked[1])),
 					metrics.Pct(blocked[1]/blocked[0]-1))
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -157,28 +222,45 @@ func ExtDynamic() Experiment {
 		ID:    "ext-dynamic",
 		Title: "Extension: dynamic re-profiling under link degradation",
 		Paper: "Section III-E dynamic profiling: periodic re-profiles adapt routing to changed bandwidth",
-		Run: func(cfg Config) []*metrics.Table {
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			const iters = 8
+			everies := []int{0, 2}
+			var ids []string
+			for _, every := range everies {
+				ids = append(ids, rs.add(runner.Spec{
+					ID:         fmt.Sprintf("ext-dynamic/reprofile%d", every),
+					Topology:   topology.AWSV100(),
+					Model:      evalModel("BERT"),
+					Batch:      2,
+					Iterations: iters,
+					NewStrategy: func() train.Strategy {
+						opts := core.DefaultOptions()
+						opts.ReprofileEvery = every
+						return core.New(opts)
+					},
+					Configure: func(c *train.Config) {
+						c.OnStart = degradeUplinksAfter(sim.Seconds(0.2))
+					},
+				}))
+			}
+			got, records := rs.results(cfg)
 			tab := metrics.NewTable(
 				"Extension: V100 BERT batch 2; uplinks degrade 11->3 GB/s mid-run",
 				"re-profiling", "iter time (mean)", "blocked/iter")
-			iters := 8
-			for _, every := range []int{0, 2} {
-				opts := core.DefaultOptions()
-				opts.ReprofileEvery = every
-				tcfg := train.DefaultConfig(topology.AWSV100(), evalModel("BERT"), 2, iters)
-				tcfg.OnStart = degradeUplinksAfter(sim.Seconds(0.2))
-				res, err := train.Run(tcfg, core.New(opts))
-				if err != nil {
-					tab.AddRow(fmt.Sprint(every), "ERR", err.Error())
+			for i, every := range everies {
+				res := got[ids[i]]
+				if !res.OK() {
+					tab.AddRow(fmt.Sprint(every), "ERR", res.Err)
 					continue
 				}
 				label := "off"
 				if every > 0 {
 					label = fmt.Sprintf("every %d iterations", every)
 				}
-				tab.AddRow(label, metrics.Ms(res.IterTime), metrics.Ms(res.BlockedComm))
+				tab.AddRow(label, metrics.Ms(res.Train.IterTime), metrics.Ms(res.Train.BlockedComm))
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -197,53 +279,62 @@ func degradeUplinksAfter(at sim.Time) func(*train.Ctx) {
 
 // ExtRecovery demonstrates the fault-tolerance path end to end: numeric
 // training with epoch checkpoints, a simulated replica loss, recovery
-// from the storage tier, and the copy-on-write cost accounting.
+// from the storage tier, and the copy-on-write cost accounting. The
+// replica loss, restore and cost audit run in the cell's probe, so the
+// whole narrative is captured in the structured result.
 func ExtRecovery() Experiment {
 	return Experiment{
 		ID:    "ext-recovery",
 		Title: "Extension: checkpoint/recovery fault tolerance",
 		Paper: "Section IV-A: CoW epoch snapshots in the storage tier; recovery from the latest",
-		Run: func(cfg Config) []*metrics.Table {
-			opts := core.DefaultOptions()
-			opts.EpochIters = 2
-			tcfg := train.DefaultConfig(topology.SDSCP100(),
-				model.MLP("recovery-mlp", 64, 32, 8), 8, 4)
-			tcfg.Numeric = true
-			s := core.New(opts)
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			id := rs.add(runner.Spec{
+				ID:         "ext-recovery",
+				Topology:   topology.SDSCP100(),
+				Model:      model.MLP("recovery-mlp", 64, 32, 8),
+				Batch:      8,
+				Iterations: 4,
+				NewStrategy: func() train.Strategy {
+					opts := core.DefaultOptions()
+					opts.EpochIters = 2
+					return core.New(opts)
+				},
+				Configure: func(c *train.Config) { c.Numeric = true },
+				Probe: func(p *runner.Probe) {
+					ctx := p.Trainer.Ctx()
+					for l := range ctx.Layers() {
+						ctx.Params[1][l].Fill(0) // replica loss
+					}
+					s := p.Strategy.(*core.Strategy)
+					if s.RestoreLatest() {
+						p.Result.SetExtra("recovery", "restored every replica from the latest epoch checkpoint")
+					} else {
+						p.Result.SetExtra("recovery", "FAILED")
+					}
+					var copies uint64
+					var copied int64
+					for _, d := range s.Pool().Devices {
+						st := d.Store.Stats()
+						copies += st.Copies
+						copied += st.CopiedBytes
+					}
+					p.Result.SetExtra("cow", fmt.Sprintf("%d copies, %s", copies, byteSize(copied)))
+				},
+			})
+			got, records := rs.results(cfg)
+			res := got[id]
 			tab := metrics.NewTable("Extension: epoch checkpointing + recovery (SDSC, numeric MLP)",
 				"step", "outcome")
-			tr, err := train.New(tcfg, s)
-			if err != nil {
-				tab.AddRow("train", err.Error())
-				return []*metrics.Table{tab}
+			if !res.OK() {
+				tab.AddRow("train", res.Err)
+				return &Report{Tables: []*metrics.Table{tab}, Records: records}
 			}
-			res, err := tr.Run()
-			if err != nil {
-				tab.AddRow("train", err.Error())
-				return []*metrics.Table{tab}
-			}
-			tab.AddRow("train 4 iterations", fmt.Sprintf("done in %v, 2 epochs checkpointed", res.TotalTime))
-			ctx := tr.Ctx()
-			for l := range ctx.Layers() {
-				ctx.Params[1][l].Fill(0) // replica loss
-			}
+			tab.AddRow("train 4 iterations", fmt.Sprintf("done in %v, 2 epochs checkpointed", res.Train.TotalTime))
 			tab.AddRow("worker 1 replica lost", "parameters zeroed")
-			if s.RestoreLatest() {
-				tab.AddRow("recovery", "restored every replica from the latest epoch checkpoint")
-			} else {
-				tab.AddRow("recovery", "FAILED")
-			}
-			var copies uint64
-			var copied int64
-			for _, d := range s.Pool().Devices {
-				st := d.Store.Stats()
-				copies += st.Copies
-				copied += st.CopiedBytes
-			}
-			tab.AddRow("copy-on-write cost", fmt.Sprintf("%d copies, %s", copies, byteSize(copied)))
-			return []*metrics.Table{tab}
+			tab.AddRow("recovery", res.Extra["recovery"])
+			tab.AddRow("copy-on-write cost", res.Extra["cow"])
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
-
-func toSimTime(secs float64) sim.Time { return sim.Seconds(secs) }

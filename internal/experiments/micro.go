@@ -7,9 +7,18 @@ import (
 	"coarse/internal/fabric"
 	"coarse/internal/metrics"
 	"coarse/internal/profiler"
+	"coarse/internal/runner"
 	"coarse/internal/sim"
 	"coarse/internal/topology"
 )
+
+// The micro experiments probe bandwidth and scheduling primitives
+// rather than full training runs, so they have no train.Config at all;
+// their independent cells (one per machine preset, access mode or
+// sweep point) still fan out through runner.Map so the whole suite
+// shares one executor and stays byte-identical at any parallelism.
+
+func tablesOnly(tabs ...*metrics.Table) *Report { return &Report{Tables: tabs} }
 
 // Fig3 reproduces the prototype bandwidth comparison: CCI host
 // load/store vs GPU Indirect vs GPU Direct, large-block read and write.
@@ -19,23 +28,26 @@ func Fig3() Experiment {
 		ID:    "fig3",
 		Title: "Figure 3: disaggregated memory prototype bandwidth",
 		Paper: "GPU Direct p2p achieves 17x read / 4x write speedup over host CCI access",
-		Run: func(cfg Config) []*metrics.Table {
+		Run: func(cfg Config) *Report {
 			params := cci.DefaultParams()
-			pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
 			const block = 256 << 20
+			modes := []cci.AccessMode{cci.ModeCCI, cci.ModeGPUIndirect, cci.ModeGPUDirect}
+			type bw struct{ read, write float64 }
+			rows := runner.Map(cfg.Parallel, len(modes), func(i int) bw {
+				pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+				return bw{
+					read:  pr.Bandwidth(params, modes[i], block, false),
+					write: pr.Bandwidth(params, modes[i], block, true),
+				}
+			})
 			tab := metrics.NewTable("Figure 3: prototype bandwidth (256 MiB blocks)",
 				"mode", "read", "write", "read speedup", "write speedup")
-			base := [2]float64{}
-			for _, mode := range []cci.AccessMode{cci.ModeCCI, cci.ModeGPUIndirect, cci.ModeGPUDirect} {
-				read := pr.Bandwidth(params, mode, block, false)
-				write := pr.Bandwidth(params, mode, block, true)
-				if mode == cci.ModeCCI {
-					base = [2]float64{read, write}
-				}
-				tab.AddRow(mode.String(), metrics.GBps(read), metrics.GBps(write),
-					metrics.Speedup(read/base[0]), metrics.Speedup(write/base[1]))
+			base := rows[0]
+			for i, mode := range modes {
+				tab.AddRow(mode.String(), metrics.GBps(rows[i].read), metrics.GBps(rows[i].write),
+					metrics.Speedup(rows[i].read/base.read), metrics.Speedup(rows[i].write/base.write))
 			}
-			return []*metrics.Table{tab}
+			return tablesOnly(tab)
 		},
 	}
 }
@@ -48,9 +60,10 @@ func Fig8() Experiment {
 		ID:    "fig8",
 		Title: "Figure 8: PCIe p2p bidirectional bandwidth",
 		Paper: "SDSC local > remote (locality); AWS V100 remote > local (anti-locality)",
-		Run: func(cfg Config) []*metrics.Table {
-			var tables []*metrics.Table
-			for _, spec := range []topology.Spec{topology.AWSV100(), topology.SDSCP100()} {
+		Run: func(cfg Config) *Report {
+			specs := []topology.Spec{topology.AWSV100(), topology.SDSCP100()}
+			tables := runner.Map(cfg.Parallel, len(specs), func(i int) *metrics.Table {
+				spec := specs[i]
 				eng := sim.NewEngine()
 				m := topology.Build(eng, spec)
 				// The testbed's "GPUs" are all endpoint devices: workers
@@ -73,9 +86,9 @@ func Fig8() Experiment {
 						tab.AddRow(fmt.Sprintf("%s<->%s", gpus[i], gpus[j]), loc, metrics.GBps(bw))
 					}
 				}
-				tables = append(tables, tab)
-			}
-			return tables
+				return tab
+			})
+			return tablesOnly(tables...)
 		},
 	}
 }
@@ -106,11 +119,14 @@ func Fig9() Experiment {
 		ID:    "fig9",
 		Title: "Figure 9: tensor partitioning pipeline",
 		Paper: "partitioned pipeline fills bidirectional bus; FIFO leaves gaps",
-		Run: func(cfg Config) []*metrics.Table {
+		Run: func(cfg Config) *Report {
 			tensors := []int64{24 << 20, 6 << 20} // unequal, like the figure
 			const shard = 2 << 20
-			fifo := pipelineMakespan(tensors, 0)
-			part := pipelineMakespan(tensors, shard)
+			shards := []int64{0, shard} // FIFO, partitioned
+			spans := runner.Map(cfg.Parallel, len(shards), func(i int) sim.Time {
+				return pipelineMakespan(tensors, shards[i])
+			})
+			fifo, part := spans[0], spans[1]
 			var total int64
 			for _, t := range tensors {
 				total += t
@@ -126,7 +142,7 @@ func Fig9() Experiment {
 				tab.AddRow(row.name, metrics.Ms(row.t), metrics.Pct(util))
 			}
 			tab.AddRow("speedup", metrics.Speedup(fifo.ToSeconds()/part.ToSeconds()), "")
-			return []*metrics.Table{tab}
+			return tablesOnly(tab)
 		},
 	}
 }
@@ -195,21 +211,32 @@ func Fig13() Experiment {
 		ID:    "fig13",
 		Title: "Figure 13: CCI bandwidth vs access size",
 		Paper: "CCI flat; GPU Indirect bounded by CCI; GPU Direct 9-17x read, 1.25-4x write",
-		Run: func(cfg Config) []*metrics.Table {
+		Run: func(cfg Config) *Report {
 			params := cci.DefaultParams()
-			pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+			var sizes []int64
+			for size := int64(4 << 10); size <= 64<<20; size <<= 2 {
+				sizes = append(sizes, size)
+			}
+			rows := runner.Map(cfg.Parallel, len(sizes), func(i int) [6]float64 {
+				pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+				size := sizes[i]
+				return [6]float64{
+					pr.Bandwidth(params, cci.ModeCCI, size, false),
+					pr.Bandwidth(params, cci.ModeGPUIndirect, size, false),
+					pr.Bandwidth(params, cci.ModeGPUDirect, size, false),
+					pr.Bandwidth(params, cci.ModeCCI, size, true),
+					pr.Bandwidth(params, cci.ModeGPUIndirect, size, true),
+					pr.Bandwidth(params, cci.ModeGPUDirect, size, true),
+				}
+			})
 			tab := metrics.NewTable("Figure 13: prototype bandwidth vs access size",
 				"size", "CCI rd", "Indirect rd", "Direct rd", "CCI wr", "Indirect wr", "Direct wr")
-			for size := int64(4 << 10); size <= 64<<20; size <<= 2 {
+			for i, size := range sizes {
 				tab.AddRow(byteSize(size),
-					metrics.GBps(pr.Bandwidth(params, cci.ModeCCI, size, false)),
-					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUIndirect, size, false)),
-					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUDirect, size, false)),
-					metrics.GBps(pr.Bandwidth(params, cci.ModeCCI, size, true)),
-					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUIndirect, size, true)),
-					metrics.GBps(pr.Bandwidth(params, cci.ModeGPUDirect, size, true)))
+					metrics.GBps(rows[i][0]), metrics.GBps(rows[i][1]), metrics.GBps(rows[i][2]),
+					metrics.GBps(rows[i][3]), metrics.GBps(rows[i][4]), metrics.GBps(rows[i][5]))
 			}
-			return []*metrics.Table{tab}
+			return tablesOnly(tab)
 		},
 	}
 }
@@ -221,19 +248,28 @@ func Fig14() Experiment {
 		ID:    "fig14",
 		Title: "Figure 14: FPGA DMA bandwidth vs access size",
 		Paper: "DMA reaches max bandwidth at 2 MB or larger accesses",
-		Run: func(cfg Config) []*metrics.Table {
+		Run: func(cfg Config) *Report {
 			params := cci.DefaultParams()
-			pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+			var sizes []int64
+			for size := int64(4 << 10); size <= 64<<20; size <<= 1 {
+				sizes = append(sizes, size)
+			}
+			type dma struct{ rd, wr, peak float64 }
+			rows := runner.Map(cfg.Parallel, len(sizes), func(i int) dma {
+				pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
+				rd, wr := pr.DMAProfile(params, sizes[i])
+				return dma{rd, wr, pr.Spec.FPGAReadBW}
+			})
 			tab := metrics.NewTable("Figure 14: DMA bandwidth vs access size",
 				"size", "DMA read", "DMA write", "read frac of peak")
-			for size := int64(4 << 10); size <= 64<<20; size <<= 1 {
-				rd, wr := pr.DMAProfile(params, size)
-				tab.AddRow(byteSize(size), metrics.GBps(rd), metrics.GBps(wr),
-					metrics.Pct(rd/pr.Spec.FPGAReadBW))
+			for i, size := range sizes {
+				tab.AddRow(byteSize(size), metrics.GBps(rows[i].rd), metrics.GBps(rows[i].wr),
+					metrics.Pct(rows[i].rd/rows[i].peak))
 			}
+			pr := cci.NewPrototype(sim.NewEngine(), cci.DefaultPrototype())
 			sat := params.DMASaturationSize(pr.Spec.FPGAReadBW, 0.9)
 			tab.AddRow("saturation (90%)", byteSize(sat), "", "")
-			return []*metrics.Table{tab}
+			return tablesOnly(tab)
 		},
 	}
 }
@@ -245,9 +281,10 @@ func Fig15() Experiment {
 		ID:    "fig15",
 		Title: "Figure 15: client-to-proxy communication profile",
 		Paper: "V100: remote proxy wins at large sizes; P100/T4: local wins or parity",
-		Run: func(cfg Config) []*metrics.Table {
-			var tables []*metrics.Table
-			for _, spec := range []topology.Spec{topology.AWST4(), topology.SDSCP100(), topology.AWSV100()} {
+		Run: func(cfg Config) *Report {
+			specs := []topology.Spec{topology.AWST4(), topology.SDSCP100(), topology.AWSV100()}
+			tables := runner.Map(cfg.Parallel, len(specs), func(i int) *metrics.Table {
+				spec := specs[i]
 				eng := sim.NewEngine()
 				m := topology.Build(eng, spec)
 				f := cci.NewFabric(m.Topology, cci.DefaultParams())
@@ -281,9 +318,9 @@ func Fig15() Experiment {
 				}
 				tab.AddRow("threshold S", byteSize(table.ThresholdBytes), "", "")
 				tab.AddRow("partition S'", byteSize(table.PartitionBytes), "", "")
-				tables = append(tables, tab)
-			}
-			return tables
+				return tab
+			})
+			return tablesOnly(tables...)
 		},
 	}
 }
@@ -294,10 +331,13 @@ func Table1() Experiment {
 		ID:    "tab1",
 		Title: "Table I: evaluated machine instances",
 		Paper: "AWS T4, SDSC P100, AWS V100 (+2:1), multi-node V100",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Table I: machine presets",
-				"machine", "GPU", "workers", "memdevs", "p2p", "local bw", "remote bw", "nodes")
-			for _, spec := range topology.Presets() {
+		Run: func(cfg Config) *Report {
+			presets := topology.Presets()
+			type row struct {
+				cells []any
+			}
+			rows := runner.Map(cfg.Parallel, len(presets), func(i int) row {
+				spec := presets[i]
 				m := topology.Build(sim.NewEngine(), spec)
 				local := m.PathBandwidth(m.Workers[0], m.Devs[0])
 				remote := local
@@ -308,10 +348,15 @@ func Table1() Experiment {
 				if nodes < 1 {
 					nodes = 1
 				}
-				tab.AddRow(spec.Label, spec.GPU.Model, len(m.Workers), len(m.Devs),
-					fmt.Sprint(spec.P2P), metrics.GBps(local), metrics.GBps(remote), nodes)
+				return row{cells: []any{spec.Label, spec.GPU.Model, len(m.Workers), len(m.Devs),
+					fmt.Sprint(spec.P2P), metrics.GBps(local), metrics.GBps(remote), nodes}}
+			})
+			tab := metrics.NewTable("Table I: machine presets",
+				"machine", "GPU", "workers", "memdevs", "p2p", "local bw", "remote bw", "nodes")
+			for _, r := range rows {
+				tab.AddRow(r.cells...)
 			}
-			return []*metrics.Table{tab}
+			return tablesOnly(tab)
 		},
 	}
 }

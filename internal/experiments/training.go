@@ -3,12 +3,19 @@ package experiments
 import (
 	"fmt"
 
+	"coarse/internal/cci"
 	"coarse/internal/core"
 	"coarse/internal/metrics"
 	"coarse/internal/model"
+	"coarse/internal/runner"
 	"coarse/internal/topology"
 	"coarse/internal/train"
 )
+
+// throughputCell formats a throughput table cell.
+func throughputCell(res *runner.Result) string {
+	return fmt.Sprintf("%.1f samples/s", res.Train.Throughput())
+}
 
 // Fig16 reproduces the training-speedup panels: (a-d) speedup over
 // DENSE per machine and model, (e) single-node BERT-Large batch scaling
@@ -18,98 +25,126 @@ func Fig16() Experiment {
 		ID:    "fig16",
 		Title: "Figure 16: DL training speedup",
 		Paper: "COARSE 3.3-4.3x (ResNet) / 10.8-13.8x (BERT) over DENSE; 48.3% over AllReduce at batch 4; 42.7% multi-node",
-		Run: func(cfg Config) []*metrics.Table {
-			var tables []*metrics.Table
-			// Panels a-d: speedup normalized to DENSE.
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			// Panels a-d: speedup normalized to DENSE, plus the paper's
+			// additional 2:1 configuration (each memory device shared by
+			// two workers).
+			type panelIDs struct {
+				p      panel
+				m      *model.Model
+				strats []string
+				twoOne string
+			}
+			var panels []panelIDs
 			for _, p := range singleNodePanels() {
 				m := evalModel(p.model)
+				ids := panelIDs{p: p, m: m}
+				for _, strat := range strategyNames {
+					ids.strats = append(ids.strats, rs.add(stdSpec(cfg, p.spec, m, p.batch, strat)))
+				}
+				ids.twoOne = rs.add(stdSpec(cfg, topology.TwoToOne(p.spec), m, p.batch, "COARSE"))
+				panels = append(panels, ids)
+			}
+			efPanels := fig16efPanels(cfg, rs)
+
+			got, records := rs.results(cfg)
+			rep := &Report{Records: records}
+			for _, ids := range panels {
 				tab := metrics.NewTable(
-					fmt.Sprintf("Figure 16%s: %s %s batch %d (speedup vs DENSE)", p.id, p.spec.Label, m.Name, p.batch),
+					fmt.Sprintf("Figure 16%s: %s %s batch %d (speedup vs DENSE)", ids.p.id, ids.p.spec.Label, ids.m.Name, ids.p.batch),
 					"strategy", "iter time", "throughput", "speedup")
 				var denseIter float64
-				for _, strat := range strategyNames {
-					res, err := trainingRun(cfg, p.spec, m, p.batch, strat)
-					if err != nil {
+				for i, strat := range strategyNames {
+					res := got[ids.strats[i]]
+					if !res.OK() {
 						tab.AddRow(strat, "OOM", "-", "-")
 						continue
 					}
 					if strat == "DENSE" {
-						denseIter = res.IterTime.ToSeconds()
+						denseIter = res.Train.IterTime.ToSeconds()
 					}
-					tab.AddRow(strat, metrics.Ms(res.IterTime),
-						fmt.Sprintf("%.1f samples/s", res.Throughput()),
-						metrics.Speedup(denseIter/res.IterTime.ToSeconds()))
+					tab.AddRow(strat, metrics.Ms(res.Train.IterTime), throughputCell(res),
+						metrics.Speedup(denseIter/res.Train.IterTime.ToSeconds()))
 				}
-				// The paper's additional 2:1 configuration: each memory
-				// device shared by two workers; its pair of COARSE
-				// speedups per panel comes from the two configurations.
-				if res, err := trainingRun(cfg, topology.TwoToOne(p.spec), m, p.batch, "COARSE"); err == nil {
-					tab.AddRow("COARSE 2:1", metrics.Ms(res.IterTime),
-						fmt.Sprintf("%.1f samples/s", res.Throughput()),
-						metrics.Speedup(denseIter/res.IterTime.ToSeconds()))
+				if res := got[ids.twoOne]; res.OK() {
+					tab.AddRow("COARSE 2:1", metrics.Ms(res.Train.IterTime), throughputCell(res),
+						metrics.Speedup(denseIter/res.Train.IterTime.ToSeconds()))
 				}
-				tables = append(tables, tab)
+				rep.add(tab)
 			}
-			tables = append(tables, fig16ef(cfg)...)
-			return tables
+			rep.add(renderFig16ef(efPanels, got)...)
+			return rep
 		},
 	}
 }
 
-// fig16ef runs the BERT-Large batch-scaling panels. DENSE is not a
-// baseline here ("DENSE does not assume a multi-node system"); speedups
-// normalize to AllReduce at its feasible batch.
-func fig16ef(cfg Config) []*metrics.Table {
-	bert := evalModel("BERT-Large")
-	var tables []*metrics.Table
+// efRow is one row of the BERT-Large batch-scaling panels.
+type efRow struct {
+	spec  topology.Spec
+	strat string
+	batch int
+	id    string
+}
 
-	type row struct {
-		spec  topology.Spec
-		strat string
-		batch int
-	}
-	panels := []struct {
-		title string
-		rows  []row
-		base  int // index of the normalization row
-	}{
+type efPanel struct {
+	title string
+	rows  []efRow
+	base  int // index of the normalization row
+}
+
+// fig16efPanels registers the BERT-Large batch-scaling runs. DENSE is
+// not a baseline here ("DENSE does not assume a multi-node system");
+// speedups normalize to AllReduce at its feasible batch.
+func fig16efPanels(cfg Config, rs *runSet) []efPanel {
+	bert := evalModel("BERT-Large")
+	panels := []efPanel{
 		{
-			"Figure 16e: single-node BERT-Large (vs AllReduce b2)",
-			[]row{
-				{topology.AWSV100(), "AllReduce", 2},
-				{topology.AWSV100(), "AllReduce", 4},
-				{topology.AWSV100(), "COARSE", 2},
-				{topology.AWSV100(), "COARSE", 4},
+			title: "Figure 16e: single-node BERT-Large (vs AllReduce b2)",
+			rows: []efRow{
+				{spec: topology.AWSV100(), strat: "AllReduce", batch: 2},
+				{spec: topology.AWSV100(), strat: "AllReduce", batch: 4},
+				{spec: topology.AWSV100(), strat: "COARSE", batch: 2},
+				{spec: topology.AWSV100(), strat: "COARSE", batch: 4},
 			},
-			0,
 		},
 		{
-			"Figure 16f: two-node BERT-Large (vs 2-node AllReduce b2)",
-			[]row{
-				{topology.MultiNodeV100(2), "AllReduce", 2},
-				{topology.MultiNodeV100(2), "AllReduce", 4},
-				{topology.MultiNodeV100(2), "COARSE", 4},
-				{topology.AWSV100(), "COARSE", 4}, // single-node comparison row
+			title: "Figure 16f: two-node BERT-Large (vs 2-node AllReduce b2)",
+			rows: []efRow{
+				{spec: topology.MultiNodeV100(2), strat: "AllReduce", batch: 2},
+				{spec: topology.MultiNodeV100(2), strat: "AllReduce", batch: 4},
+				{spec: topology.MultiNodeV100(2), strat: "COARSE", batch: 4},
+				{spec: topology.AWSV100(), strat: "COARSE", batch: 4}, // single-node comparison row
 			},
-			0,
 		},
 	}
+	for pi := range panels {
+		for ri := range panels[pi].rows {
+			r := &panels[pi].rows[ri]
+			r.id = rs.add(stdSpec(cfg, r.spec, bert, r.batch, r.strat))
+		}
+	}
+	return panels
+}
+
+// renderFig16ef renders the registered batch-scaling panels.
+func renderFig16ef(panels []efPanel, got map[string]*runner.Result) []*metrics.Table {
+	var tables []*metrics.Table
 	for _, p := range panels {
 		tab := metrics.NewTable(p.title,
 			"machine", "strategy", "batch", "iter time", "throughput", "vs baseline")
 		var base float64
 		for i, r := range p.rows {
-			res, err := trainingRun(cfg, r.spec, bert, r.batch, r.strat)
-			if err != nil {
+			res := got[r.id]
+			if !res.OK() {
 				tab.AddRow(r.spec.Label, r.strat, r.batch, "OOM (replica does not fit)", "-", "-")
 				continue
 			}
 			if i == p.base {
-				base = res.Throughput()
+				base = res.Train.Throughput()
 			}
-			tab.AddRow(r.spec.Label, r.strat, r.batch, metrics.Ms(res.IterTime),
-				fmt.Sprintf("%.1f samples/s", res.Throughput()),
-				metrics.Pct(res.Throughput()/base-1))
+			tab.AddRow(r.spec.Label, r.strat, r.batch, metrics.Ms(res.Train.IterTime),
+				throughputCell(res), metrics.Pct(res.Train.Throughput()/base-1))
 		}
 		tables = append(tables, tab)
 	}
@@ -118,58 +153,88 @@ func fig16ef(cfg Config) []*metrics.Table {
 
 // Fig17 reproduces the blocked-communication-time breakdown: panels a-d
 // normalized to DENSE's blocked time, panels e-f normalized to
-// AllReduce's.
+// AllReduce's. Its runs share cache keys with Figure 16, so rendering
+// both figures costs one set of simulations.
 func Fig17() Experiment {
 	return Experiment{
 		ID:    "fig17",
 		Title: "Figure 17: blocked communication time",
 		Paper: "AllReduce and COARSE block <10% of DENSE; COARSE 20-42% below AllReduce on V100/P100 BERT, 18-20% above on T4",
-		Run: func(cfg Config) []*metrics.Table {
-			var tables []*metrics.Table
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			type panelIDs struct {
+				p      panel
+				m      *model.Model
+				strats []string
+			}
+			var panels []panelIDs
 			for _, p := range singleNodePanels() {
 				m := evalModel(p.model)
+				ids := panelIDs{p: p, m: m}
+				for _, strat := range strategyNames {
+					ids.strats = append(ids.strats, rs.add(stdSpec(cfg, p.spec, m, p.batch, strat)))
+				}
+				panels = append(panels, ids)
+			}
+			// Panels e-f: BERT-Large, normalized to AllReduce.
+			bert := evalModel("BERT-Large")
+			type efIDs struct {
+				spec   topology.Spec
+				ar     string
+				coarse []string // per batch 2, 4
+			}
+			var efs []efIDs
+			for _, spec := range []topology.Spec{topology.AWSV100(), topology.MultiNodeV100(2)} {
+				ids := efIDs{spec: spec, ar: rs.add(stdSpec(cfg, spec, bert, 2, "AllReduce"))}
+				for _, batch := range []int{2, 4} {
+					ids.coarse = append(ids.coarse, rs.add(stdSpec(cfg, spec, bert, batch, "COARSE")))
+				}
+				efs = append(efs, ids)
+			}
+
+			got, records := rs.results(cfg)
+			rep := &Report{Records: records}
+			for _, ids := range panels {
 				tab := metrics.NewTable(
-					fmt.Sprintf("Figure 17%s: %s %s blocked communication (normalized to DENSE)", p.id, p.spec.Label, m.Name),
+					fmt.Sprintf("Figure 17%s: %s %s blocked communication (normalized to DENSE)", ids.p.id, ids.p.spec.Label, ids.m.Name),
 					"strategy", "blocked/iter", "normalized", "GPU util")
 				var dense float64
-				for _, strat := range strategyNames {
-					res, err := trainingRun(cfg, p.spec, m, p.batch, strat)
-					if err != nil {
+				for i, strat := range strategyNames {
+					res := got[ids.strats[i]]
+					if !res.OK() {
 						tab.AddRow(strat, "OOM", "-", "-")
 						continue
 					}
 					if strat == "DENSE" {
-						dense = res.BlockedComm.ToSeconds()
+						dense = res.Train.BlockedComm.ToSeconds()
 					}
-					tab.AddRow(strat, metrics.Ms(res.BlockedComm),
-						metrics.Pct(res.BlockedComm.ToSeconds()/dense),
-						metrics.Pct(res.GPUUtil))
+					tab.AddRow(strat, metrics.Ms(res.Train.BlockedComm),
+						metrics.Pct(res.Train.BlockedComm.ToSeconds()/dense),
+						metrics.Pct(res.Train.GPUUtil))
 				}
-				tables = append(tables, tab)
+				rep.add(tab)
 			}
-			// Panels e-f: BERT-Large, normalized to AllReduce.
-			bert := evalModel("BERT-Large")
-			for _, spec := range []topology.Spec{topology.AWSV100(), topology.MultiNodeV100(2)} {
-				tab := metrics.NewTable(
-					fmt.Sprintf("Figure 17e/f: %s BERT-Large blocked communication (normalized to AllReduce)", spec.Label),
-					"strategy", "batch", "blocked/iter", "normalized")
-				ar, err := trainingRun(cfg, spec, bert, 2, "AllReduce")
-				if err != nil {
+			for _, ids := range efs {
+				ar := got[ids.ar]
+				if !ar.OK() {
 					continue
 				}
-				tab.AddRow("AllReduce", 2, metrics.Ms(ar.BlockedComm), metrics.Pct(1))
-				for _, batch := range []int{2, 4} {
-					res, err := trainingRun(cfg, spec, bert, batch, "COARSE")
-					if err != nil {
+				tab := metrics.NewTable(
+					fmt.Sprintf("Figure 17e/f: %s BERT-Large blocked communication (normalized to AllReduce)", ids.spec.Label),
+					"strategy", "batch", "blocked/iter", "normalized")
+				tab.AddRow("AllReduce", 2, metrics.Ms(ar.Train.BlockedComm), metrics.Pct(1))
+				for i, batch := range []int{2, 4} {
+					res := got[ids.coarse[i]]
+					if !res.OK() {
 						tab.AddRow("COARSE", batch, "OOM", "-")
 						continue
 					}
-					tab.AddRow("COARSE", batch, metrics.Ms(res.BlockedComm),
-						metrics.Pct(res.BlockedComm.ToSeconds()/ar.BlockedComm.ToSeconds()))
+					tab.AddRow("COARSE", batch, metrics.Ms(res.Train.BlockedComm),
+						metrics.Pct(res.Train.BlockedComm.ToSeconds()/ar.Train.BlockedComm.ToSeconds()))
 				}
-				tables = append(tables, tab)
+				rep.add(tab)
 			}
-			return tables
+			return rep
 		},
 	}
 }
@@ -181,39 +246,64 @@ func Fig10() Experiment {
 		ID:    "fig10",
 		Title: "Figure 10: FCFS deadlock vs queue-based synchronization",
 		Paper: "FCFS deadlocks when a proxy is shared; per-client queues avoid it",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Figure 10: proxy scheduling on the 2:1 machine",
-				"scheduler", "outcome", "iterations done")
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
 			m := model.MLP("crossed", 1024, 1024, 1024, 1024)
+			type row struct{ name, id string }
+			var rows []row
 			for _, sched := range []core.Scheduler{core.FCFS, core.QueueBased} {
-				opts := core.DefaultOptions()
-				opts.Scheduler = sched
-				opts.ReprofileEvery = 0
-				opts.MFraction = 1.0 // everything through the proxies
 				name := "queue-based"
 				if sched == core.FCFS {
 					name = "FCFS"
 				}
-				tcfg := train.DefaultConfig(topology.AWSV100TwoToOne(), m, 2, 2)
-				res, err := train.Run(tcfg, core.New(opts))
-				if err != nil {
-					tab.AddRow(name, "DEADLOCK: "+err.Error(), 0)
+				rows = append(rows, row{name, rs.add(runner.Spec{
+					ID:         "fig10/" + name,
+					Topology:   topology.AWSV100TwoToOne(),
+					Model:      m,
+					Batch:      2,
+					Iterations: 2,
+					NewStrategy: func() train.Strategy {
+						opts := core.DefaultOptions()
+						opts.Scheduler = sched
+						opts.ReprofileEvery = 0
+						opts.MFraction = 1.0 // everything through the proxies
+						return core.New(opts)
+					},
+				})})
+			}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Figure 10: proxy scheduling on the 2:1 machine",
+				"scheduler", "outcome", "iterations done")
+			for _, r := range rows {
+				res := got[r.id]
+				if !res.OK() {
+					tab.AddRow(r.name, "DEADLOCK: "+res.Err, 0)
 					continue
 				}
-				tab.AddRow(name, "completed in "+metrics.Ms(res.TotalTime), res.Iterations)
+				tab.AddRow(r.name, "completed in "+metrics.Ms(res.Train.TotalTime), res.Train.Iterations)
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
 
-// coarseVariantRun runs a COARSE configuration with custom options
-// (ablations bypass the shared cache since options differ).
-func coarseVariantRun(cfg Config, spec topology.Spec, m *model.Model, batch int, opts core.Options) (*train.Result, *core.Strategy, error) {
-	s := core.New(opts)
-	tcfg := train.DefaultConfig(spec, m, batch, cfg.iterations())
-	res, err := train.Run(tcfg, s)
-	return res, s, err
+// coarseVariantSpec builds an uncached runner spec for a COARSE run
+// with custom options (ablations bypass the shared cache since options
+// differ); probe pulls strategy counters into the result.
+func coarseVariantSpec(cfg Config, id string, spec topology.Spec, m *model.Model, batch int, opts core.Options, probe func(*core.Strategy, *runner.Result)) runner.Spec {
+	return runner.Spec{
+		ID:          id,
+		Topology:    spec,
+		Model:       m,
+		Batch:       batch,
+		Iterations:  cfg.iterations(),
+		NewStrategy: func() train.Strategy { return core.New(opts) },
+		Probe: func(p *runner.Probe) {
+			if probe != nil {
+				probe(p.Strategy.(*core.Strategy), p.Result)
+			}
+		},
+	}
 }
 
 // AblationRouting compares bandwidth-aware routing against always-local
@@ -223,25 +313,37 @@ func AblationRouting() Experiment {
 		ID:    "ablation-routing",
 		Title: "Ablation: tensor routing",
 		Paper: "routing exploits anti-locality; disabling it forfeits the remote-bandwidth win",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Ablation: routing on AWS V100, BERT batch 2 (all tensors proxied)",
-				"routing", "iter time", "blocked/iter", "bytes to remote proxies")
-			for _, routing := range []bool{true, false} {
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			var ids []string
+			routings := []bool{true, false}
+			for _, routing := range routings {
 				opts := core.DefaultOptions()
 				opts.Routing = routing
 				// Proxy everything so the routed path carries the full
 				// synchronization load and the mechanism's effect is
 				// visible in isolation.
 				opts.MFraction = 1.0
-				res, s, err := coarseVariantRun(cfg, topology.AWSV100(), evalModel("BERT"), 2, opts)
-				if err != nil {
-					tab.AddRow(fmt.Sprint(routing), "ERR", err.Error(), "-")
+				ids = append(ids, rs.add(coarseVariantSpec(cfg,
+					fmt.Sprintf("ablation-routing/%v", routing),
+					topology.AWSV100(), evalModel("BERT"), 2, opts,
+					func(s *core.Strategy, res *runner.Result) {
+						res.SetExtra("pushed_to_bw", byteSize(s.PushedToBw))
+					})))
+			}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Ablation: routing on AWS V100, BERT batch 2 (all tensors proxied)",
+				"routing", "iter time", "blocked/iter", "bytes to remote proxies")
+			for i, routing := range routings {
+				res := got[ids[i]]
+				if !res.OK() {
+					tab.AddRow(fmt.Sprint(routing), "ERR", res.Err, "-")
 					continue
 				}
-				tab.AddRow(fmt.Sprint(routing), metrics.Ms(res.IterTime),
-					metrics.Ms(res.BlockedComm), byteSize(s.PushedToBw))
+				tab.AddRow(fmt.Sprint(routing), metrics.Ms(res.Train.IterTime),
+					metrics.Ms(res.Train.BlockedComm), res.Extra["pushed_to_bw"])
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -253,21 +355,30 @@ func AblationPartitioning() Experiment {
 		ID:    "ablation-partition",
 		Title: "Ablation: tensor partitioning",
 		Paper: "partitioning pipelines push/pull and keeps both bus directions busy",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Ablation: partitioning on AWS V100, BERT batch 2 (all tensors proxied)",
-				"partitioning", "iter time", "blocked/iter")
-			for _, part := range []bool{true, false} {
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			var ids []string
+			parts := []bool{true, false}
+			for _, part := range parts {
 				opts := core.DefaultOptions()
 				opts.Partitioning = part
 				opts.MFraction = 1.0
-				res, _, err := coarseVariantRun(cfg, topology.AWSV100(), evalModel("BERT"), 2, opts)
-				if err != nil {
-					tab.AddRow(fmt.Sprint(part), "ERR", err.Error())
+				ids = append(ids, rs.add(coarseVariantSpec(cfg,
+					fmt.Sprintf("ablation-partition/%v", part),
+					topology.AWSV100(), evalModel("BERT"), 2, opts, nil)))
+			}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Ablation: partitioning on AWS V100, BERT batch 2 (all tensors proxied)",
+				"partitioning", "iter time", "blocked/iter")
+			for i, part := range parts {
+				res := got[ids[i]]
+				if !res.OK() {
+					tab.AddRow(fmt.Sprint(part), "ERR", res.Err)
 					continue
 				}
-				tab.AddRow(fmt.Sprint(part), metrics.Ms(res.IterTime), metrics.Ms(res.BlockedComm))
+				tab.AddRow(fmt.Sprint(part), metrics.Ms(res.Train.IterTime), metrics.Ms(res.Train.BlockedComm))
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -278,24 +389,36 @@ func AblationDualSync() Experiment {
 		ID:    "ablation-dual",
 		Title: "Ablation: dual synchronization split",
 		Paper: "Equation (1): balancing GPU and proxy paths beats either extreme",
-		Run: func(cfg Config) []*metrics.Table {
-			tab := metrics.NewTable("Ablation: dual-sync split on AWS V100, BERT batch 2",
-				"m fraction", "m", "iter time", "blocked/iter")
-			for _, mf := range []float64{-1, 0, 0.25, 0.5, 0.75, 1.0} {
+		Run: func(cfg Config) *Report {
+			rs := &runSet{}
+			var ids []string
+			fractions := []float64{-1, 0, 0.25, 0.5, 0.75, 1.0}
+			for _, mf := range fractions {
 				opts := core.DefaultOptions()
 				opts.MFraction = mf
-				res, s, err := coarseVariantRun(cfg, topology.AWSV100(), evalModel("BERT"), 2, opts)
-				if err != nil {
-					tab.AddRow(fmt.Sprint(mf), "-", "ERR", err.Error())
+				ids = append(ids, rs.add(coarseVariantSpec(cfg,
+					fmt.Sprintf("ablation-dual/%g", mf),
+					topology.AWSV100(), evalModel("BERT"), 2, opts,
+					func(s *core.Strategy, res *runner.Result) {
+						res.SetExtra("m_bytes", byteSize(s.MBytes()))
+					})))
+			}
+			got, records := rs.results(cfg)
+			tab := metrics.NewTable("Ablation: dual-sync split on AWS V100, BERT batch 2",
+				"m fraction", "m", "iter time", "blocked/iter")
+			for i, mf := range fractions {
+				res := got[ids[i]]
+				if !res.OK() {
+					tab.AddRow(fmt.Sprint(mf), "-", "ERR", res.Err)
 					continue
 				}
 				label := fmt.Sprintf("%.2f", mf)
 				if mf < 0 {
 					label = "auto (planner)"
 				}
-				tab.AddRow(label, byteSize(s.MBytes()), metrics.Ms(res.IterTime), metrics.Ms(res.BlockedComm))
+				tab.AddRow(label, res.Extra["m_bytes"], metrics.Ms(res.Train.IterTime), metrics.Ms(res.Train.BlockedComm))
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}, Records: records}
 		},
 	}
 }
@@ -307,17 +430,22 @@ func AblationSharing() Experiment {
 		ID:    "ablation-sharing",
 		Title: "Ablation: DENSE coherence sharing penalty",
 		Paper: "coherence traffic grows with sharers, shrinking payload bandwidth",
-		Run: func(cfg Config) []*metrics.Table {
-			p := topology.AWSV100()
+		Run: func(cfg Config) *Report {
 			tab := metrics.NewTable("Ablation: DENSE port bandwidth vs sharers",
 				"sharers", "effective read bw", "effective write bw")
-			cciP := train.DefaultConfig(p, evalModel("BERT"), 2, 2).CCIParams
-			for sharers := 1; sharers <= 8; sharers++ {
-				tab.AddRow(sharers,
-					metrics.GBps(cciP.SharingPenalty(cciP.LoadStoreBandwidth(false), sharers)),
-					metrics.GBps(cciP.SharingPenalty(cciP.LoadStoreBandwidth(true), sharers)))
+			cciP := cci.DefaultParams()
+			type row struct{ read, write float64 }
+			rows := runner.Map(cfg.Parallel, 8, func(i int) row {
+				sharers := i + 1
+				return row{
+					read:  cciP.SharingPenalty(cciP.LoadStoreBandwidth(false), sharers),
+					write: cciP.SharingPenalty(cciP.LoadStoreBandwidth(true), sharers),
+				}
+			})
+			for i, r := range rows {
+				tab.AddRow(i+1, metrics.GBps(r.read), metrics.GBps(r.write))
 			}
-			return []*metrics.Table{tab}
+			return &Report{Tables: []*metrics.Table{tab}}
 		},
 	}
 }

@@ -139,6 +139,13 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// tableJSON is Table's wire form.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
 // MarshalJSON renders the table as {"title", "columns", "rows"} for
 // machine consumption (coarsebench -json).
 func (t *Table) MarshalJSON() ([]byte, error) {
@@ -146,11 +153,37 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 	if rows == nil {
 		rows = [][]string{}
 	}
-	return json.Marshal(struct {
-		Title   string     `json:"title"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
-	}{t.Title, t.Columns, rows})
+	return json.Marshal(tableJSON{t.Title, t.Columns, rows})
+}
+
+// UnmarshalJSON restores a table from its wire form, so -json output
+// round-trips back into renderable tables.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	t.Title = w.Title
+	t.Columns = w.Columns
+	t.rows = w.Rows
+	if len(t.rows) == 0 {
+		t.rows = nil
+	}
+	return nil
+}
+
+// Result is one machine-readable run record: identifying labels plus
+// numeric metric values. The experiment harness attaches one Result per
+// simulation cell to coarsebench's -json output so downstream tooling
+// (regression gates, perf-trajectory tracking) can consume runs without
+// scraping rendered tables. Maps marshal with sorted keys, so encoding
+// is deterministic.
+type Result struct {
+	ID     string             `json:"id"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Extra  map[string]string  `json:"extra,omitempty"`
+	Err    string             `json:"error,omitempty"`
 }
 
 // GBps formats a bytes/sec value as GB/s for table cells.

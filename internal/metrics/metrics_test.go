@@ -101,3 +101,70 @@ func TestTableJSON(t *testing.T) {
 		t.Fatalf("empty table marshals null: %s", empty)
 	}
 }
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := NewTable("Figure R", "machine", "iter time", "speedup")
+	tab.AddRow("AWS V100", "1.500 ms", 13.3)
+	tab.AddRow("SDSC P100", "OOM", "-")
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// The round-tripped table must render byte-identically — coarsebench
+	// -json consumers can regenerate the text artifact exactly.
+	if back.String() != tab.String() {
+		t.Fatalf("round trip changed rendering:\n%s\n---\n%s", tab.String(), back.String())
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-marshal not byte-identical:\n%s\n---\n%s", data, again)
+	}
+	// Empty table round-trips too (rows [] <-> nil normalization).
+	var emptyBack Table
+	emptyData, _ := json.Marshal(NewTable("E", "c"))
+	if err := json.Unmarshal(emptyData, &emptyBack); err != nil {
+		t.Fatal(err)
+	}
+	if emptyBack.String() != NewTable("E", "c").String() {
+		t.Fatal("empty table round trip changed rendering")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := Result{
+		ID:     "fig16/AWS V100/BERT-Base/b2/COARSE/i4",
+		Labels: map[string]string{"strategy": "COARSE", "machine": "AWS V100"},
+		Values: map[string]float64{"iter_time_s": 0.0125, "gpu_util": 0.93},
+		Extra:  map[string]string{"m_bytes": "24MiB"},
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("Result round trip not byte-identical:\n%s\n---\n%s", data, again)
+	}
+	if back.Values["iter_time_s"] != 0.0125 || back.Labels["strategy"] != "COARSE" {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	// Err-only record omits empty maps.
+	failed, _ := json.Marshal(Result{ID: "x", Err: "OOM"})
+	if strings.Contains(string(failed), "labels") || strings.Contains(string(failed), "values") {
+		t.Fatalf("failed record carries empty maps: %s", failed)
+	}
+}

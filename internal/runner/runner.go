@@ -1,0 +1,285 @@
+// Package runner is the structured run harness the experiment suite is
+// built on: a RunSpec describes one training simulation cell (topology
+// preset, model, strategy, batch, iterations, derived seed) and a
+// worker-pool executor fans independent cells out across GOMAXPROCS
+// goroutines while guaranteeing byte-identical results to serial
+// execution.
+//
+// Determinism is preserved under parallelism by construction:
+//
+//   - every cell owns its engine, machine and strategy — the only
+//     shared inputs are immutable (topology.Spec values, read-only
+//     *model.Model graphs);
+//   - each cell's RNG seed is derived from the spec itself (FNV-1a over
+//     the identifying fields), never from execution order or the clock;
+//   - results are collected by index, so the output slice is identical
+//     no matter which goroutine finishes first.
+//
+// The payoff is twofold: the full coarsebench suite parallelizes
+// near-linearly on multi-core machines, and every run yields a
+// machine-readable record (metrics.Result) instead of only pre-rendered
+// text tables.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"coarse/internal/metrics"
+	"coarse/internal/model"
+	"coarse/internal/topology"
+	"coarse/internal/train"
+)
+
+// Spec describes one independent training-simulation cell.
+type Spec struct {
+	// ID uniquely labels the cell inside a batch. It names the run in
+	// records and participates in seed derivation.
+	ID string
+	// Key, when non-empty, memoizes the cell's Result in the package
+	// cache so experiments sharing a configuration (Figure 16 and 17
+	// reuse the same training runs) pay for it once. Leave empty for
+	// cells with closures the cache cannot identify (custom options,
+	// Configure/Probe hooks).
+	Key string
+
+	Topology   topology.Spec
+	Model      *model.Model
+	Batch      int
+	Iterations int
+	// Seed overrides the derived per-spec seed when non-zero.
+	Seed int64
+
+	// NewStrategy builds the cell's synchronization strategy. It runs
+	// inside the cell (possibly on a pool goroutine), so it must not
+	// touch shared mutable state.
+	NewStrategy func() train.Strategy
+	// Configure, when non-nil, adjusts the train.Config after defaults
+	// are applied (compute jitter, numeric mode, OnStart hooks...).
+	Configure func(*train.Config)
+	// Probe, when non-nil, runs after a successful training run, still
+	// inside the cell; experiments use it to pull strategy-internal
+	// counters (routed bytes, checkpoint stats) into Result.Extra.
+	Probe func(*Probe)
+}
+
+// Probe is the environment a Spec.Probe hook runs in.
+type Probe struct {
+	Trainer  *train.Trainer
+	Strategy train.Strategy
+	Result   *Result
+}
+
+// DerivedSeed returns the seed the runner will use for this spec: the
+// explicit Seed when set, otherwise an FNV-1a hash of the identifying
+// fields. Independent of execution order by construction.
+func (s Spec) DerivedSeed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	h := fnv.New64a()
+	mname := ""
+	if s.Model != nil {
+		mname = s.Model.Name
+	}
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d", s.ID, s.Topology.Label, mname, s.Batch, s.Iterations)
+	seed := int64(h.Sum64() >> 1) // keep it positive
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// Result is the structured outcome of one cell. Exactly one of Err and
+// Train is meaningful: a non-empty Err means the run failed (OOM,
+// synchronization deadlock, panic) and Train is nil.
+type Result struct {
+	ID    string            `json:"id"`
+	Seed  int64             `json:"seed"`
+	Err   string            `json:"error,omitempty"`
+	Train *train.Result     `json:"train,omitempty"`
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// SetExtra records a strategy-specific key/value on the result.
+func (r *Result) SetExtra(k, v string) {
+	if r.Extra == nil {
+		r.Extra = make(map[string]string)
+	}
+	r.Extra[k] = v
+}
+
+// OK reports whether the run completed.
+func (r *Result) OK() bool { return r.Err == "" }
+
+// Record flattens the result into the machine-readable record
+// coarsebench emits under -json.
+func (r *Result) Record() metrics.Result {
+	rec := metrics.Result{ID: r.ID, Err: r.Err, Extra: r.Extra}
+	if t := r.Train; t != nil {
+		rec.Labels = map[string]string{
+			"strategy": t.Strategy,
+			"machine":  t.Machine,
+			"model":    t.Model,
+		}
+		rec.Values = map[string]float64{
+			"batch":          float64(t.Batch),
+			"workers":        float64(t.Workers),
+			"iterations":     float64(t.Iterations),
+			"seed":           float64(r.Seed),
+			"total_time_s":   t.TotalTime.ToSeconds(),
+			"iter_time_s":    t.IterTime.ToSeconds(),
+			"compute_time_s": t.ComputeTime.ToSeconds(),
+			"blocked_comm_s": t.BlockedComm.ToSeconds(),
+			"gpu_util":       t.GPUUtil,
+			"edge_bus_util":  t.EdgeBusUtil,
+			"cci_bus_util":   t.CCIBusUtil,
+			"events":         float64(t.Events),
+			"throughput_sps": t.Throughput(),
+		}
+		for _, lu := range t.LinkUtils {
+			rec.Values["link_util/"+lu.Link] = lu.Util
+		}
+	}
+	return rec
+}
+
+// Records flattens a batch of results.
+func Records(results []*Result) []metrics.Result {
+	recs := make([]metrics.Result, len(results))
+	for i, r := range results {
+		recs[i] = r.Record()
+	}
+	return recs
+}
+
+// Pool executes independent simulation cells on a bounded set of worker
+// goroutines. The zero value runs with GOMAXPROCS workers.
+type Pool struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS.
+	Parallel int
+}
+
+func (p *Pool) workers() int {
+	if p == nil || p.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Parallel
+}
+
+// Train runs every spec and returns results aligned by index. Output is
+// byte-identical regardless of Parallel: cells share no mutable state
+// and seeds derive from the specs, so ordering cannot leak into values.
+func (p *Pool) Train(specs []Spec) []*Result {
+	return Map(p.workers(), len(specs), func(i int) *Result {
+		return runCached(specs[i])
+	})
+}
+
+// Map runs job(0..n-1) on up to parallel goroutines and returns the
+// results by index. parallel <= 0 means GOMAXPROCS; parallel == 1 runs
+// inline with no goroutines at all.
+func Map[T any](parallel, n int, job func(i int) T) []T {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	out := make([]T, n)
+	if parallel == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+	if parallel > n {
+		parallel = n
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// cache memoizes keyed cells across experiments (Figure 16 and Figure
+// 17 render different views of the same training runs). Stored Results
+// are treated as immutable; the simulation is deterministic, so a hit
+// returns exactly what recomputation would.
+var cache sync.Map // string -> *Result
+
+// ClearCache drops all memoized results (tests use it to force
+// recomputation when checking determinism).
+func ClearCache() {
+	cache.Range(func(k, _ any) bool {
+		cache.Delete(k)
+		return true
+	})
+}
+
+func runCached(s Spec) *Result {
+	if s.Key == "" {
+		return Run(s)
+	}
+	if v, ok := cache.Load(s.Key); ok {
+		return v.(*Result)
+	}
+	res := Run(s)
+	if v, loaded := cache.LoadOrStore(s.Key, res); loaded {
+		// A concurrent cell computed the same key; both computed the
+		// same values (deterministic), keep the stored one for pointer
+		// stability.
+		return v.(*Result)
+	}
+	return res
+}
+
+// Run executes one cell serially in the calling goroutine, bypassing
+// the cache. A panic inside the simulation is captured into Result.Err
+// so one bad cell cannot take down a whole suite regeneration.
+func Run(s Spec) (res *Result) {
+	res = &Result{ID: s.ID, Seed: s.DerivedSeed()}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Err = fmt.Sprintf("panic: %v", v)
+			res.Train = nil
+		}
+	}()
+	if s.NewStrategy == nil {
+		res.Err = "runner: spec has no strategy"
+		return res
+	}
+	cfg := train.DefaultConfig(s.Topology, s.Model, s.Batch, s.Iterations)
+	cfg.Seed = res.Seed
+	if s.Configure != nil {
+		s.Configure(&cfg)
+	}
+	strat := s.NewStrategy()
+	tr, err := train.New(cfg, strat)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	tres, err := tr.Run()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Train = tres
+	if s.Probe != nil {
+		s.Probe(&Probe{Trainer: tr, Strategy: strat, Result: res})
+	}
+	return res
+}

@@ -184,13 +184,23 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// enterRun guards against re-entrant dispatch: calling Run or RunUntil
+// from inside an event callback would nest dispatch loops and reorder
+// causality, so it panics loudly instead of corrupting the trace.
+func (e *Engine) enterRun(what string) {
+	if e.running {
+		panic("sim: re-entrant " + what + " (called from inside an event callback)")
+	}
+	e.running = true
+}
+
 // Run dispatches events until the queue drains, then returns the final
 // virtual time.
 func (e *Engine) Run() Time {
-	e.running = true
+	e.enterRun("Run")
+	defer func() { e.running = false }()
 	for e.Step() {
 	}
-	e.running = false
 	return e.now
 }
 
@@ -198,7 +208,8 @@ func (e *Engine) Run() Time {
 // advances the clock exactly to deadline and returns it. Events scheduled
 // after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) Time {
-	e.running = true
+	e.enterRun("RunUntil")
+	defer func() { e.running = false }()
 	for len(e.queue) > 0 {
 		next := e.peek()
 		if next == nil {
@@ -212,7 +223,6 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	if e.now < deadline {
 		e.now = deadline
 	}
-	e.running = false
 	return e.now
 }
 

@@ -313,3 +313,49 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+func TestReentrantRunPanics(t *testing.T) {
+	mustPanic := func(name string, fn func(e *Engine)) {
+		e := NewEngine()
+		panicked := false
+		e.Schedule(1, func() {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			fn(e)
+		})
+		e.Run()
+		if !panicked {
+			t.Fatalf("%s from inside an event callback did not panic", name)
+		}
+	}
+	mustPanic("Run", func(e *Engine) { e.Run() })
+	mustPanic("RunUntil", func(e *Engine) { e.RunUntil(e.Now() + 10) })
+	mustPanic("RunFor", func(e *Engine) { e.RunFor(10) })
+}
+
+func TestRunReusableAfterCompletion(t *testing.T) {
+	// The guard must only reject nesting: sequential Run calls on the
+	// same engine stay legal, including after a re-entrancy panic.
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Run()
+	e.Schedule(1, func() { fired++ })
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("sequential Runs fired %d events, want 2", fired)
+	}
+	e.Schedule(1, func() {
+		defer func() { _ = recover() }()
+		e.Run()
+	})
+	e.Run()
+	e.Schedule(1, func() { fired++ })
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("engine unusable after recovered re-entrancy panic: fired %d", fired)
+	}
+}

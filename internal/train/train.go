@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"coarse/internal/cci"
+	"coarse/internal/fabric"
 	"coarse/internal/gpu"
 	"coarse/internal/memdev"
 	"coarse/internal/model"
@@ -164,33 +165,54 @@ type Strategy interface {
 	GradientReady(it, w, layer int)
 }
 
-// Result summarizes a run.
-type Result struct {
-	Strategy   string
-	Machine    string
-	Model      string
-	Batch      int
-	Workers    int
-	Iterations int
+// LinkUtil is one link's mean utilization over a run (average of both
+// directions).
+type LinkUtil struct {
+	Link string  `json:"link"`
+	Util float64 `json:"util"`
+}
 
-	TotalTime sim.Time
+// RunMetrics is the structured, JSON-serializable measurement block of
+// a training run: every quantity the evaluation plots, as numbers
+// rather than pre-rendered text. Times marshal as virtual nanoseconds.
+type RunMetrics struct {
+	TotalTime sim.Time `json:"total_time_ns"`
 	// IterTime is the steady-state iteration time: mean over iterations
 	// after the first.
-	IterTime sim.Time
+	IterTime sim.Time `json:"iter_time_ns"`
 	// ComputeTime is the pure roofline fwd+bwd time per iteration.
-	ComputeTime sim.Time
+	ComputeTime sim.Time `json:"compute_time_ns"`
 	// BlockedComm is the mean per-iteration, per-worker stall waiting on
 	// parameter synchronization — the Figure 17 metric.
-	BlockedComm sim.Time
+	BlockedComm sim.Time `json:"blocked_comm_ns"`
 	// GPUUtil is ComputeTime / IterTime.
-	GPUUtil float64
+	GPUUtil float64 `json:"gpu_util"`
 	// EdgeBusUtil is the mean utilization of the worker GPUs' serial-bus
 	// edge links over the run — the "interconnection bandwidth
 	// utilization" the paper's abstract claims COARSE improves.
-	EdgeBusUtil float64
+	EdgeBusUtil float64 `json:"edge_bus_util"`
 	// CCIBusUtil is the mean utilization of the memory devices' CCI ring
 	// links.
-	CCIBusUtil float64
+	CCIBusUtil float64 `json:"cci_bus_util"`
+	// Events counts discrete-event dispatches — a determinism-sensitive
+	// fingerprint of the whole simulation (two runs of the same spec
+	// must dispatch exactly the same number of events).
+	Events uint64 `json:"events"`
+	// LinkUtils lists per-link utilization for the worker edge links and
+	// the CCI ring links, in topology creation order.
+	LinkUtils []LinkUtil `json:"link_utils,omitempty"`
+}
+
+// Result summarizes a run: identifying labels plus structured metrics.
+type Result struct {
+	Strategy   string `json:"strategy"`
+	Machine    string `json:"machine"`
+	Model      string `json:"model"`
+	Batch      int    `json:"batch"`
+	Workers    int    `json:"workers"`
+	Iterations int    `json:"iterations"`
+
+	RunMetrics
 }
 
 // Throughput returns samples/sec across all workers.
@@ -478,22 +500,35 @@ func (t *Trainer) result() *Result {
 			util = 1
 		}
 	}
+	edgeLinks := ctx.Machine.LinksBetween(topology.KindGPU, topology.KindPort)
+	cciLinks := ctx.Machine.LinksBetween(topology.KindMemDev, topology.KindMemDev)
+	var linkUtils []LinkUtil
+	for _, links := range [][]*fabric.Link{edgeLinks, cciLinks} {
+		for _, l := range links {
+			linkUtils = append(linkUtils, LinkUtil{
+				Link: l.Name(),
+				Util: (l.Fwd().Utilization(total) + l.Rev().Utilization(total)) / 2,
+			})
+		}
+	}
 	return &Result{
-		Strategy:    t.strat.Name(),
-		Machine:     cfg.Spec.Label,
-		Model:       cfg.Model.Name,
-		Batch:       cfg.Batch,
-		Workers:     len(ctx.Workers),
-		Iterations:  cfg.Iterations,
-		TotalTime:   total,
-		IterTime:    iterTime,
-		ComputeTime: compute,
-		BlockedComm: blocked,
-		GPUUtil:     util,
-		EdgeBusUtil: topology.MeanUtilization(
-			ctx.Machine.LinksBetween(topology.KindGPU, topology.KindPort), total),
-		CCIBusUtil: topology.MeanUtilization(
-			ctx.Machine.LinksBetween(topology.KindMemDev, topology.KindMemDev), total),
+		Strategy:   t.strat.Name(),
+		Machine:    cfg.Spec.Label,
+		Model:      cfg.Model.Name,
+		Batch:      cfg.Batch,
+		Workers:    len(ctx.Workers),
+		Iterations: cfg.Iterations,
+		RunMetrics: RunMetrics{
+			TotalTime:   total,
+			IterTime:    iterTime,
+			ComputeTime: compute,
+			BlockedComm: blocked,
+			GPUUtil:     util,
+			EdgeBusUtil: topology.MeanUtilization(edgeLinks, total),
+			CCIBusUtil:  topology.MeanUtilization(cciLinks, total),
+			Events:      ctx.Eng.Dispatched(),
+			LinkUtils:   linkUtils,
+		},
 	}
 }
 
