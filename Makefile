@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench suite ci
+.PHONY: all build test race vet bench suite telemetry-smoke ci
 
 all: build
 
@@ -33,5 +33,19 @@ bench:
 # byte-identical-output guarantee on your machine.
 suite:
 	$(GO) run ./cmd/coarsebench -quick -timing
+
+# End-to-end observability check: run one telemetry-enabled simulation,
+# verify the dump and Perfetto trace are written and byte-stable across
+# two runs, and that the inspector reads them back.
+telemetry-smoke:
+	rm -rf .telemetry-smoke && mkdir -p .telemetry-smoke
+	$(GO) run ./cmd/coarsesim -machine v100 -model bert-base -batch 2 -iters 2 \
+		-strategy COARSE -telemetry .telemetry-smoke/a.json -trace-out .telemetry-smoke/a.trace
+	$(GO) run ./cmd/coarsesim -machine v100 -model bert-base -batch 2 -iters 2 \
+		-strategy COARSE -telemetry .telemetry-smoke/b.json -trace-out .telemetry-smoke/b.trace
+	cmp .telemetry-smoke/a.json .telemetry-smoke/b.json
+	cmp .telemetry-smoke/a.trace .telemetry-smoke/b.trace
+	$(GO) run ./cmd/coarsestat .telemetry-smoke/a.json
+	rm -rf .telemetry-smoke
 
 ci: build vet test race

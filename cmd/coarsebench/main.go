@@ -47,6 +47,8 @@ func run() int {
 		"worker goroutines for independent simulation cells (1 = serial; output is identical at any setting)")
 	timing := flag.Bool("timing", false,
 		"include per-experiment wall time in output (wall time varies run to run, so output is no longer byte-stable)")
+	traceDir := flag.String("trace-dir", "",
+		"write per-cell telemetry dumps (<id>.telemetry.json) and Perfetto traces (<id>.trace.json) into this directory")
 	flag.Parse()
 
 	if *list {
@@ -56,7 +58,13 @@ func run() int {
 		return 0
 	}
 
-	cfg := experiments.Config{Quick: *quick, Parallel: *parallel}
+	cfg := experiments.Config{Quick: *quick, Parallel: *parallel, TraceDir: *traceDir}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "coarsebench:", err)
+			return 1
+		}
+	}
 	todo := experiments.All()
 	if *only != "" {
 		e, ok := experiments.ByID(*only)

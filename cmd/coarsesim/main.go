@@ -17,6 +17,7 @@ import (
 	"coarse/internal/config"
 	"coarse/internal/core"
 	"coarse/internal/paramserver"
+	"coarse/internal/telemetry"
 	"coarse/internal/trace"
 	"coarse/internal/train"
 )
@@ -53,6 +54,8 @@ func main() {
 	strategy := flag.String("strategy", "all", "DENSE, AllReduce, COARSE, CentralPS, or all")
 	jitter := flag.Float64("jitter", 0, "per-worker compute skew (0.3 = slowest worker 30% slower)")
 	traceFile := flag.String("trace", "", "write a chrome://tracing JSON timeline to this file (single-strategy runs)")
+	telemetryFile := flag.String("telemetry", "", "write the sampled time-series telemetry dump (JSON) to this exact path; single-strategy")
+	traceOut := flag.String("trace-out", "", "write a Perfetto trace with telemetry counter tracks to this exact path; single-strategy")
 	configFile := flag.String("config", "", "load a JSON scenario (overrides the other flags)")
 	flag.Parse()
 
@@ -97,6 +100,12 @@ func main() {
 			strategies = []coarse.Strategy{coarse.Strategy(*strategy)}
 		}
 	}
+	if (*telemetryFile != "" || *traceOut != "") && len(strategies) > 1 {
+		// Telemetry/trace output is one file per run; pick the paper's
+		// strategy rather than overwrite it three times.
+		fmt.Fprintln(os.Stderr, "coarsesim: -telemetry/-trace-out are single-strategy outputs; selecting COARSE (pass -strategy to choose)")
+		strategies = []coarse.Strategy{coarse.StrategyCOARSE}
+	}
 	fmt.Printf("machine=%s model=%s (%.1fM params) batch=%d iters=%d\n\n",
 		spec.Label, m.Name, float64(m.ParamElems())/1e6, *batch, *iters)
 	fmt.Printf("%-10s %14s %14s %14s %8s %14s %10s %10s\n",
@@ -105,9 +114,12 @@ func main() {
 		cfg := train.DefaultConfig(spec, m, *batch, *iters)
 		cfg.ComputeJitter = *jitter
 		var rec *trace.Recorder
-		if *traceFile != "" {
+		if *traceFile != "" || *traceOut != "" {
 			rec = trace.New()
 			cfg.Trace = rec
+		}
+		if *telemetryFile != "" || *traceOut != "" {
+			cfg.Telemetry = telemetry.NewRegistry()
 		}
 		var strat train.Strategy
 		switch s {
@@ -123,7 +135,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "coarsesim: unknown strategy %q\n", s)
 			os.Exit(1)
 		}
-		res, err := train.Run(cfg, strat)
+		tr, err := train.New(cfg, strat)
+		if err != nil {
+			fmt.Printf("%-10s %s\n", s, err)
+			continue
+		}
+		res, err := tr.Run()
 		if err != nil {
 			fmt.Printf("%-10s %s\n", s, err)
 			continue
@@ -131,17 +148,54 @@ func main() {
 		fmt.Printf("%-10s %14v %14v %14v %7.1f%% %10.1f s/s %9.1f%% %9.1f%%\n",
 			s, res.IterTime, res.ComputeTime, res.BlockedComm, 100*res.GPUUtil, res.Throughput(),
 			100*res.EdgeBusUtil, 100*res.CCIBusUtil)
-		if rec != nil {
-			f, err := os.Create(fmt.Sprintf("%s.%s.json", strings.TrimSuffix(*traceFile, ".json"), s))
+		if *traceFile != "" {
+			// Per-strategy span timeline (no counter tracks).
+			if err := writeTrace(fmt.Sprintf("%s.%s.json", strings.TrimSuffix(*traceFile, ".json"), s), rec); err != nil {
+				fmt.Fprintln(os.Stderr, "coarsesim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("           trace: %d events written\n", rec.Len())
+		}
+		dump := tr.TelemetryDump()
+		if *telemetryFile != "" {
+			f, err := os.Create(*telemetryFile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "coarsesim:", err)
 				os.Exit(1)
 			}
-			if err := rec.WriteChrome(f); err != nil {
-				fmt.Fprintln(os.Stderr, "coarsesim:", err)
-			}
+			err = dump.WriteJSON(f)
 			f.Close()
-			fmt.Printf("           trace: %d events written\n", rec.Len())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coarsesim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("           telemetry: %d series, %d samples -> %s\n",
+				len(dump.Series), len(dump.TimesNS), *telemetryFile)
+		}
+		if *traceOut != "" {
+			// Span timeline plus counter tracks for the curves worth
+			// eyeballing: instantaneous per-link utilization, per-worker
+			// running totals, and queue/backlog depths. The full series
+			// set stays in the -telemetry dump.
+			dump.EmitTraceCounters(rec, telemetry.DefaultTraceFilter)
+			if err := writeTrace(*traceOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "coarsesim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("           perfetto trace: %d events -> %s\n", rec.Len(), *traceOut)
 		}
 	}
+}
+
+// writeTrace serializes a recorder to path in Chrome trace-event format.
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

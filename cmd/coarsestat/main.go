@@ -1,0 +1,141 @@
+// Command coarsestat inspects telemetry dumps written by coarsesim
+// -telemetry or coarsebench -trace-dir: per-link saturation, per-worker
+// stall breakdowns, protocol counters, and a bottleneck summary naming
+// the most saturated link.
+//
+// Usage:
+//
+//	coarsestat out.json
+//	coarsestat -top 10 runs/*.telemetry.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coarse/internal/sim"
+	"coarse/internal/telemetry"
+)
+
+func main() {
+	top := flag.Int("top", 5, "how many links to list, most saturated first")
+	csvOut := flag.String("csv", "", "also write the time series as wide CSV to this path (single dump)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: coarsestat [-top N] [-csv out.csv] dump.json...")
+		os.Exit(2)
+	}
+	if *csvOut != "" && flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "coarsestat: -csv takes a single dump")
+		os.Exit(2)
+	}
+	for i, path := range flag.Args() {
+		if i > 0 {
+			fmt.Println()
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsestat:", err)
+			os.Exit(1)
+		}
+		d, err := telemetry.ReadDump(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsestat:", err)
+			os.Exit(1)
+		}
+		report(d, path, *top)
+		if *csvOut != "" {
+			out, err := os.Create(*csvOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coarsestat:", err)
+				os.Exit(1)
+			}
+			err = d.WriteCSV(out)
+			out.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coarsestat:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\ncsv: %d series x %d samples -> %s\n", len(d.Series), len(d.TimesNS), *csvOut)
+		}
+	}
+}
+
+func report(d *telemetry.Dump, path string, top int) {
+	fmt.Printf("%s\n", path)
+	for _, l := range d.Labels {
+		fmt.Printf("  %-10s %s\n", l.Key, l.Value)
+	}
+	fmt.Printf("  %-10s %v (%d samples, period %v)\n\n", "total", d.TotalTimeNS, len(d.TimesNS), d.PeriodNS)
+
+	links := d.LinkStats()
+	if len(links) > 0 {
+		fmt.Printf("links (mean util, most saturated first):\n")
+		fmt.Printf("  %-34s %9s %9s %12s\n", "link", "mean", "peak", "bytes")
+		for i, ls := range links {
+			if i == top {
+				fmt.Printf("  ... %d more\n", len(links)-top)
+				break
+			}
+			fmt.Printf("  %-34s %8.1f%% %8.1f%% %12s\n",
+				ls.Link, 100*ls.MeanUtil, 100*ls.PeakUtil, fmtBytes(ls.Bytes))
+		}
+		fmt.Println()
+	}
+
+	workers := d.WorkerStats()
+	if len(workers) > 0 {
+		fmt.Printf("workers (virtual-time breakdown):\n")
+		fmt.Printf("  %-8s %14s %14s %9s %9s %6s\n", "worker", "compute", "stall", "busy", "stalled", "iters")
+		for _, w := range workers {
+			total := d.TotalTimeNS
+			busy, stalled := 0.0, 0.0
+			if total > 0 {
+				busy = w.Compute.ToSeconds() / total.ToSeconds()
+				stalled = w.Stall.ToSeconds() / total.ToSeconds()
+			}
+			fmt.Printf("  %-8d %14v %14v %8.1f%% %8.1f%% %6.0f\n",
+				w.Worker, w.Compute, w.Stall, 100*busy, 100*stalled, w.Iters)
+		}
+		fmt.Println()
+	}
+
+	// Bottleneck summary: the most saturated link, plus whether workers
+	// were compute- or stall-dominated.
+	if len(links) > 0 {
+		hot := links[0]
+		fmt.Printf("bottleneck: link %s at %.1f%% mean / %.1f%% peak utilization",
+			hot.Link, 100*hot.MeanUtil, 100*hot.PeakUtil)
+		if len(workers) > 0 {
+			var comp, stall sim.Time
+			for _, w := range workers {
+				comp += w.Compute
+				stall += w.Stall
+			}
+			switch {
+			case stall > comp:
+				fmt.Printf("; workers are stall-dominated (%v stalled vs %v computing)", stall, comp)
+			case stall > 0:
+				fmt.Printf("; workers mostly overlap communication (%v stalled vs %v computing)", stall, comp)
+			default:
+				fmt.Printf("; workers fully overlap communication")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

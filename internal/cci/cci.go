@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"coarse/internal/sim"
+	"coarse/internal/telemetry"
 	"coarse/internal/topology"
 )
 
@@ -151,6 +152,18 @@ func (p Params) DMASaturationSize(linkBW, frac float64) int64 {
 type Fabric struct {
 	Topo   *topology.Topology
 	Params Params
+
+	// Telemetry handles; nil (no-op) until AttachTelemetry is called.
+	dmaOps    *telemetry.Counter
+	dmaBytes  *telemetry.Counter
+	bounceOps *telemetry.Counter
+	lsOps     *telemetry.Counter
+	lsRdBytes *telemetry.Counter
+	lsWrBytes *telemetry.Counter
+	dmaSizes  *telemetry.Histogram
+	dmaEff    *telemetry.Histogram
+	portTx    map[*topology.Device]*telemetry.Counter
+	portRx    map[*topology.Device]*telemetry.Counter
 }
 
 // NewFabric wires the protocol model to a topology.
@@ -161,6 +174,44 @@ func NewFabric(t *topology.Topology, p Params) *Fabric {
 	return &Fabric{Topo: t, Params: p}
 }
 
+// AttachTelemetry registers the protocol layer's metrics: message
+// counts and bytes per access mode, per-port (endpoint) byte counters,
+// a DMA access-size histogram, and the protocol-efficiency histogram —
+// the fraction of zero-load link bandwidth each DMA's effective
+// bandwidth reaches, which is exactly what Figures 13/14 sweep over
+// access sizes. Safe to call with a nil registry (no-op handles).
+func (f *Fabric) AttachTelemetry(reg *telemetry.Registry) {
+	f.dmaOps = reg.Counter("cci/dma/ops", "ops")
+	f.dmaBytes = reg.Counter("cci/dma/bytes", "B")
+	f.bounceOps = reg.Counter("cci/dma/bounced_ops", "ops")
+	f.lsOps = reg.Counter("cci/loadstore/ops", "ops")
+	f.lsRdBytes = reg.Counter("cci/loadstore/read_bytes", "B")
+	f.lsWrBytes = reg.Counter("cci/loadstore/write_bytes", "B")
+	f.dmaSizes = reg.Histogram("cci/dma/size_bytes", "B",
+		telemetry.ExpBuckets(4<<10, 4, 10)) // 4 KiB .. 1 GiB
+	f.dmaEff = reg.Histogram("cci/dma/efficiency", "frac",
+		telemetry.LinearBuckets(0.1, 0.1, 10)) // 0.1 .. 1.0
+	if reg == nil {
+		return
+	}
+	// Per-port byte counters for every addressable endpoint.
+	f.portTx = make(map[*topology.Device]*telemetry.Counter)
+	f.portRx = make(map[*topology.Device]*telemetry.Counter)
+	for _, d := range f.Topo.Devices() {
+		switch d.Kind {
+		case topology.KindGPU, topology.KindMemDev, topology.KindCPU:
+			f.portTx[d] = reg.Counter("cci/port/"+d.Name+"/tx_bytes", "B")
+			f.portRx[d] = reg.Counter("cci/port/"+d.Name+"/rx_bytes", "B")
+		}
+	}
+}
+
+// accountCopy records one endpoint-to-endpoint movement of size bytes.
+func (f *Fabric) accountCopy(src, dst *topology.Device, size int64) {
+	f.portTx[src].Add(float64(size))
+	f.portRx[dst].Add(float64(size))
+}
+
 // DMACopy moves size bytes from src to dst. On machines with
 // peer-to-peer support this is a single DMA over the routed path; on
 // machines without it (the paper's T4 instance) the copy bounces through
@@ -169,6 +220,15 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 	if size < 0 {
 		panic("cci: negative copy size")
 	}
+	f.dmaOps.Inc()
+	f.dmaBytes.Add(float64(size))
+	f.dmaSizes.Observe(float64(size))
+	if f.dmaEff != nil {
+		if linkBW := f.Topo.PathBandwidth(src, dst); linkBW > 0 {
+			f.dmaEff.Observe(f.Params.DMABandwidth(size, linkBW) / linkBW)
+		}
+	}
+	f.accountCopy(src, dst, size)
 	eng := f.Topo.Eng
 	if f.Topo.P2PSupported || src.Kind == topology.KindCPU || dst.Kind == topology.KindCPU {
 		eng.Schedule(f.Params.DMASetup, func() {
@@ -177,6 +237,7 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 		return
 	}
 	// Bounce through the CPU on src's node.
+	f.bounceOps.Inc()
 	cpu := f.Topo.CPUs[src.Node]
 	chunks := int64(f.Params.StageChunks)
 	base := size / chunks
@@ -214,6 +275,14 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 // bottleneck, so it is modelled as a flow whose rate is capped by
 // injecting it over the routed path in line-window rounds.
 func (f *Fabric) LoadStoreCopy(cpu, dev *topology.Device, size int64, write bool, onDone func()) {
+	f.lsOps.Inc()
+	if write {
+		f.lsWrBytes.Add(float64(size))
+		f.accountCopy(cpu, dev, size)
+	} else {
+		f.lsRdBytes.Add(float64(size))
+		f.accountCopy(dev, cpu, size)
+	}
 	bw := f.Params.LoadStoreBandwidth(write)
 	// The path's physical capacity also applies.
 	pathBW := f.Topo.PathBandwidth(cpu, dev)

@@ -16,7 +16,11 @@
 // written value) under arbitrary operation interleavings.
 package coherence
 
-import "fmt"
+import (
+	"fmt"
+
+	"coarse/internal/telemetry"
+)
 
 // State is a MESI cache-line state.
 type State uint8
@@ -87,6 +91,13 @@ type Directory struct {
 	caches    []*Cache
 	lines     map[LineAddr]*dirEntry
 	stats     Stats
+
+	// sharerHist records, per invalidating write, how many remote copies
+	// had to be killed — the sharer-count distribution behind the paper's
+	// Section III-D observation that coherence traffic grows with the
+	// number of devices sharing a region. Nil (no-op) until
+	// AttachTelemetry is called.
+	sharerHist *telemetry.Histogram
 }
 
 // NewDirectory creates a directory for lines of the given size.
@@ -106,6 +117,39 @@ func (d *Directory) NewCache() *Cache {
 	c := &Cache{id: len(d.caches), dir: d, lines: make(map[LineAddr]*cacheLine)}
 	d.caches = append(d.caches, c)
 	return c
+}
+
+// AttachTelemetry registers the protocol's message counters as lazy
+// gauges (they read the live Stats fields, so samples are exact at any
+// virtual time) plus the sharer-count distribution histogram. Safe to
+// call with a nil registry (no-op handles).
+func (d *Directory) AttachTelemetry(reg *telemetry.Registry) {
+	d.sharerHist = reg.Histogram("coherence/sharers_invalidated", "caches",
+		telemetry.LinearBuckets(1, 1, 16))
+	if reg == nil {
+		return
+	}
+	for _, g := range []struct {
+		name string
+		f    func() uint64
+	}{
+		{"coherence/read_hits", func() uint64 { return d.stats.ReadHits }},
+		{"coherence/read_misses", func() uint64 { return d.stats.ReadMisses }},
+		{"coherence/write_hits", func() uint64 { return d.stats.WriteHits }},
+		{"coherence/write_misses", func() uint64 { return d.stats.WriteMisses }},
+		{"coherence/upgrades", func() uint64 { return d.stats.Upgrades }},
+		{"coherence/invalidations", func() uint64 { return d.stats.Invalidations }},
+		{"coherence/fetches", func() uint64 { return d.stats.Fetches }},
+		{"coherence/writebacks", func() uint64 { return d.stats.Writebacks }},
+		{"coherence/control_msgs", func() uint64 { return d.stats.ControlMsgs }},
+		{"coherence/data_msgs", func() uint64 { return d.stats.DataMsgs }},
+	} {
+		f := g.f
+		reg.GaugeFunc(g.name, "msgs", func() float64 { return float64(f()) })
+	}
+	reg.GaugeFunc("coherence/traffic_bytes", "B", func() float64 {
+		return float64(d.stats.TrafficBytes(d.lineBytes))
+	})
 }
 
 // Stats returns the accumulated protocol message counts.
@@ -209,7 +253,9 @@ func (c *Cache) Write(addr LineAddr, value uint64) {
 		case Shared:
 			d.stats.Upgrades++
 			d.stats.ControlMsgs++ // upgrade request
-			d.invalidateOthers(e, addr, c.id)
+			if n := d.invalidateOthers(e, addr, c.id); n > 0 {
+				d.sharerHist.Observe(float64(n))
+			}
 			e.sharers = 0
 			e.owner = c.id
 			l.state = Modified
@@ -219,6 +265,7 @@ func (c *Cache) Write(addr LineAddr, value uint64) {
 	}
 	d.stats.WriteMisses++
 	d.stats.ControlMsgs++ // write request to home
+	killed := 0
 	if e.owner >= 0 && e.owner != c.id {
 		owner := d.caches[e.owner]
 		ol := owner.lines[addr]
@@ -230,8 +277,12 @@ func (c *Cache) Write(addr LineAddr, value uint64) {
 		ol.state = Invalid
 		d.stats.Invalidations++
 		d.stats.ControlMsgs++
+		killed++
 	}
-	d.invalidateOthers(e, addr, c.id)
+	killed += d.invalidateOthers(e, addr, c.id)
+	if killed > 0 {
+		d.sharerHist.Observe(float64(killed))
+	}
 	d.stats.DataMsgs++ // line delivered with write permission
 	e.sharers = 0
 	e.owner = c.id
@@ -266,7 +317,10 @@ func (c *Cache) setLine(addr LineAddr, st State, value uint64) {
 	c.lines[addr] = &cacheLine{state: st, value: value}
 }
 
-func (d *Directory) invalidateOthers(e *dirEntry, addr LineAddr, except int) {
+// invalidateOthers kills every shared copy except the requester's and
+// returns the number of caches invalidated.
+func (d *Directory) invalidateOthers(e *dirEntry, addr LineAddr, except int) int {
+	killed := 0
 	for id := 0; id < len(d.caches); id++ {
 		if id == except || e.sharers&(1<<uint(id)) == 0 {
 			continue
@@ -277,7 +331,9 @@ func (d *Directory) invalidateOthers(e *dirEntry, addr LineAddr, except int) {
 		}
 		d.stats.Invalidations++
 		d.stats.ControlMsgs += 2 // invalidate + ack
+		killed++
 	}
+	return killed
 }
 
 // CheckInvariants verifies the single-writer/multiple-reader property

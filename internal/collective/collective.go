@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"coarse/internal/sim"
+	"coarse/internal/telemetry"
 	"coarse/internal/tensor"
 )
 
@@ -30,6 +31,24 @@ type Ring struct {
 	// ALUBytesPerSec models the per-participant reduction throughput;
 	// zero means reduction is free (GPU reductions are bandwidth-trivial).
 	ALUBytesPerSec float64
+
+	// Telemetry handles; nil (no-op) until AttachTelemetry is called.
+	sends     *telemetry.Counter
+	sentBytes *telemetry.Counter
+}
+
+// AttachTelemetry registers <prefix>/sends and <prefix>/sent_bytes
+// counters that every ring step increments. Safe with a nil registry.
+func (r *Ring) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	r.sends = reg.Counter(prefix+"/sends", "ops")
+	r.sentBytes = reg.Counter(prefix+"/sent_bytes", "B")
+}
+
+// xmit wraps the caller's SendFunc with step accounting.
+func (r *Ring) xmit(i int, reverse bool, size int64, onDone func()) {
+	r.sends.Inc()
+	r.sentBytes.Add(float64(size))
+	r.send(i, reverse, size, onDone)
 }
 
 // NewRing creates a ring of p participants using send for transfers.
@@ -110,7 +129,7 @@ func (r *Ring) ReduceScatter(buffers [][]float32, reverse bool, onDone func()) {
 			lo, hi := segment(n, r.p, seg)
 			size := int64(hi-lo) * tensor.BytesPerElem
 			dst := r.neighbor(i, reverse)
-			r.send(i, reverse, size, func() {
+			r.xmit(i, reverse, size, func() {
 				// Payload landed: dst accumulates i's segment into its own.
 				tensor.AddSlice(buffers[dst][lo:hi], buffers[i][lo:hi])
 				r.afterCompute(size, func() {
@@ -167,7 +186,7 @@ func (r *Ring) AllGather(buffers [][]float32, reverse bool, onDone func()) {
 			lo, hi := segment(n, r.p, seg)
 			size := int64(hi-lo) * tensor.BytesPerElem
 			dst := r.neighbor(i, reverse)
-			r.send(i, reverse, size, func() {
+			r.xmit(i, reverse, size, func() {
 				copy(buffers[dst][lo:hi], buffers[i][lo:hi])
 				remaining--
 				if remaining == 0 {
@@ -201,7 +220,7 @@ func (r *Ring) Broadcast(buffers [][]float32, root int, onDone func()) {
 			return
 		}
 		dst := r.neighbor(i, false)
-		r.send(i, false, size, func() {
+		r.xmit(i, false, size, func() {
 			copy(buffers[dst], buffers[i])
 			hop(dst, hops+1)
 		})
@@ -254,7 +273,7 @@ func (r *Ring) AllReduceBytes(totalBytes int64, reverse bool, onDone func()) {
 		remaining := r.p
 		for i := 0; i < r.p; i++ {
 			size := segSize(sendSeg[i])
-			r.send(i, reverse, size, func() {
+			r.xmit(i, reverse, size, func() {
 				after := func() {
 					remaining--
 					if remaining == 0 {

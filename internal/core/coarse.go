@@ -252,7 +252,30 @@ func (s *Strategy) Setup(ctx *train.Ctx) error {
 	s.gpuRing = collective.NewRing(ctx.Eng, n, send)
 
 	s.planDualSync()
+	s.registerTelemetry()
 	return nil
+}
+
+// registerTelemetry exposes the strategy's decision counters and the
+// per-sync-group shard queue depths as lazy gauges; the trainer's
+// sampler turns them into time series. No-op without a registry.
+func (s *Strategy) registerTelemetry() {
+	reg := s.ctx.Cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("coarse/reprofiles", "count", func() float64 { return float64(s.Reprofiles) })
+	reg.GaugeFunc("coarse/pushed_bw_bytes", "B", func() float64 { return float64(s.PushedToBw) })
+	reg.GaugeFunc("coarse/pushed_lat_bytes", "B", func() float64 { return float64(s.PushedToLat) })
+	reg.GaugeFunc("coarse/gpu_synced_bytes", "B", func() float64 { return float64(s.GPUSyncedBytes) })
+	reg.GaugeFunc("coarse/pull_hits", "count", func() float64 { return float64(s.PullHits) })
+	reg.GaugeFunc("coarse/pull_misses", "count", func() float64 { return float64(s.PullMisses) })
+	s.gpuRing.AttachTelemetry(reg, "coarse/gpu_ring")
+	for i, grp := range s.pool.Groups() {
+		grp := grp
+		reg.GaugeFunc(fmt.Sprintf("coarse/syncgroup%d/queue_depth", i), "shards",
+			func() float64 { return float64(grp.QueueDepth()) })
+	}
 }
 
 // spreadBwProxies load-balances the bandwidth-friendly proxy choice:

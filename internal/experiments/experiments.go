@@ -17,13 +17,19 @@ package experiments
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"coarse/internal/core"
 	"coarse/internal/metrics"
 	"coarse/internal/model"
 	"coarse/internal/paramserver"
 	"coarse/internal/runner"
+	"coarse/internal/telemetry"
 	"coarse/internal/topology"
+	"coarse/internal/trace"
 	"coarse/internal/train"
 )
 
@@ -36,6 +42,13 @@ type Config struct {
 	// cells; <= 0 means GOMAXPROCS, 1 forces serial execution. Output
 	// is byte-identical at any setting.
 	Parallel int
+	// TraceDir, when non-empty, writes one telemetry dump
+	// (<id>.telemetry.json) and one Perfetto trace with span timelines
+	// and counter tracks (<id>.trace.json) per simulation cell into the
+	// directory; '/' in cell IDs becomes '_'. Tracing bypasses the
+	// cross-experiment memoization cache, and because sampling rides
+	// daemon events the rendered tables stay byte-identical.
+	TraceDir string
 }
 
 func (c Config) iterations() int {
@@ -158,12 +171,64 @@ func (rs *runSet) add(s runner.Spec) string {
 // results runs every accumulated spec through the pool and returns the
 // lookup-by-ID view plus the records in registration order.
 func (rs *runSet) results(cfg Config) (map[string]*runner.Result, []metrics.Result) {
-	out := cfg.pool().Train(rs.specs)
+	specs := rs.specs
+	if cfg.TraceDir != "" {
+		specs = make([]runner.Spec, len(rs.specs))
+		for i, s := range rs.specs {
+			specs[i] = withTracing(s, cfg.TraceDir)
+		}
+	}
+	out := cfg.pool().Train(specs)
 	byID := make(map[string]*runner.Result, len(out))
 	for i, r := range out {
 		byID[rs.specs[i].ID] = r
 	}
 	return byID, runner.Records(out)
+}
+
+// withTracing wraps a spec so its run records telemetry and a span
+// trace, written to dir after a successful run. File writes happen
+// inside the cell (each cell owns unique paths), so the batch stays
+// safe under the parallel pool; write errors go to stderr rather than
+// failing the run.
+func withTracing(s runner.Spec, dir string) runner.Spec {
+	rec := trace.New()
+	s.Telemetry = true
+	prevConfigure := s.Configure
+	s.Configure = func(c *train.Config) {
+		if prevConfigure != nil {
+			prevConfigure(c)
+		}
+		c.Trace = rec
+	}
+	prevProbe := s.Probe
+	s.Probe = func(p *runner.Probe) {
+		if prevProbe != nil {
+			prevProbe(p)
+		}
+		base := filepath.Join(dir, strings.ReplaceAll(s.ID, "/", "_"))
+		if d := p.Result.Telemetry; d != nil {
+			writeFileOrWarn(base+".telemetry.json", d.WriteJSON)
+			d.EmitTraceCounters(rec, telemetry.DefaultTraceFilter)
+		}
+		writeFileOrWarn(base+".trace.json", rec.WriteChrome)
+	}
+	return s
+}
+
+func writeFileOrWarn(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: trace-dir:", err)
+		return
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: trace-dir:", err)
+	}
 }
 
 // evalModel returns the model used for a figure panel; quick mode

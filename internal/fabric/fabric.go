@@ -47,13 +47,32 @@ func (c *Channel) Latency() sim.Time { return c.latency }
 // crossing this channel.
 func (c *Channel) BytesCarried() float64 { return c.bytesCarried }
 
+// CurrentRate returns the sum of the max-min rates currently allocated
+// to flows on this channel, in bytes per second. It changes only at
+// reshares, so sampling it yields the exact piecewise-constant rate
+// series.
+func (c *Channel) CurrentRate() float64 { return c.currentRate }
+
+// ActiveFlowCount returns the number of flows currently crossing the
+// channel (bandwidth phase only).
+func (c *Channel) ActiveFlowCount() int { return len(c.active) }
+
+// IntegratedBytes returns the exact integral of the channel's
+// allocated rate over [0, now] — the bytes' worth of busy time
+// accumulated so far, extrapolating the current rate from the last
+// accounting fold to now. Utilization is this integral normalized by
+// capacity*now; telemetry samples it so the dumped series integrates
+// to the run aggregates bit-for-bit.
+func (c *Channel) IntegratedBytes(now sim.Time) float64 {
+	return c.busyIntegral + c.currentRate*(now-c.lastAccount).ToSeconds()
+}
+
 // Utilization returns the mean fraction of capacity used on [0, now].
 func (c *Channel) Utilization(now sim.Time) float64 {
 	if now <= 0 || c.capacity <= 0 {
 		return 0
 	}
-	integral := c.busyIntegral + c.currentRate*(now-c.lastAccount).ToSeconds()
-	return integral / (c.capacity * now.ToSeconds())
+	return c.IntegratedBytes(now) / (c.capacity * now.ToSeconds())
 }
 
 func (c *Channel) account(now sim.Time, newRate float64) {
@@ -119,10 +138,11 @@ func (f *Flow) FinishTime() sim.Time { return f.finish }
 
 // Network owns the channels and active flows and drives rate allocation.
 type Network struct {
-	eng    *sim.Engine
-	flows  []*Flow
-	nextID uint64
-	links  []*Link
+	eng      *sim.Engine
+	flows    []*Flow
+	nextID   uint64
+	links    []*Link
+	reshares uint64 // max-min reallocation passes run so far
 }
 
 // NewNetwork creates an empty network bound to a simulation engine.
@@ -138,6 +158,11 @@ func (n *Network) Links() []*Link { return n.links }
 
 // ActiveFlows returns the number of flows in their bandwidth phase.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Reshares returns the number of max-min fair reallocation passes the
+// network has run (one per flow admission, completion, or capacity
+// change).
+func (n *Network) Reshares() uint64 { return n.reshares }
 
 // NewLink creates a full-duplex link. fwdCap and revCap are bytes per
 // second for the two directions; most physical links are symmetric but
@@ -236,6 +261,7 @@ func (n *Network) settle(now sim.Time) {
 // reallocate recomputes max-min fair rates by progressive filling and
 // reschedules every flow's completion event.
 func (n *Network) reallocate(now sim.Time) {
+	n.reshares++
 	// Collect the channels touched by active flows.
 	type chanState struct {
 		residual   float64

@@ -374,3 +374,93 @@ func TestSetLinkCapacityRejectsNonPositive(t *testing.T) {
 	}()
 	net.SetLinkCapacity(l, 0, gib)
 }
+
+func TestUtilizationExactUnderZeroDurationReshares(t *testing.T) {
+	// Several flows admitted at the *same* timestamp trigger several
+	// reallocations (and account() folds) with dt == 0 between them.
+	// The busy integral must not double-count or drop rate across those
+	// zero-duration folds: at the end, IntegratedBytes equals the bytes
+	// actually carried, exactly.
+	eng, net := newNet()
+	l := net.NewLink("pcie", 10*gib, 10*gib, 0)
+	// Three same-instant admissions at t=0 (three reshares at t=0), then
+	// two more same-instant admissions mid-flight.
+	for i := 0; i < 3; i++ {
+		net.Transfer([]*Channel{l.Fwd()}, 1*gib, nil)
+	}
+	eng.At(sim.Seconds(0.1), func() {
+		net.Transfer([]*Channel{l.Fwd()}, 1*gib, nil)
+		net.Transfer([]*Channel{l.Fwd()}, 1*gib, nil)
+	})
+	eng.Run()
+	now := eng.Now()
+	carried := l.Fwd().BytesCarried()
+	if carried != 5*gib {
+		t.Fatalf("bytes carried = %v, want 5GiB", carried)
+	}
+	integ := l.Fwd().IntegratedBytes(now)
+	if math.Abs(integ-carried) > 1e-6*carried {
+		t.Fatalf("integrated bytes %v != carried %v under zero-duration reshares", integ, carried)
+	}
+	// The link is rate-saturated whenever any flow is active, so the
+	// whole-run mean utilization is 1 up to integer-ns completion
+	// rounding.
+	if u := l.Fwd().Utilization(now); math.Abs(u-1.0) > 1e-6 {
+		t.Fatalf("utilization = %v, want ~1.0 (saturated throughout)", u)
+	}
+	// And Utilization must be exactly the normalized integral.
+	want := integ / (10 * gib * now.ToSeconds())
+	if u := l.Fwd().Utilization(now); u != want {
+		t.Fatalf("utilization %v != normalized integral %v", u, want)
+	}
+}
+
+func TestIntegratedBytesExtrapolatesMidFlight(t *testing.T) {
+	// Between reshares, IntegratedBytes must extrapolate the current
+	// piecewise-constant rate from the last accounting fold to now, so a
+	// telemetry sample taken mid-flow sees the exact partial integral.
+	eng, net := newNet()
+	l := net.NewLink("pcie", 4*gib, 4*gib, 0)
+	net.Transfer([]*Channel{l.Fwd()}, 4*gib, nil) // 1s at full rate
+	end := eng.RunUntil(sim.Seconds(0.25))
+	if end != sim.Seconds(0.25) {
+		t.Fatalf("paused at %v", end)
+	}
+	integ := l.Fwd().IntegratedBytes(eng.Now())
+	if math.Abs(integ-1*gib) > 1 { // within a byte
+		t.Fatalf("mid-flight integral = %v, want 1GiB", integ)
+	}
+	if u := l.Fwd().Utilization(eng.Now()); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("mid-flight utilization = %v, want 1.0 (link saturated so far)", u)
+	}
+	eng.Run()
+	if got := l.Fwd().IntegratedBytes(eng.Now()); math.Abs(got-4*gib) > 1e-6*4*gib {
+		t.Fatalf("final integral = %v, want 4GiB", got)
+	}
+}
+
+func TestAccountSameTimestampRateSwap(t *testing.T) {
+	// Direct unit test of account(): repeated folds at one timestamp
+	// must keep the integral fixed while tracking the latest rate, and a
+	// later fold must integrate only the most recent rate.
+	eng, net := newNet()
+	l := net.NewLink("x", 8*gib, 8*gib, 0)
+	c := l.Fwd()
+	c.account(0, 2*gib)
+	c.account(0, 8*gib) // zero-duration reshare: replaces, not accumulates
+	c.account(0, 4*gib)
+	if got := c.IntegratedBytes(0); got != 0 {
+		t.Fatalf("integral after zero-duration folds = %v, want 0", got)
+	}
+	if got := c.CurrentRate(); got != 4*gib {
+		t.Fatalf("current rate = %v, want 4GiB/s", got)
+	}
+	c.account(sim.Seconds(1), 0)
+	if got := c.IntegratedBytes(sim.Seconds(1)); math.Abs(got-4*gib) > 1e-6 {
+		t.Fatalf("integral after 1s at 4GiB/s = %v, want 4GiB", got)
+	}
+	if u := c.Utilization(sim.Seconds(1)); math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	_ = eng
+}

@@ -18,6 +18,7 @@ package paramserver
 import (
 	"coarse/internal/model"
 	"coarse/internal/sim"
+	"coarse/internal/telemetry"
 	"coarse/internal/train"
 )
 
@@ -29,6 +30,8 @@ type CentralPS struct {
 
 	ctx     *train.Ctx
 	arrived map[[2]int]int
+
+	pushes, pulls *telemetry.Counter
 }
 
 // NewCentralPS returns the baseline with a memory-bound 30 GB/s
@@ -48,6 +51,8 @@ func (s *CentralPS) WorkerStateBytes(m *model.Model) int64 { return 2 * m.ParamB
 func (s *CentralPS) Setup(ctx *train.Ctx) error {
 	s.ctx = ctx
 	s.arrived = make(map[[2]int]int)
+	s.pushes = ctx.Cfg.Telemetry.Counter("ps/pushes", "ops")
+	s.pulls = ctx.Cfg.Telemetry.Counter("ps/pulls", "ops")
 	return nil
 }
 
@@ -57,6 +62,7 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 	ctx := s.ctx
 	size := ctx.Layers()[layer].SizeBytes()
 	cpu := ctx.Machine.CPUs[ctx.Workers[w].Dev.Node]
+	s.pushes.Inc()
 	ctx.CCI.DMACopy(ctx.Workers[w].Dev, cpu, size, func() {
 		key := [2]int{it, layer}
 		s.arrived[key]++
@@ -72,6 +78,7 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 			for dst := 0; dst < ctx.NumWorkers(); dst++ {
 				dst := dst
 				dstCPU := ctx.Machine.CPUs[ctx.Workers[dst].Dev.Node]
+				s.pulls.Inc()
 				ctx.CCI.DMACopy(dstCPU, ctx.Workers[dst].Dev, size, func() {
 					ctx.MarkReady(it, dst, layer)
 				})
@@ -119,6 +126,8 @@ type DENSE struct {
 	// scales with the number of workers sharing the region.
 	writePort *pipe
 	readPort  *pipe
+
+	pushes, pulls, pushBytes, pullBytes *telemetry.Counter
 }
 
 // NewDENSE returns the baseline with an ARM-class 2 GB/s aggregation
@@ -143,6 +152,29 @@ func (s *DENSE) Setup(ctx *train.Ctx) error {
 	sharers := ctx.NumWorkers()
 	s.writePort = &pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(true), sharers)}
 	s.readPort = &pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(false), sharers)}
+	reg := ctx.Cfg.Telemetry
+	s.pushes = reg.Counter("dense/pushes", "ops")
+	s.pulls = reg.Counter("dense/pulls", "ops")
+	s.pushBytes = reg.Counter("dense/push_bytes", "B")
+	s.pullBytes = reg.Counter("dense/pull_bytes", "B")
+	if reg != nil {
+		// Port backlog: virtual time until the FIFO port drains — the
+		// queueing the shared load/store port builds up under Figure 5's
+		// all-workers-one-device contention.
+		for _, pd := range []struct {
+			name string
+			p    *pipe
+		}{{"dense/write_port/backlog_ns", s.writePort}, {"dense/read_port/backlog_ns", s.readPort}} {
+			pipe := pd.p
+			reg.GaugeFunc(pd.name, "ns", func() float64 {
+				backlog := pipe.free - ctx.Eng.Now()
+				if backlog < 0 {
+					return 0
+				}
+				return float64(backlog)
+			})
+		}
+	}
 	return nil
 }
 
@@ -160,6 +192,8 @@ func (s *DENSE) GradientReady(it, w, layer int) {
 	ctx := s.ctx
 	size := ctx.Layers()[layer].SizeBytes()
 	// Push: write into the CCI parameter region through the shared port.
+	s.pushes.Inc()
+	s.pushBytes.Add(float64(size))
 	s.writePort.transfer(size, func() {
 		key := [2]int{it, layer}
 		s.arrived[key]++
@@ -176,6 +210,8 @@ func (s *DENSE) GradientReady(it, w, layer int) {
 			// through its coherent cache and the same shared port.
 			for dst := 0; dst < ctx.NumWorkers(); dst++ {
 				dst := dst
+				s.pulls.Inc()
+				s.pullBytes.Add(float64(size))
 				s.readPort.transfer(size, func() {
 					ctx.MarkReady(it, dst, layer)
 				})

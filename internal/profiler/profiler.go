@@ -20,6 +20,12 @@ import (
 	"coarse/internal/topology"
 )
 
+// DefaultSaturationFrac is the fraction of peak bandwidth that counts
+// as "saturated" when locating the partition shard size S'. Both the
+// probing profiler (New) and the analytic fallback (AnalyticTable) use
+// it, so the two paths agree on what full bandwidth means.
+const DefaultSaturationFrac = 0.9
+
 // Measurement is one client→proxy profile row.
 type Measurement struct {
 	Proxy     int      // index into the proxies slice
@@ -77,14 +83,16 @@ func New(f *cci.Fabric) *Profiler {
 		LatProbeBytes:  4 << 10,
 		BwProbeBytes:   64 << 20,
 		SweepSizes:     sweep,
-		SaturationFrac: 0.9,
+		SaturationFrac: DefaultSaturationFrac,
 	}
 }
 
 // probe runs one transfer and returns its completion time.
 func (p *Profiler) probe(src, dst *topology.Device, size int64) sim.Time {
 	eng := p.Fabric.Topo.Eng
-	if eng.Pending() != 0 {
+	if eng.PendingForeground() != 0 {
+		// Daemon events (telemetry sampling ticks) are pure observers and
+		// don't disqualify the engine from offline profiling.
 		panic("profiler: engine busy; offline profiling requires an idle engine")
 	}
 	start := eng.Now()
@@ -159,10 +167,18 @@ func (p *Profiler) findThreshold(client, latProxy, bwProxy *topology.Device, t T
 }
 
 // AnalyticTable derives a routing table from the fabric's zero-load
-// characteristics without issuing probes. COARSE's periodic
-// re-profiling (Section III-E "dynamic profiling") uses it mid-training,
-// when offline probing would perturb live traffic.
+// characteristics without issuing probes, using DefaultSaturationFrac
+// for the partition-size search. COARSE's periodic re-profiling
+// (Section III-E "dynamic profiling") uses it mid-training, when
+// offline probing would perturb live traffic.
 func AnalyticTable(f *cci.Fabric, client *topology.Device, proxies []*topology.Device) Table {
+	return AnalyticTableFrac(f, client, proxies, DefaultSaturationFrac)
+}
+
+// AnalyticTableFrac is AnalyticTable with an explicit saturation
+// fraction, matching a probing Profiler's SaturationFrac so analytic
+// and probed tables can be compared like for like.
+func AnalyticTableFrac(f *cci.Fabric, client *topology.Device, proxies []*topology.Device, saturationFrac float64) Table {
 	if len(proxies) == 0 {
 		panic("profiler: no proxies")
 	}
@@ -205,7 +221,7 @@ func AnalyticTable(f *cci.Fabric, client *topology.Device, proxies []*topology.D
 		dInv := 1/lat.Bandwidth - 1/bw.Bandwidth
 		t.ThresholdBytes = int64(dLat / dInv)
 	}
-	t.PartitionBytes = f.Params.DMASaturationSize(bw.Bandwidth, 0.9)
+	t.PartitionBytes = f.Params.DMASaturationSize(bw.Bandwidth, saturationFrac)
 	return t
 }
 

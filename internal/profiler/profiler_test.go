@@ -208,3 +208,52 @@ func TestAnalyticTableBouncedMachine(t *testing.T) {
 			table.Measurements[0].Bandwidth, raw)
 	}
 }
+
+func TestSaturationFracSharedConstant(t *testing.T) {
+	// The probing profiler and the analytic fallback must define "full
+	// bandwidth" identically; a drifted constant would make reprofiling
+	// silently change shard sizes mid-training.
+	m, _ := rig(t, topology.AWSV100())
+	p := New(cci.NewFabric(m.Topology, cci.DefaultParams()))
+	if p.SaturationFrac != DefaultSaturationFrac {
+		t.Fatalf("probing SaturationFrac %v != DefaultSaturationFrac %v",
+			p.SaturationFrac, DefaultSaturationFrac)
+	}
+}
+
+func TestAnalyticPartitionBytesAgreesWithProbed(t *testing.T) {
+	// With the same saturation fraction, the probed shard size S' and
+	// the analytic one must land within one power-of-two rung of each
+	// other: both ladders start at 4 KiB, but probes additionally pay
+	// path latency, so the measured curve can cross the saturation
+	// fraction one step after the pure DMA model does.
+	for _, spec := range []topology.Spec{topology.SDSCP100(), topology.AWSV100()} {
+		m, p := rig(t, spec)
+		for w, worker := range m.Workers {
+			probed := p.BuildTable(worker, m.Devs)
+			analytic := AnalyticTableFrac(p.Fabric, worker, m.Devs, p.SaturationFrac)
+			lo, hi := analytic.PartitionBytes, probed.PartitionBytes
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if hi > 2*lo {
+				t.Errorf("%s worker %d: PartitionBytes probed %d vs analytic %d (more than one rung apart)",
+					spec.Label, w, probed.PartitionBytes, analytic.PartitionBytes)
+			}
+		}
+	}
+}
+
+func TestAnalyticTableFracMonotone(t *testing.T) {
+	// A stricter saturation definition can only push the shard size up.
+	m, p := rig(t, topology.AWSV100())
+	prev := int64(0)
+	for _, frac := range []float64{0.5, 0.75, 0.9, 0.99} {
+		table := AnalyticTableFrac(p.Fabric, m.Workers[0], m.Devs, frac)
+		if table.PartitionBytes < prev {
+			t.Fatalf("partition size shrank (%d -> %d) as frac rose to %v",
+				prev, table.PartitionBytes, frac)
+		}
+		prev = table.PartitionBytes
+	}
+}

@@ -29,6 +29,8 @@ import (
 
 	"coarse/internal/metrics"
 	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/telemetry"
 	"coarse/internal/topology"
 	"coarse/internal/train"
 )
@@ -63,6 +65,18 @@ type Spec struct {
 	// inside the cell; experiments use it to pull strategy-internal
 	// counters (routed bytes, checkpoint stats) into Result.Extra.
 	Probe func(*Probe)
+
+	// Telemetry enables the virtual-time metrics layer for this cell: the
+	// runner builds a fresh registry, hands it to the trainer, and stores
+	// the resulting time-series dump on Result.Telemetry. Telemetry cells
+	// bypass the memoization cache (cached Results carry no dump), and
+	// because sampling rides daemon events the measured metrics are
+	// identical to an uninstrumented run's.
+	Telemetry bool
+	// TelemetryPeriod / TelemetryMaxSamples tune the sampler; zero means
+	// the telemetry package defaults.
+	TelemetryPeriod     sim.Time
+	TelemetryMaxSamples int
 }
 
 // Probe is the environment a Spec.Probe hook runs in.
@@ -101,6 +115,9 @@ type Result struct {
 	Err   string            `json:"error,omitempty"`
 	Train *train.Result     `json:"train,omitempty"`
 	Extra map[string]string `json:"extra,omitempty"`
+	// Telemetry is the sampled time-series dump; non-nil only when the
+	// spec asked for it.
+	Telemetry *telemetry.Dump `json:"telemetry,omitempty"`
 }
 
 // SetExtra records a strategy-specific key/value on the result.
@@ -230,7 +247,7 @@ func ClearCache() {
 }
 
 func runCached(s Spec) *Result {
-	if s.Key == "" {
+	if s.Key == "" || s.Telemetry {
 		return Run(s)
 	}
 	if v, ok := cache.Load(s.Key); ok {
@@ -263,6 +280,11 @@ func Run(s Spec) (res *Result) {
 	}
 	cfg := train.DefaultConfig(s.Topology, s.Model, s.Batch, s.Iterations)
 	cfg.Seed = res.Seed
+	if s.Telemetry {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.TelemetryPeriod = s.TelemetryPeriod
+		cfg.TelemetryMaxSamples = s.TelemetryMaxSamples
+	}
 	if s.Configure != nil {
 		s.Configure(&cfg)
 	}
@@ -278,6 +300,11 @@ func Run(s Spec) (res *Result) {
 		return res
 	}
 	res.Train = tres
+	if d := tr.TelemetryDump(); d != nil {
+		d.SetLabel("id", s.ID)
+		d.SetLabel("seed", fmt.Sprint(res.Seed))
+		res.Telemetry = d
+	}
 	if s.Probe != nil {
 		s.Probe(&Probe{Trainer: tr, Strategy: strat, Result: res})
 	}

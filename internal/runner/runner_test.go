@@ -196,3 +196,86 @@ func TestProbeExtra(t *testing.T) {
 		t.Fatalf("record lost extra: %+v", rec)
 	}
 }
+
+func TestTelemetryResultsByteIdenticalAcrossParallelism(t *testing.T) {
+	// Telemetry dumps ride along in Result.Telemetry; the whole
+	// structure — series values, sample times, labels — must be
+	// byte-identical at any pool width, like every other result field.
+	build := func() []Spec {
+		var specs []Spec
+		for i := 0; i < 4; i++ {
+			s := testSpec(fmt.Sprintf("tel-%d", i))
+			s.Telemetry = true
+			s.Batch = 2 + i
+			specs = append(specs, s)
+		}
+		return specs
+	}
+	dump := func(parallel int) string {
+		pool := &Pool{Parallel: parallel}
+		out := pool.Train(build())
+		for i, r := range out {
+			if r.Telemetry == nil {
+				t.Fatalf("spec %d: telemetry requested but dump missing", i)
+			}
+		}
+		js, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(js)
+	}
+	serial := dump(1)
+	par := dump(4)
+	if serial != par {
+		t.Fatal("telemetry results differ between -parallel 1 and 4")
+	}
+}
+
+func TestTelemetrySpecsBypassCache(t *testing.T) {
+	// A memoized result would hand every caller the same *Dump; traced
+	// runs also mutate per-spec recorders. Telemetry specs therefore run
+	// fresh even when keyed.
+	ClearCache()
+	defer ClearCache()
+	var runs atomic.Int32
+	spec := testSpec("tel-cache")
+	spec.Key = "runner-test-telemetry-key"
+	spec.Telemetry = true
+	base := spec.NewStrategy
+	spec.NewStrategy = func() train.Strategy {
+		runs.Add(1)
+		return base()
+	}
+	pool := &Pool{Parallel: 1}
+	a := pool.Train([]Spec{spec})[0]
+	b := pool.Train([]Spec{spec})[0]
+	if runs.Load() != 2 {
+		t.Fatalf("telemetry spec ran %d times, want 2 (must bypass cache)", runs.Load())
+	}
+	if a.Telemetry == b.Telemetry {
+		t.Fatal("telemetry dumps aliased across runs")
+	}
+}
+
+func TestTelemetryDumpLabeledWithSpecID(t *testing.T) {
+	spec := testSpec("tel-label")
+	spec.Telemetry = true
+	res := Run(spec)
+	if !res.OK() {
+		t.Fatalf("run failed: %s", res.Err)
+	}
+	d := res.Telemetry
+	if d == nil {
+		t.Fatal("no dump")
+	}
+	if d.GetLabel("id") != "tel-label" {
+		t.Fatalf("id label = %q", d.GetLabel("id"))
+	}
+	if d.GetLabel("seed") == "" {
+		t.Fatal("seed label missing")
+	}
+	if res.Train != nil && d.TotalTimeNS != res.Train.TotalTime {
+		t.Fatalf("dump total %v != run total %v", d.TotalTimeNS, res.Train.TotalTime)
+	}
+}

@@ -49,7 +49,11 @@ type Event struct {
 	fn     func()
 	index  int // position in the heap, -1 once popped or cancelled
 	cancel bool
+	daemon bool
 }
+
+// Daemon reports whether the event was scheduled as a daemon event.
+func (e *Event) Daemon() bool { return e.daemon }
 
 // Cancelled reports whether Cancel was called on the event before it fired.
 func (e *Event) Cancelled() bool { return e.cancel }
@@ -97,6 +101,8 @@ type Engine struct {
 	seq        uint64
 	queue      eventQueue
 	dispatched uint64
+	daemons    uint64 // daemon events fired (excluded from Dispatched)
+	foreground int    // pending non-daemon events
 	running    bool
 }
 
@@ -108,11 +114,22 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of events waiting to fire.
+// Pending returns the number of events waiting to fire, daemons
+// included.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Dispatched returns the total number of events fired so far.
+// PendingForeground returns the number of non-daemon events waiting to
+// fire; the engine is idle for simulation purposes when it is zero.
+func (e *Engine) PendingForeground() int { return e.foreground }
+
+// Dispatched returns the total number of non-daemon events fired so
+// far. Daemon events (telemetry sampler ticks) are excluded, so the
+// count stays a pure fingerprint of the simulated workload: enabling
+// observability does not change it.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// DaemonsFired returns the number of daemon events fired so far.
+func (e *Engine) DaemonsFired() uint64 { return e.daemons }
 
 // Schedule registers fn to run after delay. A negative delay panics:
 // scheduling into the past would silently reorder causality.
@@ -126,6 +143,35 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 // At registers fn to run at absolute virtual time t, which must not be in
 // the past.
 func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.at(t, fn)
+	ev.daemon = false
+	e.foreground++
+	return ev
+}
+
+// ScheduleDaemon registers fn to run after delay as a daemon event.
+// Daemon events fire in timestamp order like any other event, but they
+// do not keep Run alive: once only daemon events remain queued, Run
+// returns without firing them, and they are excluded from Dispatched.
+// Observability machinery (the telemetry sampler) uses daemon events so
+// that enabling it perturbs neither the simulation's end time nor its
+// event-count fingerprint.
+func (e *Engine) ScheduleDaemon(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule with negative delay %d", delay))
+	}
+	return e.AtDaemon(e.now+delay, fn)
+}
+
+// AtDaemon registers fn as a daemon event at absolute virtual time t.
+// See ScheduleDaemon for daemon-event semantics.
+func (e *Engine) AtDaemon(t Time, fn func()) *Event {
+	ev := e.at(t, fn)
+	ev.daemon = true
+	return ev
+}
+
+func (e *Engine) at(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
@@ -150,6 +196,9 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.cancel = true
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	if !ev.daemon {
+		e.foreground--
+	}
 }
 
 // Reschedule moves a pending event to a new absolute time, preserving
@@ -166,6 +215,9 @@ func (e *Engine) Reschedule(ev *Event, t Time) {
 	ev.seq = e.seq
 	ev.fn = fn
 	heap.Push(&e.queue, ev)
+	if !ev.daemon {
+		e.foreground++
+	}
 }
 
 // Step fires the earliest pending event and advances the clock to its
@@ -177,7 +229,12 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
-		e.dispatched++
+		if ev.daemon {
+			e.daemons++
+		} else {
+			e.dispatched++
+			e.foreground--
+		}
 		ev.fn()
 		return true
 	}
@@ -194,12 +251,15 @@ func (e *Engine) enterRun(what string) {
 	e.running = true
 }
 
-// Run dispatches events until the queue drains, then returns the final
-// virtual time.
+// Run dispatches events until no foreground events remain, then returns
+// the final virtual time. Daemon events with timestamps before the last
+// foreground event fire in order; daemon events scheduled past it stay
+// queued and never fire, so a self-rescheduling daemon (the telemetry
+// sampler) cannot extend the simulation or keep Run alive.
 func (e *Engine) Run() Time {
 	e.enterRun("Run")
 	defer func() { e.running = false }()
-	for e.Step() {
+	for e.foreground > 0 && e.Step() {
 	}
 	return e.now
 }

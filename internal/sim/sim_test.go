@@ -359,3 +359,127 @@ func TestRunReusableAfterCompletion(t *testing.T) {
 		t.Fatalf("engine unusable after recovered re-entrancy panic: fired %d", fired)
 	}
 }
+
+// --- daemon events --------------------------------------------------
+
+func TestDaemonDoesNotKeepRunAlive(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.ScheduleDaemon(50, func() { fired++ })
+	eng.Schedule(10, func() {})
+	end := eng.Run()
+	if end != 10 {
+		t.Fatalf("Run ended at %v, want 10 (daemon past last foreground event must not extend it)", end)
+	}
+	if fired != 0 {
+		t.Fatal("daemon past the last foreground event fired")
+	}
+	if eng.Pending() != 1 || eng.PendingForeground() != 0 {
+		t.Fatalf("pending=%d foreground=%d, want 1/0", eng.Pending(), eng.PendingForeground())
+	}
+}
+
+func TestDaemonFiresInTimestampOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(10, func() { order = append(order, 1) })
+	eng.ScheduleDaemon(20, func() { order = append(order, 2) })
+	eng.Schedule(30, func() { order = append(order, 3) })
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestDaemonExcludedFromDispatchedFingerprint(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(10, func() {})
+	eng.ScheduleDaemon(5, func() {})
+	eng.Schedule(20, func() {})
+	eng.Run()
+	if got := eng.Dispatched(); got != 2 {
+		t.Fatalf("Dispatched = %d, want 2 (daemons excluded)", got)
+	}
+	if got := eng.DaemonsFired(); got != 1 {
+		t.Fatalf("DaemonsFired = %d, want 1", got)
+	}
+}
+
+func TestSelfReschedulingDaemonBoundedByForeground(t *testing.T) {
+	// A telemetry-sampler-style daemon that re-arms itself every tick
+	// must fire only for timestamps covered by foreground activity.
+	eng := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		eng.ScheduleDaemon(10, tick)
+	}
+	eng.ScheduleDaemon(10, tick)
+	eng.Schedule(45, func() {})
+	end := eng.Run()
+	if end != 45 {
+		t.Fatalf("end = %v, want 45", end)
+	}
+	if ticks != 4 { // t=10,20,30,40
+		t.Fatalf("daemon ticks = %d, want 4", ticks)
+	}
+}
+
+func TestCancelDaemonLeavesForegroundCount(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.ScheduleDaemon(10, func() { t.Fatal("cancelled daemon fired") })
+	eng.Schedule(20, func() {})
+	if eng.PendingForeground() != 1 {
+		t.Fatalf("foreground = %d, want 1", eng.PendingForeground())
+	}
+	eng.Cancel(ev)
+	if eng.PendingForeground() != 1 {
+		t.Fatalf("foreground after daemon cancel = %d, want 1 (unchanged)", eng.PendingForeground())
+	}
+	eng.Run()
+	if eng.DaemonsFired() != 0 {
+		t.Fatalf("DaemonsFired = %d, want 0", eng.DaemonsFired())
+	}
+}
+
+func TestRescheduleDaemonStaysDaemon(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	ev := eng.ScheduleDaemon(10, func() { fired = true })
+	eng.Reschedule(ev, 100)
+	if eng.PendingForeground() != 0 {
+		t.Fatalf("foreground = %d after daemon reschedule, want 0", eng.PendingForeground())
+	}
+	eng.Schedule(50, func() {})
+	eng.Run()
+	if fired {
+		t.Fatal("daemon rescheduled past last foreground event fired")
+	}
+	if !ev.Daemon() {
+		t.Fatal("reschedule dropped the daemon flag")
+	}
+}
+
+func TestRunUntilFiresDaemonsWithNoForeground(t *testing.T) {
+	// RunUntil drains by deadline, not by foreground count, so pure
+	// daemon ticks do fire under it (used by tests that pause mid-run).
+	eng := NewEngine()
+	fired := 0
+	eng.ScheduleDaemon(10, func() { fired++ })
+	eng.ScheduleDaemon(30, func() { fired++ })
+	end := eng.RunUntil(20)
+	if end != 20 || fired != 1 {
+		t.Fatalf("end=%v fired=%d, want 20/1", end, fired)
+	}
+}
+
+func TestNegativeDaemonDelayPanics(t *testing.T) {
+	eng := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng.ScheduleDaemon(-1, func() {})
+}

@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"coarse/internal/sim"
+	"coarse/internal/trace"
+)
+
+// Series is one sampled time series, aligned with Dump.TimesNS.
+type Series struct {
+	Name   string    `json:"name"`
+	Unit   string    `json:"unit,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// CounterDump is a counter's end-of-run total.
+type CounterDump struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramDump is a histogram's end-of-run state.
+type HistogramDump struct {
+	Name   string    `json:"name"`
+	Unit   string    `json:"unit,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1; last is +Inf
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Dump is one run's complete telemetry: identifying labels, the
+// sampled time series, and final counter/histogram state. Every field
+// is a slice or scalar (no maps), so JSON encoding is byte-stable.
+type Dump struct {
+	// Labels identify the run (strategy, machine, model, ...). Sorted
+	// by key so encoding is deterministic.
+	Labels []Label `json:"labels,omitempty"`
+
+	TotalTimeNS sim.Time `json:"total_time_ns"`
+	PeriodNS    sim.Time `json:"period_ns"`
+
+	TimesNS    []sim.Time      `json:"times_ns"`
+	Series     []Series        `json:"series"`
+	Counters   []CounterDump   `json:"counters,omitempty"`
+	Histograms []HistogramDump `json:"histograms,omitempty"`
+}
+
+// Label is one identifying key/value pair.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SetLabel adds or replaces a label, keeping the set sorted by key.
+func (d *Dump) SetLabel(key, value string) {
+	for i := range d.Labels {
+		if d.Labels[i].Key == key {
+			d.Labels[i].Value = value
+			return
+		}
+	}
+	d.Labels = append(d.Labels, Label{key, value})
+	sort.Slice(d.Labels, func(i, j int) bool { return d.Labels[i].Key < d.Labels[j].Key })
+}
+
+// GetLabel returns a label value ("" when absent).
+func (d *Dump) GetLabel(key string) string {
+	for _, l := range d.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// BuildDump assembles the run's telemetry from a finished sampler: the
+// sampled series plus the registry's final counter and histogram
+// state. Series, counters and histograms are sorted by name so the
+// dump is byte-identical across runs regardless of registration
+// interleaving.
+func BuildDump(s *Sampler) *Dump {
+	s.check()
+	d := &Dump{
+		TotalTimeNS: s.eng.Now(),
+		PeriodNS:    s.period,
+		TimesNS:     append([]sim.Time(nil), s.times...),
+	}
+	for i, vals := range s.series {
+		name, unit := s.seriesName(i)
+		d.Series = append(d.Series, Series{Name: name, Unit: unit, Values: append([]float64(nil), vals...)})
+	}
+	sort.Slice(d.Series, func(i, j int) bool { return d.Series[i].Name < d.Series[j].Name })
+	for _, c := range s.reg.counters {
+		d.Counters = append(d.Counters, CounterDump{Name: c.name, Unit: c.unit, Value: c.value})
+	}
+	sort.Slice(d.Counters, func(i, j int) bool { return d.Counters[i].Name < d.Counters[j].Name })
+	for _, h := range s.reg.hists {
+		d.Histograms = append(d.Histograms, HistogramDump{
+			Name:   h.name,
+			Unit:   h.unit,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.total,
+		})
+	}
+	sort.Slice(d.Histograms, func(i, j int) bool { return d.Histograms[i].Name < d.Histograms[j].Name })
+	return d
+}
+
+// SeriesByName returns the series with the given name, nil when absent.
+func (d *Dump) SeriesByName(name string) *Series {
+	i := sort.Search(len(d.Series), func(i int) bool { return d.Series[i].Name >= name })
+	if i < len(d.Series) && d.Series[i].Name == name {
+		return &d.Series[i]
+	}
+	return nil
+}
+
+// CounterValue returns a final counter total (0 when absent).
+func (d *Dump) CounterValue(name string) float64 {
+	for _, c := range d.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Final returns a series' last sample — the value at TotalTimeNS — and
+// false when the series is missing or empty.
+func (d *Dump) Final(name string) (float64, bool) {
+	s := d.SeriesByName(name)
+	if s == nil || len(s.Values) == 0 {
+		return 0, false
+	}
+	return s.Values[len(s.Values)-1], true
+}
+
+// Max returns a series' maximum sample, 0 when missing or empty.
+func (d *Dump) Max(name string) float64 {
+	s := d.SeriesByName(name)
+	if s == nil {
+		return 0
+	}
+	max := 0.0
+	for i, v := range s.Values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// WriteJSON serializes the dump as indented JSON. Output is
+// byte-deterministic: the dump holds no maps and all slices are
+// sorted at build time.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses a dump written by WriteJSON.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("telemetry: parse dump: %w", err)
+	}
+	for _, s := range d.Series {
+		if len(s.Values) != len(d.TimesNS) {
+			return nil, fmt.Errorf("telemetry: series %q has %d samples, times has %d",
+				s.Name, len(s.Values), len(d.TimesNS))
+		}
+	}
+	return &d, nil
+}
+
+// WriteCSV writes the time series as one wide CSV table: a time_ns
+// column followed by one column per series, in sorted name order.
+func (d *Dump) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.Series)+1)
+	header = append(header, "time_ns")
+	for _, s := range d.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, t := range d.TimesNS {
+		row[0] = strconv.FormatInt(int64(t), 10)
+		for j, s := range d.Series {
+			row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// EmitTraceCounters records Chrome/Perfetto counter tracks for every
+// series accepted by filter (nil accepts all). Each series becomes one
+// counter track named after the metric, with one counter event per
+// sample, so link-utilization and queue-depth curves render alongside
+// the trainer's span timeline in the same trace file.
+func (d *Dump) EmitTraceCounters(rec *trace.Recorder, filter func(name string) bool) {
+	if rec == nil {
+		return
+	}
+	for _, s := range d.Series {
+		if filter != nil && !filter(s.Name) {
+			continue
+		}
+		for i, v := range s.Values {
+			rec.Counter(s.Name, s.Name, d.TimesNS[i], v)
+		}
+	}
+}
+
+// DefaultTraceFilter selects the series worth rendering as Perfetto
+// counter tracks: instantaneous per-link utilization, per-worker
+// running totals, and queue/backlog depths. The full series set stays
+// in the JSON dump; emitting every series as a counter track makes the
+// trace an order of magnitude larger without adding insight.
+func DefaultTraceFilter(name string) bool {
+	return strings.HasSuffix(name, "/util") ||
+		strings.HasPrefix(name, "train/") ||
+		strings.HasSuffix(name, "/queue_depth") ||
+		strings.HasSuffix(name, "/backlog_ns")
+}
+
+// LinkUtilization returns the run-mean utilization of a link derived
+// from the integrated fabric series: the average of the two
+// directions' final mean_util samples. ok is false when the link has
+// no fabric series in the dump.
+func (d *Dump) LinkUtilization(link string) (util float64, ok bool) {
+	fwd, okF := d.Final("fabric/" + link + "/fwd/mean_util")
+	rev, okR := d.Final("fabric/" + link + "/rev/mean_util")
+	if !okF || !okR {
+		return 0, false
+	}
+	return (fwd + rev) / 2, true
+}
+
+// LinkNames returns every link with fabric series in the dump, sorted.
+func (d *Dump) LinkNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range d.Series {
+		rest, ok := strings.CutPrefix(s.Name, "fabric/")
+		if !ok {
+			continue
+		}
+		link, ok := strings.CutSuffix(rest, "/fwd/mean_util")
+		if !ok {
+			continue
+		}
+		if !seen[link] {
+			seen[link] = true
+			names = append(names, link)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LinkStat summarizes one link for the inspector.
+type LinkStat struct {
+	Link     string  // link name
+	MeanUtil float64 // run-mean utilization, avg of both directions
+	PeakUtil float64 // peak sampled instantaneous utilization, either direction
+	Bytes    float64 // integrated bytes carried, both directions
+}
+
+// LinkStats summarizes every link in the dump, sorted by descending
+// mean utilization (ties by name, so the order is total).
+func (d *Dump) LinkStats() []LinkStat {
+	var out []LinkStat
+	for _, link := range d.LinkNames() {
+		mean, _ := d.LinkUtilization(link)
+		peak := d.Max("fabric/" + link + "/fwd/util")
+		if p := d.Max("fabric/" + link + "/rev/util"); p > peak {
+			peak = p
+		}
+		fwdB, _ := d.Final("fabric/" + link + "/fwd/cum_bytes")
+		revB, _ := d.Final("fabric/" + link + "/rev/cum_bytes")
+		out = append(out, LinkStat{Link: link, MeanUtil: mean, PeakUtil: peak, Bytes: fwdB + revB})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanUtil != out[j].MeanUtil {
+			return out[i].MeanUtil > out[j].MeanUtil
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// WorkerStat summarizes one worker's time breakdown for the inspector.
+type WorkerStat struct {
+	Worker  int
+	Compute sim.Time // accumulated roofline compute
+	Stall   sim.Time // accumulated forward-pass stall
+	Iters   float64  // iterations completed
+}
+
+// WorkerStats extracts per-worker breakdowns from the train/* series,
+// in worker order.
+func (d *Dump) WorkerStats() []WorkerStat {
+	var out []WorkerStat
+	for w := 0; ; w++ {
+		prefix := fmt.Sprintf("train/worker%d/", w)
+		comp, ok := d.Final(prefix + "compute_ns")
+		if !ok {
+			break
+		}
+		stall, _ := d.Final(prefix + "stall_ns")
+		iters, _ := d.Final(prefix + "iters_done")
+		out = append(out, WorkerStat{Worker: w, Compute: sim.Time(comp), Stall: sim.Time(stall), Iters: iters})
+	}
+	return out
+}

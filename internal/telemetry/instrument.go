@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"coarse/internal/fabric"
+	"coarse/internal/sim"
+)
+
+// RegisterLinks registers the standard per-channel gauge set for every
+// link: instantaneous allocated rate and active-flow count (the
+// piecewise-constant state each max-min reshare produces), the exact
+// running integral of allocated rate ("cum_bytes"), instantaneous
+// utilization, and running-mean utilization. The mean_util series'
+// final sample equals fabric.Channel.Utilization(TotalTime) to the
+// bit, which is what makes the dump a correctness oracle for
+// RunMetrics' aggregates.
+func RegisterLinks(r *Registry, eng *sim.Engine, links []*fabric.Link) {
+	if r == nil {
+		return
+	}
+	for _, l := range links {
+		for _, dc := range []struct {
+			dir string
+			c   *fabric.Channel
+		}{{"fwd", l.Fwd()}, {"rev", l.Rev()}} {
+			c := dc.c
+			base := "fabric/" + l.Name() + "/" + dc.dir
+			r.GaugeFunc(base+"/rate_bps", "B/s", c.CurrentRate)
+			r.GaugeFunc(base+"/flows", "flows", func() float64 {
+				return float64(c.ActiveFlowCount())
+			})
+			r.GaugeFunc(base+"/cum_bytes", "B", func() float64 {
+				return c.IntegratedBytes(eng.Now())
+			})
+			r.GaugeFunc(base+"/util", "frac", func() float64 {
+				if c.Capacity() <= 0 {
+					return 0
+				}
+				return c.CurrentRate() / c.Capacity()
+			})
+			r.GaugeFunc(base+"/mean_util", "frac", func() float64 {
+				return c.Utilization(eng.Now())
+			})
+		}
+	}
+}
+
+// RegisterNetwork registers network-wide fabric gauges: the reshare
+// count (how many max-min reallocation passes have run) and the
+// currently active flow count.
+func RegisterNetwork(r *Registry, n *fabric.Network) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("fabric/reshares", "count", func() float64 { return float64(n.Reshares()) })
+	r.GaugeFunc("fabric/active_flows", "flows", func() float64 { return float64(n.ActiveFlows()) })
+}

@@ -1,0 +1,299 @@
+// Package telemetry is the simulation's virtual-time observability
+// layer: a deterministic metrics registry (counters, gauges,
+// histograms) plus a periodic Sampler that turns registry state into
+// time series driven by sim.Engine daemon events.
+//
+// The paper's central claims are about dynamics — when a link
+// saturates (Figure 9), how coherence traffic grows with sharers
+// (Section III-D), where workers stall (Figure 17) — yet end-of-run
+// aggregates flatten all of it. This package records the dynamics
+// without perturbing them:
+//
+//   - sampling rides daemon events, which neither extend the
+//     simulation nor count toward the engine's event fingerprint, so a
+//     run's RunMetrics are bit-identical with telemetry on or off;
+//   - every structure is allocation-bounded: the sampler decimates
+//     (drops every other sample and doubles its period) when it hits
+//     its sample cap, and histograms have fixed bucket layouts;
+//   - everything is deterministic: metric registration order is the
+//     single-threaded instrumentation order, dumps sort series by
+//     name, and no map iteration reaches an output.
+//
+// Instrumented layers hold possibly-nil metric handles and update them
+// unconditionally — a nil *Counter, *Gauge or *Histogram is a no-op,
+// mirroring trace.Recorder's nil-receiver convention — so the
+// instrumentation costs nothing when telemetry is disabled.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically non-decreasing metric: bytes pushed,
+// messages sent, accumulated stall nanoseconds. A nil *Counter is
+// valid and ignores updates.
+type Counter struct {
+	name  string
+	unit  string
+	value float64
+}
+
+// Add increments the counter. Negative deltas panic: a counter that
+// can decrease is a gauge.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	if v < 0 {
+		panic(fmt.Sprintf("telemetry: counter %q add %v", c.name, v))
+	}
+	c.value += v
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total; zero for a nil counter.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.value
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an instantaneous value. It is either set explicitly (Set)
+// or backed by a read function registered with GaugeFunc, in which
+// case the sampler evaluates it lazily at each tick. A nil *Gauge is
+// valid and ignores updates.
+type Gauge struct {
+	name  string
+	unit  string
+	value float64
+	fn    func() float64
+}
+
+// Set stores the gauge's current value. Panics on a function-backed
+// gauge: its value comes from the read function.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	if g.fn != nil {
+		panic(fmt.Sprintf("telemetry: Set on function gauge %q", g.name))
+	}
+	g.value = v
+}
+
+// Value returns the gauge's current value, evaluating the read
+// function when one is registered; zero for a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.value
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Histogram counts observations into fixed buckets. Bounds are
+// inclusive upper edges; an implicit +Inf bucket catches the rest.
+// A nil *Histogram is valid and ignores observations.
+type Histogram struct {
+	name   string
+	unit   string
+	bounds []float64
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations; zero for a nil histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean observation, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Buckets returns the bucket upper bounds and the parallel counts
+// (len(counts) == len(bounds)+1; the final count is the +Inf bucket).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	return h.bounds, h.counts
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// lo with the given growth factor — the standard layout for byte-size
+// and duration histograms.
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	if lo <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets wants lo > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket bounds lo, lo+step, ... — used for
+// small-integer distributions like sharer counts.
+func LinearBuckets(lo, step float64, n int) []float64 {
+	if step <= 0 || n < 1 {
+		panic("telemetry: LinearBuckets wants step > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Registry holds one run's metrics. The zero value is not usable; a
+// nil *Registry is valid everywhere and registers nothing, returning
+// nil metric handles whose updates are no-ops — call sites never need
+// an enablement check.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Enabled reports whether the registry collects anything (false for
+// nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+func (r *Registry) claim(name string) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	if r.names[name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.names[name] = true
+}
+
+// Counter registers a counter; nil registry returns nil.
+func (r *Registry) Counter(name, unit string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	c := &Counter{name: name, unit: unit}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers a set-style gauge; nil registry returns nil.
+func (r *Registry) Gauge(name, unit string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	g := &Gauge{name: name, unit: unit}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read lazily from fn at
+// each sampler tick; nil registry returns nil.
+func (r *Registry) GaugeFunc(name, unit string, fn func() float64) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("telemetry: nil read function for gauge %q", name))
+	}
+	r.claim(name)
+	g := &Gauge{name: name, unit: unit, fn: fn}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers a histogram with the given inclusive upper
+// bucket bounds (must be sorted ascending); nil registry returns nil.
+func (r *Registry) Histogram(name, unit string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q without buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	r.claim(name)
+	h := &Histogram{
+		name:   name,
+		unit:   unit,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// NumMetrics returns the number of registered metrics of all kinds.
+func (r *Registry) NumMetrics() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.counters) + len(r.gauges) + len(r.hists)
+}

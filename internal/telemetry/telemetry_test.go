@@ -1,0 +1,401 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coarse/internal/sim"
+)
+
+// --- nil-safety ------------------------------------------------------
+
+func TestNilRegistryReturnsNilHandles(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	if c := r.Counter("x", "B"); c != nil {
+		t.Fatal("nil registry returned a counter")
+	}
+	if g := r.Gauge("x", "B"); g != nil {
+		t.Fatal("nil registry returned a gauge")
+	}
+	if g := r.GaugeFunc("x", "B", func() float64 { return 1 }); g != nil {
+		t.Fatal("nil registry returned a func gauge")
+	}
+	if h := r.Histogram("x", "B", []float64{1}); h != nil {
+		t.Fatal("nil registry returned a histogram")
+	}
+	if r.NumMetrics() != 0 {
+		t.Fatal("nil registry has metrics")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter not inert")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 || g.Name() != "" {
+		t.Fatal("nil gauge not inert")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	if b, n := h.Buckets(); b != nil || n != nil {
+		t.Fatal("nil histogram has buckets")
+	}
+}
+
+// --- registration ----------------------------------------------------
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestDuplicateMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "B")
+	mustPanic(t, "counter/counter", func() { r.Counter("dup", "B") })
+	mustPanic(t, "counter/gauge", func() { r.Gauge("dup", "B") })
+	mustPanic(t, "counter/histogram", func() { r.Histogram("dup", "B", []float64{1}) })
+	mustPanic(t, "empty name", func() { r.Counter("", "B") })
+}
+
+func TestCounterRejectsNegativeAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "B")
+	mustPanic(t, "negative add", func() { c.Add(-1) })
+}
+
+func TestFunctionGaugeRejectsSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeFunc("g", "", func() float64 { return 7 })
+	if g.Value() != 7 {
+		t.Fatalf("func gauge value = %v", g.Value())
+	}
+	mustPanic(t, "set on func gauge", func() { g.Set(1) })
+	mustPanic(t, "nil read fn", func() { r.GaugeFunc("g2", "", nil) })
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "no buckets", func() { r.Histogram("h0", "", nil) })
+	mustPanic(t, "unsorted", func() { r.Histogram("h1", "", []float64{2, 1}) })
+	mustPanic(t, "duplicate bound", func() { r.Histogram("h2", "", []float64{1, 1}) })
+}
+
+// --- histogram semantics --------------------------------------------
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "B", LinearBuckets(1, 1, 3)) // bounds 1,2,3 + Inf
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 99} {
+		h.Observe(v)
+	}
+	_, counts := h.Buckets()
+	// Bounds are inclusive upper edges: 0.5,1 -> [<=1]; 1.5,2 -> (1,2];
+	// 3 -> (2,3]; 99 -> +Inf.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != (0.5+1+1.5+2+3+99)/6 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(4096, 2, 4)
+	want := []float64{4096, 8192, 16384, 32768}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", b)
+		}
+	}
+	mustPanic(t, "bad lo", func() { ExpBuckets(0, 2, 3) })
+	mustPanic(t, "bad step", func() { LinearBuckets(0, 0, 3) })
+}
+
+// --- sampler ---------------------------------------------------------
+
+// busyUntil keeps foreground events firing every tick until end so the
+// daemon sampler has a workload to ride on.
+func busyUntil(eng *sim.Engine, step, end sim.Time) {
+	var next func()
+	next = func() {
+		if eng.Now() < end {
+			eng.Schedule(step, next)
+		}
+	}
+	eng.Schedule(0, next)
+}
+
+func TestSamplerSamplesCountersAndGauges(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	c := r.Counter("bytes", "B")
+	r.GaugeFunc("clock_ns", "ns", func() float64 { return float64(eng.Now()) })
+	s := NewSampler(eng, r, 10, 0)
+	busyUntil(eng, 5, 100)
+	eng.Schedule(1, func() { c.Add(3) })
+	s.Start()
+	eng.Run()
+	s.Finish()
+	d := BuildDump(s)
+	if d.TotalTimeNS != 100 {
+		t.Fatalf("total time = %v", d.TotalTimeNS)
+	}
+	if len(d.TimesNS) < 3 || d.TimesNS[0] != 0 || d.TimesNS[len(d.TimesNS)-1] != 100 {
+		t.Fatalf("times = %v, want 0..100", d.TimesNS)
+	}
+	bs := d.SeriesByName("bytes")
+	if bs == nil || bs.Values[0] != 0 || bs.Values[len(bs.Values)-1] != 3 {
+		t.Fatalf("bytes series = %+v", bs)
+	}
+	cs := d.SeriesByName("clock_ns")
+	for i, v := range cs.Values {
+		if v != float64(d.TimesNS[i]) {
+			t.Fatalf("lazy gauge sampled %v at t=%v", v, d.TimesNS[i])
+		}
+	}
+}
+
+func TestSamplerDoesNotExtendRun(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	r.Counter("c", "")
+	s := NewSampler(eng, r, 10, 0)
+	eng.Schedule(25, func() {})
+	before := eng.Dispatched()
+	s.Start()
+	end := eng.Run()
+	s.Finish()
+	if end != 25 {
+		t.Fatalf("run end = %v, want 25 (sampler must not extend the run)", end)
+	}
+	if eng.Dispatched()-before != 1 {
+		t.Fatalf("sampler perturbed the dispatched-event fingerprint: %d", eng.Dispatched()-before)
+	}
+	if eng.DaemonsFired() == 0 {
+		t.Fatal("sampler ticks did not ride daemon events")
+	}
+}
+
+func TestSamplerDecimatesAtCap(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	s := NewSampler(eng, r, 10, 8)
+	busyUntil(eng, 5, 1000)
+	eng.Schedule(0, func() { c.Add(1) })
+	s.Start()
+	eng.Run()
+	s.Finish()
+	if got := s.Len(); got > 9 { // cap + the final Finish sample
+		t.Fatalf("samples = %d, want <= 9 (decimation failed)", got)
+	}
+	if s.Period() <= 10 {
+		t.Fatalf("period = %v, want doubled past 10 after decimation", s.Period())
+	}
+	d := BuildDump(s)
+	if d.TimesNS[0] != 0 {
+		t.Fatal("decimation dropped the t=0 sample")
+	}
+	if last := d.TimesNS[len(d.TimesNS)-1]; last != 1000 {
+		t.Fatalf("final sample at %v, want 1000", last)
+	}
+	for i := 1; i < len(d.TimesNS); i++ {
+		if d.TimesNS[i] <= d.TimesNS[i-1] {
+			t.Fatalf("times not strictly increasing: %v", d.TimesNS)
+		}
+	}
+}
+
+func TestSamplerFinishIdempotentSampleInstant(t *testing.T) {
+	// When the last tick lands exactly on the run's end, Finish must not
+	// append a duplicate timestamp.
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	r.Counter("c", "")
+	s := NewSampler(eng, r, 10, 0)
+	eng.Schedule(20, func() {})
+	s.Start()
+	eng.Run()
+	s.Finish()
+	seen := map[sim.Time]bool{}
+	for _, ts := range s.times {
+		if seen[ts] {
+			t.Fatalf("duplicate sample timestamp %v", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestSamplerStartTwicePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSampler(eng, NewRegistry(), 0, 0)
+	s.Start()
+	mustPanic(t, "double start", func() { s.Start() })
+}
+
+func TestSamplerFinishBeforeStartPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSampler(eng, NewRegistry(), 0, 0)
+	mustPanic(t, "finish before start", func() { s.Finish() })
+}
+
+// --- dump ------------------------------------------------------------
+
+// buildSmallDump runs a tiny sampled workload with metrics registered
+// in the given order and returns its dump.
+func buildSmallDump(order []string) *Dump {
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	for _, name := range order {
+		switch name {
+		case "alpha":
+			r.Counter("alpha", "B").Add(2)
+		case "beta":
+			r.Gauge("beta", "ops").Set(5)
+		case "hist":
+			r.Histogram("hist", "B", []float64{1, 2}).Observe(1.5)
+		}
+	}
+	s := NewSampler(eng, r, 10, 0)
+	eng.Schedule(30, func() {})
+	s.Start()
+	eng.Run()
+	s.Finish()
+	d := BuildDump(s)
+	d.SetLabel("strategy", "COARSE")
+	d.SetLabel("machine", "test")
+	return d
+}
+
+func TestDumpJSONIndependentOfRegistrationOrder(t *testing.T) {
+	d1 := buildSmallDump([]string{"alpha", "beta", "hist"})
+	d2 := buildSmallDump([]string{"hist", "beta", "alpha"})
+	var b1, b2 bytes.Buffer
+	if err := d1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("dump JSON depends on registration order:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	d := buildSmallDump([]string{"alpha", "beta", "hist"})
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTimeNS != d.TotalTimeNS || len(got.Series) != len(d.Series) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, d)
+	}
+	if got.GetLabel("strategy") != "COARSE" {
+		t.Fatalf("label lost: %q", got.GetLabel("strategy"))
+	}
+	if v, ok := got.Final("alpha"); !ok || v != 2 {
+		t.Fatalf("Final(alpha) = %v,%v", v, ok)
+	}
+	if got.CounterValue("alpha") != 2 {
+		t.Fatalf("CounterValue(alpha) = %v", got.CounterValue("alpha"))
+	}
+	if len(got.Histograms) != 1 || got.Histograms[0].Count != 1 {
+		t.Fatalf("histogram lost: %+v", got.Histograms)
+	}
+}
+
+func TestReadDumpRejectsRaggedSeries(t *testing.T) {
+	in := `{"total_time_ns":10,"period_ns":5,"times_ns":[0,10],
+	        "series":[{"name":"x","values":[1]}]}`
+	if _, err := ReadDump(strings.NewReader(in)); err == nil {
+		t.Fatal("ragged dump accepted")
+	}
+}
+
+func TestDumpCSV(t *testing.T) {
+	d := buildSmallDump([]string{"alpha", "beta"})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time_ns,alpha,beta" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 1+len(d.TimesNS) {
+		t.Fatalf("csv rows = %d, want %d", len(lines)-1, len(d.TimesNS))
+	}
+}
+
+func TestDumpSeriesLookupAndMax(t *testing.T) {
+	d := buildSmallDump([]string{"alpha", "beta"})
+	if d.SeriesByName("nope") != nil {
+		t.Fatal("missing series found")
+	}
+	if _, ok := d.Final("nope"); ok {
+		t.Fatal("Final on missing series ok")
+	}
+	if got := d.Max("beta"); got != 5 {
+		t.Fatalf("Max(beta) = %v", got)
+	}
+	if got := d.Max("nope"); got != 0 {
+		t.Fatalf("Max(nope) = %v", got)
+	}
+}
+
+func TestDumpLabelsSortedAndReplaced(t *testing.T) {
+	d := &Dump{}
+	d.SetLabel("z", "1")
+	d.SetLabel("a", "2")
+	d.SetLabel("z", "3")
+	if len(d.Labels) != 2 || d.Labels[0].Key != "a" || d.Labels[1].Value != "3" {
+		t.Fatalf("labels = %+v", d.Labels)
+	}
+	if d.GetLabel("missing") != "" {
+		t.Fatal("missing label non-empty")
+	}
+}
+
+func TestDefaultTraceFilter(t *testing.T) {
+	for name, want := range map[string]bool{
+		"fabric/n0/gpu0<->n0/port4/fwd/util":      true,
+		"train/worker0/stall_ns":                  true,
+		"coarse/syncgroup0/queue_depth":           true,
+		"dense/write_port/backlog_ns":             true,
+		"fabric/n0/gpu0<->n0/port4/fwd/cum_bytes": false,
+		"coherence/traffic_bytes":                 false,
+	} {
+		if got := DefaultTraceFilter(name); got != want {
+			t.Errorf("DefaultTraceFilter(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 // Package trace records simulation timelines and writes them in the
 // Chrome trace-event format (chrome://tracing, Perfetto). The trainer
-// emits per-worker forward/backward/stall spans and strategies can add
-// synchronization spans, so a run's overlap behaviour — what Figure 9
-// and Figure 17 aggregate — can be inspected span by span.
+// emits per-worker forward/backward/stall spans, strategies can add
+// synchronization spans, and the telemetry layer adds counter tracks
+// (link utilization, queue depths), so a run's overlap behaviour —
+// what Figure 9 and Figure 17 aggregate — can be inspected span by
+// span with the saturation curves rendered alongside.
 package trace
 
 import (
@@ -14,23 +16,35 @@ import (
 	"coarse/internal/sim"
 )
 
-// Event is one trace span or instant.
+// Event is one trace span, instant, or counter sample.
 type Event struct {
 	Name  string   // span label ("fwd enc03", "sync shard 4/2")
-	Cat   string   // category ("compute", "comm", "stall", "sync")
+	Cat   string   // category ("compute", "comm", "stall", "sync", "counter")
 	Track string   // timeline row ("worker 0", "proxy 2")
-	Start sim.Time // span begin
-	Dur   sim.Time // span length; zero means an instant event
+	Start sim.Time // span begin / sample instant
+	Dur   sim.Time // span length; zero means an instant or counter event
+	// Counter marks a counter sample; Value is its sampled value.
+	Counter bool
+	Value   float64
 }
 
 // Recorder accumulates events. A nil *Recorder is valid and records
 // nothing, so call sites don't need enablement checks.
 type Recorder struct {
 	events []Event
+	// sorted caches the ordered snapshot shared by Events, TotalByCat
+	// and WriteChrome; it is invalidated whenever an event is appended
+	// so repeated exports don't re-sort an unchanged trace.
+	sorted []Event
 }
 
 // New returns an empty recorder.
 func New() *Recorder { return &Recorder{} }
+
+func (r *Recorder) append(e Event) {
+	r.events = append(r.events, e)
+	r.sorted = nil
+}
 
 // Span records a duration event. No-op on a nil recorder.
 func (r *Recorder) Span(track, cat, name string, start, end sim.Time) {
@@ -40,7 +54,7 @@ func (r *Recorder) Span(track, cat, name string, start, end sim.Time) {
 	if end < start {
 		panic(fmt.Sprintf("trace: span %q ends (%v) before it starts (%v)", name, end, start))
 	}
-	r.events = append(r.events, Event{Name: name, Cat: cat, Track: track, Start: start, Dur: end - start})
+	r.append(Event{Name: name, Cat: cat, Track: track, Start: start, Dur: end - start})
 }
 
 // Instant records a point event. No-op on a nil recorder.
@@ -48,7 +62,18 @@ func (r *Recorder) Instant(track, cat, name string, at sim.Time) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{Name: name, Cat: cat, Track: track, Start: at})
+	r.append(Event{Name: name, Cat: cat, Track: track, Start: at})
+}
+
+// Counter records one counter sample: track/name identify the counter
+// series, value is its level at virtual time at. WriteChrome renders
+// the series as a Chrome/Perfetto counter track (ph "C"). No-op on a
+// nil recorder.
+func (r *Recorder) Counter(track, name string, at sim.Time, value float64) {
+	if r == nil {
+		return
+	}
+	r.append(Event{Name: name, Cat: "counter", Track: track, Start: at, Counter: true, Value: value})
 }
 
 // Len returns the number of recorded events; zero for a nil recorder.
@@ -59,32 +84,48 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Events returns the recorded events in (start, track, name) order.
-func (r *Recorder) Events() []Event {
+// snapshot returns the shared sorted view, building it at most once
+// per batch of appends. The sort key (start, track, name, dur, value)
+// is a total order for any trace the simulator emits, so the snapshot
+// is deterministic.
+func (r *Recorder) snapshot() []Event {
 	if r == nil {
 		return nil
 	}
-	out := append([]Event(nil), r.events...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
-		}
-		if out[i].Track != out[j].Track {
-			return out[i].Track < out[j].Track
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out
+	if r.sorted == nil && len(r.events) > 0 {
+		out := append([]Event(nil), r.events...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Start != out[j].Start {
+				return out[i].Start < out[j].Start
+			}
+			if out[i].Track != out[j].Track {
+				return out[i].Track < out[j].Track
+			}
+			if out[i].Name != out[j].Name {
+				return out[i].Name < out[j].Name
+			}
+			if out[i].Dur != out[j].Dur {
+				return out[i].Dur < out[j].Dur
+			}
+			return out[i].Value < out[j].Value
+		})
+		r.sorted = out
+	}
+	return r.sorted
+}
+
+// Events returns the recorded events in (start, track, name) order.
+// The returned slice is a shared snapshot that is reused until the
+// next event is recorded; callers must not modify it.
+func (r *Recorder) Events() []Event {
+	return r.snapshot()
 }
 
 // TotalByCat sums span durations per category — a quick aggregate the
 // tests use to cross-check the trainer's own accounting.
 func (r *Recorder) TotalByCat(track string) map[string]sim.Time {
 	totals := make(map[string]sim.Time)
-	if r == nil {
-		return totals
-	}
-	for _, e := range r.events {
+	for _, e := range r.snapshot() {
 		if track == "" || e.Track == track {
 			totals[e.Cat] += e.Dur
 		}
@@ -93,16 +134,17 @@ func (r *Recorder) TotalByCat(track string) map[string]sim.Time {
 }
 
 // chromeEvent is the trace-event JSON schema (ph "X" = complete event,
-// "i" = instant; timestamps in microseconds).
+// "i" = instant, "C" = counter; timestamps in microseconds).
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur,omitempty"`
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
-	S    string  `json:"s,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 type chromeMeta struct {
@@ -114,8 +156,10 @@ type chromeMeta struct {
 }
 
 // WriteChrome serializes the trace as a Chrome trace-event JSON array.
+// An empty (or nil) recorder writes an empty array, which loads
+// cleanly in Perfetto.
 func (r *Recorder) WriteChrome(w io.Writer) error {
-	events := r.Events()
+	events := r.snapshot()
 	// Stable track -> tid mapping, in first-appearance order.
 	tids := map[string]int{}
 	var order []string
@@ -125,7 +169,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			order = append(order, e.Track)
 		}
 	}
-	var out []any
+	out := make([]any, 0, len(events)+len(order))
 	for _, track := range order {
 		out = append(out, chromeMeta{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[track],
@@ -137,10 +181,14 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			Name: e.Name, Cat: e.Cat, Pid: 1, Tid: tids[e.Track],
 			Ts: float64(e.Start) / 1e3, // ns -> us
 		}
-		if e.Dur > 0 {
+		switch {
+		case e.Counter:
+			ce.Ph = "C"
+			ce.Args = map[string]any{"value": e.Value}
+		case e.Dur > 0:
 			ce.Ph = "X"
 			ce.Dur = float64(e.Dur) / 1e3
-		} else {
+		default:
 			ce.Ph = "i"
 			ce.S = "t"
 		}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -115,5 +116,113 @@ func TestChromeTimestampsInMicroseconds(t *testing.T) {
 				t.Fatalf("ts/dur = %v/%v, want 2000/3000 us", e["ts"], e["dur"])
 			}
 		}
+	}
+}
+
+func TestCounterEvents(t *testing.T) {
+	r := New()
+	r.Counter("fabric/x/fwd/util", "fabric/x/fwd/util", 0, 0)
+	r.Counter("fabric/x/fwd/util", "fabric/x/fwd/util", 1000, 0.5)
+	var nilRec *Recorder
+	nilRec.Counter("x", "x", 0, 1) // must not panic
+	if nilRec.Len() != 0 {
+		t.Fatal("nil recorder recorded a counter")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var phC int
+	for _, e := range events {
+		if e["ph"] == "C" {
+			phC++
+			args, ok := e["args"].(map[string]any)
+			if !ok {
+				t.Fatal("counter event without args")
+			}
+			if _, ok := args["value"]; !ok {
+				t.Fatal("counter event args missing value")
+			}
+		}
+	}
+	if phC != 2 {
+		t.Fatalf("counter events = %d, want 2", phC)
+	}
+}
+
+func TestEmptyRecorderWritesEmptyArray(t *testing.T) {
+	for name, r := range map[string]*Recorder{"nil": nil, "empty": New()} {
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := strings.TrimSpace(buf.String()); got != "[]" {
+			t.Fatalf("%s recorder wrote %q, want []", name, got)
+		}
+	}
+}
+
+func TestSnapshotSharedUntilNextAppend(t *testing.T) {
+	r := New()
+	r.Span("w", "c", "a", 0, 10)
+	r.Span("w", "c", "b", 10, 20)
+	s1 := r.Events()
+	s2 := r.Events()
+	if &s1[0] != &s2[0] {
+		t.Fatal("repeated Events() rebuilt the snapshot")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s3 := r.Events(); &s1[0] != &s3[0] {
+		t.Fatal("WriteChrome invalidated the snapshot")
+	}
+	r.Instant("w", "mark", "x", 20)
+	s4 := r.Events()
+	if len(s4) != 3 {
+		t.Fatalf("append after snapshot lost events: %d", len(s4))
+	}
+	if &s1[0] == &s4[0] {
+		t.Fatal("append did not invalidate the cached snapshot")
+	}
+}
+
+// goldenRecorder builds the fixed trace the golden file captures: spans
+// on two tracks, an instant, and a counter series, appended out of
+// order so the test also pins the deterministic sort.
+func goldenRecorder() *Recorder {
+	r := New()
+	r.Span("worker 1", "comm", "push grad", 2_000, 7_000)
+	r.Span("worker 0", "compute", "fwd fc1", 0, 3_000)
+	r.Instant("worker 0", "mark", "iter 0 done", 9_000)
+	r.Counter("fabric/pcie/fwd/util", "fabric/pcie/fwd/util", 0, 0)
+	r.Counter("fabric/pcie/fwd/util", "fabric/pcie/fwd/util", 5_000, 0.75)
+	r.Span("worker 0", "stall", "wait sync", 3_000, 9_000)
+	r.Counter("fabric/pcie/fwd/util", "fabric/pcie/fwd/util", 9_000, 0.25)
+	return r
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := "testdata/golden.trace.json"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output drifted from golden file; run UPDATE_GOLDEN=1 go test ./internal/trace and review the diff.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
 	}
 }

@@ -1,0 +1,149 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"coarse/internal/model"
+	"coarse/internal/telemetry"
+	"coarse/internal/topology"
+)
+
+// runWithTelemetry runs a short AllReduce training with telemetry
+// enabled and returns the result plus the dump.
+func runWithTelemetry(t *testing.T, spec topology.Spec) (*Result, *telemetry.Dump) {
+	t.Helper()
+	cfg := DefaultConfig(spec, model.ResNet50(), 16, 2)
+	cfg.Telemetry = telemetry.NewRegistry()
+	tr, err := New(cfg, NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tr.TelemetryDump()
+	if d == nil {
+		t.Fatal("telemetry enabled but dump nil")
+	}
+	return res, d
+}
+
+func TestTelemetryLinkUtilsMatchRunMetrics(t *testing.T) {
+	// The dumped series integrate the same channel rate integrals
+	// RunMetrics reads at the end of the run, and the sampler's final
+	// sample lands exactly at TotalTime — so the per-link utilization
+	// recovered from telemetry must equal RunMetrics.LinkUtils to
+	// floating-point identity, not merely approximately.
+	for _, spec := range []topology.Spec{topology.AWSV100(), topology.SDSCP100()} {
+		res, d := runWithTelemetry(t, spec)
+		if len(res.LinkUtils) == 0 {
+			t.Fatalf("%s: no LinkUtils", spec.Label)
+		}
+		for _, lu := range res.LinkUtils {
+			got, ok := d.LinkUtilization(lu.Link)
+			if !ok {
+				t.Errorf("%s: link %s missing from telemetry dump", spec.Label, lu.Link)
+				continue
+			}
+			if math.Abs(got-lu.Util) > 1e-9 {
+				t.Errorf("%s: link %s telemetry util %v vs RunMetrics %v (|diff| %g > 1e-9)",
+					spec.Label, lu.Link, got, lu.Util, math.Abs(got-lu.Util))
+			}
+		}
+	}
+}
+
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	// Enabling telemetry must change neither the simulated outcome nor
+	// the engine's dispatched-event fingerprint: sampling rides daemon
+	// events, which are excluded from both.
+	cfg := DefaultConfig(topology.AWSV100(), model.ResNet50(), 16, 2)
+	plain, err := Run(cfg, NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := runWithTelemetry(t, topology.AWSV100())
+	if res.TotalTime != plain.TotalTime {
+		t.Fatalf("telemetry changed TotalTime: %v vs %v", res.TotalTime, plain.TotalTime)
+	}
+	if res.Events != plain.Events {
+		t.Fatalf("telemetry changed the event fingerprint: %d vs %d", res.Events, plain.Events)
+	}
+	if res.IterTime != plain.IterTime || res.BlockedComm != plain.BlockedComm {
+		t.Fatalf("telemetry changed run metrics: %+v vs %+v", res.RunMetrics, plain.RunMetrics)
+	}
+	for i := range plain.LinkUtils {
+		if res.LinkUtils[i] != plain.LinkUtils[i] {
+			t.Fatalf("telemetry changed LinkUtils[%d]: %+v vs %+v", i, res.LinkUtils[i], plain.LinkUtils[i])
+		}
+	}
+}
+
+func TestTelemetryWorkerSeriesAccountStalls(t *testing.T) {
+	// The per-worker stall counters integrate the same blocking the
+	// trainer reports as BlockedComm (a per-iteration, per-worker mean):
+	// sum(final stall_ns) == BlockedComm * workers * iterations.
+	res, d := runWithTelemetry(t, topology.AWSV100())
+	stats := d.WorkerStats()
+	if len(stats) != res.Workers {
+		t.Fatalf("worker series = %d, want %d", len(stats), res.Workers)
+	}
+	var stallSum float64
+	for _, ws := range stats {
+		if ws.Iters != float64(res.Iterations) {
+			t.Errorf("worker %d iters_done = %v, want %d", ws.Worker, ws.Iters, res.Iterations)
+		}
+		if ws.Compute <= 0 {
+			t.Errorf("worker %d compute_ns = %v, want > 0", ws.Worker, ws.Compute)
+		}
+		stallSum += float64(ws.Stall)
+	}
+	want := float64(res.BlockedComm) * float64(res.Workers) * float64(res.Iterations)
+	// BlockedComm is an integer-ns mean of an integer-ns sum, so allow
+	// the division's truncation: one ns per worker*iteration.
+	if math.Abs(stallSum-want) > float64(res.Workers*res.Iterations) {
+		t.Fatalf("sum stall_ns = %v, BlockedComm*W*iters = %v", stallSum, want)
+	}
+}
+
+func TestTelemetryDumpCarriesRunLabels(t *testing.T) {
+	res, d := runWithTelemetry(t, topology.AWSV100())
+	if d.GetLabel("strategy") != res.Strategy {
+		t.Fatalf("strategy label %q, want %q", d.GetLabel("strategy"), res.Strategy)
+	}
+	if d.GetLabel("machine") != res.Machine {
+		t.Fatalf("machine label %q, want %q", d.GetLabel("machine"), res.Machine)
+	}
+	if d.TotalTimeNS != res.TotalTime {
+		t.Fatalf("dump TotalTimeNS %v != result TotalTime %v", d.TotalTimeNS, res.TotalTime)
+	}
+	if len(d.TimesNS) == 0 || d.TimesNS[len(d.TimesNS)-1] != res.TotalTime {
+		t.Fatal("final sample does not land on the run's end")
+	}
+}
+
+func TestTelemetryLinkStatsCoverEdgeLinks(t *testing.T) {
+	// Every worker edge link must have fabric series in the dump — the
+	// acceptance bar for the Perfetto counter tracks.
+	res, d := runWithTelemetry(t, topology.AWSV100())
+	names := map[string]bool{}
+	for _, n := range d.LinkNames() {
+		names[n] = true
+	}
+	for _, lu := range res.LinkUtils {
+		if !names[lu.Link] {
+			t.Errorf("edge/ring link %s has no telemetry series", lu.Link)
+		}
+	}
+	stats := d.LinkStats()
+	if len(stats) == 0 {
+		t.Fatal("no link stats")
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].MeanUtil > stats[i-1].MeanUtil {
+			t.Fatal("LinkStats not sorted by descending mean util")
+		}
+	}
+}

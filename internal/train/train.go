@@ -29,6 +29,7 @@ import (
 	"coarse/internal/model"
 	"coarse/internal/optim"
 	"coarse/internal/sim"
+	"coarse/internal/telemetry"
 	"coarse/internal/tensor"
 	"coarse/internal/topology"
 	"coarse/internal/trace"
@@ -94,6 +95,19 @@ type Config struct {
 	// Trace, when non-nil, records per-worker forward/backward/stall
 	// spans for chrome://tracing inspection.
 	Trace *trace.Recorder
+	// Telemetry, when non-nil, receives every layer's metrics: fabric
+	// link gauges, CCI protocol counters, and per-worker running totals.
+	// The trainer drives a periodic Sampler over the registry during Run
+	// and exposes the resulting dump via Trainer.TelemetryDump. Sampling
+	// uses daemon events only, so enabling it changes neither the event
+	// fingerprint nor any timing.
+	Telemetry *telemetry.Registry
+	// TelemetryPeriod is the sampling period in virtual time; zero means
+	// telemetry.DefaultSamplePeriod.
+	TelemetryPeriod sim.Time
+	// TelemetryMaxSamples bounds the per-series sample count (older
+	// samples are decimated); zero means telemetry.DefaultMaxSamples.
+	TelemetryMaxSamples int
 	// OnStart, when non-nil, runs after strategy setup and before the
 	// first iteration; tests and experiments use it to schedule runtime
 	// perturbations (link degradation, etc.) on the engine.
@@ -231,10 +245,13 @@ type Trainer struct {
 
 	latches    map[latchKey]*Latch
 	blocked    []sim.Time // per worker, total forward stall
+	compute    []sim.Time // per worker, total roofline busy time
 	iterEnd    []sim.Time // completion time per iteration (max over workers)
 	workerDone []int      // iterations completed per worker
 	gradFn     func(it, w, layer int, grad *tensor.Tensor)
 	optimizers []optim.Optimizer // per worker, numeric mode only
+
+	dump *telemetry.Dump // built by Run when Cfg.Telemetry is set
 }
 
 type latchKey struct{ it, w, layer int }
@@ -298,8 +315,12 @@ func New(cfg Config, strat Strategy) (*Trainer, error) {
 		ctx:        ctx,
 		latches:    make(map[latchKey]*Latch),
 		blocked:    make([]sim.Time, len(ctx.Workers)),
+		compute:    make([]sim.Time, len(ctx.Workers)),
 		iterEnd:    make([]sim.Time, cfg.Iterations),
 		workerDone: make([]int, len(ctx.Workers)),
+	}
+	if cfg.Telemetry != nil {
+		tr.registerTelemetry()
 	}
 	if cfg.Numeric {
 		sizes := make([]int, len(cfg.Model.Layers))
@@ -340,6 +361,34 @@ func (c *Ctx) PreviewUpdate(w, layer int) []float32 {
 // Ctx exposes the strategy context (tests and the facade use it).
 func (t *Trainer) Ctx() *Ctx { return t.ctx }
 
+// TelemetryDump returns the time-series dump built by Run, or nil when
+// Cfg.Telemetry was not set.
+func (t *Trainer) TelemetryDump() *telemetry.Dump { return t.dump }
+
+// registerTelemetry wires every simulator layer into the registry: the
+// worker edge links and CCI ring links (the two link sets RunMetrics
+// aggregates), network-wide fabric gauges, the CCI protocol layer, and
+// per-worker running totals of compute, stall and completed iterations.
+func (t *Trainer) registerTelemetry() {
+	reg := t.cfg.Telemetry
+	ctx := t.ctx
+	edge := ctx.Machine.LinksBetween(topology.KindGPU, topology.KindPort)
+	ring := ctx.Machine.LinksBetween(topology.KindMemDev, topology.KindMemDev)
+	links := make([]*fabric.Link, 0, len(edge)+len(ring))
+	links = append(links, edge...)
+	links = append(links, ring...)
+	telemetry.RegisterLinks(reg, ctx.Eng, links)
+	telemetry.RegisterNetwork(reg, ctx.Machine.Net)
+	ctx.CCI.AttachTelemetry(reg)
+	for w := range ctx.Workers {
+		w := w
+		base := fmt.Sprintf("train/worker%d/", w)
+		reg.GaugeFunc(base+"compute_ns", "ns", func() float64 { return float64(t.compute[w]) })
+		reg.GaugeFunc(base+"stall_ns", "ns", func() float64 { return float64(t.blocked[w]) })
+		reg.GaugeFunc(base+"iters_done", "iters", func() float64 { return float64(t.workerDone[w]) })
+	}
+}
+
 func (t *Trainer) latch(it, w, layer int) *Latch {
 	k := latchKey{it, w, layer}
 	l, ok := t.latches[k]
@@ -371,6 +420,19 @@ func (t *Trainer) Run() (*Result, error) {
 			t.latch(0, w, l).Open()
 		}
 	}
+	var sampler *telemetry.Sampler
+	if t.cfg.Telemetry != nil {
+		period := t.cfg.TelemetryPeriod
+		if period <= 0 {
+			period = telemetry.DefaultSamplePeriod
+		}
+		max := t.cfg.TelemetryMaxSamples
+		if max <= 0 {
+			max = telemetry.DefaultMaxSamples
+		}
+		sampler = telemetry.NewSampler(ctx.Eng, t.cfg.Telemetry, period, max)
+		sampler.Start()
+	}
 	for w := range ctx.Workers {
 		t.runWorker(w, 0)
 	}
@@ -380,6 +442,16 @@ func (t *Trainer) Run() (*Result, error) {
 			return nil, fmt.Errorf("train: %s stalled: worker %d finished %d of %d iterations (synchronization deadlock?)",
 				t.strat.Name(), w, done, t.cfg.Iterations)
 		}
+	}
+	if sampler != nil {
+		sampler.Finish()
+		t.dump = telemetry.BuildDump(sampler)
+		t.dump.SetLabel("strategy", t.strat.Name())
+		t.dump.SetLabel("machine", t.cfg.Spec.Label)
+		t.dump.SetLabel("model", t.cfg.Model.Name)
+		t.dump.SetLabel("batch", fmt.Sprint(t.cfg.Batch))
+		t.dump.SetLabel("workers", fmt.Sprint(len(ctx.Workers)))
+		t.dump.SetLabel("iterations", fmt.Sprint(t.cfg.Iterations))
 	}
 	return t.result(), nil
 }
@@ -417,6 +489,7 @@ func (t *Trainer) runWorker(w, it int) {
 			}
 			start := eng.Now()
 			eng.Schedule(g.LayerFwdTime(layers[layer], t.cfg.Batch), func() {
+				t.compute[w] += eng.Now() - start
 				t.cfg.Trace.Span(track, "compute", "fwd "+layers[layer].Name, start, eng.Now())
 				fwd(layer + 1)
 			})
@@ -426,6 +499,7 @@ func (t *Trainer) runWorker(w, it int) {
 	bwd = func(layer int) {
 		start := eng.Now()
 		eng.Schedule(g.LayerBwdTime(layers[layer], t.cfg.Batch), func() {
+			t.compute[w] += eng.Now() - start
 			t.cfg.Trace.Span(track, "compute", "bwd "+layers[layer].Name, start, eng.Now())
 			if t.cfg.Numeric {
 				t.fillGradient(it, w, layer)
