@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench suite telemetry-smoke ci
+.PHONY: all build test race vet bench bench-smoke suite telemetry-smoke ci
 
 all: build
 
@@ -24,9 +24,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Quick benchmark pass over every regenerable artifact.
+# Hot-path performance tracking: run the fabric/sim microbenchmarks
+# plus a serial quick-suite timing and rewrite BENCH_fabric.json (the
+# committed perf-trajectory record; the hand-pinned "reference" block
+# inside it is preserved). Compare against BENCH_fabric.json's previous
+# numbers before committing a refresh.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) run ./cmd/benchjson
+
+# CI guard: every microbenchmark must still compile and run. One
+# iteration each, no file rewritten, no timing claims.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/fabric ./internal/sim
+	$(GO) test -race -bench=. -benchtime=1x -run=^$$ ./internal/fabric
 
 # Regenerate the full evaluation (quick mode) with suite timing on
 # stderr; compare `-parallel 1` against the default to verify the

@@ -1,0 +1,193 @@
+// Command benchjson runs the fabric/sim microbenchmarks and the
+// quick-suite wall-clock measurement, and records the results as
+// machine-readable JSON (by default BENCH_fabric.json at the repo
+// root, which is committed so the performance trajectory is tracked
+// PR over PR).
+//
+// The output file has three parts:
+//
+//   - "context": goos/goarch/cpu/go version, so numbers are only ever
+//     compared against a matching environment;
+//   - "benchmarks": one entry per `go test -bench` line (ns/op, B/op,
+//     allocs/op) from internal/fabric and internal/sim;
+//   - "suite": wall-clock seconds for `coarsebench -quick -parallel 1`,
+//     the end-to-end number the microbenchmarks exist to improve;
+//   - "reference": a block benchjson itself never writes, only
+//     preserves. It pins the numbers a PR wants future runs compared
+//     against (e.g. the pre-optimization eager-reshare measurements
+//     recorded when this file was introduced).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                # full run, rewrites BENCH_fabric.json
+//	go run ./cmd/benchjson -benchtime 1x -skip-suite -out /dev/null
+//
+// The second form is the CI smoke invocation: it proves every
+// benchmark still compiles and runs without spending CI minutes on
+// stable numbers.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type suiteResult struct {
+	Command     string  `json:"command"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+type report struct {
+	Schema     int               `json:"schema"`
+	Context    map[string]string `json:"context"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+	Suite      *suiteResult      `json:"suite,omitempty"`
+	// Reference is carried over verbatim from the previous file: a
+	// hand-pinned baseline (see package comment).
+	Reference json.RawMessage `json:"reference,omitempty"`
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "100x", "value passed to go test -benchtime")
+	out := flag.String("out", "BENCH_fabric.json", "output path ('-' for stdout)")
+	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock measurement")
+	flag.Parse()
+
+	rep := report{
+		Schema: 1,
+		Context: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"go":     runtime.Version(),
+			"cpus":   strconv.Itoa(runtime.NumCPU()),
+		},
+	}
+	// Preserve the pinned reference block across regenerations.
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old report
+		if json.Unmarshal(prev, &old) == nil && len(old.Reference) > 0 {
+			rep.Reference = old.Reference
+		}
+	}
+
+	for _, pkg := range []string{"./internal/fabric", "./internal/sim"} {
+		results, err := runBench(pkg, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, results...)
+	}
+
+	if !*skipSuite {
+		s, err := runSuite()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: suite: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Suite = s
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+}
+
+// runBench executes `go test -bench` for one package and parses the
+// standard benchmark output lines.
+func runBench(pkg, benchtime string) ([]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".",
+		"-benchtime", benchtime, "-benchmem", "-count", "1", pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, buf.String())
+	}
+	var out []benchResult
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// BenchmarkName-8  100  223615 ns/op  82128 B/op  1585 allocs/op
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		r := benchResult{Pkg: strings.TrimPrefix(pkg, "./")}
+		r.Name = strings.SplitN(f[0], "-", 2)[0]
+		r.Iterations, _ = strconv.ParseInt(f[1], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(f[2], 64)
+		for i := 4; i+1 < len(f); i += 2 {
+			switch f[i+1] {
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			}
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// runSuite builds coarsebench and times one serial quick pass — the
+// end-to-end wall-clock number the ROADMAP's "as fast as the hardware
+// allows" goal is tracked by.
+func runSuite() (*suiteResult, error) {
+	tmp, err := os.MkdirTemp("", "benchjson-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "coarsebench")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/coarsebench")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return nil, fmt.Errorf("build coarsebench: %v", err)
+	}
+	run := exec.Command(bin, "-quick", "-parallel", "1")
+	run.Stdout = nil // tables discarded; only the wall clock matters here
+	run.Stderr = os.Stderr
+	start := time.Now()
+	if err := run.Run(); err != nil {
+		return nil, fmt.Errorf("coarsebench -quick: %v", err)
+	}
+	return &suiteResult{
+		Command:     "coarsebench -quick -parallel 1",
+		WallSeconds: time.Since(start).Seconds(),
+	}, nil
+}

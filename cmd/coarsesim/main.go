@@ -57,6 +57,7 @@ func main() {
 	telemetryFile := flag.String("telemetry", "", "write the sampled time-series telemetry dump (JSON) to this exact path; single-strategy")
 	traceOut := flag.String("trace-out", "", "write a Perfetto trace with telemetry counter tracks to this exact path; single-strategy")
 	configFile := flag.String("config", "", "load a JSON scenario (overrides the other flags)")
+	hotPath := flag.Bool("telemetry-hot-path", false, "include the simulator's own hot-path counters (reshare coalescing, event-queue tombstones) in telemetry output; changes dump bytes")
 	flag.Parse()
 
 	var spec coarse.MachineSpec
@@ -120,6 +121,7 @@ func main() {
 		}
 		if *telemetryFile != "" || *traceOut != "" {
 			cfg.Telemetry = telemetry.NewRegistry()
+			cfg.TelemetryHotPath = *hotPath
 		}
 		var strat train.Strategy
 		switch s {

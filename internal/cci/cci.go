@@ -232,7 +232,7 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 	eng := f.Topo.Eng
 	if f.Topo.P2PSupported || src.Kind == topology.KindCPU || dst.Kind == topology.KindCPU {
 		eng.Schedule(f.Params.DMASetup, func() {
-			f.Topo.Transfer(src, dst, size, onDone)
+			f.Topo.TransferEphemeral(src, dst, size, onDone)
 		})
 		return
 	}
@@ -261,9 +261,9 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 			if size == 0 && i > 0 {
 				break
 			}
-			f.Topo.Transfer(src, cpu, sz, func() {
+			f.Topo.TransferEphemeral(src, cpu, sz, func() {
 				eng.Schedule(f.Params.DMASetup, func() {
-					f.Topo.Transfer(cpu, dst, sz, done)
+					f.Topo.TransferEphemeral(cpu, dst, sz, done)
 				})
 			})
 		}

@@ -1,0 +1,137 @@
+//go:build !race
+
+// Golden determinism regression: fig8 + fig16 quick cells are rendered
+// at -parallel 1 and -parallel 4 and compared byte-for-byte against
+// committed goldens, so the harness's "output is byte-identical at any
+// parallelism, across engine optimizations" claim is enforced by
+// `go test`, not only by the Makefile smoke targets. Tables are
+// committed verbatim; the fig16 telemetry/Perfetto dumps are hundreds
+// of megabytes, so their bytes are pinned through a sha256 manifest
+// (filename + digest per line) instead. Refresh after an intentional
+// output change with:
+//
+//	go test ./internal/experiments -run TestGoldenDeterminism -update-goldens
+//
+// The file is excluded under -race: fig16 runs real training cells and
+// would dominate the race CI lane; the race lane still covers the
+// fabric/sim hot path through the unit tests and benchmarks.
+package experiments
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"coarse/internal/runner"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite determinism goldens from current output")
+
+func regenWithTraces(t *testing.T, id string, parallel int, traceDir string) string {
+	t.Helper()
+	runner.ClearCache()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	rep := e.Run(Config{Quick: true, Parallel: parallel, TraceDir: traceDir})
+	if rep == nil || len(rep.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var b strings.Builder
+	for _, tab := range rep.Tables {
+		b.WriteString(tab.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// dumpManifest hashes every file in dir into a stable "sha256␠␠name"
+// manifest, one line per file, sorted by name.
+func dumpManifest(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read trace dir: %v", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("read dump %s: %v", name, err)
+		}
+		fmt.Fprintf(&b, "%x  %s\n", sha256.Sum256(data), name)
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update-goldens to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from committed golden %s\n"+
+			"if the change is intentional, regenerate with -update-goldens\n"+
+			"--- got ---\n%.2000s", path, got)
+	}
+}
+
+func TestGoldenDeterminismFig8Fig16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full fig16 quick cells; skipped under -short")
+	}
+	for _, tc := range []struct {
+		id        string
+		wantDumps bool // fig8 is closed-form: tables only, no cells
+	}{
+		{"fig8", false},
+		{"fig16", true},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			dirSerial := t.TempDir()
+			dirParallel := t.TempDir()
+			tabSerial := regenWithTraces(t, tc.id, 1, dirSerial)
+			tabParallel := regenWithTraces(t, tc.id, 4, dirParallel)
+			if tabSerial != tabParallel {
+				t.Fatalf("%s tables differ between -parallel 1 and -parallel 4:\n%s\n---\n%s",
+					tc.id, tabSerial, tabParallel)
+			}
+			manSerial := dumpManifest(t, dirSerial)
+			manParallel := dumpManifest(t, dirParallel)
+			if manSerial != manParallel {
+				t.Fatalf("%s telemetry dumps differ between -parallel 1 and -parallel 4:\n%s\n---\n%s",
+					tc.id, manSerial, manParallel)
+			}
+			if tc.wantDumps && manSerial == "" {
+				t.Fatalf("%s produced no telemetry dumps", tc.id)
+			}
+			checkGolden(t, filepath.Join("testdata", tc.id+".tables.golden"), tabSerial)
+			if tc.wantDumps {
+				checkGolden(t, filepath.Join("testdata", tc.id+".dumps.sha256"), manSerial)
+			}
+		})
+	}
+}

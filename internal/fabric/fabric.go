@@ -9,6 +9,38 @@
 // progressive-filling max-min fairness, so contention on shared hops (a
 // switch uplink, the CPU host bridge) emerges from the topology rather
 // than from per-experiment constants.
+//
+// # Hot-path structure
+//
+// Rate recomputation is requested by three triggers — flow admission,
+// flow completion, capacity change — but runs lazily: triggers mark the
+// network dirty and the actual progressive-filling pass is coalesced to
+// one per virtual instant via a sim.Engine end-of-instant hook. Any
+// observer that needs current rates mid-instant (telemetry gauges,
+// Flow.Rate) forces the pending pass first through Flush, so observable
+// state is exactly what the eager per-trigger implementation produced,
+// while N same-instant triggers pay for one pass instead of N.
+//
+// The pass itself allocates nothing: per-channel progressive-filling
+// scratch lives on the Channel, stamped with a reshare epoch so stale
+// scratch is ignored without clearing. Completion events are
+// re-examined once per dirty instant but only moved when the flow's
+// completion instant actually changed (an exact integer-nanosecond
+// comparison), and finished flows leave the per-channel active lists
+// by tombstone + amortized compaction so completion cost no longer
+// scales with the number of concurrent flows on every hop.
+//
+// Determinism is byte-exact with respect to the historical eager
+// implementation, which cancelled and re-created every completion
+// event on every trigger and thereby re-ranked them after everything
+// already scheduled in the instant. The incremental version reproduces
+// those same-nanosecond tie-breaks without the heap traffic by
+// reserving a contiguous block of dispatch ranks per instant
+// (sim.Engine.ReserveSeq) that the end-of-instant flush attaches to
+// events in flow-admission order; a SeqMark snapshot detects whether
+// any foreign event took a rank since the block was reserved, in which
+// case (and only then) the block is re-reserved. See
+// refreshCompletions and scheduleCompletions.
 package fabric
 
 import (
@@ -24,14 +56,24 @@ type Channel struct {
 	name     string
 	capacity float64
 	latency  sim.Time
+	net      *Network // owner; reads force a pending reshare to run
 
-	active []*Flow // flows currently crossing this channel
+	active []*Flow // flows crossing this channel, tombstones included
+	live   int     // unfinished entries in active
+	dead   int     // finished (tombstoned) entries in active
 
 	// accounting
 	bytesCarried float64
 	busyIntegral float64  // integral of allocated rate over time, bytes
 	lastAccount  sim.Time // last time busyIntegral was folded
 	currentRate  float64  // sum of allocated flow rates right now
+
+	// progressive-filling scratch, valid only when epoch matches the
+	// network's current reshare epoch (epoch stamping replaces the
+	// per-pass map the allocator used to build).
+	epoch      uint64
+	residual   float64
+	unassigned int
 }
 
 // Name returns the channel's diagnostic name.
@@ -50,20 +92,26 @@ func (c *Channel) BytesCarried() float64 { return c.bytesCarried }
 // CurrentRate returns the sum of the max-min rates currently allocated
 // to flows on this channel, in bytes per second. It changes only at
 // reshares, so sampling it yields the exact piecewise-constant rate
-// series.
-func (c *Channel) CurrentRate() float64 { return c.currentRate }
+// series. Reading it forces any reshare pending at the current instant
+// to run first.
+func (c *Channel) CurrentRate() float64 {
+	c.net.Flush()
+	return c.currentRate
+}
 
 // ActiveFlowCount returns the number of flows currently crossing the
 // channel (bandwidth phase only).
-func (c *Channel) ActiveFlowCount() int { return len(c.active) }
+func (c *Channel) ActiveFlowCount() int { return c.live }
 
 // IntegratedBytes returns the exact integral of the channel's
 // allocated rate over [0, now] — the bytes' worth of busy time
 // accumulated so far, extrapolating the current rate from the last
 // accounting fold to now. Utilization is this integral normalized by
 // capacity*now; telemetry samples it so the dumped series integrates
-// to the run aggregates bit-for-bit.
+// to the run aggregates bit-for-bit. Reading it forces any reshare
+// pending at the current instant to run first.
 func (c *Channel) IntegratedBytes(now sim.Time) float64 {
+	c.net.Flush()
 	return c.busyIntegral + c.currentRate*(now-c.lastAccount).ToSeconds()
 }
 
@@ -108,10 +156,13 @@ type Flow struct {
 	remaining float64
 	rate      float64
 	lastTick  sim.Time
+	admitEv   *sim.Event
 	done      *sim.Event
 	onDone    func()
 	started   bool
 	finished  bool
+	ephemeral bool // started via StartEphemeral: recycled once unreferenced
+	listRefs  int  // tombstone references still held by active lists
 	net       *Network
 	start     sim.Time
 	finish    sim.Time
@@ -120,11 +171,17 @@ type Flow struct {
 // Size returns the flow's total payload in bytes.
 func (f *Flow) Size() float64 { return f.size }
 
-// Remaining returns the bytes not yet delivered.
+// Remaining returns the bytes not yet delivered as of the last rate
+// change (remaining is settled lazily: it is exact at every reshare
+// instant and at completion).
 func (f *Flow) Remaining() float64 { return f.remaining }
 
-// Rate returns the flow's current max-min allocated rate in bytes/sec.
-func (f *Flow) Rate() float64 { return f.rate }
+// Rate returns the flow's current max-min allocated rate in bytes/sec,
+// forcing any reshare pending at the current instant to run first.
+func (f *Flow) Rate() float64 {
+	f.net.Flush()
+	return f.rate
+}
 
 // Finished reports whether the flow has fully delivered its payload.
 func (f *Flow) Finished() bool { return f.finished }
@@ -138,16 +195,48 @@ func (f *Flow) FinishTime() sim.Time { return f.finish }
 
 // Network owns the channels and active flows and drives rate allocation.
 type Network struct {
-	eng      *sim.Engine
-	flows    []*Flow
-	nextID   uint64
-	links    []*Link
-	reshares uint64 // max-min reallocation passes run so far
+	eng       *sim.Engine
+	flows     []*Flow // admission order, tombstones included
+	liveFlows int
+	deadFlows int // finished (tombstoned) entries in flows
+	nextID    uint64
+	links     []*Link
+
+	ratesDirty  bool     // rates are stale; a pass must run before any rate read
+	eventsDirty bool     // completion deadlines await settling at instant end
+	lastSettle  sim.Time // last instant settle folded elapsed time
+	epoch       uint64   // current reshare epoch (stamps channel scratch)
+
+	// Completion-event rank bookkeeping (see refreshCompletions).
+	seqMark      uint64   // engine SeqMark at our last rank refresh
+	rankBase     uint64   // first rank of the block reserved at the last refresh
+	rankReserved int      // ranks reserved in the current block
+	dueInstant   sim.Time // instant whose due-event park scan has run
+
+	// hot-path telemetry
+	requests    uint64 // reshare triggers observed
+	passes      uint64 // progressive-filling passes actually run
+	rescheduled uint64 // completion events moved by a pass
+	skipped     uint64 // completion events left in place by a pass
+
+	flowPool []*Flow // recycled ephemeral flows
 }
+
+// maxFlowPool bounds the network's flow free-list.
+const maxFlowPool = 4096
+
+// listCompactMin is the tombstone floor below which active lists are
+// not compacted.
+const listCompactMin = 16
+
+// farFuture is the provisional deadline given to a completion event
+// whose final time has not been derived yet: far enough that it can
+// never dispatch before the end-of-instant flush retimes it.
+const farFuture = sim.Time(math.MaxInt64)
 
 // NewNetwork creates an empty network bound to a simulation engine.
 func NewNetwork(eng *sim.Engine) *Network {
-	return &Network{eng: eng}
+	return &Network{eng: eng, lastSettle: -1, dueInstant: -1}
 }
 
 // Engine returns the simulation engine the network schedules on.
@@ -157,12 +246,32 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 func (n *Network) Links() []*Link { return n.links }
 
 // ActiveFlows returns the number of flows in their bandwidth phase.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return n.liveFlows }
+
+// ReshareRequests returns the number of reshare triggers observed: one
+// per flow admission, completion, or capacity change. This is the
+// series the fabric/reshares telemetry gauge samples (and what
+// Reshares itself counted before passes were coalesced).
+func (n *Network) ReshareRequests() uint64 { return n.requests }
 
 // Reshares returns the number of max-min fair reallocation passes the
-// network has run (one per flow admission, completion, or capacity
-// change).
-func (n *Network) Reshares() uint64 { return n.reshares }
+// network has actually run. Same-instant triggers are coalesced into
+// one pass, so this is at most ReshareRequests; the difference is
+// ResharesCoalesced.
+func (n *Network) Reshares() uint64 { return n.passes }
+
+// ResharesCoalesced returns how many reshare triggers were absorbed by
+// a pass that served more than one trigger.
+func (n *Network) ResharesCoalesced() uint64 { return n.requests - n.passes }
+
+// CompletionsRescheduled returns how many completion events a reshare
+// pass actually moved to a new instant.
+func (n *Network) CompletionsRescheduled() uint64 { return n.rescheduled }
+
+// CompletionsSkipped returns how many completion events reshare passes
+// left untouched because the flow's completion instant did not move
+// (exact integer-nanosecond comparison).
+func (n *Network) CompletionsSkipped() uint64 { return n.skipped }
 
 // NewLink creates a full-duplex link. fwdCap and revCap are bytes per
 // second for the two directions; most physical links are symmetric but
@@ -176,8 +285,8 @@ func (n *Network) NewLink(name string, fwdCap, revCap float64, latency sim.Time)
 	}
 	l := &Link{
 		name: name,
-		fwd:  &Channel{name: name + "/fwd", capacity: fwdCap, latency: latency},
-		rev:  &Channel{name: name + "/rev", capacity: revCap, latency: latency},
+		fwd:  &Channel{name: name + "/fwd", capacity: fwdCap, latency: latency, net: n},
+		rev:  &Channel{name: name + "/rev", capacity: revCap, latency: latency, net: n},
 	}
 	n.links = append(n.links, l)
 	return l
@@ -197,6 +306,24 @@ func PathLatency(path []*Channel) sim.Time {
 // bandwidth phase. onDone (may be nil) fires when the last byte arrives.
 // A zero-size flow completes right after the latency phase.
 func (n *Network) StartFlow(path []*Channel, size float64, onDone func()) *Flow {
+	f := &Flow{}
+	n.start(f, path, size, onDone)
+	return f
+}
+
+// StartEphemeral is StartFlow for callers that do not retain the flow
+// handle: the Flow object is recycled once it has finished and left
+// every active list, so steady-state transfer traffic allocates
+// nothing per flow. The flow must not be referenced after onDone
+// returns (there is no way to, short of capturing it inside onDone —
+// don't).
+func (n *Network) StartEphemeral(path []*Channel, size float64, onDone func()) {
+	f := n.newFlow()
+	f.ephemeral = true
+	n.start(f, path, size, onDone)
+}
+
+func (n *Network) start(f *Flow, path []*Channel, size float64, onDone func()) {
 	if len(path) == 0 {
 		panic("fabric: flow with empty path")
 	}
@@ -204,17 +331,14 @@ func (n *Network) StartFlow(path []*Channel, size float64, onDone func()) *Flow 
 		panic("fabric: flow with negative size")
 	}
 	n.nextID++
-	f := &Flow{
-		id:        n.nextID,
-		path:      path,
-		size:      size,
-		remaining: size,
-		onDone:    onDone,
-		net:       n,
-	}
+	f.id = n.nextID
+	f.path = path
+	f.size = size
+	f.remaining = size
+	f.onDone = onDone
+	f.net = n
 	lat := PathLatency(path)
-	n.eng.Schedule(lat, func() { n.admit(f) })
-	return f
+	f.admitEv = n.eng.Schedule(lat, func() { n.admit(f) })
 }
 
 // Transfer is a convenience wrapper for StartFlow with an int64 size.
@@ -222,8 +346,16 @@ func (n *Network) Transfer(path []*Channel, size int64, onDone func()) *Flow {
 	return n.StartFlow(path, float64(size), onDone)
 }
 
+// TransferEphemeral is a convenience wrapper for StartEphemeral with
+// an int64 size.
+func (n *Network) TransferEphemeral(path []*Channel, size int64, onDone func()) {
+	n.StartEphemeral(path, float64(size), onDone)
+}
+
 func (n *Network) admit(f *Flow) {
 	now := n.eng.Now()
+	n.eng.Recycle(f.admitEv)
+	f.admitEv = nil
 	f.started = true
 	f.start = now
 	if f.remaining == 0 {
@@ -232,21 +364,38 @@ func (n *Network) admit(f *Flow) {
 		if f.onDone != nil {
 			f.onDone()
 		}
+		if f.ephemeral {
+			n.recycleFlow(f)
+		}
 		return
 	}
+	n.requests++
 	n.settle(now)
 	n.flows = append(n.flows, f)
+	n.liveFlows++
 	f.lastTick = now
+	f.listRefs = len(f.path) + 1
 	for _, c := range f.path {
 		c.active = append(c.active, f)
+		c.live++
 	}
-	n.reallocate(now)
+	n.refreshCompletions(now)
+	n.markDirty()
 }
 
 // settle folds elapsed time into every active flow's remaining count so a
-// rate change applies from "now" onward.
+// rate change applies from "now" onward. It runs at most once per
+// instant: repeat calls at the same virtual time are no-ops by
+// construction (dt is zero for every flow).
 func (n *Network) settle(now sim.Time) {
+	if n.lastSettle == now {
+		return
+	}
+	n.lastSettle = now
 	for _, f := range n.flows {
+		if f.finished {
+			continue
+		}
 		dt := (now - f.lastTick).ToSeconds()
 		if dt > 0 {
 			f.remaining -= f.rate * dt
@@ -258,41 +407,152 @@ func (n *Network) settle(now sim.Time) {
 	}
 }
 
-// reallocate recomputes max-min fair rates by progressive filling and
-// reschedules every flow's completion event.
-func (n *Network) reallocate(now sim.Time) {
-	n.reshares++
-	// Collect the channels touched by active flows.
-	type chanState struct {
-		residual   float64
-		unassigned int
-	}
-	states := make(map[*Channel]*chanState)
-	for _, f := range n.flows {
-		f.rate = -1 // unassigned marker
-		for _, c := range f.path {
-			if _, ok := states[c]; !ok {
-				states[c] = &chanState{residual: c.capacity}
+// refreshCompletions fixes the tie-break ranks of the live flows'
+// completion events "as of" the current trigger point, without
+// deriving rates or deadlines. The eager implementation cancelled and
+// re-created every completion event on every trigger, so after the
+// last fabric trigger of an instant each completion event carried a
+// fresh sequence number — outranking every event scheduled earlier in
+// the instant, outranked by anything scheduled later (e.g. by a
+// completion's own onDone). Same-nanosecond ties must keep resolving
+// exactly that way, but paying an O(flows) heap pass per trigger for
+// it is what made reshares quadratic, so the refresh is lazy:
+//
+//   - A contiguous rank block is reserved (sim.Engine.ReserveSeq) for
+//     the live flows at the trigger; the end-of-instant flush attaches
+//     block ranks to events in flow-admission order, which is exactly
+//     the order the eager re-create consumed sequence numbers in.
+//   - If no event anywhere acquired a rank since the block was
+//     reserved (sim.Engine.SeqMark unchanged), re-reserving at this
+//     trigger would be a monotone relabeling of the same block —
+//     invisible to dispatch order — so the trigger is O(1): keep the
+//     block, extending it if admissions outgrew it. Pure completion
+//     cascades stay on this path because the flush places events with
+//     reserved ranks and consumes no fresh ones.
+//   - Otherwise some foreign event now outranks the block, where the
+//     eager re-create would have ranked completions above it. Events
+//     due at this very instant take fresh ranks immediately (they may
+//     fire before the flush), then a fresh block is reserved for the
+//     deadlines the flush will place.
+//
+// Independently, once per instant, events that are due now but can no
+// longer fire now — bytes still pending after the settle, or a stalled
+// rate — are parked in the far future (rank-preserving Retime; their
+// rank is dead weight until the flush re-places them anyway). The
+// eager code re-created these with the true post-pass deadline; the
+// flush does the equivalent retiming at instant end.
+func (n *Network) refreshCompletions(now sim.Time) {
+	if n.dueInstant != now {
+		n.dueInstant = now
+		for _, f := range n.flows {
+			if f.finished || f.done == nil || f.done.Cancelled() {
+				continue
 			}
-			states[c].unassigned++
+			if f.done.Time() <= now && (f.remaining != 0 || f.rate <= 0) {
+				n.eng.Retime(f.done, farFuture)
+			}
 		}
 	}
-	unassigned := len(n.flows)
+	if n.eng.SeqMark() == n.seqMark {
+		if n.liveFlows > n.rankReserved {
+			n.eng.ReserveSeq(n.liveFlows - n.rankReserved)
+			n.rankReserved = n.liveFlows
+			n.seqMark = n.eng.SeqMark()
+		}
+		return
+	}
+	for _, f := range n.flows {
+		if f.finished || f.done == nil || f.done.Cancelled() {
+			continue
+		}
+		if f.done.Time() <= now {
+			// Due at this instant and still able to fire at it: re-rank
+			// above the foreign events, in flow-admission order.
+			n.eng.Reschedule(f.done, now)
+		}
+	}
+	n.rankBase = n.eng.ReserveSeq(n.liveFlows)
+	n.rankReserved = n.liveFlows
+	n.seqMark = n.eng.SeqMark()
+}
+
+// markDirty records a reshare trigger and arranges for one coalesced
+// reallocation pass at the end of the current virtual instant.
+func (n *Network) markDirty() {
+	if !n.eventsDirty {
+		n.eventsDirty = true
+		n.eng.AtInstantEnd(n.flush)
+	}
+	n.ratesDirty = true
+}
+
+// Flush derives the rates pending at the current instant, if any.
+// Observers of rate-derived state (telemetry gauges, Flow.Rate,
+// utilization reads) call it so that coalescing is invisible: they see
+// exactly the piecewise-constant state the eager per-trigger
+// implementation exposed at the same virtual time. Completion
+// deadlines are NOT settled here — they only need to be final by the
+// end of the instant, and settling them mid-instant would perturb the
+// tie-break ranks refreshCompletions fixed at the last trigger.
+func (n *Network) Flush() {
+	if n.ratesDirty {
+		n.ratesDirty = false
+		n.reallocate(n.eng.Now())
+	}
+}
+
+// flush is the end-of-instant hook: derive rates if still stale, then
+// settle completion deadlines.
+func (n *Network) flush() {
+	now := n.eng.Now()
+	if n.ratesDirty {
+		n.ratesDirty = false
+		n.reallocate(now)
+	}
+	if n.eventsDirty {
+		n.eventsDirty = false
+		n.scheduleCompletions(now)
+	}
+}
+
+// reallocate recomputes max-min fair rates by progressive filling and
+// folds per-channel utilization accounting. It does not touch
+// completion events; scheduleCompletions does that at instant end.
+func (n *Network) reallocate(now sim.Time) {
+	n.passes++
+	n.epoch++
+	ep := n.epoch
+	// Stamp the channels touched by active flows with fresh scratch.
+	unassigned := 0
+	for _, f := range n.flows {
+		if f.finished {
+			continue
+		}
+		unassigned++
+		f.rate = -1 // unassigned marker
+		for _, c := range f.path {
+			if c.epoch != ep {
+				c.epoch = ep
+				c.residual = c.capacity
+				c.unassigned = 0
+			}
+			c.unassigned++
+		}
+	}
 	for unassigned > 0 {
 		// Find the bottleneck: the channel with the smallest fair share.
 		var bottleneck *Channel
 		share := math.Inf(1)
 		// Deterministic order: scan flows (creation order) and their paths.
 		for _, f := range n.flows {
-			if f.rate >= 0 {
+			if f.finished || f.rate >= 0 {
 				continue
 			}
 			for _, c := range f.path {
-				st := states[c]
-				if st.unassigned == 0 {
+				if c.unassigned == 0 {
 					continue
 				}
-				s := st.residual / float64(st.unassigned)
+				s := c.residual / float64(c.unassigned)
 				if s < share {
 					share = s
 					bottleneck = c
@@ -304,7 +564,7 @@ func (n *Network) reallocate(now sim.Time) {
 		}
 		// Every unassigned flow crossing the bottleneck gets the share.
 		for _, f := range n.flows {
-			if f.rate >= 0 {
+			if f.finished || f.rate >= 0 {
 				continue
 			}
 			crosses := false
@@ -320,75 +580,152 @@ func (n *Network) reallocate(now sim.Time) {
 			f.rate = share
 			unassigned--
 			for _, c := range f.path {
-				st := states[c]
-				st.residual -= share
-				if st.residual < 0 {
-					st.residual = 0
+				c.residual -= share
+				if c.residual < 0 {
+					c.residual = 0
 				}
-				st.unassigned--
+				c.unassigned--
 			}
 		}
 	}
 	for _, f := range n.flows {
-		if f.rate < 0 {
+		if !f.finished && f.rate < 0 {
 			f.rate = 0 // stalled: no residual capacity anywhere on its path
 		}
 	}
-	// Fold per-channel utilization accounting and schedule completions.
-	// Every channel is visited (not just the ones with active flows) so a
-	// channel that just went idle stops accumulating busy time.
+	// Fold per-channel utilization accounting. Every channel is visited
+	// (not just the ones with active flows) so a channel that just went
+	// idle stops accumulating busy time. Summation order is the
+	// channel's active list in admission order — the same order the
+	// eager implementation summed — so the folded integrals are
+	// bit-identical.
 	for _, l := range n.links {
 		for _, c := range []*Channel{l.fwd, l.rev} {
 			rate := 0.0
 			for _, f := range c.active {
-				if f.rate > 0 {
+				if !f.finished && f.rate > 0 {
 					rate += f.rate
 				}
 			}
 			c.account(now, rate)
 		}
 	}
+}
+
+// scheduleCompletions settles every live flow's completion deadline
+// from the rates of the last pass and attaches the tie-break ranks
+// reserved by refreshCompletions, walking flows in admission order so
+// rank r(i) = rankBase + i — the exact sequence the eager re-create
+// consumed at the instant's last trigger. It runs once per dirty
+// instant, at instant end, and consumes no fresh sequence numbers
+// (AtRanked/PlaceRanked only), which is what keeps the SeqMark valid
+// across pure completion cascades. A flow whose deadline did not move
+// is counted as skipped (its event is still re-ranked in place); a
+// stalled flow's event is tombstoned where it sits and revived by the
+// flush after the trigger that un-stalls it.
+func (n *Network) scheduleCompletions(now sim.Time) {
+	rank := n.rankBase
 	for _, f := range n.flows {
-		if f.done != nil {
-			n.eng.Cancel(f.done)
-			f.done = nil
+		if f.finished {
+			continue
 		}
+		r := rank
+		rank++
 		if f.rate <= 0 {
-			continue // stalled; will be rescheduled on the next change
+			if f.done != nil && !f.done.Cancelled() {
+				n.eng.Cancel(f.done)
+			}
+			continue // revived by the flush after the next change
 		}
 		secs := f.remaining / f.rate
-		delay := sim.Time(math.Ceil(secs * 1e9))
-		ff := f
-		f.done = n.eng.Schedule(delay, func() { n.complete(ff) })
+		target := now + sim.Time(math.Ceil(secs*1e9))
+		if f.done == nil {
+			// Newly admitted this instant: materialize the event directly
+			// at its deadline with its reserved rank.
+			ff := f
+			f.done = n.eng.AtRanked(target, r, func() { n.complete(ff) })
+			n.rescheduled++
+			continue
+		}
+		if !f.done.Cancelled() && f.done.Time() == target {
+			n.skipped++
+		} else {
+			n.rescheduled++
+		}
+		n.eng.PlaceRanked(f.done, target, r)
 	}
 }
 
 func (n *Network) complete(f *Flow) {
 	now := n.eng.Now()
+	n.requests++
 	n.settle(now)
 	f.remaining = 0
 	f.finished = true
 	f.finish = now
+	n.eng.Recycle(f.done)
 	f.done = nil
-	// Remove from active sets.
+	// Leave the active lists by tombstone: iteration skips finished
+	// flows, and lists compact once tombstones reach half their length.
+	n.liveFlows--
+	n.deadFlows++
 	for _, c := range f.path {
 		c.bytesCarried += f.size
-		c.active = removeFlow(c.active, f)
+		c.live--
+		c.dead++
+		if c.dead >= listCompactMin && c.dead*2 > len(c.active) {
+			c.active = n.compactList(c.active)
+			c.dead = 0
+		}
 	}
-	n.flows = removeFlow(n.flows, f)
-	n.reallocate(now)
+	if n.deadFlows >= listCompactMin && n.deadFlows*2 > len(n.flows) {
+		n.flows = n.compactList(n.flows)
+		n.deadFlows = 0
+	}
+	n.refreshCompletions(now)
+	n.markDirty()
 	if f.onDone != nil {
 		f.onDone()
 	}
 }
 
-func removeFlow(s []*Flow, f *Flow) []*Flow {
-	for i, x := range s {
-		if x == f {
-			return append(s[:i], s[i+1:]...)
+// compactList removes finished flows from a list in place, preserving
+// admission order, and drops each removed tombstone's list reference —
+// the point at which an ephemeral flow with no remaining references is
+// recycled.
+func (n *Network) compactList(s []*Flow) []*Flow {
+	live := s[:0]
+	for _, f := range s {
+		if f.finished {
+			f.listRefs--
+			if f.listRefs == 0 && f.ephemeral {
+				n.recycleFlow(f)
+			}
+			continue
 		}
+		live = append(live, f)
 	}
-	return s
+	for i := len(live); i < len(s); i++ {
+		s[i] = nil
+	}
+	return live
+}
+
+func (n *Network) newFlow() *Flow {
+	if k := len(n.flowPool); k > 0 {
+		f := n.flowPool[k-1]
+		n.flowPool[k-1] = nil
+		n.flowPool = n.flowPool[:k-1]
+		*f = Flow{}
+		return f
+	}
+	return &Flow{}
+}
+
+func (n *Network) recycleFlow(f *Flow) {
+	if len(n.flowPool) < maxFlowPool {
+		n.flowPool = append(n.flowPool, f)
+	}
 }
 
 // SortChannels orders channels by name; used by diagnostics that need a
@@ -408,10 +745,12 @@ func (n *Network) SetLinkCapacity(l *Link, fwdCap, revCap float64) {
 		panic(fmt.Sprintf("fabric: link %q capacity change to non-positive", l.name))
 	}
 	now := n.eng.Now()
+	n.requests++
 	n.settle(now)
 	l.fwd.account(now, l.fwd.currentRate)
 	l.rev.account(now, l.rev.currentRate)
 	l.fwd.capacity = fwdCap
 	l.rev.capacity = revCap
-	n.reallocate(now)
+	n.refreshCompletions(now)
+	n.markDirty()
 }

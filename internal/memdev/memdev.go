@@ -201,7 +201,7 @@ func newSyncGroup(p *Pool, index int) *SyncGroup {
 			// Real sync cores write the peer's CCI-mapped RecvBuf with
 			// direct load/store transactions — no DMA descriptor setup,
 			// just the fabric (paper Section IV-A).
-			p.Topo.Transfer(p.Devices[i].Dev, p.Devices[j].Dev, size, onDone)
+			p.Topo.TransferEphemeral(p.Devices[i].Dev, p.Devices[j].Dev, size, onDone)
 			return
 		}
 		// GPU-emulated devices on no-P2P machines bounce through host

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineCancelChurn models the fabric reshare pattern the
+// event queue pays for most: a standing population of pending events
+// whose deadlines keep being cancelled and replaced. With an eager
+// heap.Remove every cancel is O(log n); with tombstoned cancels the
+// cost collapses to marking plus amortized compaction.
+func BenchmarkEngineCancelChurn(b *testing.B) {
+	const population = 512
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		events := make([]*Event, population)
+		fn := func() {}
+		for j := range events {
+			events[j] = e.Schedule(Time(1000+j), fn)
+		}
+		for round := 0; round < 16; round++ {
+			for j := range events {
+				e.Cancel(events[j])
+				events[j] = e.Schedule(Time(2000+round*100+j), fn)
+			}
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineReschedule measures moving a standing population of
+// pending events to new deadlines, the "completion time changed"
+// reshare path.
+func BenchmarkEngineReschedule(b *testing.B) {
+	const population = 512
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		events := make([]*Event, population)
+		fn := func() {}
+		for j := range events {
+			events[j] = e.Schedule(Time(1000+j), fn)
+		}
+		for round := 0; round < 16; round++ {
+			for j := range events {
+				e.Reschedule(events[j], Time(2000+round*100+j))
+			}
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineScheduleRun is the plain schedule/dispatch path with
+// no cancellations, the floor the other two are compared against.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	const n = 8192
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		fn := func() {}
+		for j := 0; j < n; j++ {
+			e.Schedule(Time(j%509), fn)
+		}
+		e.Run()
+	}
+}

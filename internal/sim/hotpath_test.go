@@ -1,0 +1,238 @@
+package sim
+
+import "testing"
+
+// TestCancelIsTombstone verifies that Cancel no longer removes the
+// event from the queue eagerly: Pending drops immediately (live view),
+// the tombstone counter rises, and the event never fires.
+func TestCancelIsTombstone(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	keep := 0
+	e.Schedule(20, func() { keep++ })
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending before cancel = %d, want 2", got)
+	}
+	e.Cancel(ev)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1 (tombstones excluded)", got)
+	}
+	if got := e.EventsTombstoned(); got != 1 {
+		t.Fatalf("EventsTombstoned = %d, want 1", got)
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if keep != 1 {
+		t.Fatal("live event did not fire")
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after run = %d, want 0", got)
+	}
+}
+
+// TestQueueCompactionBoundsTombstones drives enough cancels that the
+// queue must compact, and checks the heap still dispatches the
+// survivors in order.
+func TestQueueCompactionBoundsTombstones(t *testing.T) {
+	e := NewEngine()
+	const n = 1024
+	events := make([]*Event, n)
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = e.Schedule(Time(i), func() { order = append(order, i) })
+	}
+	// Cancel two of every three events: tombstones cross the
+	// strictly-more-than-half compaction threshold partway through.
+	live := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			live++
+			continue
+		}
+		e.Cancel(events[i])
+	}
+	if e.Compactions() == 0 {
+		t.Fatal("expected at least one queue compaction")
+	}
+	if got := e.Pending(); got != live {
+		t.Fatalf("Pending = %d, want %d", got, live)
+	}
+	e.Run()
+	if len(order) != live {
+		t.Fatalf("dispatched %d events, want %d", len(order), live)
+	}
+	for k, v := range order {
+		if v != 3*k {
+			t.Fatalf("order[%d] = %d, want %d", k, v, 3*k)
+		}
+	}
+}
+
+// TestRescheduleRevivesTombstone checks the cancel-then-reschedule
+// path: the tombstone is revived in place with fresh tie-break rank.
+func TestRescheduleRevivesTombstone(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev := e.Schedule(5, func() { fired++ })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("event not cancelled")
+	}
+	e.Reschedule(ev, 7)
+	if ev.Cancelled() {
+		t.Fatal("reschedule did not revive the tombstone")
+	}
+	if got := e.EventsTombstoned(); got != 1 {
+		t.Fatalf("EventsTombstoned = %d, want 1 (revival does not erase history)", got)
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if e.Now() != 7 {
+		t.Fatalf("now = %v, want 7", e.Now())
+	}
+}
+
+// TestRetimeKeepsRank verifies that Retime moves an event's deadline
+// without refreshing its tie-break rank: an event retimed onto
+// another's instant still dispatches in original schedule order.
+func TestRetimeKeepsRank(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	a := e.Schedule(100, func() { order = append(order, "a") })
+	e.Schedule(50, func() { order = append(order, "b") })
+	// Move a onto b's instant. a was scheduled first, so with its
+	// original rank it must still fire before b.
+	e.Retime(a, 50)
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}
+
+// TestRetimeOfCancelledPanics pins the contract that Retime only
+// applies to live pending events.
+func TestRetimeOfCancelledPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(10, func() {})
+	e.Cancel(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic retiming a cancelled event")
+		}
+	}()
+	e.Retime(ev, 20)
+}
+
+// TestAtInstantEndRunsAfterInstantDrains checks the flush hook fires
+// only once every event at the current timestamp has dispatched, and
+// before the clock advances.
+func TestAtInstantEndRunsAfterInstantDrains(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(10, func() {
+		e.AtInstantEnd(func() { order = append(order, "flush@"+e.Now().String()) })
+		order = append(order, "first")
+		e.Schedule(0, func() { order = append(order, "second") })
+	})
+	e.Schedule(20, func() { order = append(order, "later") })
+	e.Run()
+	want := []string{"first", "second", "flush@10ns", "later"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAtInstantEndHookMayReopenInstant verifies that a hook scheduling
+// an event at the current instant re-opens it, and the new event runs
+// before time advances.
+func TestAtInstantEndHookMayReopenInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(10, func() {
+		e.AtInstantEnd(func() {
+			order = append(order, "flush1")
+			e.Schedule(0, func() { order = append(order, "reopened") })
+			e.AtInstantEnd(func() { order = append(order, "flush2") })
+		})
+		order = append(order, "event")
+	})
+	e.Run()
+	want := []string{"event", "flush1", "reopened", "flush2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now = %v, want 10", e.Now())
+	}
+}
+
+// TestAtInstantEndRunsBeforeRunUntilReturns pins that a pending hook
+// executes even when the run stops at a deadline before the next
+// event.
+func TestAtInstantEndRunsBeforeRunUntilReturns(t *testing.T) {
+	e := NewEngine()
+	flushed := false
+	e.Schedule(10, func() {
+		e.AtInstantEnd(func() { flushed = true })
+	})
+	e.RunUntil(15)
+	if !flushed {
+		t.Fatal("instant-end hook did not run before RunUntil returned")
+	}
+	if e.Now() != 15 {
+		t.Fatalf("now = %v, want 15", e.Now())
+	}
+}
+
+// TestRecycleReusesEvents checks the event free-list: a recycled
+// event's storage backs a later Schedule call.
+func TestRecycleReusesEvents(t *testing.T) {
+	e := NewEngine()
+	var first *Event
+	first = e.Schedule(1, func() { e.Recycle(first) })
+	e.Run()
+	second := e.Schedule(2, func() {})
+	if first != second {
+		t.Fatal("expected the recycled event to be reused by the next Schedule")
+	}
+	e.Run()
+}
+
+// TestRecyclePendingPanics pins that recycling a still-queued event is
+// a bug, not a silent corruption.
+func TestRecyclePendingPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic recycling a pending event")
+		}
+	}()
+	e.Recycle(ev)
+}
+
+// TestTombstoneExcludedFromForeground verifies Run terminates when only
+// tombstones remain (a cancelled foreground event must not hold the
+// run loop open).
+func TestTombstoneExcludedFromForeground(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(100, func() { t.Fatal("cancelled event fired") })
+	e.Schedule(1, func() { e.Cancel(ev) })
+	e.Run()
+	if e.Now() != 1 {
+		t.Fatalf("now = %v, want 1 (run must stop once only tombstones remain)", e.Now())
+	}
+}

@@ -104,7 +104,33 @@ type Engine struct {
 	daemons    uint64 // daemon events fired (excluded from Dispatched)
 	foreground int    // pending non-daemon events
 	running    bool
+
+	// Lazy cancellation: Cancel marks an event as a tombstone and
+	// leaves it in the heap (skip-on-pop) instead of paying an
+	// O(log n) heap.Remove. tombstones counts the markers still
+	// queued; when they outnumber live events the queue is compacted.
+	tombstones  int
+	tombstoned  uint64 // cumulative tombstoned cancels (telemetry)
+	compactions uint64 // cumulative queue compactions (telemetry)
+
+	// instantEnd holds end-of-instant hooks: callbacks that run after
+	// every queued event at the current virtual instant has fired,
+	// before the clock advances (or the run loop returns). The fabric
+	// uses this to coalesce same-instant reshare triggers into one
+	// reallocation pass.
+	instantEnd []func()
+
+	// pool recycles Event allocations for owners that can prove
+	// exclusive ownership (see Recycle).
+	pool []*Event
 }
+
+// maxEventPool bounds the engine's event free-list.
+const maxEventPool = 4096
+
+// compactMinTombstones is the floor below which compaction is never
+// triggered; small queues just dispatch through their tombstones.
+const compactMinTombstones = 64
 
 // NewEngine returns an engine with virtual time zero and an empty queue.
 func NewEngine() *Engine {
@@ -115,8 +141,17 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events waiting to fire, daemons
-// included.
-func (e *Engine) Pending() int { return len(e.queue) }
+// included. Tombstoned (cancelled but not yet compacted) events are
+// excluded: they occupy queue slots but will never fire.
+func (e *Engine) Pending() int { return len(e.queue) - e.tombstones }
+
+// EventsTombstoned returns the cumulative number of cancels that were
+// recorded as lazy tombstones (every Cancel of a still-queued event).
+func (e *Engine) EventsTombstoned() uint64 { return e.tombstoned }
+
+// Compactions returns how many times the event queue was rebuilt to
+// shed tombstones.
+func (e *Engine) Compactions() uint64 { return e.compactions }
 
 // PendingForeground returns the number of non-daemon events waiting to
 // fire; the engine is idle for simulation purposes when it is zero.
@@ -179,13 +214,47 @@ func (e *Engine) at(t Time, fn func()) *Event {
 		panic("sim: schedule with nil callback")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
-// Cancel removes a pending event so it never fires. Cancelling an event
+// Recycle returns a fired (or fully cancelled-and-compacted) event to
+// the engine's allocation pool so the next Schedule can reuse it.
+// The caller must be the event's sole remaining owner: after Recycle
+// the object may be rearmed as an unrelated event at any moment, so
+// keeping (or later Cancelling) the pointer corrupts the queue. It is
+// legal to call Recycle from inside the event's own callback — by
+// then the event has left the queue. Recycling a still-queued event
+// panics. Recycle(nil) is a no-op.
+func (e *Engine) Recycle(ev *Event) {
+	if ev == nil {
+		return
+	}
+	if ev.index >= 0 {
+		panic("sim: Recycle of a still-queued event")
+	}
+	if len(e.pool) < maxEventPool {
+		e.pool = append(e.pool, ev)
+	}
+}
+
+// Cancel marks a pending event so it never fires. Cancelling an event
 // that already fired (or was already cancelled) is a no-op.
+//
+// Cancellation is lazy: the event stays queued as a tombstone that is
+// skipped when popped, so Cancel is O(1) instead of an O(log n)
+// heap.Remove. When tombstones outnumber live events the queue is
+// compacted in one pass, keeping memory bounded by the live event
+// population.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.cancel || ev.index < 0 {
 		if ev != nil {
@@ -194,40 +263,228 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.tombstones++
+	e.tombstoned++
 	if !ev.daemon {
 		e.foreground--
 	}
+	e.maybeCompact()
+}
+
+// maybeCompact rebuilds the queue without tombstones once they
+// outnumber live events (and exceed a small floor). Heap order is
+// re-established from (time, seq), so compaction is invisible to
+// dispatch order.
+func (e *Engine) maybeCompact() {
+	if e.tombstones < compactMinTombstones || e.tombstones*2 <= len(e.queue) {
+		return
+	}
+	orig := e.queue
+	live := orig[:0]
+	for _, ev := range orig {
+		if ev.cancel {
+			ev.index = -1
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(orig); i++ {
+		orig[i] = nil
+	}
+	e.queue = live
+	for i, ev := range e.queue {
+		ev.index = i
+	}
+	heap.Init(&e.queue)
+	e.tombstones = 0
+	e.compactions++
 }
 
 // Reschedule moves a pending event to a new absolute time, preserving
-// its callback. If the event already fired it is re-armed.
+// its callback. The event keeps its identity but is sequenced as if
+// newly scheduled (same-instant tie-break order follows the
+// reschedule, not the original schedule). If the event already fired
+// or was cancelled it is re-armed.
 func (e *Engine) Reschedule(ev *Event, t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: reschedule at %v before now %v", t, e.now))
 	}
-	fn := ev.fn
-	e.Cancel(ev)
+	e.seq++
+	if ev.index >= 0 {
+		// Still queued (possibly as a tombstone): fix it up in place —
+		// no allocation, one O(log n) sift instead of remove+push.
+		if ev.cancel {
+			ev.cancel = false
+			e.tombstones--
+			if !ev.daemon {
+				e.foreground++
+			}
+		}
+		ev.at = t
+		ev.seq = e.seq
+		heap.Fix(&e.queue, ev.index)
+		return
+	}
+	// Fired or compacted away: re-arm from scratch.
 	ev.cancel = false
 	ev.at = t
-	e.seq++
 	ev.seq = e.seq
-	ev.fn = fn
 	heap.Push(&e.queue, ev)
 	if !ev.daemon {
 		e.foreground++
 	}
 }
 
-// Step fires the earliest pending event and advances the clock to its
-// timestamp. It reports whether an event was fired.
-func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
+// Retime moves a pending event to a new absolute time while keeping
+// its sequence number, so its same-instant tie-break rank against
+// other events is whatever the most recent Schedule/Reschedule gave
+// it. This is the deferred-deadline primitive: a caller that has
+// already fixed an event's dispatch rank (via Reschedule) can settle
+// its final time later without perturbing tie order. The event must
+// be pending and live; retiming a fired or cancelled event panics.
+func (e *Engine) Retime(ev *Event, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: retime at %v before now %v", t, e.now))
+	}
+	if ev.index < 0 || ev.cancel {
+		panic("sim: retime of a fired or cancelled event")
+	}
+	ev.at = t
+	heap.Fix(&e.queue, ev.index)
+}
+
+// SeqMark returns the most recently consumed sequence number. A caller
+// that snapshots the mark and later observes it unchanged knows no
+// event anywhere acquired a tie-break rank in between, so ranks it
+// assigned earlier are still exactly ordered against the rest of the
+// queue. The fabric's incremental reshare uses this to skip rank
+// refreshes on quiet triggers.
+func (e *Engine) SeqMark() uint64 { return e.seq }
+
+// ReserveSeq consumes k sequence numbers without scheduling anything
+// and returns the first reserved value. The caller may later attach
+// the reserved ranks to events via AtRanked or PlaceRanked; until it
+// does, the reserved range simply never dispatches. Reserving a block
+// at a known point in virtual causality is how a batch of events can
+// be ranked "as of" that point while their deadlines are derived
+// later: events scheduled after the reservation always outrank the
+// block. Consecutive reservations with no intervening rank
+// consumption return adjacent ranges, so a block can be extended.
+func (e *Engine) ReserveSeq(k int) uint64 {
+	if k < 0 {
+		panic("sim: negative sequence reservation")
+	}
+	e.seq += uint64(k)
+	return e.seq - uint64(k) + 1
+}
+
+// AtRanked schedules fn at absolute time t with a caller-assigned
+// sequence number previously obtained from ReserveSeq. The caller owns
+// rank uniqueness: attaching the same reserved rank to two pending
+// events leaves their mutual tie order undefined.
+func (e *Engine) AtRanked(t Time, seq uint64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		*ev = Event{at: t, seq: seq, fn: fn}
+	} else {
+		ev = &Event{at: t, seq: seq, fn: fn}
+	}
+	heap.Push(&e.queue, ev)
+	e.foreground++
+	return ev
+}
+
+// PlaceRanked moves an event to absolute time t with a caller-assigned
+// sequence number from ReserveSeq, reviving it if it was cancelled.
+// Unlike Reschedule it consumes no fresh rank — the event's tie order
+// is wholly determined by the reserved rank — and unlike Retime it may
+// target tombstoned events. The event must still be queued.
+func (e *Engine) PlaceRanked(ev *Event, t Time, seq uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: place at %v before now %v", t, e.now))
+	}
+	if ev.index < 0 {
+		if !ev.cancel {
+			panic("sim: place of a fired event")
 		}
+		// Tombstone evicted by a queue compaction: re-arm from scratch.
+		ev.cancel = false
+		ev.at = t
+		ev.seq = seq
+		heap.Push(&e.queue, ev)
+		if !ev.daemon {
+			e.foreground++
+		}
+		return
+	}
+	if ev.cancel {
+		ev.cancel = false
+		e.tombstones--
+		if !ev.daemon {
+			e.foreground++
+		}
+	}
+	ev.at = t
+	ev.seq = seq
+	heap.Fix(&e.queue, ev.index)
+}
+
+// AtInstantEnd registers fn to run once the current virtual instant is
+// exhausted: after every queued event with timestamp Now() has fired,
+// before the clock advances to the next timestamp (or the run loop
+// returns). Hooks run in registration order; a hook may schedule new
+// events — including at the current instant, which re-opens it — and
+// may register further hooks, which run when the instant next drains.
+//
+// This is the coalescing primitive: N same-instant triggers register
+// one hook between them and pay for one recomputation, while anything
+// that must observe intermediate state mid-instant can force it
+// eagerly (fabric.Network.Flush) without perturbing the schedule.
+func (e *Engine) AtInstantEnd(fn func()) {
+	if fn == nil {
+		panic("sim: AtInstantEnd with nil callback")
+	}
+	e.instantEnd = append(e.instantEnd, fn)
+}
+
+// runInstantEnd runs one batch of end-of-instant hooks, reporting
+// whether any ran. Hooks registered during the batch are deferred to
+// the next drain of the (possibly re-opened) instant.
+func (e *Engine) runInstantEnd() bool {
+	if len(e.instantEnd) == 0 {
+		return false
+	}
+	fns := e.instantEnd
+	e.instantEnd = nil
+	for _, fn := range fns {
+		fn()
+	}
+	return true
+}
+
+// Step fires the earliest pending event and advances the clock to its
+// timestamp, running any end-of-instant hooks first when the earliest
+// event would move the clock forward. It reports whether an event was
+// fired.
+func (e *Engine) Step() bool {
+	for {
+		ev := e.peek()
+		if (ev == nil || ev.at > e.now) && e.runInstantEnd() {
+			continue // hooks may have re-opened the current instant
+		}
+		if ev == nil {
+			return false
+		}
+		heap.Pop(&e.queue)
 		e.now = ev.at
 		if ev.daemon {
 			e.daemons++
@@ -238,7 +495,6 @@ func (e *Engine) Step() bool {
 		ev.fn()
 		return true
 	}
-	return false
 }
 
 // enterRun guards against re-entrant dispatch: calling Run or RunUntil
@@ -256,26 +512,39 @@ func (e *Engine) enterRun(what string) {
 // foreground event fire in order; daemon events scheduled past it stay
 // queued and never fire, so a self-rescheduling daemon (the telemetry
 // sampler) cannot extend the simulation or keep Run alive.
+// End-of-instant hooks pending when the last foreground event fires
+// still run (they may schedule new foreground work, which extends the
+// run).
 func (e *Engine) Run() Time {
 	e.enterRun("Run")
 	defer func() { e.running = false }()
-	for e.foreground > 0 && e.Step() {
+	for {
+		if e.foreground == 0 {
+			if e.runInstantEnd() && e.foreground > 0 {
+				continue
+			}
+			break
+		}
+		if !e.Step() {
+			break
+		}
 	}
 	return e.now
 }
 
 // RunUntil dispatches events with timestamps at or before deadline, then
 // advances the clock exactly to deadline and returns it. Events scheduled
-// after deadline remain queued.
+// after deadline remain queued; end-of-instant hooks for the last
+// dispatched instant run before the clock jumps to the deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.enterRun("RunUntil")
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
+	for {
 		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
+		if next == nil || next.at > deadline {
+			if e.runInstantEnd() {
+				continue // hooks may add events at or before the deadline
+			}
 			break
 		}
 		e.Step()
@@ -296,6 +565,7 @@ func (e *Engine) peek() *Event {
 			return ev
 		}
 		heap.Pop(&e.queue)
+		e.tombstones--
 	}
 	return nil
 }

@@ -45,12 +45,44 @@ func RegisterLinks(r *Registry, eng *sim.Engine, links []*fabric.Link) {
 }
 
 // RegisterNetwork registers network-wide fabric gauges: the reshare
-// count (how many max-min reallocation passes have run) and the
-// currently active flow count.
+// request count (one per flow admission, completion, or capacity
+// change — what Network.Reshares reported before requests and passes
+// were split by coalescing) and the currently active flow count.
+//
+// The reshares gauge deliberately samples ReshareRequests, not
+// Reshares: requests are a function of the simulated workload alone,
+// so the series is stable across engine-internal optimizations like
+// same-instant coalescing, keeping telemetry dumps byte-comparable
+// between implementations. The pass count and the other hot-path
+// internals are available opt-in via RegisterHotPath.
 func RegisterNetwork(r *Registry, n *fabric.Network) {
 	if r == nil {
 		return
 	}
-	r.GaugeFunc("fabric/reshares", "count", func() float64 { return float64(n.Reshares()) })
+	r.GaugeFunc("fabric/reshares", "count", func() float64 { return float64(n.ReshareRequests()) })
 	r.GaugeFunc("fabric/active_flows", "flows", func() float64 { return float64(n.ActiveFlows()) })
+}
+
+// RegisterHotPath registers the fabric/sim hot-path efficiency
+// counters: reallocation passes actually run vs. coalesced away,
+// completion events rescheduled vs. skipped, and the event queue's
+// tombstone/compaction activity. These series are opt-in — they
+// describe the simulator's own internals rather than the simulated
+// system, and registering them changes dump bytes, so default
+// telemetry keeps them off to preserve byte-identical output across
+// engine versions.
+func RegisterHotPath(r *Registry, eng *sim.Engine, n *fabric.Network) {
+	if r == nil {
+		return
+	}
+	if n != nil {
+		r.GaugeFunc("fabric/reshare_passes", "count", func() float64 { return float64(n.Reshares()) })
+		r.GaugeFunc("fabric/reshares_coalesced", "count", func() float64 { return float64(n.ResharesCoalesced()) })
+		r.GaugeFunc("fabric/completions_rescheduled", "count", func() float64 { return float64(n.CompletionsRescheduled()) })
+		r.GaugeFunc("fabric/completions_skipped", "count", func() float64 { return float64(n.CompletionsSkipped()) })
+	}
+	if eng != nil {
+		r.GaugeFunc("sim/events_tombstoned", "count", func() float64 { return float64(eng.EventsTombstoned()) })
+		r.GaugeFunc("sim/queue_compactions", "count", func() float64 { return float64(eng.Compactions()) })
+	}
 }

@@ -219,6 +219,15 @@ func (t *Topology) Transfer(a, b *Device, size int64, onDone func()) *fabric.Flo
 	return t.Net.Transfer(t.Path(a, b), size, onDone)
 }
 
+// TransferEphemeral starts a flow of size bytes from a to b without
+// returning a handle, letting the fabric recycle the flow record once
+// it completes and leaves every active list. Use it for
+// fire-and-forget traffic whose only observable is onDone; callers
+// that need Rate/Remaining or flow identity must use Transfer.
+func (t *Topology) TransferEphemeral(a, b *Device, size int64, onDone func()) {
+	t.Net.TransferEphemeral(t.Path(a, b), size, onDone)
+}
+
 // PathBandwidth returns the zero-load bandwidth of the a→b route: the
 // minimum channel capacity along the path.
 func (t *Topology) PathBandwidth(a, b *Device) float64 {

@@ -108,6 +108,13 @@ type Config struct {
 	// TelemetryMaxSamples bounds the per-series sample count (older
 	// samples are decimated); zero means telemetry.DefaultMaxSamples.
 	TelemetryMaxSamples int
+	// TelemetryHotPath additionally registers the simulator's own
+	// hot-path efficiency counters (reshare passes vs. coalesced,
+	// completion events retimed vs. skipped, event-queue tombstones and
+	// compactions). Off by default: these series describe the engine,
+	// not the simulated system, and registering them changes telemetry
+	// dump bytes.
+	TelemetryHotPath bool
 	// OnStart, when non-nil, runs after strategy setup and before the
 	// first iteration; tests and experiments use it to schedule runtime
 	// perturbations (link degradation, etc.) on the engine.
@@ -379,6 +386,9 @@ func (t *Trainer) registerTelemetry() {
 	links = append(links, ring...)
 	telemetry.RegisterLinks(reg, ctx.Eng, links)
 	telemetry.RegisterNetwork(reg, ctx.Machine.Net)
+	if t.cfg.TelemetryHotPath {
+		telemetry.RegisterHotPath(reg, ctx.Eng, ctx.Machine.Net)
+	}
 	ctx.CCI.AttachTelemetry(reg)
 	for w := range ctx.Workers {
 		w := w
