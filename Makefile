@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke suite telemetry-smoke ci
+.PHONY: all build test race vet lint bench bench-smoke bench-compare suite golden-drift telemetry-smoke ci
 
 all: build
 
@@ -23,6 +23,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting + vet + staticcheck, the CI lint lane. The staticcheck
+# step fetches the pinned module and so needs network on first use;
+# gofmt/vet run fine offline.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
 
 # Hot-path performance tracking: run the fabric/sim microbenchmarks
 # plus a serial quick-suite timing and rewrite BENCH_fabric.json (the
@@ -43,6 +50,22 @@ bench-smoke:
 # byte-identical-output guarantee on your machine.
 suite:
 	$(GO) run ./cmd/coarsebench -quick -timing
+
+# Golden-drift gate: regenerate the fig8/fig16/resilience families at
+# -parallel 1 and -parallel 4 and compare byte-for-byte against the
+# committed goldens (tables verbatim, telemetry dumps via sha256
+# manifest). After an intentional output change, refresh with
+#   go test ./internal/experiments -run TestGoldenDeterminism -update-goldens
+golden-drift:
+	$(GO) test ./internal/experiments -run TestGoldenDeterminism -count=1 -v
+
+# Warn-only perf regression guard (the CI bench-guard lane): measure a
+# fresh candidate record and compare it against the committed
+# BENCH_fabric.json with a generous 3x threshold. Emits GitHub
+# ::warning:: annotations; never fails.
+bench-compare:
+	$(GO) run ./cmd/benchjson -benchtime 10x -out bench-ci.json
+	$(GO) run ./cmd/benchjson -compare bench-ci.json
 
 # End-to-end observability check: run one telemetry-enabled simulation,
 # verify the dump and Perfetto trace are written and byte-stable across

@@ -21,10 +21,19 @@
 //
 //	go run ./cmd/benchjson                # full run, rewrites BENCH_fabric.json
 //	go run ./cmd/benchjson -benchtime 1x -skip-suite -out /dev/null
+//	go run ./cmd/benchjson -compare bench-ci.json
 //
 // The second form is the CI smoke invocation: it proves every
 // benchmark still compiles and runs without spending CI minutes on
 // stable numbers.
+//
+// The third form is the CI regression guard: it compares a freshly
+// measured candidate file against the committed baseline at -out and
+// emits GitHub `::warning::` annotations for every benchmark whose
+// ns/op grew past -threshold (default 3x — generous on purpose, CI
+// runners are noisy and the baseline may come from different
+// hardware). Compare mode never fails the build: regressions are
+// surfaced for a human to judge, not gated on shared-runner timing.
 package main
 
 import (
@@ -68,9 +77,19 @@ type report struct {
 
 func main() {
 	benchtime := flag.String("benchtime", "100x", "value passed to go test -benchtime")
-	out := flag.String("out", "BENCH_fabric.json", "output path ('-' for stdout)")
+	out := flag.String("out", "BENCH_fabric.json", "output path ('-' for stdout); in -compare mode, the baseline")
 	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock measurement")
+	compare := flag.String("compare", "", "compare the candidate JSON at this path against the baseline at -out instead of measuring; warn-only, always exits 0 unless a file is unreadable")
+	threshold := flag.Float64("threshold", 3.0, "ns/op growth factor that triggers a ::warning:: in -compare mode")
 	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*out, *compare, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := report{
 		Schema: 1,
@@ -122,6 +141,70 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+}
+
+// runCompare loads the baseline and candidate reports and emits one
+// GitHub workflow-command warning per benchmark whose ns/op grew by at
+// least the threshold factor. It returns an error only for unreadable
+// or unparsable files; timing regressions never fail the build —
+// shared CI runners are far too noisy for a hard gate, which is why
+// the threshold is a generous 3x and the output is `::warning::`.
+func runCompare(basePath, candPath string, threshold float64) error {
+	load := func(path string) (*report, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return &r, nil
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := load(candPath)
+	if err != nil {
+		return err
+	}
+	if base.Context["cpus"] != cand.Context["cpus"] || base.Context["goarch"] != cand.Context["goarch"] {
+		fmt.Printf("benchjson: baseline context %v differs from candidate %v; cross-environment numbers, warnings are advisory\n",
+			base.Context, cand.Context)
+	}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Pkg+"/"+b.Name] = b
+	}
+	compared, warned := 0, 0
+	for _, c := range cand.Benchmarks {
+		b, ok := baseline[c.Pkg+"/"+c.Name]
+		if !ok || b.NsPerOp <= 0 || c.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if ratio := c.NsPerOp / b.NsPerOp; ratio >= threshold {
+			warned++
+			fmt.Printf("::warning title=bench regression (advisory)::%s/%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx >= %.2fx); refresh %s with 'make bench' on a quiet machine if intentional\n",
+				c.Pkg, c.Name, c.NsPerOp, b.NsPerOp, ratio, threshold, basePath)
+		}
+	}
+	if base.Suite != nil && cand.Suite != nil && base.Suite.WallSeconds > 0 {
+		compared++
+		if ratio := cand.Suite.WallSeconds / base.Suite.WallSeconds; ratio >= threshold {
+			warned++
+			fmt.Printf("::warning title=suite regression (advisory)::%s: %.1fs vs baseline %.1fs (%.2fx >= %.2fx)\n",
+				cand.Suite.Command, cand.Suite.WallSeconds, base.Suite.WallSeconds, ratio, threshold)
+		}
+	}
+	fmt.Printf("benchjson: compared %d measurement(s) against %s: %d warning(s) at >=%.1fx\n",
+		compared, basePath, warned, threshold)
+	if compared == 0 {
+		fmt.Printf("::warning title=bench guard::no overlapping benchmarks between %s and %s; guard is vacuous\n",
+			basePath, candPath)
+	}
+	return nil
 }
 
 // runBench executes `go test -bench` for one package and parses the

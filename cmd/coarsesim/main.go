@@ -14,9 +14,11 @@ import (
 	"strings"
 
 	coarse "coarse"
+	"coarse/internal/chaos"
 	"coarse/internal/config"
 	"coarse/internal/core"
 	"coarse/internal/paramserver"
+	"coarse/internal/sim"
 	"coarse/internal/telemetry"
 	"coarse/internal/trace"
 	"coarse/internal/train"
@@ -58,7 +60,26 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto trace with telemetry counter tracks to this exact path; single-strategy")
 	configFile := flag.String("config", "", "load a JSON scenario (overrides the other flags)")
 	hotPath := flag.Bool("telemetry-hot-path", false, "include the simulator's own hot-path counters (reshare coalescing, event-queue tombstones) in telemetry output; changes dump bytes")
+	chaosIntensity := flag.Float64("chaos-intensity", 0, "transient-fault duty cycle in (0,1]; 0 disables the seed-deterministic chaos profile")
+	chaosKinds := flag.String("chaos-kinds", "link,cci,stall", "comma-separated fault kinds to inject: link, cci, stall")
+	chaosFaults := flag.Int("chaos-faults", 2, "fault windows per kind in the chaos profile")
+	chaosHorizon := flag.Float64("chaos-horizon", 1.0, "virtual-time span (seconds) the chaos windows spread over")
 	flag.Parse()
+
+	var chaosSpec *chaos.Spec
+	if *chaosIntensity > 0 {
+		kinds, err := chaos.ParseKinds(*chaosKinds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsesim:", err)
+			os.Exit(1)
+		}
+		chaosSpec = &chaos.Spec{Profile: &chaos.Profile{
+			Intensity:     *chaosIntensity,
+			Horizon:       sim.Seconds(*chaosHorizon),
+			Kinds:         kinds,
+			FaultsPerKind: *chaosFaults,
+		}}
+	}
 
 	var spec coarse.MachineSpec
 	var m *coarse.Model
@@ -114,6 +135,7 @@ func main() {
 	for _, s := range strategies {
 		cfg := train.DefaultConfig(spec, m, *batch, *iters)
 		cfg.ComputeJitter = *jitter
+		cfg.Chaos = chaosSpec
 		var rec *trace.Recorder
 		if *traceFile != "" || *traceOut != "" {
 			rec = trace.New()
@@ -150,6 +172,10 @@ func main() {
 		fmt.Printf("%-10s %14v %14v %14v %7.1f%% %10.1f s/s %9.1f%% %9.1f%%\n",
 			s, res.IterTime, res.ComputeTime, res.BlockedComm, 100*res.GPUUtil, res.Throughput(),
 			100*res.EdgeBusUtil, 100*res.CCIBusUtil)
+		if res.ChaosFaults > 0 {
+			fmt.Printf("           chaos: %d fault windows, %v attributed stall\n",
+				res.ChaosFaults, res.ChaosStall)
+		}
 		if *traceFile != "" {
 			// Per-strategy span timeline (no counter tracks).
 			if err := writeTrace(fmt.Sprintf("%s.%s.json", strings.TrimSuffix(*traceFile, ".json"), s), rec); err != nil {

@@ -1,0 +1,357 @@
+// Package chaos is the deterministic fault-injection layer: it turns a
+// declarative fault specification into timestamped virtual-time events
+// executed against one training simulation.
+//
+// The paper motivates COARSE with the fragility of synchronous
+// data-parallel training — one straggling participant or one contended
+// link stalls every fast worker (Section II-B). The repo's static
+// ComputeJitter models permanent skew; chaos models the *transient*
+// faults a real cluster sees:
+//
+//   - LinkDegrade: a worker's serial-bus edge link loses a fraction of
+//     its capacity for a window (a flapping or contended lane). The
+//     capacity change rides the fabric's ordinary incremental-reshare
+//     machinery, so active flows retime exactly as for any other
+//     capacity change.
+//   - CCIBrownout: a memory device's CCI port link loses protocol
+//     efficiency for a window — modelled as the same capacity scaling,
+//     applied to the device's port link instead of a worker's.
+//   - WorkerStall: a worker goes silent for a window. Its compute
+//     pauses and it stops participating in synchronization; each
+//     strategy defines degraded-mode semantics (see internal/train and
+//     the strategy packages).
+//
+// Everything is seed-deterministic: a Spec compiles into a Plan using
+// only the run's seed (the runner's FNV per-spec derivation), windows
+// are fixed virtual-time intervals, and all fault transitions are
+// scheduled as sim daemon events — they fire in order during the run
+// but can never extend it, are excluded from the engine's dispatched
+// fingerprint, and clip naturally when a window spans the end of
+// training. A Spec that compiles to zero faults leaves every output
+// byte identical to a chaos-free run.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"coarse/internal/sim"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// LinkDegrade scales a worker edge link's capacity by Factor while
+	// the window is open.
+	LinkDegrade Kind = iota
+	// CCIBrownout scales a memory device's port-link capacity by
+	// Factor — a transient protocol-efficiency loss on the device's
+	// CCI port.
+	CCIBrownout
+	// WorkerStall silences a worker for the window: compute pauses and
+	// the worker stops participating in synchronization.
+	WorkerStall
+
+	numKinds // sentinel
+)
+
+var kindNames = [...]string{"link_degrade", "cci_brownout", "worker_stall"}
+
+// String returns the snake_case kind name used in telemetry series.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("chaos.Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKinds parses a comma-separated kind list. Accepted tokens:
+// "link"/"link_degrade", "cci"/"cci_brownout", "stall"/"worker_stall".
+// Empty elements are skipped; an empty string yields no kinds.
+func ParseKinds(s string) ([]Kind, error) {
+	var out []Kind
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "":
+		case "link", "link_degrade", "link-degrade":
+			out = append(out, LinkDegrade)
+		case "cci", "cci_brownout", "cci-brownout":
+			out = append(out, CCIBrownout)
+		case "stall", "worker_stall", "worker-stall":
+			out = append(out, WorkerStall)
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault kind %q (have link, cci, stall)", tok)
+		}
+	}
+	return out, nil
+}
+
+// Fault is one declarative fault: a (possibly repeating) window on one
+// target element of the kind's target class.
+type Fault struct {
+	Kind Kind
+	// Start is the first window's opening time relative to training
+	// start (the injector shifts windows by the clock value at arm
+	// time, so a strategy's offline-profiling Setup cannot push them
+	// into the past).
+	Start sim.Time
+	// Duration is the window length. Zero-duration windows are inert
+	// by definition: they change no capacity and silence no worker, so
+	// a plan of only zero-duration faults is byte-identical to no plan.
+	Duration sim.Time
+	// Period and Repeat expand the fault into Repeat occurrences
+	// spaced Period apart. Repeat <= 1 or Period <= 0 means a single
+	// occurrence. Occurrences past the end of training simply never
+	// fire (daemon-event semantics).
+	Period sim.Time
+	Repeat int
+	// Target selects the faulted element modulo the population of the
+	// kind's target class: workers for WorkerStall, worker edge links
+	// for LinkDegrade, memory-device port links for CCIBrownout.
+	Target int
+	// Factor is the capacity multiplier while a LinkDegrade or
+	// CCIBrownout window is open; must be in (0, 1]. Overlapping
+	// windows on one link multiply. Ignored for WorkerStall.
+	Factor float64
+}
+
+// Plan is a compiled, fully explicit fault schedule.
+type Plan struct {
+	Faults []Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// Validate checks every fault's fields.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		switch {
+		case f.Kind < 0 || f.Kind >= numKinds:
+			return fmt.Errorf("chaos: fault %d: unknown kind %d", i, int(f.Kind))
+		case f.Start < 0:
+			return fmt.Errorf("chaos: fault %d: negative start %v", i, f.Start)
+		case f.Duration < 0:
+			return fmt.Errorf("chaos: fault %d: negative duration %v", i, f.Duration)
+		case f.Period < 0:
+			return fmt.Errorf("chaos: fault %d: negative period %v", i, f.Period)
+		case f.Repeat < 0:
+			return fmt.Errorf("chaos: fault %d: negative repeat %d", i, f.Repeat)
+		case f.Target < 0:
+			return fmt.Errorf("chaos: fault %d: negative target %d", i, f.Target)
+		case f.Kind != WorkerStall && (f.Factor <= 0 || f.Factor > 1):
+			return fmt.Errorf("chaos: fault %d: factor %g outside (0, 1]", i, f.Factor)
+		}
+	}
+	return nil
+}
+
+// occurrence is one expanded fault window, before target resolution.
+type occurrence struct {
+	fault  int // index into Plan.Faults
+	kind   Kind
+	target int
+	start  sim.Time // relative to arm time
+	dur    sim.Time
+	factor float64
+}
+
+// occurrences expands Period/Repeat into explicit windows, in plan
+// order (fault index, then repeat index) — the order that also decides
+// same-instant transition tie-breaks.
+func (p Plan) occurrences() []occurrence {
+	var out []occurrence
+	for fi, f := range p.Faults {
+		n := f.Repeat
+		if n < 1 || f.Period <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, occurrence{
+				fault:  fi,
+				kind:   f.Kind,
+				target: f.Target,
+				start:  f.Start + sim.Time(i)*f.Period,
+				dur:    f.Duration,
+				factor: f.Factor,
+			})
+		}
+	}
+	return out
+}
+
+// Window is a half-open virtual-time interval [Start, End).
+type Window struct {
+	Start, End sim.Time
+}
+
+// MergeWindows sorts windows by start and merges overlapping or
+// touching ones, dropping empty windows. The result is disjoint and
+// ordered — the form AdvanceThrough requires.
+func MergeWindows(ws []Window) []Window {
+	sorted := append([]Window(nil), ws...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	var out []Window
+	for _, w := range sorted {
+		if w.End <= w.Start {
+			continue
+		}
+		if n := len(out); n > 0 && w.Start <= out[n-1].End {
+			if w.End > out[n-1].End {
+				out[n-1].End = w.End
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// AdvanceThrough returns the completion time of `work` units of
+// progress beginning at `start`, where progress pauses inside the
+// given windows (which must be disjoint and ordered — MergeWindows
+// output). work == 0 gives wake-time semantics: if start falls inside
+// a window the result is that window's end, otherwise start itself.
+func AdvanceThrough(wins []Window, start, work sim.Time) sim.Time {
+	t := start
+	for _, w := range wins {
+		if w.End <= t {
+			continue
+		}
+		if w.Start > t {
+			avail := w.Start - t
+			if work < avail || (work == avail && work > 0) {
+				return t + work
+			}
+			t += avail
+			work -= avail
+		}
+		// t now falls inside [w.Start, w.End): pause until the window
+		// closes.
+		t = w.End
+	}
+	return t + work
+}
+
+// Env is the fault-target populations of one built machine; targets
+// are resolved modulo these counts. The injector side derives it via
+// EnvOf.
+type Env struct {
+	// Workers is the worker-GPU count (WorkerStall targets).
+	Workers int
+	// EdgeLinks is the number of worker serial-bus edge links
+	// (LinkDegrade targets).
+	EdgeLinks int
+	// MemDevPorts is the number of memory-device port links
+	// (CCIBrownout targets).
+	MemDevPorts int
+}
+
+func (e Env) population(k Kind) int {
+	switch k {
+	case LinkDegrade:
+		return e.EdgeLinks
+	case CCIBrownout:
+		return e.MemDevPorts
+	case WorkerStall:
+		return e.Workers
+	}
+	return 0
+}
+
+// Profile derives a fault schedule from a few knobs plus the run seed,
+// for callers (the coarsesim CLI) that want "some deterministic chaos"
+// without writing explicit windows.
+type Profile struct {
+	// Intensity is the duty cycle per fault window's slot, in (0, 1];
+	// zero disables the profile.
+	Intensity float64
+	// Horizon is the virtual-time span the windows are spread over
+	// (typically a few expected iterations); zero disables the
+	// profile.
+	Horizon sim.Time
+	// Kinds lists the fault kinds to draw; empty means all three.
+	Kinds []Kind
+	// FaultsPerKind is the number of windows per kind; <= 0 means 1.
+	FaultsPerKind int
+	// MinFactor is the worst capacity multiplier drawn for degradation
+	// faults; outside (0, 1] it defaults to 0.25.
+	MinFactor float64
+}
+
+// Spec is what a training run is configured with: explicit faults, a
+// seeded profile, or both. It compiles into a Plan with the run's
+// derived seed, so memoization and cross-parallelism byte-identity
+// hold by construction.
+type Spec struct {
+	// Faults are used verbatim.
+	Faults []Fault
+	// Profile, when non-nil, appends seed-derived faults.
+	Profile *Profile
+}
+
+// Compile expands the spec into an explicit plan. The profile's random
+// draws come from a dedicated rand.Source seeded only by the run seed,
+// and the draw sequence is independent of the environment's
+// populations, so the same (spec, seed) compiles identically on every
+// machine shape — targets just wrap modulo smaller populations.
+func (s *Spec) Compile(seed int64, env Env) Plan {
+	if s == nil {
+		return Plan{}
+	}
+	plan := Plan{Faults: append([]Fault(nil), s.Faults...)}
+	p := s.Profile
+	if p == nil || p.Intensity <= 0 || p.Horizon <= 0 {
+		return plan
+	}
+	kinds := p.Kinds
+	if len(kinds) == 0 {
+		kinds = []Kind{LinkDegrade, CCIBrownout, WorkerStall}
+	}
+	per := p.FaultsPerKind
+	if per < 1 {
+		per = 1
+	}
+	minF := p.MinFactor
+	if minF <= 0 || minF > 1 {
+		minF = 0.25
+	}
+	intensity := p.Intensity
+	if intensity > 1 {
+		intensity = 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x63_68_61_6f_73)) // "chaos"
+	slot := p.Horizon / sim.Time(per)
+	dur := sim.Time(float64(slot) * intensity)
+	for _, k := range kinds {
+		pop := env.population(k)
+		for i := 0; i < per; i++ {
+			// Draws are unconditional so the stream never depends on
+			// the machine's populations.
+			tDraw := rng.Int63()
+			jDraw := rng.Float64()
+			fDraw := rng.Float64()
+			if pop <= 0 || dur <= 0 {
+				continue
+			}
+			start := sim.Time(i)*slot + sim.Time(jDraw*float64(slot-dur))
+			plan.Faults = append(plan.Faults, Fault{
+				Kind:     k,
+				Start:    start,
+				Duration: dur,
+				Target:   int(tDraw % int64(pop)),
+				Factor:   minF + fDraw*(1-minF),
+			})
+		}
+	}
+	return plan
+}

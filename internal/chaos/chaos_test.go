@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"coarse/internal/sim"
+)
+
+func TestParseKinds(t *testing.T) {
+	got, err := ParseKinds("link, cci,stall,,worker_stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{LinkDegrade, CCIBrownout, WorkerStall, WorkerStall}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if out, err := ParseKinds(""); err != nil || out != nil {
+		t.Fatalf("empty string: got %v, %v", out, err)
+	}
+	if _, err := ParseKinds("link,bogus"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Plan{Faults: []Fault{
+		{Kind: WorkerStall, Start: 1, Duration: 2},
+		{Kind: LinkDegrade, Duration: 5, Factor: 0.5, Period: 10, Repeat: 3},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Fault{
+		{Kind: Kind(99), Duration: 1},
+		{Kind: WorkerStall, Start: -1},
+		{Kind: WorkerStall, Duration: -1},
+		{Kind: WorkerStall, Period: -1},
+		{Kind: WorkerStall, Repeat: -1},
+		{Kind: WorkerStall, Target: -1},
+		{Kind: LinkDegrade, Duration: 1, Factor: 0},
+		{Kind: LinkDegrade, Duration: 1, Factor: 1.5},
+		{Kind: CCIBrownout, Duration: 1, Factor: -0.25},
+	}
+	for i, f := range bad {
+		if err := (Plan{Faults: []Fault{f}}).Validate(); err == nil {
+			t.Errorf("bad fault %d accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestMergeWindows(t *testing.T) {
+	cases := []struct {
+		in, want []Window
+	}{
+		{nil, nil},
+		// Empty windows dropped.
+		{[]Window{{5, 5}, {7, 6}}, nil},
+		// Overlap and touch merge; disjoint stays split.
+		{
+			[]Window{{10, 20}, {15, 25}, {25, 30}, {40, 50}},
+			[]Window{{10, 30}, {40, 50}},
+		},
+		// Containment.
+		{[]Window{{0, 100}, {10, 20}}, []Window{{0, 100}}},
+		// Unsorted input.
+		{[]Window{{30, 40}, {0, 5}}, []Window{{0, 5}, {30, 40}}},
+	}
+	for i, c := range cases {
+		if got := MergeWindows(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAdvanceThrough(t *testing.T) {
+	wins := []Window{{10, 20}, {30, 40}}
+	cases := []struct {
+		start, work, want sim.Time
+	}{
+		// No windows in the way.
+		{0, 5, 5},
+		// Work spans the first window: pause 10.
+		{0, 15, 25},
+		// Work spans both windows.
+		{0, 25, 45},
+		// Start inside a window.
+		{15, 1, 21},
+		// Wake-time semantics: zero work inside a window jumps to its
+		// end; outside it stays put.
+		{15, 0, 20},
+		{25, 0, 25},
+		{20, 0, 20}, // half-open: the end instant is awake
+		{10, 0, 20}, // the start instant is silent
+		// Work that exactly reaches a window boundary does not pause.
+		{0, 10, 10},
+	}
+	for i, c := range cases {
+		if got := AdvanceThrough(wins, c.start, c.work); got != c.want {
+			t.Errorf("case %d: AdvanceThrough(%v, %v) = %v, want %v", i, c.start, c.work, got, c.want)
+		}
+	}
+	if got := AdvanceThrough(nil, 7, 3); got != 10 {
+		t.Errorf("no windows: got %v want 10", got)
+	}
+}
+
+func TestCompileDeterministicAcrossShapes(t *testing.T) {
+	spec := &Spec{Profile: &Profile{
+		Intensity:     0.5,
+		Horizon:       sim.Seconds(1),
+		FaultsPerKind: 3,
+	}}
+	big := Env{Workers: 8, EdgeLinks: 8, MemDevPorts: 8}
+	small := Env{Workers: 2, EdgeLinks: 2, MemDevPorts: 2}
+
+	a := spec.Compile(42, big)
+	b := spec.Compile(42, big)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (spec, seed, env) compiled differently")
+	}
+	c := spec.Compile(42, small)
+	if len(a.Faults) != len(c.Faults) {
+		t.Fatalf("population changed fault count: %d vs %d", len(a.Faults), len(c.Faults))
+	}
+	for i := range a.Faults {
+		fa, fc := a.Faults[i], c.Faults[i]
+		// Timing and factors are population-independent; only targets
+		// wrap modulo the smaller populations.
+		if fa.Start != fc.Start || fa.Duration != fc.Duration || fa.Factor != fc.Factor || fa.Kind != fc.Kind {
+			t.Errorf("fault %d: windows differ across env shapes: %+v vs %+v", i, fa, fc)
+		}
+		if fc.Target >= 2 {
+			t.Errorf("fault %d: target %d outside small population", i, fc.Target)
+		}
+	}
+	d := spec.Compile(43, big)
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("different seeds compiled identically")
+	}
+}
+
+func TestCompileExplicitAndDisabled(t *testing.T) {
+	env := Env{Workers: 4, EdgeLinks: 4, MemDevPorts: 4}
+	explicit := []Fault{{Kind: WorkerStall, Start: 5, Duration: 7, Target: 1}}
+	s := &Spec{Faults: explicit}
+	p := s.Compile(1, env)
+	if !reflect.DeepEqual(p.Faults, explicit) {
+		t.Fatalf("explicit faults not passed through: %+v", p.Faults)
+	}
+	// Mutating the compiled plan must not alias the spec.
+	p.Faults[0].Start = 99
+	if explicit[0].Start != 5 {
+		t.Fatal("Compile aliased the spec's fault slice")
+	}
+
+	var nilSpec *Spec
+	if !nilSpec.Compile(1, env).Empty() {
+		t.Fatal("nil spec compiled to faults")
+	}
+	if !(&Spec{Profile: &Profile{Intensity: 0, Horizon: 1}}).Compile(1, env).Empty() {
+		t.Fatal("zero-intensity profile compiled to faults")
+	}
+	if !(&Spec{Profile: &Profile{Intensity: 0.5, Horizon: 0}}).Compile(1, env).Empty() {
+		t.Fatal("zero-horizon profile compiled to faults")
+	}
+	// Empty populations: the profile draws are unconditional but no
+	// fault can be emitted for a kind without targets.
+	empty := (&Spec{Profile: &Profile{Intensity: 0.5, Horizon: sim.Seconds(1)}}).Compile(1, Env{})
+	if !empty.Empty() {
+		t.Fatalf("empty env compiled to %d faults", len(empty.Faults))
+	}
+}
+
+func TestOccurrencesExpansion(t *testing.T) {
+	p := Plan{Faults: []Fault{
+		{Kind: WorkerStall, Start: 100, Duration: 10, Period: 50, Repeat: 3},
+		{Kind: LinkDegrade, Start: 7, Duration: 1, Factor: 0.5},          // single
+		{Kind: WorkerStall, Start: 0, Duration: 1, Period: 0, Repeat: 5}, // period<=0: single
+	}}
+	occs := p.occurrences()
+	if len(occs) != 5 {
+		t.Fatalf("got %d occurrences, want 5", len(occs))
+	}
+	wantStarts := []sim.Time{100, 150, 200, 7, 0}
+	for i, o := range occs {
+		if o.start != wantStarts[i] {
+			t.Errorf("occurrence %d start %v, want %v", i, o.start, wantStarts[i])
+		}
+	}
+	if occs[0].fault != 0 || occs[3].fault != 1 || occs[4].fault != 2 {
+		t.Error("occurrence fault indices wrong")
+	}
+}

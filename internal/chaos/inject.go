@@ -1,0 +1,294 @@
+package chaos
+
+import (
+	"coarse/internal/fabric"
+	"coarse/internal/sim"
+	"coarse/internal/telemetry"
+	"coarse/internal/topology"
+)
+
+// EnvOf derives the fault-target populations of a built machine: its
+// workers, their serial-bus edge links (GPU<->port), and the memory
+// devices' CCI port links (memdev<->port).
+func EnvOf(m *topology.Machine) Env {
+	return Env{
+		Workers:     len(m.Workers),
+		EdgeLinks:   len(m.LinksBetween(topology.KindGPU, topology.KindPort)),
+		MemDevPorts: len(m.LinksBetween(topology.KindMemDev, topology.KindPort)),
+	}
+}
+
+// armedOcc is one resolved fault occurrence: targets mapped to concrete
+// machine elements, ready to schedule.
+type armedOcc struct {
+	occurrence
+	link *fabric.Link // capacity target, nil for WorkerStall
+}
+
+// Injector executes one compiled Plan against one training simulation.
+// A nil *Injector is valid and inert: every method is a no-op (or an
+// identity for the time-arithmetic helpers), so callers wire chaos
+// unconditionally and a chaos-free run takes zero extra branches worth
+// of observable behavior.
+//
+// Worker-stall windows are plan-determined, so they are resolved
+// statically: the injector precomputes each worker's merged silent
+// windows at build time and shifts them to absolute time at Arm. Only
+// capacity faults need runtime transitions; those are daemon events,
+// so they can never extend the run and clip naturally at its end.
+type Injector struct {
+	plan    Plan
+	machine *topology.Machine
+	eng     *sim.Engine
+
+	occs []armedOcc
+	// stall[w] holds worker w's merged silent windows, relative to arm
+	// time until Arm shifts them.
+	stall  [][]Window
+	armed  bool
+	armAt  sim.Time
+	horizn sim.Time // max occurrence end, relative; for duty accounting
+
+	// Capacity-fault state: base capacities snapshot at Arm, and the
+	// per-link list of currently open occurrence indices. Effective
+	// capacity is always base times the product over the open list, so
+	// an empty list restores the exact base bytes — no float drift from
+	// repeated multiply/divide.
+	base   map[*fabric.Link][2]float64
+	active map[*fabric.Link][]int
+
+	opened    uint64
+	activeNow int
+	stallNs   sim.Time // compute-pause time attributed by NoteWorkerStall
+	deferNs   sim.Time // sync-hold time attributed by NoteSyncDeferred
+
+	// Telemetry handles; nil-safe, only non-nil after AttachTelemetry.
+	mInjected     *telemetry.Counter
+	mKindInjected [numKinds]*telemetry.Counter
+	mKindStall    [numKinds]*telemetry.Counter
+	mDeferred     *telemetry.Counter
+	mRecovery     *telemetry.Histogram
+}
+
+// NewInjector resolves a validated plan against a machine. It returns
+// nil when the plan injects nothing observable — zero faults, or only
+// zero-duration windows, or only kinds whose target population is
+// empty — so that the nil-injector fast path also covers degenerate
+// plans and keeps their runs byte-identical to chaos-free ones.
+func NewInjector(plan Plan, m *topology.Machine) *Injector {
+	edge := m.LinksBetween(topology.KindGPU, topology.KindPort)
+	ports := m.LinksBetween(topology.KindMemDev, topology.KindPort)
+	inj := &Injector{
+		plan:    plan,
+		machine: m,
+		stall:   make([][]Window, len(m.Workers)),
+	}
+	relStall := make([][]Window, len(m.Workers))
+	for _, o := range plan.occurrences() {
+		if o.dur <= 0 {
+			continue // zero-duration windows are inert by definition
+		}
+		switch o.kind {
+		case LinkDegrade:
+			if len(edge) == 0 || o.factor == 1 {
+				continue
+			}
+			o.target %= len(edge)
+			inj.occs = append(inj.occs, armedOcc{occurrence: o, link: edge[o.target]})
+		case CCIBrownout:
+			if len(ports) == 0 || o.factor == 1 {
+				continue
+			}
+			o.target %= len(ports)
+			inj.occs = append(inj.occs, armedOcc{occurrence: o, link: ports[o.target]})
+		case WorkerStall:
+			if len(m.Workers) == 0 {
+				continue
+			}
+			o.target %= len(m.Workers)
+			inj.occs = append(inj.occs, armedOcc{occurrence: o})
+			relStall[o.target] = append(relStall[o.target], Window{Start: o.start, End: o.start + o.dur})
+		}
+		if end := o.start + o.dur; end > inj.horizn {
+			inj.horizn = end
+		}
+	}
+	if len(inj.occs) == 0 {
+		return nil
+	}
+	for w := range relStall {
+		inj.stall[w] = MergeWindows(relStall[w])
+	}
+	return inj
+}
+
+// AttachTelemetry registers the chaos counter family. Call before Arm;
+// no-op on a nil injector or nil registry, so a zero-fault run's
+// telemetry dump stays byte-identical to a chaos-disabled one (no
+// series are even registered).
+func (inj *Injector) AttachTelemetry(reg *telemetry.Registry) {
+	if inj == nil || !reg.Enabled() {
+		return
+	}
+	inj.mInjected = reg.Counter("chaos/faults_injected", "faults")
+	reg.GaugeFunc("chaos/active_faults", "faults", func() float64 { return float64(inj.activeNow) })
+	inj.mRecovery = reg.Histogram("chaos/recovery_time_ns", "ns", telemetry.ExpBuckets(1e5, 4, 10))
+	inj.mDeferred = reg.Counter("chaos/sync_deferred_ns", "ns")
+	reg.GaugeFunc("chaos/worker_stall_ns", "ns", func() float64 { return float64(inj.stallNs) })
+	for k := Kind(0); k < numKinds; k++ {
+		k := k
+		inj.mKindInjected[k] = reg.Counter("chaos/"+k.String()+"/injected", "faults")
+		inj.mKindStall[k] = reg.Counter("chaos/"+k.String()+"/stall_attr_ns", "ns")
+	}
+}
+
+// Arm schedules the plan on the engine, shifting every window by the
+// current virtual time so a strategy's offline-profiling Setup cannot
+// have pushed any transition into the past. All transitions are daemon
+// events: they fire in order during the run, never extend it, and stay
+// out of the dispatched-event fingerprint.
+func (inj *Injector) Arm(eng *sim.Engine) {
+	if inj == nil {
+		return
+	}
+	if inj.armed {
+		panic("chaos: Arm called twice")
+	}
+	inj.armed = true
+	inj.eng = eng
+	inj.armAt = eng.Now()
+	inj.base = make(map[*fabric.Link][2]float64)
+	inj.active = make(map[*fabric.Link][]int)
+	for w := range inj.stall {
+		for i := range inj.stall[w] {
+			inj.stall[w][i].Start += inj.armAt
+			inj.stall[w][i].End += inj.armAt
+		}
+	}
+	for i, o := range inj.occs {
+		if o.link != nil {
+			if _, ok := inj.base[o.link]; !ok {
+				inj.base[o.link] = [2]float64{o.link.Fwd().Capacity(), o.link.Rev().Capacity()}
+			}
+		}
+		i, o := i, o
+		eng.AtDaemon(inj.armAt+o.start, func() { inj.open(i) })
+		eng.AtDaemon(inj.armAt+o.start+o.dur, func() { inj.close(i) })
+	}
+}
+
+func (inj *Injector) open(i int) {
+	o := inj.occs[i]
+	inj.opened++
+	inj.activeNow++
+	inj.mInjected.Inc()
+	inj.mKindInjected[o.kind].Inc()
+	if o.link != nil {
+		inj.active[o.link] = append(inj.active[o.link], i)
+		inj.applyLink(o.link)
+	}
+}
+
+func (inj *Injector) close(i int) {
+	o := inj.occs[i]
+	inj.activeNow--
+	inj.mRecovery.Observe(float64(o.dur))
+	if o.link != nil {
+		lst := inj.active[o.link]
+		for j, idx := range lst {
+			if idx == i {
+				inj.active[o.link] = append(lst[:j], lst[j+1:]...)
+				break
+			}
+		}
+		inj.applyLink(o.link)
+		inj.mKindStall[o.kind].Add(float64(o.dur))
+	}
+}
+
+// applyLink recomputes a link's effective capacity as base times the
+// product of every open occurrence's factor. Overlapping windows
+// multiply; an empty open list restores the exact base value. The
+// SetLinkCapacity call is skipped when nothing changed, so a
+// transition that leaves the product identical does not trigger a
+// reshare pass.
+func (inj *Injector) applyLink(l *fabric.Link) {
+	base := inj.base[l]
+	factor := 1.0
+	for _, idx := range inj.active[l] {
+		factor *= inj.occs[idx].factor
+	}
+	fwd, rev := base[0]*factor, base[1]*factor
+	if l.Fwd().Capacity() == fwd && l.Rev().Capacity() == rev {
+		return
+	}
+	inj.machine.SetLinkCapacity(l, fwd, rev)
+}
+
+// StallWindows returns worker w's merged silent windows in absolute
+// virtual time (valid after Arm). Nil injector or unknown worker gives
+// no windows.
+func (inj *Injector) StallWindows(w int) []Window {
+	if inj == nil || w < 0 || w >= len(inj.stall) {
+		return nil
+	}
+	return inj.stall[w]
+}
+
+// WakeTime returns the earliest instant at or after t when worker w is
+// not silent: t itself when outside every stall window, the window's
+// end otherwise.
+func (inj *Injector) WakeTime(w int, t sim.Time) sim.Time {
+	if inj == nil {
+		return t
+	}
+	return AdvanceThrough(inj.StallWindows(w), t, 0)
+}
+
+// AdvanceCompute returns the completion time of `work` compute time
+// started by worker w at `start`, pausing inside the worker's stall
+// windows. With a nil injector it is exactly start+work.
+func (inj *Injector) AdvanceCompute(w int, start, work sim.Time) sim.Time {
+	if inj == nil {
+		return start + work
+	}
+	return AdvanceThrough(inj.StallWindows(w), start, work)
+}
+
+// NoteWorkerStall attributes d of compute pause to the worker_stall
+// kind (telemetry and RunMetrics accounting).
+func (inj *Injector) NoteWorkerStall(d sim.Time) {
+	if inj == nil || d <= 0 {
+		return
+	}
+	inj.stallNs += d
+	inj.mKindStall[WorkerStall].Add(float64(d))
+}
+
+// NoteSyncDeferred attributes d of synchronization hold caused by a
+// silent worker — the time a strategy's transfer or hand-off was
+// deferred waiting for the worker to wake.
+func (inj *Injector) NoteSyncDeferred(d sim.Time) {
+	if inj == nil || d <= 0 {
+		return
+	}
+	inj.deferNs += d
+	inj.mDeferred.Add(float64(d))
+}
+
+// FaultsOpened returns how many fault windows have opened so far.
+func (inj *Injector) FaultsOpened() uint64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.opened
+}
+
+// AttributedStall returns the total virtual time attributed to chaos:
+// compute pauses plus deferred synchronization.
+func (inj *Injector) AttributedStall() sim.Time {
+	if inj == nil {
+		return 0
+	}
+	return inj.stallNs + inj.deferNs
+}

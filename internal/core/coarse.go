@@ -247,7 +247,12 @@ func (s *Strategy) Setup(ctx *train.Ctx) error {
 		if reverse {
 			j = (i - 1 + n) % n
 		}
-		ctx.CCI.DMACopy(ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, onDone)
+		// The GPU tail ring is synchronous across workers: a hop whose
+		// endpoint is chaos-silenced defers until it wakes. Only the
+		// tail pays this; the proxy path below keeps draining.
+		ctx.CCI.DMACopy(ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, func() {
+			ctx.RunAwake(onDone, i, j)
+		})
 	}
 	s.gpuRing = collective.NewRing(ctx.Eng, n, send)
 
@@ -654,24 +659,33 @@ func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string
 }
 
 // pullShard moves one synchronized shard from its proxy back to a
-// worker and accounts layer completion.
+// worker and accounts layer completion. Queue-based synchronization is
+// what keeps this path fault-tolerant: shards synchronize on the
+// memory devices' sync cores regardless of worker health, and only the
+// *silenced* worker's own pull hand-off defers until it wakes — every
+// other worker's pulls land immediately (no head-of-line blocking, the
+// same property that avoids the Figure 10 deadlock).
 func (s *Strategy) pullShard(it, w, layer int, shardSize int64, src int) {
 	ctx := s.ctx
 	ctx.CCI.DMACopy(s.pool.Devices[src].Dev, ctx.Workers[w].Dev, shardSize, func() {
-		st := s.state(it)
-		k := [2]int{w, layer}
-		st.shardsLeft[k]--
-		if st.shardsLeft[k] > 0 {
-			return
-		}
-		delete(st.shardsLeft, k)
-		ctx.MarkReady(it, w, layer)
-		st.workersLeft[layer]--
-		if st.workersLeft[layer] == 0 {
-			delete(st.workersLeft, layer)
-			s.layerDone(it)
-		}
+		ctx.RunAwake(func() { s.finishPull(it, w, layer) }, w)
 	})
+}
+
+func (s *Strategy) finishPull(it, w, layer int) {
+	st := s.state(it)
+	k := [2]int{w, layer}
+	st.shardsLeft[k]--
+	if st.shardsLeft[k] > 0 {
+		return
+	}
+	delete(st.shardsLeft, k)
+	s.ctx.MarkReady(it, w, layer)
+	st.workersLeft[layer]--
+	if st.workersLeft[layer] == 0 {
+		delete(st.workersLeft, layer)
+		s.layerDone(it)
+	}
 }
 
 // averageGrads applies the synchronization's numeric effect.

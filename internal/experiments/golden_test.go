@@ -99,6 +99,34 @@ func checkGolden(t *testing.T, path, got string) {
 	}
 }
 
+// goldenFamily regenerates one experiment family at -parallel 1 and
+// -parallel 4, asserts byte-identity between the two, and pins the
+// serial output against the committed goldens.
+func goldenFamily(t *testing.T, id string, wantDumps bool) {
+	t.Helper()
+	dirSerial := t.TempDir()
+	dirParallel := t.TempDir()
+	tabSerial := regenWithTraces(t, id, 1, dirSerial)
+	tabParallel := regenWithTraces(t, id, 4, dirParallel)
+	if tabSerial != tabParallel {
+		t.Fatalf("%s tables differ between -parallel 1 and -parallel 4:\n%s\n---\n%s",
+			id, tabSerial, tabParallel)
+	}
+	manSerial := dumpManifest(t, dirSerial)
+	manParallel := dumpManifest(t, dirParallel)
+	if manSerial != manParallel {
+		t.Fatalf("%s telemetry dumps differ between -parallel 1 and -parallel 4:\n%s\n---\n%s",
+			id, manSerial, manParallel)
+	}
+	if wantDumps && manSerial == "" {
+		t.Fatalf("%s produced no telemetry dumps", id)
+	}
+	checkGolden(t, filepath.Join("testdata", id+".tables.golden"), tabSerial)
+	if wantDumps {
+		checkGolden(t, filepath.Join("testdata", id+".dumps.sha256"), manSerial)
+	}
+}
+
 func TestGoldenDeterminismFig8Fig16(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full fig16 quick cells; skipped under -short")
@@ -110,28 +138,22 @@ func TestGoldenDeterminismFig8Fig16(t *testing.T) {
 		{"fig8", false},
 		{"fig16", true},
 	} {
-		t.Run(tc.id, func(t *testing.T) {
-			dirSerial := t.TempDir()
-			dirParallel := t.TempDir()
-			tabSerial := regenWithTraces(t, tc.id, 1, dirSerial)
-			tabParallel := regenWithTraces(t, tc.id, 4, dirParallel)
-			if tabSerial != tabParallel {
-				t.Fatalf("%s tables differ between -parallel 1 and -parallel 4:\n%s\n---\n%s",
-					tc.id, tabSerial, tabParallel)
-			}
-			manSerial := dumpManifest(t, dirSerial)
-			manParallel := dumpManifest(t, dirParallel)
-			if manSerial != manParallel {
-				t.Fatalf("%s telemetry dumps differ between -parallel 1 and -parallel 4:\n%s\n---\n%s",
-					tc.id, manSerial, manParallel)
-			}
-			if tc.wantDumps && manSerial == "" {
-				t.Fatalf("%s produced no telemetry dumps", tc.id)
-			}
-			checkGolden(t, filepath.Join("testdata", tc.id+".tables.golden"), tabSerial)
-			if tc.wantDumps {
-				checkGolden(t, filepath.Join("testdata", tc.id+".dumps.sha256"), manSerial)
-			}
-		})
+		t.Run(tc.id, func(t *testing.T) { goldenFamily(t, tc.id, tc.wantDumps) })
 	}
+}
+
+// TestGoldenDeterminismResilience pins the fault-injection family.
+// This is the strongest determinism check in the suite: the chaos
+// cells deliberately carry no memo-cache key (a faulted run must never
+// alias a fault-free cached result), so every faulted cell re-executes
+// in both regenerations and the byte-identity across -parallel 1 and
+// -parallel 4 exercises the injector's seed-determinism directly — the
+// fault windows are derived from measured per-strategy baselines, then
+// replayed through daemon events that must not perturb the engine's
+// dispatch order.
+func TestGoldenDeterminismResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs faulted training cells; skipped under -short")
+	}
+	goldenFamily(t, "resilience", true)
 }

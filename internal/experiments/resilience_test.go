@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"coarse/internal/runner"
+)
+
+// TestResilienceOrdering is the experiment family's headline claim:
+// under worker-stall faults of equal duty (scaled to each strategy's
+// own iteration period), COARSE's completion-time inflation is
+// strictly lower than DENSE's at every intensity — the decentralized
+// per-client queues keep draining healthy workers' updates while
+// DENSE's single FIFO port serializes everyone behind the faulted
+// worker.
+func TestResilienceOrdering(t *testing.T) {
+	runner.ClearCache()
+	data := resilienceRun(Config{Quick: true, Parallel: 1})
+
+	byDuty := make(map[float64]map[string]resilienceOutcome)
+	for _, o := range data.stall {
+		if byDuty[o.Duty] == nil {
+			byDuty[o.Duty] = make(map[string]resilienceOutcome)
+		}
+		byDuty[o.Duty][o.Strategy] = o
+	}
+	if len(byDuty) != len(resilienceDuties) {
+		t.Fatalf("got %d duty levels, want %d", len(byDuty), len(resilienceDuties))
+	}
+	for _, duty := range resilienceDuties {
+		outs := byDuty[duty]
+		coarse, okC := outs["COARSE"]
+		dense, okD := outs["DENSE"]
+		if !okC || !okD {
+			t.Fatalf("duty %.2f: missing COARSE or DENSE outcome", duty)
+		}
+		ci, di := coarse.Inflation(), dense.Inflation()
+		if ci >= di {
+			t.Errorf("duty %.2f: COARSE inflation %.4f not strictly below DENSE %.4f", duty, ci, di)
+		}
+		if ci <= 1 {
+			t.Errorf("duty %.2f: COARSE inflation %.4f should exceed 1 (faults must cost something)", duty, ci)
+		}
+		for _, o := range outs {
+			if o.Faulted.Train.ChaosFaults == 0 {
+				t.Errorf("duty %.2f: %s run opened no fault windows", duty, o.Strategy)
+			}
+			if o.Faulted.Train.ChaosStall <= 0 {
+				t.Errorf("duty %.2f: %s run attributed no chaos stall", duty, o.Strategy)
+			}
+		}
+	}
+
+	// The mixed link/CCI table must cover every strategy and cost the
+	// fabric-dependent ones something.
+	if len(data.mixed) != len(resilienceStrategies) {
+		t.Fatalf("mixed outcomes: got %d, want %d", len(data.mixed), len(resilienceStrategies))
+	}
+	for _, o := range data.mixed {
+		if o.Faulted.Train.ChaosFaults == 0 {
+			t.Errorf("mixed: %s run opened no fault windows", o.Strategy)
+		}
+		if o.Inflation() < 1 {
+			t.Errorf("mixed: %s inflation %.4f below 1", o.Strategy, o.Inflation())
+		}
+	}
+}

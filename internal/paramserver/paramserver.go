@@ -80,7 +80,10 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 				dstCPU := ctx.Machine.CPUs[ctx.Workers[dst].Dev.Node]
 				s.pulls.Inc()
 				ctx.CCI.DMACopy(dstCPU, ctx.Workers[dst].Dev, size, func() {
-					ctx.MarkReady(it, dst, layer)
+					// A silenced worker cannot accept its pull; the
+					// hand-off defers until it wakes. Other workers'
+					// pulls proceed independently.
+					ctx.RunAwake(func() { ctx.MarkReady(it, dst, layer) }, dst)
 				})
 			}
 		})
@@ -98,13 +101,22 @@ type pipe struct {
 	free  sim.Time
 }
 
-func (p *pipe) transfer(size int64, onDone func()) {
+// transfer enqueues one port transaction on behalf of a worker. The
+// port is FIFO and coherent: a load/store makes no progress while its
+// worker's cache agent is chaos-silenced, so service time pauses
+// through the worker's silent windows, and every queued transaction
+// behind it waits — the head-of-line blocking that makes a
+// single-device synchronous design fragile under transient faults.
+// Without chaos the service pause is an identity and the bytes are
+// unchanged.
+func (p *pipe) transfer(worker int, size int64, onDone func()) {
 	now := p.ctx.Eng.Now()
 	start := p.free
 	if now > start {
 		start = now
 	}
-	finish := start + p.perOp + sim.Seconds(float64(size)/p.rate)
+	service := p.perOp + sim.Seconds(float64(size)/p.rate)
+	finish := p.ctx.ChaosService(worker, start, service)
 	p.free = finish
 	p.ctx.Eng.At(finish, onDone)
 }
@@ -194,7 +206,7 @@ func (s *DENSE) GradientReady(it, w, layer int) {
 	// Push: write into the CCI parameter region through the shared port.
 	s.pushes.Inc()
 	s.pushBytes.Add(float64(size))
-	s.writePort.transfer(size, func() {
+	s.writePort.transfer(w, size, func() {
 		key := [2]int{it, layer}
 		s.arrived[key]++
 		if s.arrived[key] < ctx.NumWorkers() {
@@ -212,7 +224,7 @@ func (s *DENSE) GradientReady(it, w, layer int) {
 				dst := dst
 				s.pulls.Inc()
 				s.pullBytes.Add(float64(size))
-				s.readPort.transfer(size, func() {
+				s.readPort.transfer(dst, size, func() {
 					ctx.MarkReady(it, dst, layer)
 				})
 			}

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 
+	"coarse/internal/chaos"
 	"coarse/internal/metrics"
 	"coarse/internal/model"
 	"coarse/internal/sim"
@@ -65,6 +66,13 @@ type Spec struct {
 	// inside the cell; experiments use it to pull strategy-internal
 	// counters (routed bytes, checkpoint stats) into Result.Extra.
 	Probe func(*Probe)
+
+	// Chaos, when non-nil, injects the compiled fault plan into the
+	// cell's run. The plan compiles from the cell's derived seed, so
+	// memoization and -parallel byte-identity hold by construction —
+	// but leave Key empty (or fold the fault spec into it) so a chaos
+	// cell can never alias a fault-free cell's cached Result.
+	Chaos *chaos.Spec
 
 	// Telemetry enables the virtual-time metrics layer for this cell: the
 	// runner builds a fresh registry, hands it to the trainer, and stores
@@ -158,6 +166,12 @@ func (r *Result) Record() metrics.Result {
 		}
 		for _, lu := range t.LinkUtils {
 			rec.Values["link_util/"+lu.Link] = lu.Util
+		}
+		// Chaos values appear only on faulted runs so fault-free
+		// records stay byte-identical to the pre-chaos format.
+		if t.ChaosFaults > 0 {
+			rec.Values["chaos_faults"] = float64(t.ChaosFaults)
+			rec.Values["chaos_stall_s"] = t.ChaosStall.ToSeconds()
 		}
 	}
 	return rec
@@ -280,6 +294,7 @@ func Run(s Spec) (res *Result) {
 	}
 	cfg := train.DefaultConfig(s.Topology, s.Model, s.Batch, s.Iterations)
 	cfg.Seed = res.Seed
+	cfg.Chaos = s.Chaos
 	if s.Telemetry {
 		cfg.Telemetry = telemetry.NewRegistry()
 		cfg.TelemetryPeriod = s.TelemetryPeriod

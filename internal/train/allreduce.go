@@ -67,7 +67,12 @@ func (a *AllReduce) Setup(ctx *Ctx) error {
 		}
 		// Ring hops go through the CCI fabric so machines without
 		// peer-to-peer support (the T4 instance) pay the host bounce.
-		ctx.CCI.DMACopy(ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, onDone)
+		// A hop involving a chaos-silenced endpoint cannot complete
+		// until it wakes — the ring is fully synchronous, so one silent
+		// worker freezes the whole collective step.
+		ctx.CCI.DMACopy(ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, func() {
+			ctx.RunAwake(onDone, i, j)
+		})
 	}
 	a.ring = collective.NewRing(ctx.Eng, n, send)
 
@@ -87,7 +92,9 @@ func (a *AllReduce) Setup(ctx *Ctx) error {
 			}
 		}
 		pairSend := func(from, to int, size int64, onDone func()) {
-			ctx.CCI.DMACopy(ctx.Workers[from].Dev, ctx.Workers[to].Dev, size, onDone)
+			ctx.CCI.DMACopy(ctx.Workers[from].Dev, ctx.Workers[to].Dev, size, func() {
+				ctx.RunAwake(onDone, from, to)
+			})
 		}
 		a.hierarchy = collective.NewHierarchy(ctx.Eng, groups, pairSend)
 	}

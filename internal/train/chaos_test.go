@@ -1,0 +1,253 @@
+package train_test
+
+// Integration determinism suite for the chaos fault injector: the
+// contracts here are the ones the experiment goldens lean on. A plan
+// that injects nothing observable must leave every output byte —
+// results and telemetry dump alike — identical to a chaos-disabled
+// run; a fixed (seed, plan) must reproduce exactly; and the window
+// edge cases (a flap spanning the run end, overlapping faults on one
+// link) must neither wedge the run nor corrupt fabric capacities.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"coarse/internal/chaos"
+	"coarse/internal/core"
+	"coarse/internal/model"
+	"coarse/internal/paramserver"
+	"coarse/internal/sim"
+	"coarse/internal/telemetry"
+	"coarse/internal/topology"
+	"coarse/internal/train"
+)
+
+// chaosStrategies builds one fresh instance of every synchronization
+// strategy; fresh per run because strategies keep per-run state.
+var chaosStrategies = []struct {
+	name string
+	mk   func() train.Strategy
+}{
+	{"AllReduce", func() train.Strategy { return train.NewAllReduce() }},
+	{"DENSE", func() train.Strategy { return paramserver.NewDENSE() }},
+	{"CentralPS", func() train.Strategy { return paramserver.NewCentralPS() }},
+	{"COARSE", func() train.Strategy { return core.New(core.DefaultOptions()) }},
+}
+
+// runChaos runs one short training with telemetry enabled and returns
+// the result plus the serialized telemetry dump bytes.
+func runChaos(t *testing.T, m *model.Model, spec *chaos.Spec, mk func() train.Strategy) (*train.Result, []byte) {
+	t.Helper()
+	cfg := train.DefaultConfig(topology.AWSV100(), m, 4, 2)
+	cfg.Telemetry = telemetry.NewRegistry()
+	cfg.Chaos = spec
+	tr, err := train.New(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.TelemetryDump().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestChaosZeroFaultIdentity: a nil chaos spec, an empty spec, and a
+// spec whose faults all compile to nothing observable (zero duration,
+// factor exactly 1) must produce byte-identical output for every
+// strategy — same Result (including the event fingerprint) and the
+// same telemetry dump bytes, i.e. not even the chaos metric series may
+// register.
+func TestChaosZeroFaultIdentity(t *testing.T) {
+	m := model.MLP("mlp", 1024, 512, 256, 10)
+	inert := []*chaos.Spec{
+		nil,
+		{},
+		{Faults: []chaos.Fault{
+			{Kind: chaos.WorkerStall, Start: 1000, Duration: 0},
+			{Kind: chaos.LinkDegrade, Start: 1000, Duration: sim.Seconds(0.01), Factor: 1},
+			{Kind: chaos.CCIBrownout, Start: 1000, Duration: 0, Factor: 0.5},
+		}},
+		{Profile: &chaos.Profile{Intensity: 0, Horizon: sim.Seconds(1)}},
+	}
+	for _, s := range chaosStrategies {
+		base, baseDump := runChaos(t, m, inert[0], s.mk)
+		if base.ChaosFaults != 0 || base.ChaosStall != 0 {
+			t.Fatalf("%s: chaos-free run reports chaos metrics: %+v", s.name, base.RunMetrics)
+		}
+		for i, spec := range inert[1:] {
+			res, dump := runChaos(t, m, spec, s.mk)
+			if !reflect.DeepEqual(res, base) {
+				t.Errorf("%s: inert spec %d changed the result: %+v vs %+v", s.name, i+1, res.RunMetrics, base.RunMetrics)
+			}
+			if !bytes.Equal(dump, baseDump) {
+				t.Errorf("%s: inert spec %d changed telemetry dump bytes (%d vs %d bytes)",
+					s.name, i+1, len(dump), len(baseDump))
+			}
+		}
+	}
+}
+
+// TestChaosSeedDeterminism: a profile-driven spec compiled under the
+// same (seed, machine) must reproduce byte-identically, and a
+// different seed must place different fault windows.
+func TestChaosSeedDeterminism(t *testing.T) {
+	m := model.MLP("mlp", 1024, 512, 256, 10)
+	mkSpec := func() *chaos.Spec {
+		return &chaos.Spec{Profile: &chaos.Profile{
+			Intensity:     0.4,
+			Horizon:       sim.Seconds(0.2),
+			FaultsPerKind: 2,
+		}}
+	}
+	run := func(seed int64) (*train.Result, []byte) {
+		cfg := train.DefaultConfig(topology.AWSV100(), m, 4, 2)
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Chaos = mkSpec()
+		cfg.Seed = seed
+		tr, err := train.New(cfg, train.NewAllReduce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.TelemetryDump().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	a, aDump := run(7)
+	b, bDump := run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a.RunMetrics, b.RunMetrics)
+	}
+	if !bytes.Equal(aDump, bDump) {
+		t.Fatal("same seed produced different telemetry dump bytes")
+	}
+	if a.ChaosFaults == 0 {
+		t.Fatal("profile spec injected no faults; the determinism check is vacuous")
+	}
+	c, _ := run(8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical faulted results")
+	}
+}
+
+// TestChaosWorkerStallCostsTime: a worker-stall window that opens
+// early in training and spans past the fault-free run end must open,
+// attribute stall time, and strictly inflate the completion time of
+// every strategy — all of them need every worker's gradients, so the
+// silenced worker's resumed compute bounds the run. The window start
+// is scaled to each strategy's own iteration period (COARSE's total
+// time is dominated by setup profiling, which fault windows are
+// relative to — Arm shifts them past Setup).
+func TestChaosWorkerStallCostsTime(t *testing.T) {
+	m := model.MLP("mlp", 1024, 512, 256, 10)
+	for _, s := range chaosStrategies {
+		base, _ := runChaos(t, m, nil, s.mk)
+		spec := &chaos.Spec{Faults: []chaos.Fault{{
+			Kind:     chaos.WorkerStall,
+			Start:    base.IterTime / 4,
+			Duration: 2 * base.TotalTime, // spans far past the fault-free run end
+			Target:   1,
+		}}}
+		res, _ := runChaos(t, m, spec, s.mk)
+		if res.ChaosFaults != 1 {
+			t.Errorf("%s: opened %d fault windows, want 1", s.name, res.ChaosFaults)
+		}
+		if res.ChaosStall <= 0 {
+			t.Errorf("%s: no stall attributed", s.name)
+		}
+		if res.TotalTime <= base.TotalTime {
+			t.Errorf("%s: stalled run not slower: %v vs baseline %v", s.name, res.TotalTime, base.TotalTime)
+		}
+	}
+}
+
+// edgeCapacities snapshots the forward/reverse capacity of every
+// worker edge link and memory-device port link of a machine.
+func edgeCapacities(m *topology.Machine) [][2]float64 {
+	var out [][2]float64
+	for _, kinds := range [][2]topology.Kind{
+		{topology.KindGPU, topology.KindPort},
+		{topology.KindMemDev, topology.KindPort},
+	} {
+		for _, l := range m.LinksBetween(kinds[0], kinds[1]) {
+			out = append(out, [2]float64{l.Fwd().Capacity(), l.Rev().Capacity()})
+		}
+	}
+	return out
+}
+
+// TestChaosOverlappingFaultsRestoreCapacity: two link-degrade windows
+// overlapping on the same link (plus a CCI brownout) must compose
+// multiplicatively while open and restore the exact base capacities —
+// bit-for-bit, no float drift — once all windows close before the run
+// ends.
+func TestChaosOverlappingFaultsRestoreCapacity(t *testing.T) {
+	m := model.ResNet50()
+	base, _ := runChaos(t, m, nil, func() train.Strategy { return train.NewAllReduce() })
+	total := base.TotalTime
+	spec := &chaos.Spec{Faults: []chaos.Fault{
+		// Two overlapping windows on edge link 0; both end well before
+		// the (inflated) run does.
+		{Kind: chaos.LinkDegrade, Start: total / 16, Duration: total / 8, Target: 0, Factor: 0.4},
+		{Kind: chaos.LinkDegrade, Start: total / 10, Duration: total / 10, Target: 0, Factor: 0.7},
+		{Kind: chaos.CCIBrownout, Start: total / 16, Duration: total / 8, Target: 0, Factor: 0.5},
+	}}
+	cfg := train.DefaultConfig(topology.AWSV100(), m, 4, 2)
+	cfg.Chaos = spec
+	tr, err := train.New(cfg, train.NewAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := edgeCapacities(tr.Ctx().Machine)
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChaosFaults != 3 {
+		t.Fatalf("opened %d fault windows, want 3", res.ChaosFaults)
+	}
+	after := edgeCapacities(tr.Ctx().Machine)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("capacities not restored after overlapping faults:\nbefore %v\nafter  %v", before, after)
+	}
+	if res.TotalTime < base.TotalTime {
+		t.Fatalf("degraded run finished earlier than baseline: %v vs %v", res.TotalTime, base.TotalTime)
+	}
+}
+
+// TestChaosFlapSpanningRunEnd: a degradation window longer than the
+// whole run must not extend it (the close transition is a daemon
+// event, clipped at run end) and the run must still complete with the
+// fault accounted.
+func TestChaosFlapSpanningRunEnd(t *testing.T) {
+	m := model.ResNet50()
+	base, _ := runChaos(t, m, nil, func() train.Strategy { return train.NewAllReduce() })
+	spec := &chaos.Spec{Faults: []chaos.Fault{{
+		Kind:     chaos.LinkDegrade,
+		Start:    base.TotalTime / 4,
+		Duration: 100 * base.TotalTime, // open far past any possible run end
+		Target:   0,
+		Factor:   0.3,
+	}}}
+	res, _ := runChaos(t, m, spec, func() train.Strategy { return train.NewAllReduce() })
+	if res.ChaosFaults != 1 {
+		t.Fatalf("opened %d fault windows, want 1", res.ChaosFaults)
+	}
+	if res.TotalTime < base.TotalTime {
+		t.Fatalf("run with a degraded link finished earlier than baseline: %v vs %v", res.TotalTime, base.TotalTime)
+	}
+	if res.TotalTime > 10*base.TotalTime {
+		t.Fatalf("spanning fault wedged the run: %v vs baseline %v", res.TotalTime, base.TotalTime)
+	}
+}

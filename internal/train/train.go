@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"coarse/internal/cci"
+	"coarse/internal/chaos"
 	"coarse/internal/fabric"
 	"coarse/internal/gpu"
 	"coarse/internal/memdev"
@@ -89,9 +90,18 @@ type Config struct {
 	NewOptimizer func(layerSizes []int) optim.Optimizer
 	// ComputeJitter spreads per-worker compute speed: worker w runs
 	// (1 + ComputeJitter*w/(W-1))x slower than worker 0. It models the
-	// stragglers that make synchronous communication block fast workers
-	// (paper Section II-B); zero disables it.
+	// *permanent* skew side of the stragglers that make synchronous
+	// communication block fast workers (paper Section II-B); zero
+	// disables it. Transient faults — link flaps, CCI brownouts,
+	// workers going silent for a window — are the Chaos field's job
+	// (internal/chaos); the two compose freely.
 	ComputeJitter float64
+	// Chaos, when non-nil, compiles into a deterministic fault plan
+	// (using Seed) injected during the run: link degradation windows,
+	// CCI port brownouts, and worker stalls. A spec that compiles to
+	// zero faults leaves every output byte identical to Chaos == nil.
+	// See internal/chaos for the fault model and determinism contract.
+	Chaos *chaos.Spec
 	// Trace, when non-nil, records per-worker forward/backward/stall
 	// spans for chrome://tracing inspection.
 	Trace *trace.Recorder
@@ -169,6 +179,68 @@ func (c *Ctx) MarkReady(it, w, layer int) {
 	c.trainer.markReady(it, w, layer)
 }
 
+// ChaosWake returns the earliest instant at or after t when every
+// listed worker is awake (outside all of its chaos stall windows). The
+// fixed-point loop matters when workers' windows chain: waking past
+// one worker's window can land inside another's. Identity without
+// chaos.
+func (c *Ctx) ChaosWake(t sim.Time, workers ...int) sim.Time {
+	inj := c.trainer.chaos
+	if inj == nil {
+		return t
+	}
+	for {
+		t2 := t
+		for _, w := range workers {
+			t2 = inj.WakeTime(w, t2)
+		}
+		if t2 == t {
+			return t
+		}
+		t = t2
+	}
+}
+
+// ChaosHold is ChaosWake plus stall attribution: the hold is recorded
+// as synchronization time deferred on silent workers. Strategies use
+// it to push a completion time past a silent participant's window —
+// e.g. a PS port transaction that cannot retire until the worker's
+// cache agent responds.
+func (c *Ctx) ChaosHold(t sim.Time, workers ...int) sim.Time {
+	wake := c.ChaosWake(t, workers...)
+	c.trainer.chaos.NoteSyncDeferred(wake - t)
+	return wake
+}
+
+// ChaosService returns the completion time of `work` service time
+// started at `start` on behalf of worker w, pausing while the worker
+// is chaos-silenced: a coherent transaction makes no progress while
+// the worker's cache agent cannot respond. The pause beyond plain
+// start+work is attributed as deferred synchronization. Identity
+// without chaos.
+func (c *Ctx) ChaosService(w int, start, work sim.Time) sim.Time {
+	inj := c.trainer.chaos
+	if inj == nil {
+		return start + work
+	}
+	end := inj.AdvanceCompute(w, start, work)
+	inj.NoteSyncDeferred(end - start - work)
+	return end
+}
+
+// RunAwake runs fn once every listed worker is awake: inline when none
+// is silent now (the no-chaos fast path is exactly a direct call),
+// otherwise at their common wake time.
+func (c *Ctx) RunAwake(fn func(), workers ...int) {
+	now := c.Eng.Now()
+	wake := c.ChaosHold(now, workers...)
+	if wake == now {
+		fn()
+		return
+	}
+	c.Eng.At(wake, fn)
+}
+
 // Strategy synchronizes gradients across workers.
 type Strategy interface {
 	// Name labels the strategy in reports ("COARSE", "AllReduce", ...).
@@ -222,6 +294,13 @@ type RunMetrics struct {
 	// LinkUtils lists per-link utilization for the worker edge links and
 	// the CCI ring links, in topology creation order.
 	LinkUtils []LinkUtil `json:"link_utils,omitempty"`
+	// ChaosFaults counts the fault windows the chaos injector opened
+	// during the run; zero (and omitted from JSON) without chaos.
+	ChaosFaults uint64 `json:"chaos_faults,omitempty"`
+	// ChaosStall is the total virtual time attributed to injected
+	// faults: compute paused by worker stalls plus synchronization
+	// deferred on silent workers.
+	ChaosStall sim.Time `json:"chaos_stall_ns,omitempty"`
 }
 
 // Result summarizes a run: identifying labels plus structured metrics.
@@ -257,6 +336,10 @@ type Trainer struct {
 	workerDone []int      // iterations completed per worker
 	gradFn     func(it, w, layer int, grad *tensor.Tensor)
 	optimizers []optim.Optimizer // per worker, numeric mode only
+
+	// chaos executes the compiled fault plan; nil (inert) when
+	// Cfg.Chaos is nil or compiles to nothing observable.
+	chaos *chaos.Injector
 
 	dump *telemetry.Dump // built by Run when Cfg.Telemetry is set
 }
@@ -326,6 +409,13 @@ func New(cfg Config, strat Strategy) (*Trainer, error) {
 		iterEnd:    make([]sim.Time, cfg.Iterations),
 		workerDone: make([]int, len(ctx.Workers)),
 	}
+	if cfg.Chaos != nil {
+		plan := cfg.Chaos.Compile(cfg.Seed, chaos.EnvOf(machine))
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("train: %w", err)
+		}
+		tr.chaos = chaos.NewInjector(plan, machine)
+	}
 	if cfg.Telemetry != nil {
 		tr.registerTelemetry()
 	}
@@ -390,6 +480,9 @@ func (t *Trainer) registerTelemetry() {
 		telemetry.RegisterHotPath(reg, ctx.Eng, ctx.Machine.Net)
 	}
 	ctx.CCI.AttachTelemetry(reg)
+	// Chaos series exist only when an injector exists (non-empty plan),
+	// so zero-fault dumps stay byte-identical to chaos-disabled ones.
+	t.chaos.AttachTelemetry(reg)
 	for w := range ctx.Workers {
 		w := w
 		base := fmt.Sprintf("train/worker%d/", w)
@@ -422,6 +515,10 @@ func (t *Trainer) Run() (*Result, error) {
 	if t.cfg.OnStart != nil {
 		t.cfg.OnStart(ctx)
 	}
+	// Arm after Setup and OnStart so fault windows are relative to the
+	// true training start even when Setup's offline profiling advanced
+	// the clock.
+	t.chaos.Arm(ctx.Eng)
 	layers := ctx.Layers()
 	// Iteration 0's forward needs no synchronization: replicas start in
 	// sync.
@@ -498,8 +595,10 @@ func (t *Trainer) runWorker(w, it int) {
 				t.optimizers[w].Step(layer, ctx.Params[w][layer].Data, ctx.Grads[w][layer].Data)
 			}
 			start := eng.Now()
-			eng.Schedule(g.LayerFwdTime(layers[layer], t.cfg.Batch), func() {
-				t.compute[w] += eng.Now() - start
+			dur := g.LayerFwdTime(layers[layer], t.cfg.Batch)
+			eng.At(t.chaos.AdvanceCompute(w, start, dur), func() {
+				t.compute[w] += dur
+				t.chaos.NoteWorkerStall(eng.Now() - start - dur)
 				t.cfg.Trace.Span(track, "compute", "fwd "+layers[layer].Name, start, eng.Now())
 				fwd(layer + 1)
 			})
@@ -508,8 +607,10 @@ func (t *Trainer) runWorker(w, it int) {
 
 	bwd = func(layer int) {
 		start := eng.Now()
-		eng.Schedule(g.LayerBwdTime(layers[layer], t.cfg.Batch), func() {
-			t.compute[w] += eng.Now() - start
+		dur := g.LayerBwdTime(layers[layer], t.cfg.Batch)
+		eng.At(t.chaos.AdvanceCompute(w, start, dur), func() {
+			t.compute[w] += dur
+			t.chaos.NoteWorkerStall(eng.Now() - start - dur)
 			t.cfg.Trace.Span(track, "compute", "bwd "+layers[layer].Name, start, eng.Now())
 			if t.cfg.Numeric {
 				t.fillGradient(it, w, layer)
@@ -612,6 +713,8 @@ func (t *Trainer) result() *Result {
 			CCIBusUtil:  topology.MeanUtilization(cciLinks, total),
 			Events:      ctx.Eng.Dispatched(),
 			LinkUtils:   linkUtils,
+			ChaosFaults: t.chaos.FaultsOpened(),
+			ChaosStall:  t.chaos.AttributedStall(),
 		},
 	}
 }
