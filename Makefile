@@ -6,7 +6,13 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke bench-compare suite golden-drift telemetry-smoke ci
+.PHONY: all build test race vet lint bench bench-smoke bench-compare suite golden-drift telemetry-smoke cover fuzz-smoke ci
+
+# Coverage floor for `make cover` (total statement coverage, percent,
+# measured under -short so the floor tracks the fast deterministic
+# tests rather than the long golden regenerations). Raise it when
+# coverage durably improves; lowering it needs a PR that explains why.
+COVER_FLOOR = 70.0
 
 all: build
 
@@ -51,13 +57,36 @@ bench-smoke:
 suite:
 	$(GO) run ./cmd/coarsebench -quick -timing
 
-# Golden-drift gate: regenerate the fig8/fig16/resilience families at
-# -parallel 1 and -parallel 4 and compare byte-for-byte against the
-# committed goldens (tables verbatim, telemetry dumps via sha256
-# manifest). After an intentional output change, refresh with
+# Golden-drift gate: regenerate the fig8/fig16/resilience/scale
+# families at -parallel 1 and -parallel 4 and compare byte-for-byte
+# against the committed goldens (tables verbatim, fig16/resilience
+# telemetry dumps via sha256 manifest; the scale family pins tables
+# only — its rack-size cells are too large to trace). After an
+# intentional output change, refresh with
 #   go test ./internal/experiments -run TestGoldenDeterminism -update-goldens
 golden-drift:
 	$(GO) test ./internal/experiments -run TestGoldenDeterminism -count=1 -v
+
+# Per-package coverage summary plus a floored total: the `go test`
+# lines print per-package percentages, cover.out holds the merged
+# profile (the CI coverage lane uploads it as an artifact), and the
+# final awk check fails the target if total statement coverage fell
+# below COVER_FLOOR.
+cover:
+	$(GO) test -short -count=1 -covermode=atomic -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		printf "total statement coverage %.1f%% (floor %.1f%%)\n", t, f; \
+		exit (t + 0 < f + 0) ? 1 : 0 }'
+
+# Ten seconds of each fuzz target (the committed corpora under
+# testdata/fuzz replay as plain unit tests in every `make test`; this
+# target actually explores). New interesting inputs stay in the local
+# build cache — promote them into testdata/fuzz when they pin a fixed
+# bug.
+fuzz-smoke:
+	$(GO) test ./internal/chaos -fuzz FuzzChaosWindows -fuzztime 10s -run '^$$'
+	$(GO) test ./internal/metrics -fuzz FuzzTableRoundTrip -fuzztime 10s -run '^$$'
 
 # Warn-only perf regression guard (the CI bench-guard lane): measure a
 # fresh candidate record and compare it against the committed

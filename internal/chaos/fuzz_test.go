@@ -1,0 +1,176 @@
+package chaos
+
+// Fuzz layer for the window algebra underneath the fault injector.
+// MergeWindows/AdvanceThrough are the only chaos code consulted on the
+// simulation hot path (every compute span and sync wake crosses them),
+// so their contracts are pinned against arbitrary inputs, not only the
+// hand-written cases:
+//
+//   - MergeWindows output is disjoint, ordered, non-empty, idempotent,
+//     and covers exactly the union of the non-empty inputs;
+//   - AdvanceThrough never finishes before start+work, is monotone in
+//     both start and work, never lands strictly inside a pause window,
+//     and accounts time exactly: the un-paused span of [start, end)
+//     equals the requested work.
+//
+// Run continuously with:
+//
+//	go test ./internal/chaos -fuzz FuzzChaosWindows -fuzztime 30s
+//
+// The committed corpus under testdata/fuzz keeps the interesting
+// shapes (touching windows, zero-length windows, work landing exactly
+// on a boundary) replaying as plain unit tests in every CI run.
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"coarse/internal/sim"
+)
+
+// decodeWindows turns fuzz bytes into a window list: consecutive
+// 8-byte chunks alternate as Start and End (possibly empty or
+// inverted — MergeWindows must cope), bounded to keep arithmetic far
+// from sim.Time overflow.
+func decodeWindows(data []byte) []Window {
+	const bound = int64(1) << 40 // ~18 minutes of virtual time
+	var ws []Window
+	for i := 0; i+16 <= len(data) && len(ws) < 64; i += 16 {
+		s := int64(binary.LittleEndian.Uint64(data[i:])) % bound
+		e := int64(binary.LittleEndian.Uint64(data[i+8:])) % bound
+		if s < 0 {
+			s = -s
+		}
+		if e < 0 {
+			e = -e
+		}
+		ws = append(ws, Window{Start: sim.Time(s), End: sim.Time(e)})
+	}
+	return ws
+}
+
+// covered reports whether t falls inside any window of a merged
+// (disjoint, ordered) list.
+func covered(wins []Window, t sim.Time) bool {
+	for _, w := range wins {
+		if t >= w.Start && t < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// overlap returns the measure of [a, b) ∩ [w.Start, w.End).
+func overlap(w Window, a, b sim.Time) sim.Time {
+	lo, hi := w.Start, w.End
+	if lo < a {
+		lo = a
+	}
+	if hi > b {
+		hi = b
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func FuzzChaosWindows(f *testing.F) {
+	mk := func(vals ...uint64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], v)
+		}
+		return b
+	}
+	// Touching windows, contained window, empty window, inverted pair.
+	f.Add(mk(100, 200, 200, 300), int64(50), int64(500))
+	f.Add(mk(100, 500, 150, 300), int64(0), int64(0))
+	f.Add(mk(100, 100, 300, 200), int64(250), int64(10))
+	// Work landing exactly on a window's opening edge.
+	f.Add(mk(100, 200), int64(0), int64(100))
+	f.Add([]byte{}, int64(7), int64(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, startRaw, workRaw int64) {
+		ws := decodeWindows(data)
+		m := MergeWindows(ws)
+
+		// Shape: non-empty, ordered, strictly disjoint (touching
+		// windows must have merged).
+		for i, w := range m {
+			if w.End <= w.Start {
+				t.Fatalf("merged window %d empty: %+v", i, w)
+			}
+			if i > 0 && w.Start <= m[i-1].End {
+				t.Fatalf("merged windows %d,%d not disjoint: %+v %+v", i-1, i, m[i-1], w)
+			}
+		}
+		// Idempotence.
+		if again := MergeWindows(m); !reflect.DeepEqual(again, m) {
+			t.Fatalf("MergeWindows not idempotent: %+v -> %+v", m, again)
+		}
+		// Coverage equivalence, sampled at every boundary point.
+		for _, w := range ws {
+			if w.End <= w.Start {
+				continue
+			}
+			if !covered(m, w.Start) || !covered(m, w.End-1) {
+				t.Fatalf("merged %+v lost coverage of input %+v", m, w)
+			}
+		}
+		for _, w := range m {
+			if !covered(ws, w.Start) || !covered(ws, w.End-1) {
+				t.Fatalf("merged %+v covers points outside inputs %+v", w, ws)
+			}
+		}
+
+		const bound = int64(1) << 40
+		start := sim.Time(startRaw % bound)
+		if start < 0 {
+			start = -start
+		}
+		work := sim.Time(workRaw % bound)
+		if work < 0 {
+			work = -work
+		}
+		end := AdvanceThrough(m, start, work)
+
+		// Progress takes at least the work itself.
+		if end < start+work {
+			t.Fatalf("AdvanceThrough(%+v, %v, %v) = %v < start+work", m, start, work, end)
+		}
+		// Monotone in start and in work.
+		if e2 := AdvanceThrough(m, start+1, work); e2 < end {
+			t.Fatalf("not monotone in start: end(%v)=%v > end(%v)=%v", start, end, start+1, e2)
+		}
+		if e2 := AdvanceThrough(m, start, work+1); e2 < end {
+			t.Fatalf("not monotone in work: end(%v)=%v > end(%v)=%v", work, end, work+1, e2)
+		}
+		// Never strictly inside a pause window.
+		for _, w := range m {
+			if end > w.Start && end < w.End {
+				t.Fatalf("end %v strictly inside pause window %+v", end, w)
+			}
+		}
+		if work > 0 {
+			// Exact accounting: un-paused time in [start, end) is the
+			// work.
+			var paused sim.Time
+			for _, w := range m {
+				paused += overlap(w, start, end)
+			}
+			if end-start-paused != work {
+				t.Fatalf("accounting: end=%v start=%v paused=%v, un-paused %v != work %v",
+					end, start, paused, end-start-paused, work)
+			}
+		} else {
+			// Wake semantics: start itself, or the end of the window
+			// containing start.
+			if end != start && !(covered(m, start) && covered(m, end-1) && !covered(m, end)) {
+				t.Fatalf("work=0: end %v is neither start %v nor the enclosing window's end (merged %+v)",
+					end, start, m)
+			}
+		}
+	})
+}

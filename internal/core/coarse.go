@@ -83,6 +83,15 @@ type Options struct {
 	// storage DRAM into the proxy, subsequent pulls of the same shard
 	// hit the cache. Off, every pull pays the storage read.
 	ProxyCache bool
+	// Shards partitions the parameter space across the machine's CCI
+	// memory devices into k independent coherence domains: layer l
+	// belongs to domain l mod k, and each domain owns a contiguous
+	// slice of the device pool with its own proxies, routing tables,
+	// sync groups and parameter storage. This is the scale-out
+	// configuration: with pooled devices at rack scale, independent
+	// domains keep the pull fan-in per device bounded. 0 or 1 keeps the
+	// paper's single-domain design (bit-identical behavior).
+	Shards int
 }
 
 // DefaultOptions enables the full design.
@@ -103,19 +112,16 @@ func DefaultOptions() Options {
 type Strategy struct {
 	Opts Options
 
-	ctx    *train.Ctx
-	pool   *memdev.Pool
-	tables []profiler.Table
-	// localProxy[w] is the proxy sharing worker w's switch (or nearest).
-	localProxy []int
-	gpuRing    *collective.Ring
+	ctx *train.Ctx
+	// shards are the parameter-space partitions (one with Shards <= 1,
+	// the paper's design). Layer l lives on shards[l % len(shards)].
+	shards  []*coarseShard
+	gpuRing *collective.Ring
 	// proxySynced[layer] records the dual-sync assignment.
 	proxySynced []bool
 	mBytes      int64
-	rr          int // round-robin over sync groups
 
 	iters map[int]*iterState
-	prox  []*proxy
 
 	// stats
 	Reprofiles     int
@@ -172,6 +178,28 @@ type iterState struct {
 	assign []bool
 }
 
+// coarseShard is one coherence domain: a contiguous slice of the
+// machine's memory devices with its own pool, routing tables, proxies
+// and sync groups. With Shards <= 1 there is exactly one, covering
+// every device — the paper's configuration.
+type coarseShard struct {
+	idx  int
+	devs []*topology.Device
+	pool *memdev.Pool
+	// tables[w] is worker w's routing table over this shard's devices.
+	tables []profiler.Table
+	// localProxy[w] is the shard device sharing worker w's switch (or
+	// nearest).
+	localProxy []int
+	prox       []*proxy
+	rr         int // round-robin over the shard's sync groups
+	// layerBytes is the parameter volume mapped onto this shard.
+	layerBytes int64
+}
+
+// shardOf returns the coherence domain owning a layer.
+func (s *Strategy) shardOf(layer int) *coarseShard { return s.shards[layer%len(s.shards)] }
+
 // proxy is one memory device's communication service.
 type proxy struct {
 	dev *memdev.Device
@@ -192,8 +220,9 @@ type arrival struct {
 	fn     func()
 }
 
-// Setup implements train.Strategy: build the device pool, profile every
-// client, and solve the dual-synchronization split.
+// Setup implements train.Strategy: partition the device pool into
+// coherence domains, profile every client against its domains, and
+// solve the dual-synchronization split.
 func (s *Strategy) Setup(ctx *train.Ctx) error {
 	s.ctx = ctx
 	s.iters = make(map[int]*iterState)
@@ -201,39 +230,60 @@ func (s *Strategy) Setup(ctx *train.Ctx) error {
 	if len(devs) == 0 {
 		return fmt.Errorf("coarse: machine %q has no memory devices", ctx.Machine.Label)
 	}
-	s.pool = memdev.NewPool(ctx.CCI, devs, ctx.Cfg.MemDev, s.Opts.SyncGroups)
-	for _, d := range s.pool.Devices {
-		s.prox = append(s.prox, &proxy{dev: d, cached: make(map[string]bool)})
-		// Extended parameter storage: master weights and both Adam
-		// moments, sharded across devices.
-		shard := 3 * ctx.Cfg.Model.ParamBytes() / int64(len(devs))
-		if err := d.Alloc(shard); err != nil {
-			return fmt.Errorf("coarse: optimizer shard: %w", err)
-		}
+	k := s.Opts.Shards
+	if k < 1 {
+		k = 1
+	}
+	if k > len(devs) {
+		return fmt.Errorf("coarse: %d shards exceed machine %q's %d memory devices", k, ctx.Machine.Label, len(devs))
+	}
+
+	// Parameter volume per domain under the layer -> layer mod k map.
+	layerBytes := make([]int64, k)
+	for l, layer := range ctx.Layers() {
+		layerBytes[l%k] += layer.SizeBytes()
 	}
 
 	// Offline profiling (engine is idle during Setup).
 	prof := profiler.New(ctx.CCI)
-	for _, g := range ctx.Workers {
-		table := prof.BuildTable(g.Dev, devs)
-		s.tables = append(s.tables, table)
-	}
-	s.spreadBwProxies()
-	for _, g := range ctx.Workers {
-		local := 0
-		bestLat := sim.Time(1<<62 - 1)
-		for i, dev := range devs {
-			if ctx.Machine.SameSwitch(g.Dev, dev) {
-				local = i
-				bestLat = -1
-				break
-			}
-			if lat := ctx.Machine.PathLatency(g.Dev, dev); lat < bestLat {
-				bestLat = lat
-				local = i
+	for si := 0; si < k; si++ {
+		sdevs := devs[si*len(devs)/k : (si+1)*len(devs)/k]
+		sh := &coarseShard{idx: si, devs: sdevs, layerBytes: layerBytes[si]}
+		sh.pool = memdev.NewPool(ctx.CCI, sdevs, ctx.Cfg.MemDev, s.Opts.SyncGroups)
+		for _, d := range sh.pool.Devices {
+			sh.prox = append(sh.prox, &proxy{dev: d, cached: make(map[string]bool)})
+			// Extended parameter storage: master weights and both Adam
+			// moments for this domain's layers, sharded across its
+			// devices. A domain can own zero bytes when the model has
+			// fewer layers than there are shards; it then stores
+			// nothing.
+			if shard := 3 * sh.layerBytes / int64(len(sdevs)); shard > 0 {
+				if err := d.Alloc(shard); err != nil {
+					return fmt.Errorf("coarse: optimizer shard: %w", err)
+				}
 			}
 		}
-		s.localProxy = append(s.localProxy, local)
+		for _, g := range ctx.Workers {
+			sh.tables = append(sh.tables, prof.BuildTable(g.Dev, sdevs))
+		}
+		sh.spreadBwProxies()
+		for _, g := range ctx.Workers {
+			local := 0
+			bestLat := sim.Time(1<<62 - 1)
+			for i, dev := range sdevs {
+				if ctx.Machine.SameSwitch(g.Dev, dev) {
+					local = i
+					bestLat = -1
+					break
+				}
+				if lat := ctx.Machine.PathLatency(g.Dev, dev); lat < bestLat {
+					bestLat = lat
+					local = i
+				}
+			}
+			sh.localProxy = append(sh.localProxy, local)
+		}
+		s.shards = append(s.shards, sh)
 	}
 
 	// GPU ring for the dual-sync high-priority tail.
@@ -276,10 +326,18 @@ func (s *Strategy) registerTelemetry() {
 	reg.GaugeFunc("coarse/pull_hits", "count", func() float64 { return float64(s.PullHits) })
 	reg.GaugeFunc("coarse/pull_misses", "count", func() float64 { return float64(s.PullMisses) })
 	s.gpuRing.AttachTelemetry(reg, "coarse/gpu_ring")
-	for i, grp := range s.pool.Groups() {
-		grp := grp
-		reg.GaugeFunc(fmt.Sprintf("coarse/syncgroup%d/queue_depth", i), "shards",
-			func() float64 { return float64(grp.QueueDepth()) })
+	for _, sh := range s.shards {
+		// Single-domain series keep the historical names; multi-domain
+		// runs prefix each domain.
+		prefix := "coarse/syncgroup"
+		if len(s.shards) > 1 {
+			prefix = fmt.Sprintf("coarse/shard%d/syncgroup", sh.idx)
+		}
+		for i, grp := range sh.pool.Groups() {
+			grp := grp
+			reg.GaugeFunc(fmt.Sprintf("%s%d/queue_depth", prefix, i), "shards",
+				func() float64 { return float64(grp.QueueDepth()) })
+		}
 	}
 }
 
@@ -289,11 +347,11 @@ func (s *Strategy) registerTelemetry() {
 // first-max pick would aim every client at the same device and turn its
 // links into a hotspot. Clients with tied options are spread round-robin
 // across their tied-best sets.
-func (s *Strategy) spreadBwProxies() {
+func (sh *coarseShard) spreadBwProxies() {
 	const tolerance = 0.95
 	taken := make(map[int]int) // proxy -> clients already aimed at it
-	for w := range s.tables {
-		t := &s.tables[w]
+	for w := range sh.tables {
+		t := &sh.tables[w]
 		best := t.Measurements[t.BwProxy].Bandwidth
 		// Candidates within tolerance of the best.
 		var cands []int
@@ -340,26 +398,33 @@ func (s *Strategy) planDualSync() {
 		return
 	}
 
-	// The proxy ring runs over the memory devices, whose count differs
-	// from the worker count in shared-proxy (2:1) configurations.
-	devs := float64(len(s.pool.Devices))
-	proxyRingFactor := 2 * (devs - 1) / devs
-	bProxy := s.ringBandwidth(func(i int) int { return i }, len(s.pool.Devices), false)
-	// Alternating-direction groups double the proxy path's usable
-	// bandwidth.
-	if s.Opts.SyncGroups > 1 {
-		bProxy *= 2
-	}
-	// Client push/pull rides the edge to the routed proxy; when several
-	// clients share a proxy its edge splits among them.
-	bEdge := s.tables[0].Measurements[s.tables[0].BwProxy].Bandwidth
-	for _, t := range s.tables[1:] {
-		if bw := t.Measurements[t.BwProxy].Bandwidth; bw < bEdge {
-			bEdge = bw
+	// Per-domain path model. The proxy ring runs over each domain's
+	// memory devices, whose count differs from the worker count in
+	// shared-proxy (2:1) and sharded configurations.
+	k := len(s.shards)
+	proxyRingFactor := make([]float64, k)
+	bProxy := make([]float64, k)
+	bEdge := make([]float64, k)
+	for si, sh := range s.shards {
+		devs := float64(len(sh.pool.Devices))
+		proxyRingFactor[si] = 2 * (devs - 1) / devs
+		bProxy[si] = s.ringBandwidth(sh)
+		// Alternating-direction groups double the proxy path's usable
+		// bandwidth.
+		if s.Opts.SyncGroups > 1 {
+			bProxy[si] *= 2
 		}
+		// Client push/pull rides the edge to the routed proxy; when
+		// several clients share a proxy its edge splits among them.
+		be := sh.tables[0].Measurements[sh.tables[0].BwProxy].Bandwidth
+		for _, t := range sh.tables[1:] {
+			if bw := t.Measurements[t.BwProxy].Bandwidth; bw < be {
+				be = bw
+			}
+		}
+		clientsPerProxy := (ctx.NumWorkers() + len(sh.pool.Devices) - 1) / len(sh.pool.Devices)
+		bEdge[si] = be / float64(clientsPerProxy)
 	}
-	clientsPerProxy := (ctx.NumWorkers() + len(s.pool.Devices) - 1) / len(s.pool.Devices)
-	bEdge /= float64(clientsPerProxy)
 
 	g := ctx.Workers[0]
 	tBP := g.BwdTime(ctx.Cfg.Model, ctx.Cfg.Batch).ToSeconds()
@@ -386,21 +451,27 @@ func (s *Strategy) planDualSync() {
 	// regime where the paper reports COARSE "does not work efficiently").
 	windowFrac := 1.0
 	if !ctx.Machine.P2PSupported {
-		bProxy /= 2
+		for si := range bProxy {
+			bProxy[si] /= 2
+		}
 		windowFrac = 0.4
 	}
 
 	// Walk in production order (deep layers first). A layer is proxied
-	// while the accumulated proxy backlog still fits its window;
-	// afterwards everything shallower takes the GPU ring.
+	// while its own domain's accumulated proxy backlog still fits its
+	// window (domains drain independently, so backlog accumulates per
+	// shard); afterwards everything shallower takes the GPU ring.
 	var m int64
+	mShard := make([]int64, k)
 	for l := len(layers) - 1; l >= 0; l-- {
+		si := l % k
 		size := layers[l].SizeBytes()
-		backlog := proxyRingFactor*float64(m+size)/bProxy + 2*float64(size)/bEdge
+		backlog := proxyRingFactor[si]*float64(mShard[si]+size)/bProxy[si] + 2*float64(size)/bEdge[si]
 		window := (tBP + prefixFwd[l] - suffixBwd[l]) * windowFrac
 		if window <= backlog {
 			break
 		}
+		mShard[si] += size
 		m += size
 	}
 	s.assignSplit(m)
@@ -423,20 +494,18 @@ func (s *Strategy) assignSplit(m int64) {
 	}
 }
 
-// ringBandwidth returns the bottleneck link bandwidth around a ring of
-// workers (gpu=true) or memory devices. On machines without peer-to-peer
+// ringBandwidth returns the bottleneck link bandwidth around the ring
+// of one domain's memory devices. On machines without peer-to-peer
 // support every hop bounces through host memory — two legs sharing the
 // host bridge — so the effective rate is half the slower leg.
-func (s *Strategy) ringBandwidth(idx func(int) int, count int, gpus bool) float64 {
+func (s *Strategy) ringBandwidth(sh *coarseShard) float64 {
+	count := len(sh.pool.Devices)
 	if count <= 1 {
 		return 1e18
 	}
 	ctx := s.ctx
 	dev := func(i int) *topology.Device {
-		if gpus {
-			return ctx.Workers[idx(i)].Dev
-		}
-		return s.pool.Devices[idx(i)].Dev
+		return sh.pool.Devices[i].Dev
 	}
 	min := -1.0
 	for i := 0; i < count; i++ {
@@ -467,12 +536,25 @@ func (s *Strategy) MBytes() int64 { return s.mBytes }
 // ProxySynced reports whether a layer takes the proxy path.
 func (s *Strategy) ProxySynced(layer int) bool { return s.proxySynced[layer] }
 
-// Tables exposes the per-client routing tables.
-func (s *Strategy) Tables() []profiler.Table { return s.tables }
+// Tables exposes the per-client routing tables of the first coherence
+// domain (the only one in the paper's single-domain configuration).
+func (s *Strategy) Tables() []profiler.Table { return s.shards[0].tables }
 
-// Pool exposes the memory-device pool (experiments and examples read
-// its checkpoint and storage statistics).
-func (s *Strategy) Pool() *memdev.Pool { return s.pool }
+// Pool exposes the first domain's memory-device pool (experiments and
+// examples read its checkpoint and storage statistics).
+func (s *Strategy) Pool() *memdev.Pool { return s.shards[0].pool }
+
+// Pools exposes every coherence domain's device pool, in shard order.
+func (s *Strategy) Pools() []*memdev.Pool {
+	out := make([]*memdev.Pool, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.pool
+	}
+	return out
+}
+
+// NumShards reports the number of coherence domains in use.
+func (s *Strategy) NumShards() int { return len(s.shards) }
 
 func (s *Strategy) state(it int) *iterState {
 	st, ok := s.iters[it]
@@ -530,8 +612,9 @@ func (s *Strategy) gpuSync(it, w, layer int) {
 // sync shards whose every client copy has arrived.
 func (s *Strategy) pushToProxies(it, w, layer int) {
 	ctx := s.ctx
+	sh := s.shardOf(layer)
 	size := ctx.Layers()[layer].SizeBytes()
-	table := s.tables[w]
+	table := sh.tables[w]
 
 	var shardSizes []int64
 	if s.Opts.Partitioning && size > table.PartitionBytes {
@@ -556,11 +639,11 @@ func (s *Strategy) pushToProxies(it, w, layer int) {
 	}
 
 	for idx, shardSize := range shardSizes {
-		dst := s.localProxy[w]
+		dst := sh.localProxy[w]
 		if s.Opts.Routing {
 			dst = table.Route(shardSize)
 		}
-		if dst == s.localProxy[w] {
+		if dst == sh.localProxy[w] {
 			s.PushedToLat += shardSize
 		} else {
 			s.PushedToBw += shardSize
@@ -568,14 +651,14 @@ func (s *Strategy) pushToProxies(it, w, layer int) {
 		key := fmt.Sprintf("%d/%d/%d", it, layer, idx)
 		shardSize := shardSize
 		idx := idx
-		ctx.CCI.DMACopy(ctx.Workers[w].Dev, s.pool.Devices[dst].Dev, shardSize, func() {
+		ctx.CCI.DMACopy(ctx.Workers[w].Dev, sh.pool.Devices[dst].Dev, shardSize, func() {
 			s.onProxyArrival(it, w, layer, idx, shardSize, dst, key)
 		})
 	}
 }
 
 func (s *Strategy) onProxyArrival(it, w, layer, idx int, shardSize int64, dst int, key string) {
-	px := s.prox[dst]
+	px := s.shardOf(layer).prox[dst]
 	register := func() {
 		s.registerShard(it, layer, idx, shardSize, key)
 	}
@@ -603,8 +686,9 @@ func (s *Strategy) registerShard(it, layer, idx int, shardSize int64, key string
 		return
 	}
 	delete(st.shardArrived, key)
-	group := s.pool.Group(s.rr)
-	s.rr++
+	sh := s.shardOf(layer)
+	group := sh.pool.Group(sh.rr)
+	sh.rr++
 	group.AllReduceBytes(shardSize, func() {
 		s.onShardSynced(it, layer, idx, shardSize, key)
 	})
@@ -612,6 +696,7 @@ func (s *Strategy) registerShard(it, layer, idx int, shardSize int64, key string
 
 func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string) {
 	ctx := s.ctx
+	sh := s.shardOf(layer)
 	if ctx.Cfg.Numeric {
 		// Average once per layer, before any worker can pull and apply.
 		if st := s.state(it); !st.averaged[layer] {
@@ -621,9 +706,10 @@ func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string
 		}
 	}
 	// FCFS: the synced shard releases the head of every proxy queue
-	// holding it, letting the next arrival register.
+	// holding it, letting the next arrival register. Keys are
+	// layer-scoped, so only the owning domain's proxies can hold them.
 	if s.Opts.Scheduler == FCFS {
-		for _, px := range s.prox {
+		for _, px := range sh.prox {
 			for len(px.fifo) > 0 && px.fifo[0].key == key {
 				px.fifo = px.fifo[1:]
 				if len(px.fifo) > 0 {
@@ -638,12 +724,12 @@ func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string
 	// hit the cache (Section III-D).
 	for w := 0; w < ctx.NumWorkers(); w++ {
 		w := w
-		src := s.localProxy[w]
+		src := sh.localProxy[w]
 		if s.Opts.Routing {
-			src = s.tables[w].Route(shardSize)
+			src = sh.tables[w].Route(shardSize)
 		}
 		var stage sim.Time
-		if px := s.prox[src]; s.Opts.ProxyCache && px.cached[key] {
+		if px := sh.prox[src]; s.Opts.ProxyCache && px.cached[key] {
 			s.PullHits++
 		} else {
 			s.PullMisses++
@@ -667,7 +753,7 @@ func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string
 // same property that avoids the Figure 10 deadlock).
 func (s *Strategy) pullShard(it, w, layer int, shardSize int64, src int) {
 	ctx := s.ctx
-	ctx.CCI.DMACopy(s.pool.Devices[src].Dev, ctx.Workers[w].Dev, shardSize, func() {
+	ctx.CCI.DMACopy(s.shardOf(layer).pool.Devices[src].Dev, ctx.Workers[w].Dev, shardSize, func() {
 		ctx.RunAwake(func() { s.finishPull(it, w, layer) }, w)
 	})
 }
@@ -719,8 +805,15 @@ func (s *Strategy) captureParam(it, layer int) {
 	if !ctx.Cfg.Numeric || s.Opts.EpochIters <= 0 || (it+1)%s.Opts.EpochIters != 0 {
 		return
 	}
-	home := s.pool.Devices[layer%len(s.pool.Devices)]
-	home.Store.Put(ctx.Params[0][layer].Name, ctx.PreviewUpdate(0, layer))
+	s.homeDevice(layer).Store.Put(ctx.Params[0][layer].Name, ctx.PreviewUpdate(0, layer))
+}
+
+// homeDevice returns the storage device holding a layer's master copy:
+// within the layer's coherence domain, homes rotate across the domain's
+// devices. With one domain this is the historical layer-mod-devices map.
+func (s *Strategy) homeDevice(layer int) *memdev.Device {
+	sh := s.shardOf(layer)
+	return sh.pool.Devices[(layer/len(s.shards))%len(sh.pool.Devices)]
 }
 
 // RestoreLatest loads the most recent epoch checkpoint back into every
@@ -728,15 +821,16 @@ func (s *Strategy) captureParam(it, layer int) {
 // the recovery path of Section IV-A: a failed worker resumes from the
 // storage tier's snapshot instead of retraining from scratch.
 func (s *Strategy) RestoreLatest() bool {
-	for _, d := range s.pool.Devices {
-		if !d.Ckpt.Recover() {
-			return false
+	for _, sh := range s.shards {
+		for _, d := range sh.pool.Devices {
+			if !d.Ckpt.Recover() {
+				return false
+			}
 		}
 	}
 	ctx := s.ctx
 	for layer := range ctx.Layers() {
-		home := s.pool.Devices[layer%len(s.pool.Devices)]
-		data := home.Store.Get(ctx.Params[0][layer].Name)
+		data := s.homeDevice(layer).Store.Get(ctx.Params[0][layer].Name)
 		if data == nil {
 			return false
 		}
@@ -763,16 +857,20 @@ func (s *Strategy) layerDone(it int) {
 	// The iteration's shards will never be pulled again: evict them
 	// from the proxy caches.
 	prefix := fmt.Sprintf("%d/", it)
-	for _, px := range s.prox {
-		for key := range px.cached {
-			if strings.HasPrefix(key, prefix) {
-				delete(px.cached, key)
+	for _, sh := range s.shards {
+		for _, px := range sh.prox {
+			for key := range px.cached {
+				if strings.HasPrefix(key, prefix) {
+					delete(px.cached, key)
+				}
 			}
 		}
 	}
 	if s.Opts.EpochIters > 0 && (it+1)%s.Opts.EpochIters == 0 {
-		for _, d := range s.pool.Devices {
-			d.Ckpt.EpochEnd()
+		for _, sh := range s.shards {
+			for _, d := range sh.pool.Devices {
+				d.Ckpt.EpochEnd()
+			}
 		}
 	}
 }
@@ -784,11 +882,12 @@ func (s *Strategy) layerDone(it int) {
 // offline profile — a degraded lane, a noisy neighbor — so the tables,
 // the tie-spreading and the dual-sync split are all recomputed.
 func (s *Strategy) reprofile() {
-	endpoints := s.ctx.Machine.Devs
-	for w, g := range s.ctx.Workers {
-		s.tables[w] = profiler.AnalyticTable(s.ctx.CCI, g.Dev, endpoints)
+	for _, sh := range s.shards {
+		for w, g := range s.ctx.Workers {
+			sh.tables[w] = profiler.AnalyticTable(s.ctx.CCI, g.Dev, sh.devs)
+		}
+		sh.spreadBwProxies()
 	}
-	s.spreadBwProxies()
 	s.planDualSync()
 	s.Reprofiles++
 }

@@ -236,7 +236,7 @@ func TestEpochCheckpointing(t *testing.T) {
 	if _, err := tr.Run(); err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range s.pool.Devices {
+	for _, d := range s.Pool().Devices {
 		if d.Ckpt.Epoch() != 2 {
 			t.Fatalf("device %s checkpointed %d epochs, want 2", d.Dev, d.Ckpt.Epoch())
 		}

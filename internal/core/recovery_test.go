@@ -72,7 +72,7 @@ func TestCheckpointMatchesIndependentRun(t *testing.T) {
 	for l := range ctx.Layers() {
 		want := longParams[0][l].Clone()
 		want.AXPY(-lr, ctx.Grads[0][l])
-		home := sLong.pool.Devices[l%len(sLong.pool.Devices)]
+		home := sLong.Pool().Devices[l%len(sLong.Pool().Devices)]
 		got := home.Store.Get(want.Name)
 		if got == nil {
 			t.Fatalf("layer %d missing from storage", l)
@@ -121,7 +121,7 @@ func TestRecoveryResumesTraining(t *testing.T) {
 			t.Fatalf("replicas diverge after recovery at layer %d", l)
 		}
 	}
-	for _, d := range s.pool.Devices {
+	for _, d := range s.Pool().Devices {
 		if d.Ckpt.Epoch() != 2 {
 			t.Fatalf("expected 2 epochs checkpointed, got %d", d.Ckpt.Epoch())
 		}

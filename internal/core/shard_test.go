@@ -1,0 +1,121 @@
+package core
+
+// Sharded-COARSE regression suite. The load-bearing contract: the
+// sharding machinery with Shards=1 must be invisible — byte-identical
+// results and telemetry to the historical unsharded implementation —
+// so every committed golden stays valid. The k>1 tests pin the
+// partitioning itself: disjoint contiguous device slices, the layer
+// l mod k ownership map, and a complete training run per shard count.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"coarse/internal/model"
+	"coarse/internal/telemetry"
+	"coarse/internal/topology"
+	"coarse/internal/train"
+)
+
+// runCoarse runs a short telemetry-enabled training with the given
+// options and returns the result plus the telemetry dump bytes.
+func runCoarse(t *testing.T, spec topology.Spec, opts Options) (*train.Result, []byte, *Strategy) {
+	t.Helper()
+	cfg := train.DefaultConfig(spec, model.MLP("mlp", 1024, 512, 256, 10), 4, 2)
+	cfg.Telemetry = telemetry.NewRegistry()
+	s := New(opts)
+	tr, err := train.New(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.TelemetryDump().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes(), s
+}
+
+// TestShardsOneByteIdentity: Shards=1 (and the Shards=0 default) must
+// reproduce the unsharded implementation exactly — same Result
+// including the event fingerprint, and byte-identical telemetry dumps
+// (so not even a series name may move).
+func TestShardsOneByteIdentity(t *testing.T) {
+	for _, spec := range []topology.Spec{topology.AWSV100(), topology.AWST4()} {
+		base, baseDump, _ := runCoarse(t, spec, DefaultOptions())
+		one := DefaultOptions()
+		one.Shards = 1
+		res, dump, s := runCoarse(t, spec, one)
+		if s.NumShards() != 1 {
+			t.Fatalf("%s: Shards=1 built %d shards", spec.Label, s.NumShards())
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("%s: Shards=1 changed the result: %+v vs %+v", spec.Label, res.RunMetrics, base.RunMetrics)
+		}
+		if !bytes.Equal(dump, baseDump) {
+			t.Errorf("%s: Shards=1 changed telemetry dump bytes (%d vs %d)", spec.Label, len(dump), len(baseDump))
+		}
+	}
+}
+
+// TestShardPartition: k>1 splits the device pool into disjoint
+// contiguous slices covering every device, each with its own proxies
+// and routing tables, and training still completes.
+func TestShardPartition(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		opts := DefaultOptions()
+		opts.Shards = k
+		res, _, s := runCoarse(t, topology.AWSV100(), opts)
+		if s.NumShards() != k {
+			t.Fatalf("k=%d: built %d shards", k, s.NumShards())
+		}
+		if res.TotalTime <= 0 {
+			t.Fatalf("k=%d: run did not complete", k)
+		}
+		seen := map[*topology.Device]int{}
+		total := 0
+		for si, sh := range s.shards {
+			if len(sh.devs) == 0 {
+				t.Fatalf("k=%d: shard %d owns no devices", k, si)
+			}
+			if len(sh.tables) != len(s.ctx.Workers) || len(sh.localProxy) != len(s.ctx.Workers) {
+				t.Fatalf("k=%d: shard %d missing per-worker tables/proxies", k, si)
+			}
+			for _, d := range sh.devs {
+				if prev, dup := seen[d]; dup {
+					t.Fatalf("k=%d: device %s in shards %d and %d", k, d, prev, si)
+				}
+				seen[d] = si
+				total++
+			}
+		}
+		if total != len(s.ctx.Machine.Devs) {
+			t.Fatalf("k=%d: shards cover %d devices, machine has %d", k, total, len(s.ctx.Machine.Devs))
+		}
+		// Ownership map: layer l on shard l mod k.
+		for l := range s.ctx.Layers() {
+			if s.shardOf(l) != s.shards[l%k] {
+				t.Fatalf("k=%d: layer %d on wrong shard", k, l)
+			}
+		}
+	}
+}
+
+// TestShardsExceedDevices: more shards than memory devices is a setup
+// error, not a crash.
+func TestShardsExceedDevices(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Shards = 64
+	cfg := train.DefaultConfig(topology.AWSV100(), model.MLP("mlp", 64, 10), 2, 1)
+	tr, err := train.New(cfg, New(opts))
+	if err != nil {
+		return // rejected at construction: fine
+	}
+	if _, err := tr.Run(); err == nil {
+		t.Fatal("run accepted 64 shards on a 4-device machine")
+	}
+}

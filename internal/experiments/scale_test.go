@@ -1,0 +1,73 @@
+//go:build !race
+
+// Scale-family acceptance test. Excluded under -race like the golden
+// suite: the 512-worker cells dominate a race lane's budget, and the
+// race lane already covers the same machinery through the smaller
+// strategy/topology smoke grids.
+package experiments
+
+import (
+	"testing"
+
+	"coarse/internal/runner"
+)
+
+// TestScaleOrdering pins the family's headline claim: in the weak
+// scaling sweep, COARSE's iteration-time inflation over its own
+// 8-worker baseline stays strictly below DENSE's and CentralPS's at
+// every rack-scale point (>= 128 workers). This is the quantitative
+// form of the paper's Section VI projection — decentralized sharded
+// synchronization over a rack-scaled CCI pool degrades more slowly
+// than shared write ports or central-server incast.
+func TestScaleOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs rack-scale training cells; skipped under -short")
+	}
+	runner.ClearCache()
+	d := scaleRun(Config{Quick: true})
+
+	infl := map[string]map[int]float64{}
+	for _, c := range d.weak {
+		r := d.result(c)
+		if r == nil {
+			t.Fatalf("weak cell %s failed: %s", c.ID, d.got[c.ID].Err)
+		}
+		base := d.baseline(d.weak, c)
+		if base == nil {
+			t.Fatalf("weak cell %s has no %d-worker baseline", c.ID, scaleWeakWorkers[0])
+		}
+		if infl[c.Strategy] == nil {
+			infl[c.Strategy] = map[int]float64{}
+		}
+		infl[c.Strategy][c.Workers] = scaleInflation(base, r)
+	}
+	for _, w := range scaleWeakWorkers {
+		if w < 128 {
+			continue
+		}
+		co, ok := infl["COARSE"][w]
+		if !ok {
+			t.Fatalf("no COARSE inflation at %d workers", w)
+		}
+		for _, other := range []string{"DENSE", "CentralPS"} {
+			ov, ok := infl[other][w]
+			if !ok {
+				t.Fatalf("no %s inflation at %d workers", other, w)
+			}
+			if !(co < ov) {
+				t.Errorf("at %d workers COARSE inflation %.3fx is not strictly below %s's %.3fx",
+					w, co, other, ov)
+			}
+		}
+	}
+
+	// The strong sweep and shard sweep must at least complete: every
+	// cell trains to the end on every generated machine.
+	for _, cells := range [][]scaleCell{d.strong, d.shard} {
+		for _, c := range cells {
+			if d.result(c) == nil {
+				t.Errorf("cell %s failed: %s", c.ID, d.got[c.ID].Err)
+			}
+		}
+	}
+}

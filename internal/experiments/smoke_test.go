@@ -1,0 +1,73 @@
+package experiments
+
+// Strategy x topology smoke grid: every committed preset and a grid of
+// generated scale-out machines must build and complete one training
+// iteration under all four synchronization strategies. This is the
+// cheap, race-detector-friendly coverage of the full strategy/topology
+// cross product — the scale and golden suites exercise depth on a few
+// configurations; this grid exercises breadth on all of them, so a
+// topology change that breaks routing for one strategy (e.g. a tier a
+// profiler probe cannot reach) fails here with a precise name instead
+// of inside a 30-cell experiment regeneration.
+
+import (
+	"testing"
+
+	"coarse/internal/model"
+	"coarse/internal/topology"
+	"coarse/internal/train"
+)
+
+// smokeStrategies is every synchronization design in the repo.
+var smokeStrategies = []string{"DENSE", "CentralPS", "AllReduce", "COARSE"}
+
+// smokeGenerated is the generator grid: every memory-device tier, one
+// single-node box, flat multi-node, multi-rack with and without
+// oversubscription.
+func smokeGenerated() []topology.ScaleSpec {
+	return []topology.ScaleSpec{
+		{Racks: 1, NodesPerRack: 1, GPUsPerNode: 2, MemDevs: 1, MemDevTier: topology.TierSwitch},
+		{Racks: 1, NodesPerRack: 2, GPUsPerNode: 2, MemDevs: 2, MemDevTier: topology.TierNode},
+		{Racks: 1, NodesPerRack: 2, GPUsPerNode: 2, MemDevs: 2, MemDevTier: topology.TierRack},
+		{Racks: 2, NodesPerRack: 2, GPUsPerNode: 2, MemDevs: 4, MemDevTier: topology.TierRack, Oversub: 2},
+		{Racks: 2, NodesPerRack: 1, GPUsPerNode: 4, MemDevs: 2, MemDevTier: topology.TierRack, Oversub: 1.5},
+	}
+}
+
+func smokeSpecs(t *testing.T) []topology.Spec {
+	t.Helper()
+	specs := topology.Presets()
+	for _, g := range smokeGenerated() {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generator grid entry invalid: %v", err)
+		}
+		specs = append(specs, g.Generate())
+	}
+	return specs
+}
+
+// TestStrategyTopologySmoke runs the full grid for one iteration each.
+func TestStrategyTopologySmoke(t *testing.T) {
+	m := model.MLP("mlp", 256, 128, 64, 10)
+	for _, spec := range smokeSpecs(t) {
+		spec := spec
+		for _, strat := range smokeStrategies {
+			strat := strat
+			t.Run(spec.Label+"/"+strat, func(t *testing.T) {
+				t.Parallel()
+				cfg := train.DefaultConfig(spec, m, 2, 1)
+				tr, err := train.New(cfg, newStrategy(strat))
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				res, err := tr.Run()
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if res.TotalTime <= 0 || res.Iterations != 1 {
+					t.Fatalf("run did not complete: %+v", res.RunMetrics)
+				}
+			})
+		}
+	}
+}

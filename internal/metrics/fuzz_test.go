@@ -1,0 +1,53 @@
+package metrics
+
+// Fuzz layer for Table's wire form: coarsebench -json output must
+// round-trip back into renderable tables for downstream tooling, so
+// Marshal∘Unmarshal must be the identity on both the rendered text and
+// the wire bytes (idempotent re-marshal), for arbitrary titles, column
+// sets, row counts and cell contents — including empty tables, unicode
+// and JSON-metacharacter-laden strings.
+//
+// Run continuously with:
+//
+//	go test ./internal/metrics -fuzz FuzzTableRoundTrip -fuzztime 30s
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func FuzzTableRoundTrip(f *testing.F) {
+	f.Add("fig", "col a", "col b", "cell", 1.5, uint8(2))
+	f.Add("", "", "", "", 0.0, uint8(0))
+	f.Add("q\"uo\\te", "newline\ncol", "tab\tcol", "üñïçödé \x00", -0.0, uint8(5))
+	f.Add("big", "c1", "c2", "x", 1e300, uint8(9))
+
+	f.Fuzz(func(t *testing.T, title, colA, colB, cell string, v float64, rows uint8) {
+		tab := NewTable(title, colA, colB)
+		for i := 0; i < int(rows%6); i++ {
+			// Mixed cell types exercise AddRow's formatting; the wire
+			// form only ever sees the formatted strings.
+			tab.AddRow(cell, v+float64(i))
+		}
+
+		wire, err := json.Marshal(tab)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Table
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatalf("unmarshal own wire form %s: %v", wire, err)
+		}
+		if back.String() != tab.String() {
+			t.Fatalf("rendered text changed across round-trip:\n%q\n%q", tab.String(), back.String())
+		}
+		wire2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("wire form not idempotent:\n%s\n%s", wire, wire2)
+		}
+	})
+}

@@ -91,7 +91,11 @@ type Table struct {
 
 // NewTable creates a table with the given title and column headers.
 func NewTable(title string, columns ...string) *Table {
-	return &Table{Title: title, Columns: columns}
+	cols := make([]string, len(columns))
+	for i, c := range columns {
+		cols[i] = validText(c)
+	}
+	return &Table{Title: validText(title), Columns: cols}
 }
 
 // AddRow appends a row; cells are formatted with %v.
@@ -102,12 +106,20 @@ func (t *Table) AddRow(cells ...any) {
 		case float64:
 			row[i] = formatFloat(v)
 		case string:
-			row[i] = v
+			row[i] = validText(v)
 		default:
-			row[i] = fmt.Sprint(v)
+			row[i] = validText(fmt.Sprint(v))
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// validText normalizes a string to valid UTF-8 so a table always holds
+// exactly what its JSON wire form round-trips: encoding/json replaces
+// invalid bytes with U+FFFD on marshal, so admitting them here would
+// make Marshal∘Unmarshal lossy (found by FuzzTableRoundTrip).
+func validText(s string) string {
+	return strings.ToValidUTF8(s, "�")
 }
 
 // Rows returns the formatted rows.

@@ -16,9 +16,12 @@
 package paramserver
 
 import (
+	"fmt"
+
 	"coarse/internal/model"
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
+	"coarse/internal/topology"
 	"coarse/internal/train"
 )
 
@@ -28,10 +31,30 @@ type CentralPS struct {
 	// bound).
 	UpdateBytesPerSec float64
 
+	// Shards selects the server placement. 0 keeps the historical
+	// behavior: every node's own host CPU aggregates its workers'
+	// gradients (the single-node reading of Section II-B, where
+	// "central" and "local" coincide). Shards >= 1 places that many
+	// true central servers on evenly spread nodes' host CPUs, with
+	// layer l served by server l mod Shards — on a multi-node machine
+	// every worker's push now crosses the network toward the server,
+	// which is exactly the incast bottleneck the paper's Section IV
+	// scaling argument is about. Each server aggregates serially at
+	// UpdateBytesPerSec.
+	Shards int
+
 	ctx     *train.Ctx
 	arrived map[[2]int]int
+	servers []*psServer // nil in the Shards == 0 legacy mode
 
 	pushes, pulls *telemetry.Counter
+}
+
+// psServer is one true-central aggregation point: a host CPU plus the
+// virtual time its serial aggregation pipeline is busy until.
+type psServer struct {
+	cpu  *topology.Device
+	free sim.Time
 }
 
 // NewCentralPS returns the baseline with a memory-bound 30 GB/s
@@ -53,6 +76,25 @@ func (s *CentralPS) Setup(ctx *train.Ctx) error {
 	s.arrived = make(map[[2]int]int)
 	s.pushes = ctx.Cfg.Telemetry.Counter("ps/pushes", "ops")
 	s.pulls = ctx.Cfg.Telemetry.Counter("ps/pulls", "ops")
+	if s.Shards >= 1 {
+		nodes := len(ctx.Machine.CPUs)
+		for si := 0; si < s.Shards; si++ {
+			s.servers = append(s.servers, &psServer{cpu: ctx.Machine.CPUs[si*nodes/s.Shards]})
+		}
+		reg := ctx.Cfg.Telemetry
+		if reg != nil {
+			for si, srv := range s.servers {
+				srv := srv
+				reg.GaugeFunc(fmt.Sprintf("ps/server%d/backlog_ns", si), "ns", func() float64 {
+					backlog := srv.free - ctx.Eng.Now()
+					if backlog < 0 {
+						return 0
+					}
+					return float64(backlog)
+				})
+			}
+		}
+	}
 	return nil
 }
 
@@ -62,6 +104,11 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 	ctx := s.ctx
 	size := ctx.Layers()[layer].SizeBytes()
 	cpu := ctx.Machine.CPUs[ctx.Workers[w].Dev.Node]
+	var srv *psServer
+	if len(s.servers) > 0 {
+		srv = s.servers[layer%len(s.servers)]
+		cpu = srv.cpu
+	}
 	s.pushes.Inc()
 	ctx.CCI.DMACopy(ctx.Workers[w].Dev, cpu, size, func() {
 		key := [2]int{it, layer}
@@ -71,13 +118,16 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 		}
 		delete(s.arrived, key)
 		update := sim.Seconds(float64(size) / s.UpdateBytesPerSec)
-		ctx.Eng.Schedule(update, func() {
+		apply := func() {
 			if ctx.Cfg.Numeric {
 				averageGrads(ctx, layer)
 			}
 			for dst := 0; dst < ctx.NumWorkers(); dst++ {
 				dst := dst
-				dstCPU := ctx.Machine.CPUs[ctx.Workers[dst].Dev.Node]
+				dstCPU := cpu
+				if srv == nil {
+					dstCPU = ctx.Machine.CPUs[ctx.Workers[dst].Dev.Node]
+				}
 				s.pulls.Inc()
 				ctx.CCI.DMACopy(dstCPU, ctx.Workers[dst].Dev, size, func() {
 					// A silenced worker cannot accept its pull; the
@@ -86,7 +136,20 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 					ctx.RunAwake(func() { ctx.MarkReady(it, dst, layer) }, dst)
 				})
 			}
-		})
+		}
+		if srv == nil {
+			ctx.Eng.Schedule(update, apply)
+			return
+		}
+		// True-central mode: the server CPU aggregates serially — a
+		// layer's update queues behind whatever the server is already
+		// applying (the compute half of the incast bottleneck).
+		start := ctx.Eng.Now()
+		if srv.free > start {
+			start = srv.free
+		}
+		srv.free = start + update
+		ctx.Eng.At(srv.free, apply)
 	})
 }
 
@@ -132,12 +195,22 @@ type DENSE struct {
 	// tensors (ResNet's BN parameters).
 	RequestOverhead sim.Time
 
+	// Shards gives the design k independent memory devices, each with
+	// its own port pair and generalized processor, serving layer
+	// l ≡ s (mod k). 0 or 1 is the paper's single-device DENSE; the
+	// multi-device variant is the apples-to-apples baseline for
+	// sharded COARSE (every worker still shares every port with every
+	// other worker, so coherence overhead is unchanged — only the FIFO
+	// fan-in per port drops).
+	Shards int
+
 	ctx     *train.Ctx
 	arrived map[[2]int]int
-	// The device's single CCI port, per direction. Coherence overhead
-	// scales with the number of workers sharing the region.
-	writePort *pipe
-	readPort  *pipe
+	// Per-device CCI ports, one pair per shard (a single pair in the
+	// paper's configuration). Coherence overhead scales with the number
+	// of workers sharing the region.
+	writePorts []*pipe
+	readPorts  []*pipe
 
 	pushes, pulls, pushBytes, pullBytes *telemetry.Counter
 }
@@ -162,8 +235,16 @@ func (s *DENSE) Setup(ctx *train.Ctx) error {
 	s.arrived = make(map[[2]int]int)
 	p := ctx.Cfg.CCIParams
 	sharers := ctx.NumWorkers()
-	s.writePort = &pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(true), sharers)}
-	s.readPort = &pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(false), sharers)}
+	k := s.Shards
+	if k < 1 {
+		k = 1
+	}
+	for si := 0; si < k; si++ {
+		s.writePorts = append(s.writePorts,
+			&pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(true), sharers)})
+		s.readPorts = append(s.readPorts,
+			&pipe{ctx: ctx, perOp: s.RequestOverhead, rate: p.SharingPenalty(p.LoadStoreBandwidth(false), sharers)})
+	}
 	reg := ctx.Cfg.Telemetry
 	s.pushes = reg.Counter("dense/pushes", "ops")
 	s.pulls = reg.Counter("dense/pulls", "ops")
@@ -172,19 +253,28 @@ func (s *DENSE) Setup(ctx *train.Ctx) error {
 	if reg != nil {
 		// Port backlog: virtual time until the FIFO port drains — the
 		// queueing the shared load/store port builds up under Figure 5's
-		// all-workers-one-device contention.
-		for _, pd := range []struct {
-			name string
-			p    *pipe
-		}{{"dense/write_port/backlog_ns", s.writePort}, {"dense/read_port/backlog_ns", s.readPort}} {
-			pipe := pd.p
-			reg.GaugeFunc(pd.name, "ns", func() float64 {
-				backlog := pipe.free - ctx.Eng.Now()
-				if backlog < 0 {
-					return 0
-				}
-				return float64(backlog)
-			})
+		// all-workers-one-device contention. Single-device series keep
+		// the historical names; the sharded variant prefixes each
+		// device.
+		for si := 0; si < k; si++ {
+			wName, rName := "dense/write_port/backlog_ns", "dense/read_port/backlog_ns"
+			if k > 1 {
+				wName = fmt.Sprintf("dense/dev%d/write_port/backlog_ns", si)
+				rName = fmt.Sprintf("dense/dev%d/read_port/backlog_ns", si)
+			}
+			for _, pd := range []struct {
+				name string
+				p    *pipe
+			}{{wName, s.writePorts[si]}, {rName, s.readPorts[si]}} {
+				pipe := pd.p
+				reg.GaugeFunc(pd.name, "ns", func() float64 {
+					backlog := pipe.free - ctx.Eng.Now()
+					if backlog < 0 {
+						return 0
+					}
+					return float64(backlog)
+				})
+			}
 		}
 	}
 	return nil
@@ -194,19 +284,22 @@ func (s *DENSE) Setup(ctx *train.Ctx) error {
 // validate it against the coherence protocol's measured overhead.
 func (s *DENSE) PortRate(write bool) float64 {
 	if write {
-		return s.writePort.rate
+		return s.writePorts[0].rate
 	}
-	return s.readPort.rate
+	return s.readPorts[0].rate
 }
 
 // GradientReady implements train.Strategy.
 func (s *DENSE) GradientReady(it, w, layer int) {
 	ctx := s.ctx
 	size := ctx.Layers()[layer].SizeBytes()
-	// Push: write into the CCI parameter region through the shared port.
+	writePort := s.writePorts[layer%len(s.writePorts)]
+	readPort := s.readPorts[layer%len(s.readPorts)]
+	// Push: write into the CCI parameter region through the layer's
+	// shared port.
 	s.pushes.Inc()
 	s.pushBytes.Add(float64(size))
-	s.writePort.transfer(w, size, func() {
+	writePort.transfer(w, size, func() {
 		key := [2]int{it, layer}
 		s.arrived[key]++
 		if s.arrived[key] < ctx.NumWorkers() {
@@ -224,7 +317,7 @@ func (s *DENSE) GradientReady(it, w, layer int) {
 				dst := dst
 				s.pulls.Inc()
 				s.pullBytes.Add(float64(size))
-				s.readPort.transfer(dst, size, func() {
+				readPort.transfer(dst, size, func() {
 					ctx.MarkReady(it, dst, layer)
 				})
 			}

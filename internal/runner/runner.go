@@ -167,6 +167,9 @@ func (r *Result) Record() metrics.Result {
 		for _, lu := range t.LinkUtils {
 			rec.Values["link_util/"+lu.Link] = lu.Util
 		}
+		for _, tu := range t.TierUtils {
+			rec.Values["tier_util/"+tu.Tier] = tu.Util
+		}
 		// Chaos values appear only on faulted runs so fault-free
 		// records stay byte-identical to the pre-chaos format.
 		if t.ChaosFaults > 0 {

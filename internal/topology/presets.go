@@ -56,6 +56,69 @@ type Spec struct {
 	NodeCount int
 	NetBW     float64
 	NetLat    sim.Time
+
+	// Scale-out parameters (all zero-value inert; Racks <= 1 keeps the
+	// legacy flat datacenter switch, so existing presets build
+	// byte-identical topologies).
+	//
+	// With Racks >= 2 the network tier becomes hierarchical: nodes are
+	// assigned to racks contiguously (node n sits in rack n/perRack),
+	// each rack gets a top-of-rack switch its NICs connect to at RackBW,
+	// and the ToRs connect to a single spine switch at SpineBW. Choosing
+	// SpineBW < perRack*RackBW is how a generator expresses
+	// oversubscription.
+	Racks    int
+	RackBW   float64  // NIC <-> ToR, defaults to NetBW
+	SpineBW  float64  // ToR <-> spine, defaults to perRack*RackBW (1:1)
+	SpineLat sim.Time // defaults to NetLat
+
+	// ExtraMemDevs attaches pooled CCI memory devices beyond the
+	// per-switch 'M' slots, each at a configurable tier of the
+	// hierarchy. They are built after the whole base machine (so legacy
+	// device IDs are unchanged) and appended to Machine.Devs in list
+	// order.
+	ExtraMemDevs []MemDevAttach
+	MemDevBW     float64 // extra device edge bandwidth, defaults to CCIRingBW
+}
+
+// MemDevTier says where in the hierarchy an extra CCI memory device
+// attaches.
+type MemDevTier int
+
+// Attachment tiers for ExtraMemDevs. TierSwitch plugs the device under
+// a PCIe switch exactly like an 'M' slot (lowest latency to that
+// switch's GPU); TierNode hangs it off a node's host bridge (shared by
+// that node's GPUs); TierRack pools it behind a rack's ToR switch
+// (reachable by every node in the rack over the network tier — the
+// CXL-pool-per-rack configuration).
+const (
+	TierSwitch MemDevTier = iota
+	TierNode
+	TierRack
+)
+
+// String returns the lower-case tier name.
+func (t MemDevTier) String() string {
+	switch t {
+	case TierSwitch:
+		return "switch"
+	case TierNode:
+		return "node"
+	case TierRack:
+		return "rack"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// MemDevAttach places one extra CCI memory device. Node/Switch select
+// the attachment point for TierSwitch; Node alone for TierNode; Rack
+// for TierRack (which requires a multi-node machine, and a multi-rack
+// one when Rack > 0).
+type MemDevAttach struct {
+	Tier   MemDevTier
+	Node   int
+	Switch int
+	Rack   int
 }
 
 // Machine is a built topology plus the spec it came from and the role
@@ -82,15 +145,20 @@ func Build(eng *sim.Engine, spec Spec) *Machine {
 	var nics []*Device
 	gpuIdx := make([]int, nodes)
 	mdIdx := make([]int, nodes)
+	hosts := make([]*Device, nodes)
+	type swCores struct{ peer, up *Device }
+	cores := make([][]swCores, nodes)
 	for node := 0; node < nodes; node++ {
 		cpu := t.AddDevice(KindCPU, node, 0)
 		host := t.AddDevice(KindHostBridge, node, 0)
+		hosts[node] = host
 		t.Connect(cpu, host, spec.HostBW, spec.HostBW, spec.HostLat)
 
 		var nodeDevs []*Device
 		for sw := 0; sw < spec.Switches; sw++ {
 			peer := t.AddDevice(KindSwitchPeer, node, sw)
 			up := t.AddDevice(KindSwitchUp, node, sw)
+			cores[node] = append(cores[node], swCores{peer: peer, up: up})
 			t.Connect(up, host, spec.HostBW, spec.HostBW, spec.HostLat)
 			slots := spec.Slots[sw%len(spec.Slots)]
 			for si := 0; si < len(slots); si++ {
@@ -135,10 +203,45 @@ func Build(eng *sim.Engine, spec Spec) *Machine {
 			nics = append(nics, nic)
 		}
 	}
+	// Network tier: a single flat datacenter switch for Racks <= 1 (the
+	// legacy layout, byte-identical to before the rack tier existed), or
+	// per-rack ToR switches behind one spine for Racks >= 2.
+	var tors []*Device
+	racks := spec.Racks
+	if racks < 1 {
+		racks = 1
+	}
+	perRack := (nodes + racks - 1) / racks
+	rackBW := spec.RackBW
+	if rackBW == 0 {
+		rackBW = spec.NetBW
+	}
 	if nodes > 1 {
-		netsw := t.AddDevice(KindNetSwitch, 0, 0)
-		for _, nic := range nics {
-			t.Connect(nic, netsw, spec.NetBW, spec.NetBW, spec.NetLat)
+		if racks == 1 {
+			netsw := t.AddDevice(KindNetSwitch, 0, 0)
+			for _, nic := range nics {
+				t.Connect(nic, netsw, spec.NetBW, spec.NetBW, spec.NetLat)
+			}
+			tors = []*Device{netsw}
+		} else {
+			spineBW := spec.SpineBW
+			if spineBW == 0 {
+				spineBW = rackBW * float64(perRack)
+			}
+			spineLat := spec.SpineLat
+			if spineLat == 0 {
+				spineLat = spec.NetLat
+			}
+			for r := 0; r < racks; r++ {
+				tors = append(tors, t.AddDevice(KindNetSwitch, 0, r))
+			}
+			spine := t.AddDevice(KindNetSwitch, 0, racks)
+			for n, nic := range nics {
+				t.Connect(nic, tors[n/perRack], rackBW, rackBW, spec.NetLat)
+			}
+			for _, tor := range tors {
+				t.Connect(tor, spine, spineBW, spineBW, spineLat)
+			}
 		}
 	}
 	if spec.NVLinkMesh {
@@ -148,6 +251,53 @@ func Build(eng *sim.Engine, spec Spec) *Machine {
 					t.Connect(m.Workers[i], m.Workers[j], NVLinkBW, NVLinkBW, 300)
 				}
 			}
+		}
+	}
+	// Extra pooled CCI memory devices, in list order. Each gets its own
+	// port (so chaos CCIBrownout targeting via LinksBetween(MemDev, Port)
+	// covers pooled devices too) and attaches at its tier.
+	for i, att := range spec.ExtraMemDevs {
+		bw := spec.MemDevBW
+		if bw == 0 {
+			bw = spec.CCIRingBW
+		}
+		node := att.Node
+		if att.Tier == TierRack {
+			// A rack-pooled device belongs to no server node; its Node
+			// field indexes the rack's first node so CPU-staged copies
+			// (non-P2P machines) bounce through a CPU in the same rack.
+			if att.Rack < 0 || att.Rack >= racks {
+				panic(fmt.Sprintf("topology: ExtraMemDevs[%d] rack %d out of range (racks=%d)", i, att.Rack, racks))
+			}
+			node = att.Rack * perRack
+		}
+		if node < 0 || node >= nodes {
+			panic(fmt.Sprintf("topology: ExtraMemDevs[%d] node %d out of range (nodes=%d)", i, node, nodes))
+		}
+		dev := t.AddDevice(KindMemDev, node, mdIdx[node])
+		mdIdx[node]++
+		m.Devs = append(m.Devs, dev)
+		port := t.AddDevice(KindPort, node, dev.ID)
+		t.Connect(dev, port, bw, bw, spec.CCILat)
+		switch att.Tier {
+		case TierSwitch:
+			if att.Switch < 0 || att.Switch >= spec.Switches {
+				panic(fmt.Sprintf("topology: ExtraMemDevs[%d] switch %d out of range (switches=%d)", i, att.Switch, spec.Switches))
+			}
+			c := cores[node][att.Switch]
+			if spec.P2P {
+				t.Connect(port, c.peer, spec.PeerBW, spec.PeerBW, spec.SwitchLat)
+			}
+			t.Connect(port, c.up, spec.UpBW, spec.UpBW, spec.SwitchLat)
+		case TierNode:
+			t.Connect(port, hosts[node], spec.HostBW, spec.HostBW, spec.HostLat)
+		case TierRack:
+			if nodes <= 1 {
+				panic(fmt.Sprintf("topology: ExtraMemDevs[%d] TierRack needs a multi-node machine", i))
+			}
+			t.Connect(port, tors[att.Rack], rackBW, rackBW, spec.NetLat)
+		default:
+			panic(fmt.Sprintf("topology: ExtraMemDevs[%d] unknown tier %d", i, int(att.Tier)))
 		}
 	}
 	return m

@@ -265,6 +265,13 @@ type LinkUtil struct {
 	Util float64 `json:"util"`
 }
 
+// TierUtil is one topology tier's mean utilization over a run (mean
+// over the tier's links, both directions).
+type TierUtil struct {
+	Tier string  `json:"tier"`
+	Util float64 `json:"util"`
+}
+
 // RunMetrics is the structured, JSON-serializable measurement block of
 // a training run: every quantity the evaluation plots, as numbers
 // rather than pre-rendered text. Times marshal as virtual nanoseconds.
@@ -294,6 +301,10 @@ type RunMetrics struct {
 	// LinkUtils lists per-link utilization for the worker edge links and
 	// the CCI ring links, in topology creation order.
 	LinkUtils []LinkUtil `json:"link_utils,omitempty"`
+	// TierUtils lists mean utilization per topology tier (edge outward
+	// to spine, empty tiers omitted) — the scale experiments' per-tier
+	// saturation view.
+	TierUtils []TierUtil `json:"tier_utils,omitempty"`
 	// ChaosFaults counts the fault windows the chaos injector opened
 	// during the run; zero (and omitted from JSON) without chaos.
 	ChaosFaults uint64 `json:"chaos_faults,omitempty"`
@@ -696,6 +707,13 @@ func (t *Trainer) result() *Result {
 			})
 		}
 	}
+	var tierUtils []TierUtil
+	for _, tl := range ctx.Machine.LinksByTier() {
+		tierUtils = append(tierUtils, TierUtil{
+			Tier: tl.Name,
+			Util: topology.MeanUtilization(tl.Links, total),
+		})
+	}
 	return &Result{
 		Strategy:   t.strat.Name(),
 		Machine:    cfg.Spec.Label,
@@ -713,6 +731,7 @@ func (t *Trainer) result() *Result {
 			CCIBusUtil:  topology.MeanUtilization(cciLinks, total),
 			Events:      ctx.Eng.Dispatched(),
 			LinkUtils:   linkUtils,
+			TierUtils:   tierUtils,
 			ChaosFaults: t.chaos.FaultsOpened(),
 			ChaosStall:  t.chaos.AttributedStall(),
 		},
