@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke bench-compare suite golden-drift telemetry-smoke cover fuzz-smoke ci
+.PHONY: all build test race vet lint bench bench-core bench-smoke bench-compare suite golden-drift telemetry-smoke cover fuzz-smoke race-partitioned ci
 
 # Coverage floor for `make cover` (total statement coverage, percent,
 # measured under -short so the floor tracks the fast deterministic
@@ -44,6 +44,13 @@ lint: vet
 # numbers before committing a refresh.
 bench:
 	$(GO) run ./cmd/benchjson
+
+# Engine-core performance tracking: the BenchmarkEngine* set, each
+# benchmark once per event-queue kind (binary heap, timing wheel), and
+# rewrite BENCH_core.json — the committed record the wheel-vs-heap
+# cancel-churn ratio is pinned in.
+bench-core:
+	$(GO) run ./cmd/benchjson -set core
 
 # CI guard: every microbenchmark must still compile and run. One
 # iteration each, no file rewritten, no timing claims.
@@ -88,13 +95,25 @@ fuzz-smoke:
 	$(GO) test ./internal/chaos -fuzz FuzzChaosWindows -fuzztime 10s -run '^$$'
 	$(GO) test ./internal/metrics -fuzz FuzzTableRoundTrip -fuzztime 10s -run '^$$'
 
-# Warn-only perf regression guard (the CI bench-guard lane): measure a
-# fresh candidate record and compare it against the committed
-# BENCH_fabric.json with a generous 3x threshold. Emits GitHub
-# ::warning:: annotations; never fails.
+# Warn-only perf regression guard (the CI bench-guard lane): measure
+# fresh candidate records for both committed sets and compare each
+# against its baseline (BENCH_fabric.json, BENCH_core.json) with a
+# generous 3x threshold. Emits GitHub ::warning:: annotations; never
+# fails.
 bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 10x -out bench-ci.json
-	$(GO) run ./cmd/benchjson -compare bench-ci.json
+	$(GO) run ./cmd/benchjson -compare bench-ci.json -out BENCH_fabric.json
+	$(GO) run ./cmd/benchjson -set core -benchtime 10x -out bench-core-ci.json
+	$(GO) run ./cmd/benchjson -compare bench-core-ci.json -out BENCH_core.json
+
+# Race gate for the partitioned engine core: run the engine, fabric
+# and training suites under -race with rack partitioning forced on
+# (COARSE_PARTITION supplies the drain parallelism wherever a config
+# leaves it unset; multi-rack cells then drain rack events on real
+# goroutines). Any rack callback that touches state outside its rack
+# without routing through PartSched.Defer shows up here as a race.
+race-partitioned:
+	COARSE_PARTITION=4 $(GO) test -race -count=1 ./internal/sim/... ./internal/fabric/... ./internal/train/...
 
 # End-to-end observability check: run one telemetry-enabled simulation,
 # verify the dump and Perfetto trace are written and byte-stable across

@@ -1,8 +1,13 @@
-// Command benchjson runs the fabric/sim microbenchmarks and the
-// quick-suite wall-clock measurement, and records the results as
-// machine-readable JSON (by default BENCH_fabric.json at the repo
-// root, which is committed so the performance trajectory is tracked
-// PR over PR).
+// Command benchjson runs a microbenchmark set and records the results
+// as machine-readable JSON committed at the repo root, so the
+// performance trajectory is tracked PR over PR. Two sets exist:
+//
+//   - "fabric" (default): the fabric/sim microbenchmarks plus the
+//     quick-suite wall-clock measurement → BENCH_fabric.json;
+//   - "core": the engine/queue microbenchmarks only (cancel churn,
+//     retime park churn, reschedule, plain dispatch — each on the
+//     binary heap and the timing wheel, so the wheel-vs-heap ratio is
+//     read directly off the record) → BENCH_core.json.
 //
 // The output file has three parts:
 //
@@ -20,6 +25,7 @@
 // Usage:
 //
 //	go run ./cmd/benchjson                # full run, rewrites BENCH_fabric.json
+//	go run ./cmd/benchjson -set core      # engine/queue set, rewrites BENCH_core.json
 //	go run ./cmd/benchjson -benchtime 1x -skip-suite -out /dev/null
 //	go run ./cmd/benchjson -compare bench-ci.json
 //
@@ -75,13 +81,51 @@ type report struct {
 	Reference json.RawMessage `json:"reference,omitempty"`
 }
 
+// benchSet describes one committed benchmark record: which packages to
+// measure, the -bench filter, whether the end-to-end suite timing
+// belongs in it, and the default output file.
+type benchSet struct {
+	pkgs    []string
+	pattern string
+	suite   bool
+	out     string
+}
+
+var benchSets = map[string]benchSet{
+	"fabric": {
+		pkgs:    []string{"./internal/fabric", "./internal/sim"},
+		pattern: ".",
+		suite:   true,
+		out:     "BENCH_fabric.json",
+	},
+	// The engine-core record: every BenchmarkEngine* runs once per
+	// queue kind (heap, wheel), so this file is where the
+	// wheel-vs-heap churn ratio is pinned.
+	"core": {
+		pkgs:    []string{"./internal/sim"},
+		pattern: "^BenchmarkEngine",
+		suite:   false,
+		out:     "BENCH_core.json",
+	},
+}
+
 func main() {
 	benchtime := flag.String("benchtime", "100x", "value passed to go test -benchtime")
-	out := flag.String("out", "BENCH_fabric.json", "output path ('-' for stdout); in -compare mode, the baseline")
+	set := flag.String("set", "fabric", "benchmark set to run: fabric or core")
+	out := flag.String("out", "", "output path ('-' for stdout); in -compare mode, the baseline; default is the set's committed file")
 	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock measurement")
 	compare := flag.String("compare", "", "compare the candidate JSON at this path against the baseline at -out instead of measuring; warn-only, always exits 0 unless a file is unreadable")
 	threshold := flag.Float64("threshold", 3.0, "ns/op growth factor that triggers a ::warning:: in -compare mode")
 	flag.Parse()
+
+	bs, ok := benchSets[*set]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -set %q (want fabric or core)\n", *set)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = bs.out
+	}
 
 	if *compare != "" {
 		if err := runCompare(*out, *compare, *threshold); err != nil {
@@ -108,8 +152,8 @@ func main() {
 		}
 	}
 
-	for _, pkg := range []string{"./internal/fabric", "./internal/sim"} {
-		results, err := runBench(pkg, *benchtime)
+	for _, pkg := range bs.pkgs {
+		results, err := runBench(pkg, bs.pattern, *benchtime)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
 			os.Exit(1)
@@ -117,7 +161,7 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, results...)
 	}
 
-	if !*skipSuite {
+	if !*skipSuite && bs.suite {
 		s, err := runSuite()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: suite: %v\n", err)
@@ -209,8 +253,8 @@ func runCompare(basePath, candPath string, threshold float64) error {
 
 // runBench executes `go test -bench` for one package and parses the
 // standard benchmark output lines.
-func runBench(pkg, benchtime string) ([]benchResult, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", ".",
+func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
 		"-benchtime", benchtime, "-benchmem", "-count", "1", pkg)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf

@@ -15,7 +15,7 @@ import (
 // The scale family takes the paper's single-node designs to synthetic
 // multi-rack machines (topology.ScaleSpec) and measures how each
 // synchronization design's iteration time inflates as the worker count
-// grows 8 -> 512. The paper's Section VI claim, extrapolated: COARSE's
+// grows 8 -> 1024 (8 -> 4096 in the full, non-quick sweep). The paper's Section VI claim, extrapolated: COARSE's
 // decentralized pull-based synchronization — gradients fan out across
 // k sharded coherence domains, each domain spreading load over its
 // pooled devices — degrades more slowly than DENSE's shared write
@@ -29,8 +29,16 @@ import (
 var scaleStrategies = []string{"DENSE", "CentralPS", "COARSE"}
 
 // scaleWeakWorkers is the weak-scaling worker sweep; the first entry
-// is the inflation baseline.
-var scaleWeakWorkers = []int{8, 32, 128, 512}
+// is the inflation baseline. Quick mode stops at 1024 — the 4096-cell
+// COARSE run alone costs tens of minutes of single-core wall clock
+// (measured ~40 min; its fabric carries ~256 racks of flows through
+// every reshare), which no CI lane can absorb — so the full sweep
+// (plain `coarsebench`, or TestScaleOrdering4096) extends it with
+// scaleWeakWorkersFull.
+var scaleWeakWorkers = []int{8, 32, 128, 512, 1024}
+
+// scaleWeakWorkersFull is the non-quick extension of the weak sweep.
+var scaleWeakWorkersFull = []int{4096}
 
 // scaleStrongWorkers is the strong-scaling sweep (global batch fixed
 // at scaleStrongBatch, so per-worker batch shrinks with the machine).
@@ -197,7 +205,11 @@ func scaleRun(cfg Config) *scaleData {
 		s := scaleSpec(cfg, workers, shards, batch, strategy)
 		return scaleCell{Workers: workers, Shards: shards, Batch: batch, Strategy: strategy, ID: rs.add(s)}
 	}
-	for _, w := range scaleWeakWorkers {
+	weak := scaleWeakWorkers
+	if !cfg.Quick {
+		weak = append(append([]int{}, weak...), scaleWeakWorkersFull...)
+	}
+	for _, w := range weak {
 		for _, strat := range scaleStrategies {
 			d.weak = append(d.weak, add(w, scaleShards, scaleWeakBatch, strat))
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"os"
 	"testing"
 
 	"coarse/internal/runner"
@@ -68,6 +69,39 @@ func TestScaleOrdering(t *testing.T) {
 			if d.result(c) == nil {
 				t.Errorf("cell %s failed: %s", c.ID, d.got[c.ID].Err)
 			}
+		}
+	}
+}
+
+// TestScaleOrdering4096 extends the inflation-ordering claim to the
+// full sweep's 4096-worker point (256 racks, a 512-device CCI pool).
+// The COARSE cell alone costs tens of minutes of single-core wall
+// clock — far beyond any CI budget — so the test only runs when
+// COARSE_SCALE_FULL is set (a nightly/manual gate, same spirit as
+// -update-goldens). The quick-mode TestScaleOrdering above pins the
+// ordering through 1024 workers on every CI run.
+func TestScaleOrdering4096(t *testing.T) {
+	if os.Getenv("COARSE_SCALE_FULL") == "" {
+		t.Skip("4096-worker cells cost tens of minutes; set COARSE_SCALE_FULL=1 to run")
+	}
+	runner.ClearCache()
+	cfg := Config{Quick: true}
+	w := scaleWeakWorkersFull[len(scaleWeakWorkersFull)-1]
+	baseW := scaleWeakWorkers[0]
+	infl := map[string]float64{}
+	for _, strat := range scaleStrategies {
+		base := runner.Run(scaleSpec(cfg, baseW, scaleShards, scaleWeakBatch, strat))
+		big := runner.Run(scaleSpec(cfg, w, scaleShards, scaleWeakBatch, strat))
+		if !base.OK() || !big.OK() {
+			t.Fatalf("%s cells failed: base %v big %v", strat, base.Err, big.Err)
+		}
+		infl[strat] = scaleInflation(base, big)
+		t.Logf("w=%d %s inflation %.3fx", w, strat, infl[strat])
+	}
+	for _, other := range []string{"DENSE", "CentralPS"} {
+		if !(infl["COARSE"] < infl[other]) {
+			t.Errorf("at %d workers COARSE inflation %.3fx is not strictly below %s's %.3fx",
+				w, infl["COARSE"], other, infl[other])
 		}
 	}
 }

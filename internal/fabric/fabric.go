@@ -21,9 +21,15 @@
 // state is exactly what the eager per-trigger implementation produced,
 // while N same-instant triggers pay for one pass instead of N.
 //
-// The pass itself allocates nothing: per-channel progressive-filling
-// scratch lives on the Channel, stamped with a reshare epoch so stale
-// scratch is ignored without clearing. Completion events are
+// The pass itself allocates nothing and walks contiguous memory:
+// per-channel progressive-filling scratch lives in struct-of-arrays
+// owned by the Network, indexed by dense channel id and stamped with a
+// reshare epoch so stale scratch is ignored without clearing. Live
+// flows are gathered once per pass into parallel rate/path-id arrays,
+// and the progressive-filling rounds walk an admission-ordered
+// worklist of still-unassigned flows, so the inner loops touch int32
+// channel ids and flat float64 arrays instead of chasing Flow and
+// Channel pointers. Completion events are
 // re-examined once per dirty instant but only moved when the flow's
 // completion instant actually changed (an exact integer-nanosecond
 // comparison), and finished flows leave the per-channel active lists
@@ -52,8 +58,12 @@ import (
 )
 
 // Channel is one direction of a link. Capacity is in bytes per second.
+// Per-reshare scratch does not live here: it sits in struct-of-arrays
+// on the owning Network, indexed by the channel's dense id, so the
+// progressive-filling pass walks flat arrays instead of these structs.
 type Channel struct {
 	name     string
+	id       int32 // dense index into the network's channel SoA scratch
 	capacity float64
 	latency  sim.Time
 	net      *Network // owner; reads force a pending reshare to run
@@ -67,13 +77,6 @@ type Channel struct {
 	busyIntegral float64  // integral of allocated rate over time, bytes
 	lastAccount  sim.Time // last time busyIntegral was folded
 	currentRate  float64  // sum of allocated flow rates right now
-
-	// progressive-filling scratch, valid only when epoch matches the
-	// network's current reshare epoch (epoch stamping replaces the
-	// per-pass map the allocator used to build).
-	epoch      uint64
-	residual   float64
-	unassigned int
 }
 
 // Name returns the channel's diagnostic name.
@@ -152,6 +155,7 @@ func (l *Link) Rev() *Channel { return l.rev }
 type Flow struct {
 	id        uint64
 	path      []*Channel
+	pathIDs   []int32 // dense channel ids of path, the reallocate view
 	size      float64
 	remaining float64
 	rate      float64
@@ -201,6 +205,24 @@ type Network struct {
 	deadFlows int // finished (tombstoned) entries in flows
 	nextID    uint64
 	links     []*Link
+	channels  []*Channel // both directions of every link, dense-id order
+
+	// Channel SoA scratch for the progressive-filling pass, indexed by
+	// dense channel id. An entry is valid only when its epoch stamp
+	// matches the network's current reshare epoch; stamping replaces
+	// clearing, so an idle channel costs nothing per pass.
+	chEpoch      []uint64
+	chResidual   []float64
+	chUnassigned []int32
+
+	// Flow SoA scratch, rebuilt each pass from the live flows in
+	// admission order: parallel rate array, concatenated path ids with
+	// offsets, and the worklist of still-unassigned flow indices.
+	passFlows []*Flow
+	passRate  []float64
+	passOff   []int32
+	passPath  []int32
+	passWork  []int32
 
 	ratesDirty  bool     // rates are stale; a pass must run before any rate read
 	eventsDirty bool     // completion deadlines await settling at instant end
@@ -288,6 +310,10 @@ func (n *Network) NewLink(name string, fwdCap, revCap float64, latency sim.Time)
 		fwd:  &Channel{name: name + "/fwd", capacity: fwdCap, latency: latency, net: n},
 		rev:  &Channel{name: name + "/rev", capacity: revCap, latency: latency, net: n},
 	}
+	l.fwd.id = int32(len(n.channels))
+	n.channels = append(n.channels, l.fwd)
+	l.rev.id = int32(len(n.channels))
+	n.channels = append(n.channels, l.rev)
 	n.links = append(n.links, l)
 	return l
 }
@@ -333,6 +359,10 @@ func (n *Network) start(f *Flow, path []*Channel, size float64, onDone func()) {
 	n.nextID++
 	f.id = n.nextID
 	f.path = path
+	f.pathIDs = f.pathIDs[:0]
+	for _, c := range path {
+		f.pathIDs = append(f.pathIDs, c.id)
+	}
 	f.size = size
 	f.remaining = size
 	f.onDone = onDone
@@ -518,97 +548,131 @@ func (n *Network) flush() {
 // reallocate recomputes max-min fair rates by progressive filling and
 // folds per-channel utilization accounting. It does not touch
 // completion events; scheduleCompletions does that at instant end.
+//
+// The pass runs entirely on struct-of-arrays scratch: live flows are
+// gathered once (admission order) into parallel rate / path-id arrays,
+// channel residual and unassigned counts live in dense-id-indexed
+// arrays on the Network, and each filling round walks an
+// admission-ordered worklist of still-unassigned flow indices. Scan
+// order, float operation order, and the strict `<` bottleneck
+// tie-break are exactly those of the pointer-walking implementation,
+// so every rate — and every golden downstream of one — is
+// bit-identical.
 func (n *Network) reallocate(now sim.Time) {
 	n.passes++
 	n.epoch++
 	ep := n.epoch
-	// Stamp the channels touched by active flows with fresh scratch.
-	unassigned := 0
+	if len(n.chEpoch) < len(n.channels) {
+		n.chEpoch = make([]uint64, len(n.channels))
+		n.chResidual = make([]float64, len(n.channels))
+		n.chUnassigned = make([]int32, len(n.channels))
+	}
+	// Gather live flows (admission order) and stamp the channels they
+	// touch with fresh scratch.
+	pf := n.passFlows[:0]
+	pr := n.passRate[:0]
+	off := n.passOff[:0]
+	pp := n.passPath[:0]
 	for _, f := range n.flows {
 		if f.finished {
 			continue
 		}
-		unassigned++
-		f.rate = -1 // unassigned marker
-		for _, c := range f.path {
-			if c.epoch != ep {
-				c.epoch = ep
-				c.residual = c.capacity
-				c.unassigned = 0
+		off = append(off, int32(len(pp)))
+		pf = append(pf, f)
+		pr = append(pr, -1) // unassigned marker
+		for _, id := range f.pathIDs {
+			if n.chEpoch[id] != ep {
+				n.chEpoch[id] = ep
+				n.chResidual[id] = n.channels[id].capacity
+				n.chUnassigned[id] = 0
 			}
-			c.unassigned++
+			n.chUnassigned[id]++
+			pp = append(pp, id)
 		}
 	}
-	for unassigned > 0 {
+	off = append(off, int32(len(pp)))
+	work := n.passWork[:0]
+	for i := range pf {
+		work = append(work, int32(i))
+	}
+	for len(work) > 0 {
 		// Find the bottleneck: the channel with the smallest fair share.
-		var bottleneck *Channel
+		// Deterministic order: unassigned flows (admission order), then
+		// their paths hop by hop.
+		bneck := int32(-1)
 		share := math.Inf(1)
-		// Deterministic order: scan flows (creation order) and their paths.
-		for _, f := range n.flows {
-			if f.finished || f.rate >= 0 {
-				continue
-			}
-			for _, c := range f.path {
-				if c.unassigned == 0 {
+		for _, i := range work {
+			for _, id := range pp[off[i]:off[i+1]] {
+				if n.chUnassigned[id] == 0 {
 					continue
 				}
-				s := c.residual / float64(c.unassigned)
+				s := n.chResidual[id] / float64(n.chUnassigned[id])
 				if s < share {
 					share = s
-					bottleneck = c
+					bneck = id
 				}
 			}
 		}
-		if bottleneck == nil {
+		if bneck < 0 {
 			break
 		}
-		// Every unassigned flow crossing the bottleneck gets the share.
-		for _, f := range n.flows {
-			if f.finished || f.rate >= 0 {
-				continue
-			}
+		// Every unassigned flow crossing the bottleneck gets the share;
+		// the rest stay on the worklist, order preserved.
+		rest := work[:0]
+		for _, i := range work {
 			crosses := false
-			for _, c := range f.path {
-				if c == bottleneck {
+			for _, id := range pp[off[i]:off[i+1]] {
+				if id == bneck {
 					crosses = true
 					break
 				}
 			}
 			if !crosses {
+				rest = append(rest, i)
 				continue
 			}
-			f.rate = share
-			unassigned--
-			for _, c := range f.path {
-				c.residual -= share
-				if c.residual < 0 {
-					c.residual = 0
+			pr[i] = share
+			for _, id := range pp[off[i]:off[i+1]] {
+				n.chResidual[id] -= share
+				if n.chResidual[id] < 0 {
+					n.chResidual[id] = 0
 				}
-				c.unassigned--
+				n.chUnassigned[id]--
 			}
 		}
+		work = rest
 	}
-	for _, f := range n.flows {
-		if !f.finished && f.rate < 0 {
-			f.rate = 0 // stalled: no residual capacity anywhere on its path
+	for i, f := range pf {
+		if pr[i] < 0 {
+			pr[i] = 0 // stalled: no residual capacity anywhere on its path
 		}
+		f.rate = pr[i]
 	}
-	// Fold per-channel utilization accounting. Every channel is visited
-	// (not just the ones with active flows) so a channel that just went
-	// idle stops accumulating busy time. Summation order is the
-	// channel's active list in admission order — the same order the
-	// eager implementation summed — so the folded integrals are
-	// bit-identical.
-	for _, l := range n.links {
-		for _, c := range []*Channel{l.fwd, l.rev} {
-			rate := 0.0
-			for _, f := range c.active {
-				if !f.finished && f.rate > 0 {
-					rate += f.rate
-				}
+	n.passFlows = pf
+	n.passRate = pr
+	n.passOff = off
+	n.passPath = pp
+	n.passWork = work[:0]
+	// Fold per-channel utilization accounting. A channel with no live
+	// flows and a zero current rate is skipped outright: folding it
+	// would add rate*dt = 0 to the integral and re-store a zero rate,
+	// and IntegratedBytes extrapolates the zero rate past the stale
+	// lastAccount stamp, so the skip is exact. Every other channel is
+	// visited so one that just went idle stops accumulating busy time.
+	// Summation order is the channel's active list in admission order —
+	// the same order the eager implementation summed — so the folded
+	// integrals are bit-identical.
+	for _, c := range n.channels {
+		if c.live == 0 && c.currentRate == 0 {
+			continue
+		}
+		rate := 0.0
+		for _, f := range c.active {
+			if !f.finished && f.rate > 0 {
+				rate += f.rate
 			}
-			c.account(now, rate)
 		}
+		c.account(now, rate)
 	}
 }
 
@@ -716,7 +780,9 @@ func (n *Network) newFlow() *Flow {
 		f := n.flowPool[k-1]
 		n.flowPool[k-1] = nil
 		n.flowPool = n.flowPool[:k-1]
+		ids := f.pathIDs[:0] // keep the path-id buffer across recycles
 		*f = Flow{}
+		f.pathIDs = ids
 		return f
 	}
 	return &Flow{}

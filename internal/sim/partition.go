@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Partitioned execution: conservative rack-parallel discrete-event
+// simulation with byte-identical output.
+//
+// The engine's queue can be split into a hub queue plus one sub-queue
+// per rack of the simulated machine. Events whose effects are confined
+// to one rack (worker compute chains) are tagged with their rack and
+// scheduled through a PartSched handle; everything else — fabric flows,
+// strategy synchronization, telemetry daemons — stays on the hub.
+//
+// The dispatch loop then runs conservative parallel windows. A window
+// is legal when the earliest rack event at time m precedes both the
+// next hub event and m + lookahead, where lookahead is the minimum
+// cross-rack interaction latency (for the training simulation: the
+// minimum link latency, since every cross-rack effect rides at least
+// one fabric hop). Each participating rack drains its events in
+// [m, B) in its own goroutine. Rack callbacks may freely mutate their
+// own rack's state, but anything with global effect — scheduling,
+// deferred strategy calls — is recorded in a per-event op log instead
+// of touching the engine.
+//
+// After the join, each drained event is re-queued into the hub queue
+// as a "replay carrier": same (time, seq), its callback replaced by a
+// replay of the op log. The engine's own sequential loop then
+// dispatches the carriers in exact (time, seq) order — advancing the
+// clock, counting Dispatched, running end-of-instant hooks, assigning
+// fresh sequence numbers to spawned events at exactly the position the
+// unpartitioned engine would have — so every counter, every tie-break
+// and every downstream event is byte-identical to sequential
+// execution. The parallelism is confined to the state the rack owns;
+// the event program the engine observes is the sequential one.
+
+// drainOp is one logged side effect of a drained rack event.
+type drainOp struct {
+	at   Time
+	fn   func()
+	part int32
+	kind uint8
+}
+
+const (
+	opSpawn uint8 = iota // schedule fn at (at, part) with a fresh seq
+	opDefer              // run fn inline at the carrier's dispatch
+)
+
+// replayLog collects one drained event's ops, in call order.
+type replayLog struct {
+	ops []drainOp
+}
+
+// drainCtx is one rack's execution context while a parallel window is
+// draining it: the rack-local virtual clock and the op log of the
+// event currently running. Only the rack's drain goroutine touches it.
+type drainCtx struct {
+	now Time
+	cur *replayLog
+}
+
+// EnablePartitions splits the engine's queue into racks sub-queues
+// beside the hub queue and arms conservative parallel windows of the
+// given lookahead, drained by up to parallel goroutines. racks < 2 is
+// a no-op; parallel <= 1 keeps execution sequential over the merged
+// queues (a determinism check: the merge itself must not change
+// dispatch order). Must be called before Run; calling it twice panics.
+func (e *Engine) EnablePartitions(racks int, lookahead Time, parallel int) {
+	if racks < 2 {
+		return
+	}
+	if e.racks != nil {
+		panic("sim: EnablePartitions called twice")
+	}
+	e.racks = make([]EventQueue, racks)
+	for i := range e.racks {
+		e.racks[i] = newQueue(e.kind)
+	}
+	e.drains = make([]*drainCtx, racks)
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	e.lookahead = lookahead
+	if parallel < 1 {
+		parallel = 1
+	}
+	e.parallel = parallel
+}
+
+// Partitioned reports whether EnablePartitions split the queue.
+func (e *Engine) Partitioned() bool { return e.racks != nil }
+
+// ParallelWindows returns how many conservative parallel windows the
+// run loop executed.
+func (e *Engine) ParallelWindows() uint64 { return e.pwindows }
+
+// ParallelDrained returns how many events were drained inside parallel
+// windows (each later dispatched once more as its own replay carrier).
+func (e *Engine) ParallelDrained() uint64 { return e.pdrained }
+
+// PartSched schedules events into one partition. It is the only handle
+// rack-confined callbacks may schedule through: during a parallel
+// window it routes into the rack's op log, outside one it is exactly
+// the engine's At/Schedule with a partition tag. A hub handle (rack
+// < 0, or partitioning disabled) degrades to the plain engine API, so
+// callers wire it unconditionally.
+type PartSched struct {
+	e    *Engine
+	part int32
+}
+
+// Sched returns the scheduling handle for a rack. Out-of-range racks
+// and unpartitioned engines get the hub handle.
+func (e *Engine) Sched(rack int) *PartSched {
+	if e.racks == nil || rack < 0 || rack >= len(e.racks) {
+		return &PartSched{e: e}
+	}
+	return &PartSched{e: e, part: int32(rack + 1)}
+}
+
+// draining returns the rack's live drain context, or nil outside a
+// parallel window (and always nil for the hub handle).
+func (s *PartSched) draining() *drainCtx {
+	if s.part == 0 || s.e.drains == nil {
+		return nil
+	}
+	return s.e.drains[s.part-1]
+}
+
+// Now returns the partition's current virtual time: the rack-local
+// clock while draining, the engine clock otherwise.
+func (s *PartSched) Now() Time {
+	if d := s.draining(); d != nil {
+		return d.now
+	}
+	return s.e.now
+}
+
+// At schedules fn at absolute time t in this handle's partition.
+// Unlike Engine.At it returns no handle: rack events are
+// fire-and-forget chains, and during a drain the event does not exist
+// yet — it is materialized at the replay carrier's dispatch, where it
+// receives exactly the sequence number the unpartitioned engine would
+// have assigned.
+func (s *PartSched) At(t Time, fn func()) {
+	if d := s.draining(); d != nil {
+		if t < d.now {
+			panic(fmt.Sprintf("sim: schedule at %v before now %v", t, d.now))
+		}
+		if fn == nil {
+			panic("sim: schedule with nil callback")
+		}
+		d.cur.ops = append(d.cur.ops, drainOp{at: t, fn: fn, part: s.part, kind: opSpawn})
+		return
+	}
+	s.e.atPart(s.part, t, fn)
+}
+
+// Schedule registers fn to run after delay in this handle's partition.
+func (s *PartSched) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule with negative delay %d", delay))
+	}
+	s.At(s.Now()+delay, fn)
+}
+
+// Defer runs fn at this event's exact position in the sequential
+// dispatch order. Outside a drain that is right now, inline; during a
+// drain, fn is logged and runs when the engine dispatches the event's
+// replay carrier. Callbacks running on a rack partition must route
+// every effect that escapes the rack — strategy notifications, shared
+// counters whose accumulation order is observable — through Defer.
+func (s *PartSched) Defer(fn func()) {
+	if d := s.draining(); d != nil {
+		d.cur.ops = append(d.cur.ops, drainOp{fn: fn, kind: opDefer})
+		return
+	}
+	fn()
+}
+
+// drainResult is what one rack's drain goroutine hands back.
+type drainResult struct {
+	carriers   []*Event
+	tombstones int
+}
+
+// parallelWindow attempts one conservative window. It reports whether
+// a window ran (and carriers were queued); false means the caller
+// should fall back to a sequential Step. Pending end-of-instant hooks
+// force the sequential path: Step owns the instant-drain protocol.
+func (e *Engine) parallelWindow() bool {
+	if len(e.instantEnd) > 0 || e.lookahead <= 0 {
+		return false
+	}
+	hub := e.skim(e.queue)
+	m := Infinity
+	for _, q := range e.racks {
+		if h := e.skim(q); h != nil && h.at < m {
+			m = h.at
+		}
+	}
+	if m == Infinity {
+		return false
+	}
+	bound := m + e.lookahead
+	if bound < m {
+		bound = Infinity // lookahead overflow: unreachable in practice
+	}
+	if hub != nil && hub.at < bound {
+		bound = hub.at
+	}
+	if bound <= m {
+		return false
+	}
+	var parts []int
+	for i, q := range e.racks {
+		if h := q.Peek(); h != nil && h.at < bound {
+			parts = append(parts, i)
+		}
+	}
+	if len(parts) < 2 {
+		return false
+	}
+
+	e.pwindows++
+	results := make([]drainResult, len(parts))
+	sem := make(chan struct{}, e.parallel)
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		e.drains[p] = &drainCtx{}
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			results[i] = e.drainRack(p, bound)
+			<-sem
+		}(i, p)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		e.drains[p] = nil
+	}
+	// Re-queue drained events as hub replay carriers, in rack order.
+	// Push order does not affect dispatch order — (time, seq) is a
+	// total order — but keeping it deterministic keeps queue internals
+	// identical across parallel degrees too.
+	for _, r := range results {
+		e.tombstones -= r.tombstones
+		for _, ev := range r.carriers {
+			ev.part = 0
+			e.queue.Push(ev)
+			e.pdrained++
+		}
+	}
+	return true
+}
+
+// drainRack runs every live event of one rack with timestamp below
+// bound, recording each event's op log and converting the event into
+// its own replay carrier. Runs on the rack's drain goroutine; it may
+// touch only the rack queue, the rack's drainCtx, and whatever
+// rack-owned simulation state the callbacks themselves mutate.
+func (e *Engine) drainRack(p int, bound Time) drainResult {
+	q := e.racks[p]
+	d := e.drains[p]
+	var res drainResult
+	for {
+		ev := q.Peek()
+		for ev != nil && ev.cancel {
+			q.Pop()
+			res.tombstones++
+			ev = q.Peek()
+		}
+		if ev == nil || ev.at >= bound {
+			break
+		}
+		q.Pop()
+		d.now = ev.at
+		lg := &replayLog{}
+		d.cur = lg
+		ev.fn()
+		ev.fn = e.replayFn(lg)
+		res.carriers = append(res.carriers, ev)
+	}
+	d.cur = nil
+	return res
+}
+
+// replayFn wraps a drained event's op log as its carrier callback:
+// dispatched by the sequential loop at the event's original (time,
+// seq), it performs the event's external effects in recorded order —
+// spawns receive fresh sequence numbers here, exactly where the
+// unpartitioned engine would have assigned them.
+func (e *Engine) replayFn(lg *replayLog) func() {
+	return func() {
+		for _, op := range lg.ops {
+			if op.kind == opDefer {
+				op.fn()
+				continue
+			}
+			e.atPart(op.part, op.at, op.fn)
+		}
+	}
+}

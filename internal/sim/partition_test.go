@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// partWorkload runs a synthetic rack-partitioned program shaped like
+// the training simulation: per-worker event chains confined to their
+// rack, a cross-worker barrier that fans acks back out hub-side at a
+// latency no smaller than the lookahead, same-instant ties across
+// racks, and a hub daemon ticking through it all. It returns a
+// fingerprint covering the final clock, every counter, the globally
+// ordered barrier log, and each worker's locally accumulated state —
+// any divergence between parallel degrees shows up as a fingerprint
+// mismatch.
+func partWorkload(t *testing.T, kind QueueKind, racks, parallel int) (string, *Engine) {
+	t.Helper()
+	const workersPerRack = 3
+	const iters = 8
+	const chain = 4
+	const lookahead = Time(200)
+
+	e := NewEngineQueue(kind)
+	if parallel > 0 {
+		e.EnablePartitions(racks, lookahead, parallel)
+	}
+	w := racks * workersPerRack
+	scheds := make([]*PartSched, w)
+	for i := range scheds {
+		scheds[i] = e.Sched(i / workersPerRack)
+	}
+	locals := make([]Time, w)
+	var log strings.Builder
+	arrived := 0
+
+	var step func(wk, it, k int)
+	barrier := func(it int) {
+		// Hub-side fan-out: every cross-rack effect lands at least
+		// lookahead away, the contract the window bound relies on.
+		for i := 0; i < w; i++ {
+			i := i
+			scheds[i].At(e.Now()+lookahead+Time(i%3), func() { step(i, it+1, 0) })
+		}
+	}
+	step = func(wk, it, k int) {
+		if it == iters {
+			return
+		}
+		sch := scheds[wk]
+		now := sch.Now()
+		locals[wk] += now*31 + Time(k) // rack-owned state, mutated in place
+		if k < chain {
+			dur := Time(37 + (wk*131+it*17+k*7)%211)
+			sch.At(now+dur, func() { step(wk, it, k+1) })
+			return
+		}
+		// Iteration end: the report escapes the rack, so it rides Defer
+		// and runs at this event's exact sequential position.
+		sch.Defer(func() {
+			fmt.Fprintf(&log, "w%d.i%d@%d;", wk, it, e.Now())
+			arrived++
+			if arrived == w {
+				arrived = 0
+				barrier(it)
+			}
+		})
+	}
+
+	var tick func()
+	tick = func() { e.ScheduleDaemon(500, tick) }
+	tick()
+	for i := range scheds {
+		i := i
+		scheds[i].At(Time(10+i%3), func() { step(i, 0, 0) })
+	}
+	end := e.Run()
+
+	fp := fmt.Sprintf("end=%v d=%d dm=%d p=%d fg=%d ts=%d c=%d locals=%v log=%s",
+		end, e.Dispatched(), e.DaemonsFired(), e.Pending(), e.PendingForeground(),
+		e.EventsTombstoned(), e.Compactions(), locals, log.String())
+	return fp, e
+}
+
+// TestPartitionedByteIdentity pins the conservative-window contract:
+// partitioned execution — sequential over merged queues (parallel 1)
+// and parallel window drains (parallel 4) — dispatches byte-identically
+// to the unpartitioned engine, on both queue implementations, and the
+// parallel run actually exercised windows rather than degrading to the
+// sequential path.
+func TestPartitionedByteIdentity(t *testing.T) {
+	for _, kind := range []QueueKind{QueueHeap, QueueWheel} {
+		t.Run(string(kind), func(t *testing.T) {
+			base, _ := partWorkload(t, kind, 4, 0)
+			seq, eSeq := partWorkload(t, kind, 4, 1)
+			par, ePar := partWorkload(t, kind, 4, 4)
+			if seq != base {
+				t.Fatalf("merged sequential diverged:\nbase %s\nseq  %s", base, seq)
+			}
+			if par != base {
+				t.Fatalf("parallel windows diverged:\nbase %s\npar  %s", base, par)
+			}
+			if eSeq.ParallelWindows() != 0 {
+				t.Fatalf("parallel=1 ran %d windows, want 0", eSeq.ParallelWindows())
+			}
+			if !ePar.Partitioned() || ePar.ParallelWindows() == 0 || ePar.ParallelDrained() == 0 {
+				t.Fatalf("parallel=4 did not exercise windows: windows=%d drained=%d",
+					ePar.ParallelWindows(), ePar.ParallelDrained())
+			}
+		})
+	}
+}

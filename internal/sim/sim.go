@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -47,9 +46,17 @@ type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // position in the heap, -1 once popped or cancelled
+	index  int   // position within the queue's backing store, -1 once removed
+	slot   int32 // timing-wheel bucket code; unused by the heap queue
+	part   int32 // partition tag: 0 = hub queue, p >= 1 = rack queue p-1
 	cancel bool
 	daemon bool
+}
+
+// before reports strict (time, seq) order — the engine's total dispatch
+// order.
+func (e *Event) before(o *Event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
 
 // Daemon reports whether the event was scheduled as a daemon event.
@@ -61,45 +68,13 @@ func (e *Event) Cancelled() bool { return e.cancel }
 // Time returns the virtual instant the event is (or was) scheduled for.
 func (e *Event) Time() Time { return e.at }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
 // the whole simulation runs single-threaded for determinism.
 type Engine struct {
 	now        Time
 	seq        uint64
-	queue      eventQueue
+	queue      EventQueue
+	kind       QueueKind
 	dispatched uint64
 	daemons    uint64 // daemon events fired (excluded from Dispatched)
 	foreground int    // pending non-daemon events
@@ -123,6 +98,17 @@ type Engine struct {
 	// pool recycles Event allocations for owners that can prove
 	// exclusive ownership (see Recycle).
 	pool []*Event
+
+	// Partitioned execution (see partition.go): per-rack sub-queues
+	// beside the hub queue, the conservative lookahead window width,
+	// the drain-goroutine budget, and the per-rack drain contexts that
+	// are live only while a parallel window is in flight.
+	racks     []EventQueue
+	drains    []*drainCtx
+	lookahead Time
+	parallel  int
+	pwindows  uint64 // parallel windows executed
+	pdrained  uint64 // events drained inside parallel windows
 }
 
 // maxEventPool bounds the engine's event free-list.
@@ -132,10 +118,25 @@ const maxEventPool = 4096
 // triggered; small queues just dispatch through their tombstones.
 const compactMinTombstones = 64
 
-// NewEngine returns an engine with virtual time zero and an empty queue.
+// NewEngine returns an engine with virtual time zero and an empty
+// queue of the default kind (see DefaultQueueKind).
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineQueue(DefaultQueueKind())
 }
+
+// NewEngineQueue returns an engine using the given event-queue
+// implementation. Every implementation dispatches identically; the
+// choice only affects performance.
+func NewEngineQueue(kind QueueKind) *Engine {
+	if kind != QueueWheel {
+		kind = QueueHeap
+	}
+	return &Engine{queue: newQueue(kind), kind: kind}
+}
+
+// QueueKindUsed reports which event-queue implementation the engine
+// was built with.
+func (e *Engine) QueueKindUsed() QueueKind { return e.kind }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -143,7 +144,26 @@ func (e *Engine) Now() Time { return e.now }
 // Pending returns the number of events waiting to fire, daemons
 // included. Tombstoned (cancelled but not yet compacted) events are
 // excluded: they occupy queue slots but will never fire.
-func (e *Engine) Pending() int { return len(e.queue) - e.tombstones }
+func (e *Engine) Pending() int { return e.queuedLen() - e.tombstones }
+
+// queuedLen is the total queued-event count across the hub queue and
+// every rack sub-queue, tombstones included.
+func (e *Engine) queuedLen() int {
+	n := e.queue.Len()
+	for _, q := range e.racks {
+		n += q.Len()
+	}
+	return n
+}
+
+// qof returns the queue an event belongs to: the hub queue for
+// untagged events, the owning rack sub-queue otherwise.
+func (e *Engine) qof(ev *Event) EventQueue {
+	if ev.part == 0 {
+		return e.queue
+	}
+	return e.racks[ev.part-1]
+}
 
 // EventsTombstoned returns the cumulative number of cancels that were
 // recorded as lazy tombstones (every Cancel of a still-queued event).
@@ -223,7 +243,31 @@ func (e *Engine) at(t Time, fn func()) *Event {
 	} else {
 		ev = &Event{at: t, seq: e.seq, fn: fn}
 	}
-	heap.Push(&e.queue, ev)
+	e.queue.Push(ev)
+	return ev
+}
+
+// atPart is at() for a tagged partition: the event lands in the rack's
+// sub-queue instead of the hub queue. Always a foreground event.
+func (e *Engine) atPart(part int32, t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	e.seq++
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn, part: part}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn, part: part}
+	}
+	e.qof(ev).Push(ev)
+	e.foreground++
 	return ev
 }
 
@@ -272,31 +316,18 @@ func (e *Engine) Cancel(ev *Event) {
 }
 
 // maybeCompact rebuilds the queue without tombstones once they
-// outnumber live events (and exceed a small floor). Heap order is
+// outnumber live events (and exceed a small floor). Queue order is
 // re-established from (time, seq), so compaction is invisible to
 // dispatch order.
 func (e *Engine) maybeCompact() {
-	if e.tombstones < compactMinTombstones || e.tombstones*2 <= len(e.queue) {
+	if e.tombstones < compactMinTombstones || e.tombstones*2 <= e.queuedLen() {
 		return
 	}
-	orig := e.queue
-	live := orig[:0]
-	for _, ev := range orig {
-		if ev.cancel {
-			ev.index = -1
-			continue
-		}
-		live = append(live, ev)
+	removed := e.queue.Compact()
+	for _, q := range e.racks {
+		removed += q.Compact()
 	}
-	for i := len(live); i < len(orig); i++ {
-		orig[i] = nil
-	}
-	e.queue = live
-	for i, ev := range e.queue {
-		ev.index = i
-	}
-	heap.Init(&e.queue)
-	e.tombstones = 0
+	e.tombstones -= removed
 	e.compactions++
 }
 
@@ -322,14 +353,14 @@ func (e *Engine) Reschedule(ev *Event, t Time) {
 		}
 		ev.at = t
 		ev.seq = e.seq
-		heap.Fix(&e.queue, ev.index)
+		e.qof(ev).Fix(ev)
 		return
 	}
 	// Fired or compacted away: re-arm from scratch.
 	ev.cancel = false
 	ev.at = t
 	ev.seq = e.seq
-	heap.Push(&e.queue, ev)
+	e.qof(ev).Push(ev)
 	if !ev.daemon {
 		e.foreground++
 	}
@@ -350,7 +381,7 @@ func (e *Engine) Retime(ev *Event, t Time) {
 		panic("sim: retime of a fired or cancelled event")
 	}
 	ev.at = t
-	heap.Fix(&e.queue, ev.index)
+	e.qof(ev).Fix(ev)
 }
 
 // SeqMark returns the most recently consumed sequence number. A caller
@@ -398,7 +429,7 @@ func (e *Engine) AtRanked(t Time, seq uint64, fn func()) *Event {
 	} else {
 		ev = &Event{at: t, seq: seq, fn: fn}
 	}
-	heap.Push(&e.queue, ev)
+	e.queue.Push(ev)
 	e.foreground++
 	return ev
 }
@@ -420,7 +451,7 @@ func (e *Engine) PlaceRanked(ev *Event, t Time, seq uint64) {
 		ev.cancel = false
 		ev.at = t
 		ev.seq = seq
-		heap.Push(&e.queue, ev)
+		e.qof(ev).Push(ev)
 		if !ev.daemon {
 			e.foreground++
 		}
@@ -435,7 +466,7 @@ func (e *Engine) PlaceRanked(ev *Event, t Time, seq uint64) {
 	}
 	ev.at = t
 	ev.seq = seq
-	heap.Fix(&e.queue, ev.index)
+	e.qof(ev).Fix(ev)
 }
 
 // AtInstantEnd registers fn to run once the current virtual instant is
@@ -484,7 +515,7 @@ func (e *Engine) Step() bool {
 		if ev == nil {
 			return false
 		}
-		heap.Pop(&e.queue)
+		e.qof(ev).Pop()
 		e.now = ev.at
 		if ev.daemon {
 			e.daemons++
@@ -525,6 +556,9 @@ func (e *Engine) Run() Time {
 			}
 			break
 		}
+		if e.parallel > 1 && e.racks != nil && e.parallelWindow() {
+			continue
+		}
 		if !e.Step() {
 			break
 		}
@@ -558,16 +592,31 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // RunFor is RunUntil(Now()+d).
 func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }
 
+// peek returns the earliest live event across the hub queue and every
+// rack sub-queue, discarding tombstones off each queue's head on the
+// way. With no partitions it reduces to the historical single-queue
+// peek.
 func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.cancel {
+	ev := e.skim(e.queue)
+	for _, q := range e.racks {
+		if r := e.skim(q); r != nil && (ev == nil || r.before(ev)) {
+			ev = r
+		}
+	}
+	return ev
+}
+
+// skim is peek on one queue: it pops tombstones off the head until a
+// live event (or nothing) surfaces.
+func (e *Engine) skim(q EventQueue) *Event {
+	for {
+		ev := q.Peek()
+		if ev == nil || !ev.cancel {
 			return ev
 		}
-		heap.Pop(&e.queue)
+		q.Pop()
 		e.tombstones--
 	}
-	return nil
 }
 
 // NextEventTime returns the timestamp of the earliest pending event, or

@@ -1,0 +1,433 @@
+package sim
+
+import "math/bits"
+
+// wheelQueue is a hierarchical timing wheel (calendar queue): four
+// levels of 256 slots each, level-l slots 2^(10+8l) ns wide, so the
+// wheels span ~73 virtual minutes ahead of the dispatch horizon before
+// spilling into an unbounded overflow bucket. Far-future events (the
+// fabric parks completion deadlines at a sentinel far beyond any real
+// deadline) live in the overflow bucket at O(1) either way.
+//
+// Events are filed by absolute slot index ((t >> shift) & 255) at the
+// shallowest level whose 256-slot window, anchored at the dispatch
+// horizon, contains their deadline. Each slot is an unsorted bucket
+// that is sorted lazily — descending by (time, seq), so the minimum is
+// popped from the tail in O(1) — only when the horizon reaches it.
+// Cancel stays a lazy tombstone exactly as in the heap queue; Compact
+// filters buckets in place, which preserves relative order and thus
+// sortedness.
+//
+// The horizon (cur) trails the global minimum event time: it advances
+// on pop, and a cascade refiles a level-l bucket into level l-1 when
+// the horizon enters it. The only way cur can overtake a *future*
+// push is an overflow rebase that jumped to a parked far-future
+// minimum; events pushed behind the horizon after that land in the
+// dedicated past bucket, which peek always serves first, and the
+// horizon rebases back down as soon as the wheels drain. Every path
+// preserves the one invariant dispatch depends on: Pop always yields
+// the global (time, seq) minimum.
+type wheelQueue struct {
+	cur      Time             // dispatch horizon; wheel events never precede it
+	n        int              // queued events, tombstones included
+	wcnt     [wheelLevels]int // per-level populations, to skip empty levels
+	levels   [wheelLevels][wheelSlots]wheelBucket
+	occ      [wheelLevels][wheelSlots / 64]uint64 // nonempty-slot bitmaps
+	overflow wheelBucket                          // beyond the outermost window
+	past     wheelBucket                          // behind the horizon (see above)
+
+	// memo caches the bucket scanForMin last returned. It stays valid
+	// across pops while nonempty (removing the minimum leaves the
+	// bucket the minimum's home) and is dropped on any insert, move,
+	// or compaction.
+	memo *wheelBucket
+}
+
+const (
+	wheelLevels    = 4
+	wheelSlotBits  = 8
+	wheelSlots     = 1 << wheelSlotBits
+	wheelGranShift = 10 // level-0 slot width: 1024 ns
+
+	// Sentinel slot codes stored in Event.slot for the two special
+	// buckets; in-wheel codes are level<<8 | slot, all >= 0.
+	wheelSlotOverflow int32 = -1
+	wheelSlotPast     int32 = -2
+)
+
+func newWheelQueue() *wheelQueue { return &wheelQueue{} }
+
+// eventBefore reports whether a dispatches before b.
+func eventBefore(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// wheelBucket is one slot's event list, sorted descending by
+// (time, seq) when dirty is false, so the minimum sits at the tail.
+type wheelBucket struct {
+	evs   []*Event
+	dirty bool
+}
+
+func (b *wheelBucket) add(e *Event, slot int32) {
+	e.slot = slot
+	e.index = len(b.evs)
+	b.evs = append(b.evs, e)
+	if n := len(b.evs); n > 1 && !b.dirty && !eventBefore(e, b.evs[n-2]) {
+		b.dirty = true
+	}
+}
+
+// remove unlinks a queued event from the bucket by swap-removal.
+func (b *wheelBucket) remove(e *Event) {
+	n := len(b.evs)
+	last := b.evs[n-1]
+	if last != e {
+		b.evs[e.index] = last
+		last.index = e.index
+		if n > 2 {
+			b.dirty = true
+		}
+	}
+	b.evs[n-1] = nil
+	b.evs = b.evs[:n-1]
+	e.index = -1
+}
+
+func (b *wheelBucket) ensureSorted() {
+	if !b.dirty {
+		return
+	}
+	sortEventsDesc(b.evs)
+	for i, e := range b.evs {
+		e.index = i
+	}
+	b.dirty = false
+}
+
+// sortEventsDesc sorts descending by (time, seq) with inlined
+// comparisons: bucket sorts are the wheel's main per-dispatch cost, and
+// sort.Slice's closure-per-compare overhead roughly doubles it. Keys
+// are unique (ranks are never duplicated while queued), so instability
+// cannot reorder equals.
+func sortEventsDesc(evs []*Event) {
+	if len(evs) <= 24 {
+		insertionSortEventsDesc(evs)
+		return
+	}
+	// Median-of-three quicksort, recursing on the smaller side.
+	for len(evs) > 24 {
+		a, m, z := 0, len(evs)/2, len(evs)-1
+		if eventBefore(evs[a], evs[m]) {
+			evs[a], evs[m] = evs[m], evs[a]
+		}
+		if eventBefore(evs[a], evs[z]) {
+			evs[a], evs[z] = evs[z], evs[a]
+		}
+		if eventBefore(evs[m], evs[z]) {
+			evs[m], evs[z] = evs[z], evs[m]
+		}
+		pivot := evs[m]
+		i, j := 0, len(evs)-1
+		for i <= j {
+			for eventBefore(pivot, evs[i]) {
+				i++
+			}
+			for eventBefore(evs[j], pivot) {
+				j--
+			}
+			if i <= j {
+				evs[i], evs[j] = evs[j], evs[i]
+				i++
+				j--
+			}
+		}
+		if j < len(evs)-i {
+			sortEventsDesc(evs[:j+1])
+			evs = evs[i:]
+		} else {
+			sortEventsDesc(evs[i:])
+			evs = evs[:j+1]
+		}
+	}
+	insertionSortEventsDesc(evs)
+}
+
+func insertionSortEventsDesc(evs []*Event) {
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		j := i - 1
+		for j >= 0 && eventBefore(evs[j], e) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = e
+	}
+}
+
+// filter drops tombstones in place. Relative order of survivors is
+// unchanged, so a sorted bucket stays sorted.
+func (b *wheelBucket) filter() int {
+	live := b.evs[:0]
+	for _, e := range b.evs {
+		if e.cancel {
+			e.index = -1
+			continue
+		}
+		e.index = len(live)
+		live = append(live, e)
+	}
+	removed := len(b.evs) - len(live)
+	for i := len(live); i < len(b.evs); i++ {
+		b.evs[i] = nil
+	}
+	b.evs = live
+	return removed
+}
+
+func (w *wheelQueue) occSet(l, k int)   { w.occ[l][k>>6] |= 1 << (uint(k) & 63) }
+func (w *wheelQueue) occClear(l, k int) { w.occ[l][k>>6] &^= 1 << (uint(k) & 63) }
+
+// slotFor files a deadline relative to the current horizon.
+func (w *wheelQueue) slotFor(t Time) int32 {
+	if t < w.cur {
+		return wheelSlotPast
+	}
+	ut, uc := uint64(t), uint64(w.cur)
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint(wheelGranShift + l*wheelSlotBits)
+		if ut>>shift-uc>>shift < wheelSlots {
+			return int32(l)<<wheelSlotBits | int32(ut>>shift&(wheelSlots-1))
+		}
+	}
+	return wheelSlotOverflow
+}
+
+func (w *wheelQueue) bucketOf(slot int32) *wheelBucket {
+	switch slot {
+	case wheelSlotOverflow:
+		return &w.overflow
+	case wheelSlotPast:
+		return &w.past
+	}
+	return &w.levels[slot>>wheelSlotBits][slot&(wheelSlots-1)]
+}
+
+// place files an event without touching the queue's count.
+func (w *wheelQueue) place(e *Event) {
+	s := w.slotFor(e.at)
+	if s >= 0 {
+		l, k := int(s)>>wheelSlotBits, int(s)&(wheelSlots-1)
+		b := &w.levels[l][k]
+		if len(b.evs) == 0 {
+			w.occSet(l, k)
+		}
+		b.add(e, s)
+		w.wcnt[l]++
+		return
+	}
+	w.bucketOf(s).add(e, s)
+}
+
+// unlink removes a queued event from whatever bucket holds it.
+func (w *wheelQueue) unlink(e *Event) {
+	b := w.bucketOf(e.slot)
+	b.remove(e)
+	if s := e.slot; s >= 0 {
+		w.wcnt[s>>wheelSlotBits]--
+		if len(b.evs) == 0 {
+			w.occClear(int(s)>>wheelSlotBits, int(s)&(wheelSlots-1))
+		}
+	}
+}
+
+// nextOccupied scans level l's occupancy bitmap circularly starting at
+// slot s (inclusive). Circular order from the horizon's own slot is
+// absolute time order, so the first hit is the level's earliest slot.
+func (w *wheelQueue) nextOccupied(l, s int) (int, bool) {
+	occ := &w.occ[l]
+	wi := s >> 6
+	if b := occ[wi] & (^uint64(0) << (uint(s) & 63)); b != 0 {
+		return wi<<6 + bits.TrailingZeros64(b), true
+	}
+	for i := 1; i < wheelSlots/64; i++ {
+		j := (wi + i) & (wheelSlots/64 - 1)
+		if b := occ[j]; b != 0 {
+			return j<<6 + bits.TrailingZeros64(b), true
+		}
+	}
+	if b := occ[wi] &^ (^uint64(0) << (uint(s) & 63)); b != 0 {
+		return wi<<6 + bits.TrailingZeros64(b), true
+	}
+	return 0, false
+}
+
+// minBucket returns the bucket holding the global minimum event,
+// consulting the memo before scanning.
+func (w *wheelQueue) minBucket() *wheelBucket {
+	if w.memo != nil && len(w.memo.evs) > 0 {
+		return w.memo
+	}
+	w.memo = w.scanForMin()
+	return w.memo
+}
+
+// scanForMin locates the bucket holding the global minimum event,
+// cascading outer-level buckets inward and rebasing the horizon as
+// needed. Returns nil when the queue is empty.
+func (w *wheelQueue) scanForMin() *wheelBucket {
+	if w.n == 0 {
+		return nil
+	}
+	if len(w.past.evs) > 0 {
+		// Past events precede the horizon and hence every wheel or
+		// overflow event. If the wheels are empty the horizon is free
+		// to rebase down so the queue leaves the degenerate past-only
+		// regime (entered via a far-future overflow rebase).
+		if w.n != len(w.past.evs)+len(w.overflow.evs) {
+			return &w.past
+		}
+		w.past.ensureSorted()
+		w.cur = w.past.evs[len(w.past.evs)-1].at
+		evs := w.past.evs
+		w.past.evs = nil
+		w.past.dirty = false
+		for _, e := range evs {
+			w.place(e)
+		}
+	}
+scan:
+	for {
+		// Find the occupied slot with the earliest start time across
+		// all levels. Slot starts within a level are circular-order
+		// monotone from the horizon's own slot, but an outer-level
+		// bucket placed long ago can by now overlap an inner level's
+		// window, so levels must be compared by slot start — on ties
+		// the outer level wins so its wider bucket cascades first.
+		bestL, bestK := -1, 0
+		var bestBase Time
+		for l := 0; l < wheelLevels; l++ {
+			if w.wcnt[l] == 0 {
+				continue
+			}
+			shift := uint(wheelGranShift + l*wheelSlotBits)
+			s := int(uint64(w.cur)>>shift) & (wheelSlots - 1)
+			k, ok := w.nextOccupied(l, s)
+			if !ok {
+				continue
+			}
+			p := (k - s + wheelSlots) & (wheelSlots - 1)
+			base := Time((uint64(w.cur)>>shift + uint64(p)) << shift)
+			if bestL < 0 || base <= bestBase {
+				bestL, bestK, bestBase = l, k, base
+			}
+		}
+		if bestL == 0 {
+			return &w.levels[0][bestK]
+		}
+		if bestL > 0 {
+			// Cascade: the earliest slot is an outer-level bucket.
+			// Advance the horizon to the bucket's start and refile its
+			// contents at least one level down.
+			if bestBase > w.cur {
+				w.cur = bestBase
+			}
+			b := &w.levels[bestL][bestK]
+			evs := b.evs
+			b.evs = nil
+			b.dirty = false
+			w.occClear(bestL, bestK)
+			w.wcnt[bestL] -= len(evs)
+			for _, e := range evs {
+				w.place(e)
+			}
+			// The cascade refiles strictly inward, so the source
+			// bucket received nothing back: keep its capacity.
+			b.evs = evs[:0]
+			continue scan
+		}
+		if len(w.overflow.evs) == 0 {
+			return nil
+		}
+		// Wheels empty: rebase the horizon onto the overflow minimum
+		// and refile; events still beyond the outermost window
+		// re-enter overflow in order, keeping it sorted.
+		w.overflow.ensureSorted()
+		minAt := w.overflow.evs[len(w.overflow.evs)-1].at
+		if minAt > w.cur {
+			w.cur = minAt
+		}
+		evs := w.overflow.evs
+		w.overflow.evs = nil
+		w.overflow.dirty = false
+		for _, e := range evs {
+			w.place(e)
+		}
+	}
+}
+
+func (w *wheelQueue) Push(e *Event) {
+	w.place(e)
+	w.n++
+	w.memo = nil
+}
+
+func (w *wheelQueue) Peek() *Event {
+	b := w.minBucket()
+	if b == nil {
+		return nil
+	}
+	b.ensureSorted()
+	return b.evs[len(b.evs)-1]
+}
+
+func (w *wheelQueue) Pop() *Event {
+	b := w.minBucket()
+	if b == nil {
+		return nil
+	}
+	b.ensureSorted()
+	e := b.evs[len(b.evs)-1]
+	w.unlink(e)
+	w.n--
+	if e.at > w.cur {
+		w.cur = e.at
+	}
+	if len(b.evs) == 0 {
+		w.memo = nil
+	}
+	return e
+}
+
+func (w *wheelQueue) Fix(e *Event) {
+	w.unlink(e)
+	w.place(e)
+	w.memo = nil
+}
+
+func (w *wheelQueue) Len() int { return w.n }
+
+func (w *wheelQueue) Compact() int {
+	removed := w.past.filter() + w.overflow.filter()
+	for l := 0; l < wheelLevels; l++ {
+		for wi, word := range w.occ[l] {
+			for word != 0 {
+				k := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				b := &w.levels[l][k]
+				dropped := b.filter()
+				removed += dropped
+				w.wcnt[l] -= dropped
+				if len(b.evs) == 0 {
+					w.occClear(l, k)
+				}
+			}
+		}
+	}
+	w.n -= removed
+	w.memo = nil
+	return removed
+}

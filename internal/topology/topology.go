@@ -15,7 +15,6 @@ package topology
 
 import (
 	"fmt"
-	"sort"
 
 	"coarse/internal/fabric"
 	"coarse/internal/sim"
@@ -78,8 +77,8 @@ type Topology struct {
 	Net *fabric.Network
 
 	devices  []*Device
-	adj      map[int][]edge
-	routes   map[[2]int][]*fabric.Channel
+	adj      [][]edge // indexed by device ID, kept sorted by peer ID
+	routes   map[int]*sourceRoutes
 	linkEnds map[*fabric.Link][2]*Device
 
 	// Convenience slices populated by presets, in index order.
@@ -97,13 +96,21 @@ type Topology struct {
 	Label string
 }
 
+// sourceRoutes caches one device's shortest-path tree: the BFS
+// predecessor array over all reachable devices, plus per-destination
+// channel paths materialized on first use. One BFS serves every
+// destination a source ever routes to, instead of one BFS per pair.
+type sourceRoutes struct {
+	prev  []edge // predecessor edge per device ID; peer == nil if unreached
+	paths [][]*fabric.Channel
+}
+
 // New creates an empty topology bound to a fresh network on eng.
 func New(eng *sim.Engine) *Topology {
 	return &Topology{
 		Eng:          eng,
 		Net:          fabric.NewNetwork(eng),
-		adj:          make(map[int][]edge),
-		routes:       make(map[[2]int][]*fabric.Channel),
+		routes:       make(map[int]*sourceRoutes),
 		linkEnds:     make(map[*fabric.Link][2]*Device),
 		P2PSupported: true,
 	}
@@ -119,6 +126,7 @@ func (t *Topology) AddDevice(kind Kind, node, index int) *Device {
 		Index: index,
 	}
 	t.devices = append(t.devices, d)
+	t.adj = append(t.adj, nil)
 	switch kind {
 	case KindGPU:
 		t.GPUs = append(t.GPUs, d)
@@ -142,63 +150,64 @@ func (t *Topology) Connect(a, b *Device, fwdCap, revCap float64, latency sim.Tim
 		panic("topology: self link")
 	}
 	l := t.Net.NewLink(a.Name+"<->"+b.Name, fwdCap, revCap, latency)
-	t.adj[a.ID] = append(t.adj[a.ID], edge{link: l, peer: b, fwd: true})
-	t.adj[b.ID] = append(t.adj[b.ID], edge{link: l, peer: a, fwd: false})
+	t.insertEdge(a.ID, edge{link: l, peer: b, fwd: true})
+	t.insertEdge(b.ID, edge{link: l, peer: a, fwd: false})
 	t.linkEnds[l] = [2]*Device{a, b}
-	t.routes = map[[2]int][]*fabric.Channel{} // invalidate cache
+	t.routes = make(map[int]*sourceRoutes) // invalidate cache
 	return l
+}
+
+// insertEdge keeps adjacency lists sorted by peer ID at construction
+// time (stable: parallel links to the same peer stay in creation
+// order), so the BFS consumes them directly instead of copying and
+// sorting per frontier node per route query.
+func (t *Topology) insertEdge(id int, e edge) {
+	s := t.adj[id]
+	i := len(s)
+	for i > 0 && s[i-1].peer.ID > e.peer.ID {
+		i--
+	}
+	s = append(s, edge{})
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	t.adj[id] = s
 }
 
 // Path returns the channels along a minimum-hop route from a to b.
 // Ties are broken toward lower device IDs, so routing is deterministic.
 // Path panics when no route exists: presets always build connected graphs,
 // so a missing route is a bug, not a condition to handle.
+//
+// Routing is cached per source: the first query from a runs one BFS
+// that fixes the predecessor of every reachable device, then every
+// destination's path is materialized from that tree on first use. The
+// per-pair work — and the per-frontier-node adjacency copy and sort
+// the old router paid — is gone; a generated cell routes from each
+// worker once, not once per peer. The tree a full BFS fixes for
+// devices at depth <= depth(b) is exactly what the early-terminating
+// per-pair BFS computed (a device's predecessor is set by its first
+// visitor, which later levels cannot change), so every returned path
+// is identical to the old router's.
 func (t *Topology) Path(a, b *Device) []*fabric.Channel {
-	key := [2]int{a.ID, b.ID}
-	if p, ok := t.routes[key]; ok {
-		return p
-	}
 	if a == b {
 		panic("topology: path to self")
 	}
-	// BFS from a. Only infrastructure nodes may carry transit traffic:
-	// endpoints (GPUs, memory devices, CPUs, NICs) terminate flows, they
-	// do not forward them — without this rule the router would "shortcut"
-	// GPU traffic through a memory device's CCI ring port.
-	prev := make(map[int]edge)
-	visited := map[int]bool{a.ID: true}
-	frontier := []*Device{a}
-	found := false
-	for len(frontier) > 0 && !found {
-		var next []*Device
-		for _, d := range frontier {
-			if d != a && !transitKind(d.Kind) {
-				continue
-			}
-			edges := append([]edge(nil), t.adj[d.ID]...)
-			sort.Slice(edges, func(i, j int) bool { return edges[i].peer.ID < edges[j].peer.ID })
-			for _, e := range edges {
-				if visited[e.peer.ID] {
-					continue
-				}
-				visited[e.peer.ID] = true
-				prev[e.peer.ID] = edge{link: e.link, peer: d, fwd: e.fwd}
-				if e.peer == b {
-					found = true
-				}
-				next = append(next, e.peer)
-			}
-		}
-		frontier = next
+	sr, ok := t.routes[a.ID]
+	if !ok {
+		sr = t.bfs(a)
+		t.routes[a.ID] = sr
 	}
-	if !found {
+	if p := sr.paths[b.ID]; p != nil {
+		return p
+	}
+	if sr.prev[b.ID].peer == nil {
 		panic(fmt.Sprintf("topology: no route %s -> %s", a, b))
 	}
 	// Walk back from b.
 	var rev []*fabric.Channel
 	cur := b
 	for cur != a {
-		e := prev[cur.ID]
+		e := sr.prev[cur.ID]
 		if e.fwd {
 			rev = append(rev, e.link.Fwd())
 		} else {
@@ -210,8 +219,43 @@ func (t *Topology) Path(a, b *Device) []*fabric.Channel {
 	for i := range rev {
 		path[i] = rev[len(rev)-1-i]
 	}
-	t.routes[key] = path
+	sr.paths[b.ID] = path
 	return path
+}
+
+// bfs computes a's full shortest-path tree. Only infrastructure nodes
+// may carry transit traffic: endpoints (GPUs, memory devices, CPUs,
+// NICs) terminate flows, they do not forward them — without this rule
+// the router would "shortcut" GPU traffic through a memory device's
+// CCI ring port. Frontier devices expand in visit order and their
+// adjacency lists are pre-sorted by peer ID, preserving the old
+// router's lower-ID tie-break exactly.
+func (t *Topology) bfs(a *Device) *sourceRoutes {
+	sr := &sourceRoutes{
+		prev:  make([]edge, len(t.devices)),
+		paths: make([][]*fabric.Channel, len(t.devices)),
+	}
+	visited := make([]bool, len(t.devices))
+	visited[a.ID] = true
+	frontier := []*Device{a}
+	for len(frontier) > 0 {
+		var next []*Device
+		for _, d := range frontier {
+			if d != a && !transitKind(d.Kind) {
+				continue
+			}
+			for _, e := range t.adj[d.ID] {
+				if visited[e.peer.ID] {
+					continue
+				}
+				visited[e.peer.ID] = true
+				sr.prev[e.peer.ID] = edge{link: e.link, peer: d, fwd: e.fwd}
+				next = append(next, e.peer)
+			}
+		}
+		frontier = next
+	}
+	return sr
 }
 
 // Transfer starts a flow of size bytes from a to b.

@@ -1,0 +1,137 @@
+package train
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"coarse/internal/chaos"
+	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+func partitionModel() *model.Model {
+	m := &model.Model{Name: "partsynth"}
+	for i := 0; i < 4; i++ {
+		m.Layers = append(m.Layers, model.Layer{
+			Name:       fmt.Sprintf("dense%d", i),
+			ParamElems: 64 * 1024,
+			FwdFLOPs:   2.0e8,
+			ActBytes:   1 << 18,
+		})
+	}
+	return m
+}
+
+func partitionConfig(parallel int) Config {
+	spec := topology.ScaleSpec{
+		Racks:        4,
+		NodesPerRack: 2,
+		GPUsPerNode:  2,
+		MemDevs:      4,
+		MemDevTier:   topology.TierRack,
+		Oversub:      2,
+	}.Generate()
+	cfg := DefaultConfig(spec, partitionModel(), 2, 3)
+	cfg.PartitionParallel = parallel
+	return cfg
+}
+
+func runPartition(t *testing.T, cfg Config) (*Result, *Trainer) {
+	t.Helper()
+	tr, err := New(cfg, NewAllReduce())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, tr
+}
+
+// TestPartitionByteIdentity pins the training-level contract of the
+// rack-partitioned engine core: a 16-worker, 4-rack generated machine
+// produces an identical Result — including the Events dispatch
+// fingerprint — whether the engine runs unpartitioned, partitioned
+// with a sequential merge (parallel 1), or with parallel conservative
+// window drains (parallel 4). PartitionParallel -1 pins partitioning
+// off even when the COARSE_PARTITION environment variable is set, so
+// the baseline stays a true baseline under the CI partition lane.
+func TestPartitionByteIdentity(t *testing.T) {
+	base, baseTr := runPartition(t, partitionConfig(-1))
+	if baseTr.ctx.Eng.Partitioned() {
+		t.Fatal("baseline engine unexpectedly partitioned")
+	}
+	seq, _ := runPartition(t, partitionConfig(1))
+	par, parTr := runPartition(t, partitionConfig(4))
+
+	if !reflect.DeepEqual(base, seq) {
+		t.Errorf("sequential merge diverged:\nbase %+v\nseq  %+v", base, seq)
+	}
+	if !reflect.DeepEqual(base, par) {
+		t.Errorf("parallel windows diverged:\nbase %+v\npar  %+v", base, par)
+	}
+	eng := parTr.ctx.Eng
+	if !eng.Partitioned() || eng.ParallelWindows() == 0 || eng.ParallelDrained() == 0 {
+		t.Fatalf("parallel run did not exercise windows: windows=%d drained=%d",
+			eng.ParallelWindows(), eng.ParallelDrained())
+	}
+}
+
+// TestPartitionByteIdentityNumeric repeats the identity check in
+// numeric mode: real gradient buffers are filled inside rack drain
+// goroutines, averaged hub-side by the strategy, and applied by the
+// optimizer on the next forward — the values must come out bitwise
+// identical to the sequential run.
+func TestPartitionByteIdentityNumeric(t *testing.T) {
+	mk := func(parallel int) Config {
+		cfg := partitionConfig(parallel)
+		cfg.Numeric = true
+		return cfg
+	}
+	base, baseTr := runPartition(t, mk(-1))
+	par, parTr := runPartition(t, mk(4))
+	if !reflect.DeepEqual(base, par) {
+		t.Errorf("numeric partitioned run diverged:\nbase %+v\npar  %+v", base, par)
+	}
+	for w := range baseTr.ctx.Params {
+		for l := range baseTr.ctx.Params[w] {
+			if !reflect.DeepEqual(baseTr.ctx.Params[w][l].Data, parTr.ctx.Params[w][l].Data) {
+				t.Fatalf("worker %d layer %d parameters diverged", w, l)
+			}
+		}
+	}
+	if parTr.ctx.Eng.ParallelWindows() == 0 {
+		t.Fatal("numeric parallel run did not exercise windows")
+	}
+}
+
+// TestPartitionByteIdentityChaos repeats the identity check with
+// compute jitter and a seeded fault plan: worker stalls stretch rack
+// compute chains (AdvanceCompute inside drains), stall attribution
+// rides Defer, and capacity windows retime hub flows. Jittered compute
+// rarely clusters racks inside the lookahead, so no window-count
+// assertion — the point is that whatever windows do form change
+// nothing.
+func TestPartitionByteIdentityChaos(t *testing.T) {
+	mk := func(parallel int) Config {
+		cfg := partitionConfig(parallel)
+		cfg.ComputeJitter = 0.3
+		cfg.Chaos = &chaos.Spec{Profile: &chaos.Profile{
+			Intensity:     0.4,
+			Horizon:       sim.Seconds(0.004),
+			FaultsPerKind: 2,
+		}}
+		return cfg
+	}
+	base, _ := runPartition(t, mk(-1))
+	if base.ChaosFaults == 0 {
+		t.Fatal("chaos plan injected nothing; widen the profile")
+	}
+	par, _ := runPartition(t, mk(4))
+	if !reflect.DeepEqual(base, par) {
+		t.Errorf("chaos partitioned run diverged:\nbase %+v\npar  %+v", base, par)
+	}
+}

@@ -21,6 +21,9 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
+	"sync/atomic"
 
 	"coarse/internal/cci"
 	"coarse/internal/chaos"
@@ -129,6 +132,19 @@ type Config struct {
 	// first iteration; tests and experiments use it to schedule runtime
 	// perturbations (link degradation, etc.) on the engine.
 	OnStart func(*Ctx)
+	// PartitionParallel enables the rack-partitioned engine core on
+	// multi-rack machines: worker compute chains are confined to
+	// per-rack event sub-queues and drained in conservative parallel
+	// windows bounded by the machine's minimum link latency, with
+	// byte-identical output to sequential execution (see
+	// internal/sim's partitioned-execution contract). > 1 is the drain
+	// goroutine budget; 1 runs the partitioned queues sequentially (a
+	// determinism check); <= 0 leaves partitioning off. Forced off when
+	// Trace is set (the recorder is not drain-safe) or the machine has
+	// fewer than two racks. The COARSE_PARTITION environment variable
+	// supplies the value when the config leaves it zero, so CI can
+	// force partitioning across an existing test suite.
+	PartitionParallel int
 	// LR is the SGD learning rate used in numeric mode.
 	LR   float32
 	Seed int64
@@ -340,11 +356,23 @@ type Trainer struct {
 	strat Strategy
 	ctx   *Ctx
 
-	latches    map[latchKey]*Latch
-	blocked    []sim.Time // per worker, total forward stall
-	compute    []sim.Time // per worker, total roofline busy time
-	iterEnd    []sim.Time // completion time per iteration (max over workers)
-	workerDone []int      // iterations completed per worker
+	// latches is a dense (worker, iteration, layer) grid; workers own
+	// disjoint contiguous segments, so a worker's rack-partition drain
+	// goroutine touches only its own slots.
+	latches   []Latch
+	latStride int // latches per worker: (Iterations+1) * layer count
+
+	blocked []sim.Time // per worker, total forward stall
+	compute []sim.Time // per worker, total roofline busy time
+	// iterEnd is the completion time per iteration (max over workers);
+	// atomics because workers in different racks race on the max during
+	// parallel window drains — max is order-independent, so the result
+	// is identical to sequential accumulation.
+	iterEnd    []atomic.Int64
+	workerDone []int // iterations completed per worker
+	// scheds is each worker's partition scheduling handle; the hub
+	// handle (plain engine scheduling) when partitioning is off.
+	scheds     []*sim.PartSched
 	gradFn     func(it, w, layer int, grad *tensor.Tensor)
 	optimizers []optim.Optimizer // per worker, numeric mode only
 
@@ -354,8 +382,6 @@ type Trainer struct {
 
 	dump *telemetry.Dump // built by Run when Cfg.Telemetry is set
 }
-
-type latchKey struct{ it, w, layer int }
 
 // New builds a trainer, its machine and its strategy context. It fails
 // when the model replica does not fit worker GPU memory — the OOM that
@@ -410,15 +436,40 @@ func New(cfg Config, strat Strategy) (*Trainer, error) {
 		}
 	}
 
+	stride := (cfg.Iterations + 1) * len(cfg.Model.Layers)
 	tr := &Trainer{
 		cfg:        cfg,
 		strat:      strat,
 		ctx:        ctx,
-		latches:    make(map[latchKey]*Latch),
+		latches:    make([]Latch, len(ctx.Workers)*stride),
+		latStride:  stride,
 		blocked:    make([]sim.Time, len(ctx.Workers)),
 		compute:    make([]sim.Time, len(ctx.Workers)),
-		iterEnd:    make([]sim.Time, cfg.Iterations),
+		iterEnd:    make([]atomic.Int64, cfg.Iterations),
 		workerDone: make([]int, len(ctx.Workers)),
+	}
+	// Rack-partitioned execution: confine each worker's event chain to
+	// its rack's sub-queue and let the engine drain racks in
+	// conservative parallel windows. The lookahead is the machine's
+	// minimum link latency — every cross-rack effect (gradient
+	// synchronization, parameter hand-off) crosses at least one fabric
+	// hop, so racks cannot observe each other within a window. With
+	// partitioning off, Sched degrades to the plain engine API and the
+	// run is the historical sequential one, byte for byte.
+	par := cfg.PartitionParallel
+	if par == 0 {
+		if v, err := strconv.Atoi(os.Getenv(envPartition)); err == nil {
+			par = v
+		}
+	}
+	if par > 0 && cfg.Trace == nil && machine.Spec.Racks > 1 {
+		if la := machine.MinLinkLatency(); la > 0 {
+			eng.EnablePartitions(machine.Spec.Racks, la, par)
+		}
+	}
+	tr.scheds = make([]*sim.PartSched, len(ctx.Workers))
+	for w := range tr.scheds {
+		tr.scheds[w] = eng.Sched(machine.RackOf(w))
 	}
 	if cfg.Chaos != nil {
 		plan := cfg.Chaos.Compile(cfg.Seed, chaos.EnvOf(machine))
@@ -503,14 +554,13 @@ func (t *Trainer) registerTelemetry() {
 	}
 }
 
+// envPartition force-enables rack-partitioned execution process-wide
+// when Config.PartitionParallel is zero; the CI partitioned-DES race
+// lane uses it to run existing suites with partitioning on.
+const envPartition = "COARSE_PARTITION"
+
 func (t *Trainer) latch(it, w, layer int) *Latch {
-	k := latchKey{it, w, layer}
-	l, ok := t.latches[k]
-	if !ok {
-		l = &Latch{}
-		t.latches[k] = l
-	}
-	return l
+	return &t.latches[w*t.latStride+it*len(t.cfg.Model.Layers)+layer]
 }
 
 func (t *Trainer) markReady(it, w, layer int) {
@@ -574,12 +624,21 @@ func (t *Trainer) Run() (*Result, error) {
 	return t.result(), nil
 }
 
+// runWorker drives one worker's iteration. Every callback here may run
+// inside a rack-partition drain goroutine, so the rules are strict: it
+// may mutate only worker-owned state (this worker's latch slots,
+// blocked/compute/workerDone entries, gradient and parameter buffers),
+// schedule only through the worker's PartSched, and route every effect
+// that escapes the rack — the strategy notification, chaos stall
+// attribution, the cross-worker iteration-end max — through Defer or
+// an order-independent atomic. With partitioning off, sch is the plain
+// engine and Defer is an inline call: the historical sequential path.
 func (t *Trainer) runWorker(w, it int) {
 	if it == t.cfg.Iterations {
 		return
 	}
 	ctx := t.ctx
-	eng := ctx.Eng
+	sch := t.scheds[w]
 	g := ctx.Workers[w]
 	layers := ctx.Layers()
 
@@ -593,47 +652,57 @@ func (t *Trainer) runWorker(w, it int) {
 			bwd(len(layers) - 1)
 			return
 		}
-		arrived := eng.Now()
+		arrived := sch.Now()
 		t.latch(it, w, layer).Wait(func() {
-			if stall := eng.Now() - arrived; stall > 0 {
+			if stall := sch.Now() - arrived; stall > 0 {
 				t.blocked[w] += stall
 				t.cfg.Trace.Span(track, "stall",
-					fmt.Sprintf("wait params %s", layers[layer].Name), arrived, eng.Now())
+					fmt.Sprintf("wait params %s", layers[layer].Name), arrived, sch.Now())
 			}
 			if t.cfg.Numeric && it > 0 {
 				// Apply the optimizer step with the averaged gradient
 				// the strategy left in the buffer.
 				t.optimizers[w].Step(layer, ctx.Params[w][layer].Data, ctx.Grads[w][layer].Data)
 			}
-			start := eng.Now()
+			start := sch.Now()
 			dur := g.LayerFwdTime(layers[layer], t.cfg.Batch)
-			eng.At(t.chaos.AdvanceCompute(w, start, dur), func() {
+			sch.At(t.chaos.AdvanceCompute(w, start, dur), func() {
 				t.compute[w] += dur
-				t.chaos.NoteWorkerStall(eng.Now() - start - dur)
-				t.cfg.Trace.Span(track, "compute", "fwd "+layers[layer].Name, start, eng.Now())
+				if lag := sch.Now() - start - dur; lag > 0 {
+					sch.Defer(func() { t.chaos.NoteWorkerStall(lag) })
+				}
+				t.cfg.Trace.Span(track, "compute", "fwd "+layers[layer].Name, start, sch.Now())
 				fwd(layer + 1)
 			})
 		})
 	}
 
 	bwd = func(layer int) {
-		start := eng.Now()
+		start := sch.Now()
 		dur := g.LayerBwdTime(layers[layer], t.cfg.Batch)
-		eng.At(t.chaos.AdvanceCompute(w, start, dur), func() {
+		sch.At(t.chaos.AdvanceCompute(w, start, dur), func() {
 			t.compute[w] += dur
-			t.chaos.NoteWorkerStall(eng.Now() - start - dur)
-			t.cfg.Trace.Span(track, "compute", "bwd "+layers[layer].Name, start, eng.Now())
+			if lag := sch.Now() - start - dur; lag > 0 {
+				sch.Defer(func() { t.chaos.NoteWorkerStall(lag) })
+			}
+			t.cfg.Trace.Span(track, "compute", "bwd "+layers[layer].Name, start, sch.Now())
 			if t.cfg.Numeric {
 				t.fillGradient(it, w, layer)
 			}
-			t.strat.GradientReady(it, w, layer)
+			sch.Defer(func() { t.strat.GradientReady(it, w, layer) })
 			if layer > 0 {
 				bwd(layer - 1)
 				return
 			}
-			// Iteration complete for this worker.
-			if eng.Now() > t.iterEnd[it] {
-				t.iterEnd[it] = eng.Now()
+			// Iteration complete for this worker: fold into the
+			// cross-worker max (order-independent, so atomics preserve
+			// byte-identity under parallel drains).
+			end := int64(sch.Now())
+			for {
+				cur := t.iterEnd[it].Load()
+				if end <= cur || t.iterEnd[it].CompareAndSwap(cur, end) {
+					break
+				}
 			}
 			t.workerDone[w] = it + 1
 			t.runWorker(w, it+1)
@@ -674,10 +743,10 @@ func (t *Trainer) result() *Result {
 	var iterSum sim.Time
 	count := 0
 	for it := 1; it < cfg.Iterations; it++ {
-		iterSum += t.iterEnd[it] - t.iterEnd[it-1]
+		iterSum += sim.Time(t.iterEnd[it].Load() - t.iterEnd[it-1].Load())
 		count++
 	}
-	iterTime := t.iterEnd[0]
+	iterTime := sim.Time(t.iterEnd[0].Load())
 	if count > 0 {
 		iterTime = iterSum / sim.Time(count)
 	}
