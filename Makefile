@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-core bench-smoke bench-compare suite golden-drift telemetry-smoke cover fuzz-smoke race-partitioned ci
+.PHONY: all build test race vet lint bench bench-core bench-smoke bench-compare trend serve-smoke suite golden-drift telemetry-smoke cover fuzz-smoke race-partitioned ci
 
 # Coverage floor for `make cover` (total statement coverage, percent,
 # measured under -short so the floor tracks the fast deterministic
@@ -95,16 +95,33 @@ fuzz-smoke:
 	$(GO) test ./internal/chaos -fuzz FuzzChaosWindows -fuzztime 10s -run '^$$'
 	$(GO) test ./internal/metrics -fuzz FuzzTableRoundTrip -fuzztime 10s -run '^$$'
 
-# Warn-only perf regression guard (the CI bench-guard lane): measure
-# fresh candidate records for both committed sets and compare each
-# against its baseline (BENCH_fabric.json, BENCH_core.json) with a
-# generous 3x threshold. Emits GitHub ::warning:: annotations; never
-# fails.
+# Noise-aware perf regression guard (the CI bench-guard lane): measure
+# fresh candidate records for both committed sets — each measurement
+# also appends a SHA-stamped record to BENCH_history.jsonl, growing the
+# trajectory — then judge every benchmark against its committed
+# baseline (BENCH_fabric.json, BENCH_core.json) plus per-benchmark
+# tolerance bands derived from the history's repeated-run variance.
+# Advisory drifts emit ::warning::; regressions beyond the fail band,
+# backed by >=3 same-environment history records, emit ::error:: and
+# make the target fail. Cross-machine numbers stay advisory by
+# construction.
 bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime 10x -out bench-ci.json
 	$(GO) run ./cmd/benchjson -compare bench-ci.json -out BENCH_fabric.json
 	$(GO) run ./cmd/benchjson -set core -benchtime 10x -out bench-core-ci.json
-	$(GO) run ./cmd/benchjson -compare bench-core-ci.json -out BENCH_core.json
+	$(GO) run ./cmd/benchjson -set core -compare bench-core-ci.json -out BENCH_core.json
+
+# Render the per-benchmark ns/op trajectory across the commits recorded
+# in BENCH_history.jsonl, one section per set.
+trend:
+	$(GO) run ./cmd/benchjson -trend
+	$(GO) run ./cmd/benchjson -set core -trend
+
+# Live-dashboard smoke: coarsebench -serve on a quick grid — endpoints
+# healthy and well-formed, clean SIGTERM shutdown, and stdout
+# byte-identical to a serverless run (needs curl + python3).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Race gate for the partitioned engine core: run the engine, fabric
 # and training suites under -race with rack partitioning forced on

@@ -22,24 +22,38 @@
 //     against (e.g. the pre-optimization eager-reshare measurements
 //     recorded when this file was introduced).
 //
+// On top of the snapshot files sits the measurement history
+// (BENCH_history.jsonl by default): every measuring run also appends
+// one JSONL record stamped with the git SHA, so the repo carries the
+// full trajectory, not just the latest point. The history powers two
+// things (see internal/benchhist):
+//
+//   - `-trend` renders the per-benchmark ns/op trajectory across
+//     commits;
+//   - `-compare` derives noise-aware per-benchmark tolerance bands
+//     from the history's repeated-run variance — a benchmark whose
+//     history swings ±30% gets a wide band, one that repeats within 2%
+//     gets a tight one — with separate warn (::warning::, advisory)
+//     and fail (::error::, non-zero exit) bands. ns/op, B/op and
+//     allocs/op are each judged with their own thresholds. Fail-band
+//     enforcement requires history measured in the candidate's own
+//     environment (goarch/cpus/go all matching); with no matching
+//     history the old flat warn-only threshold against the committed
+//     snapshot stands, and context mismatches are reported with both
+//     context blocks so cross-machine numbers are never silently
+//     conflated.
+//
 // Usage:
 //
-//	go run ./cmd/benchjson                # full run, rewrites BENCH_fabric.json
+//	go run ./cmd/benchjson                # full run, rewrites BENCH_fabric.json + appends history
 //	go run ./cmd/benchjson -set core      # engine/queue set, rewrites BENCH_core.json
-//	go run ./cmd/benchjson -benchtime 1x -skip-suite -out /dev/null
+//	go run ./cmd/benchjson -benchtime 1x -skip-suite -history "" -out /dev/null
 //	go run ./cmd/benchjson -compare bench-ci.json
+//	go run ./cmd/benchjson -trend
 //
-// The second form is the CI smoke invocation: it proves every
-// benchmark still compiles and runs without spending CI minutes on
-// stable numbers.
-//
-// The third form is the CI regression guard: it compares a freshly
-// measured candidate file against the committed baseline at -out and
-// emits GitHub `::warning::` annotations for every benchmark whose
-// ns/op grew past -threshold (default 3x — generous on purpose, CI
-// runners are noisy and the baseline may come from different
-// hardware). Compare mode never fails the build: regressions are
-// surfaced for a human to judge, not gated on shared-runner timing.
+// The third form is the CI smoke invocation: it proves every benchmark
+// still compiles and runs without spending CI minutes on stable
+// numbers. The fourth is the CI regression guard.
 package main
 
 import (
@@ -55,30 +69,40 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"coarse/internal/benchhist"
 )
 
-type benchResult struct {
-	Name        string  `json:"name"`
-	Pkg         string  `json:"pkg"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
+const defaultHistory = "BENCH_history.jsonl"
 
-type suiteResult struct {
-	Command     string  `json:"command"`
-	WallSeconds float64 `json:"wall_seconds"`
-}
+func main() {
+	benchtime := flag.String("benchtime", "100x", "value passed to go test -benchtime")
+	set := flag.String("set", "fabric", "benchmark set to run: fabric or core")
+	out := flag.String("out", "", "output path ('-' for stdout); in -compare mode, the baseline; default is the set's committed file")
+	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock measurement")
+	history := flag.String("history", defaultHistory, "JSONL measurement history: measuring runs append to it, -compare derives noise bands from it, -trend renders it ('' disables)")
+	trend := flag.Bool("trend", false, "render the per-benchmark trajectory across the history's records and exit")
+	compare := flag.String("compare", "", "compare the candidate JSON at this path against the baseline at -out (plus the history's noise bands) instead of measuring; exits non-zero only for fail-band regressions backed by same-environment history")
+	threshold := flag.Float64("threshold", 0, "override the flat warn-band ns/op margin in -compare mode (e.g. 3 = warn at 3x; 0 keeps the defaults)")
+	flag.Parse()
 
-type report struct {
-	Schema     int               `json:"schema"`
-	Context    map[string]string `json:"context"`
-	Benchmarks []benchResult     `json:"benchmarks"`
-	Suite      *suiteResult      `json:"suite,omitempty"`
-	// Reference is carried over verbatim from the previous file: a
-	// hand-pinned baseline (see package comment).
-	Reference json.RawMessage `json:"reference,omitempty"`
+	bs, ok := benchSets[*set]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -set %q (want fabric or core)\n", *set)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = bs.out
+	}
+
+	switch {
+	case *trend:
+		os.Exit(runTrend(*history, *set))
+	case *compare != "":
+		os.Exit(runCompare(*out, *compare, *history, *set, *threshold))
+	default:
+		os.Exit(runMeasure(bs, *set, *out, *history, *benchtime, *skipSuite))
+	}
 }
 
 // benchSet describes one committed benchmark record: which packages to
@@ -109,33 +133,8 @@ var benchSets = map[string]benchSet{
 	},
 }
 
-func main() {
-	benchtime := flag.String("benchtime", "100x", "value passed to go test -benchtime")
-	set := flag.String("set", "fabric", "benchmark set to run: fabric or core")
-	out := flag.String("out", "", "output path ('-' for stdout); in -compare mode, the baseline; default is the set's committed file")
-	skipSuite := flag.Bool("skip-suite", false, "skip the quick-suite wall-clock measurement")
-	compare := flag.String("compare", "", "compare the candidate JSON at this path against the baseline at -out instead of measuring; warn-only, always exits 0 unless a file is unreadable")
-	threshold := flag.Float64("threshold", 3.0, "ns/op growth factor that triggers a ::warning:: in -compare mode")
-	flag.Parse()
-
-	bs, ok := benchSets[*set]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchjson: unknown -set %q (want fabric or core)\n", *set)
-		os.Exit(2)
-	}
-	if *out == "" {
-		*out = bs.out
-	}
-
-	if *compare != "" {
-		if err := runCompare(*out, *compare, *threshold); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	rep := report{
+func runMeasure(bs benchSet, set, out, history, benchtime string, skipSuite bool) int {
+	rep := &benchhist.Report{
 		Schema: 1,
 		Context: map[string]string{
 			"goos":   runtime.GOOS,
@@ -145,115 +144,212 @@ func main() {
 		},
 	}
 	// Preserve the pinned reference block across regenerations.
-	if prev, err := os.ReadFile(*out); err == nil {
-		var old report
-		if json.Unmarshal(prev, &old) == nil && len(old.Reference) > 0 {
+	if prev, err := os.ReadFile(out); err == nil {
+		var old benchhist.Report
+		if unmarshalJSON(prev, &old) == nil && len(old.Reference) > 0 {
 			rep.Reference = old.Reference
 		}
 	}
 
 	for _, pkg := range bs.pkgs {
-		results, err := runBench(pkg, bs.pattern, *benchtime)
+		results, err := runBench(pkg, bs.pattern, benchtime)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
-			os.Exit(1)
+			return 1
 		}
 		rep.Benchmarks = append(rep.Benchmarks, results...)
 	}
 
-	if !*skipSuite && bs.suite {
+	if !skipSuite && bs.suite {
 		s, err := runSuite()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: suite: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		rep.Suite = s
 	}
 
-	enc, err := json.MarshalIndent(&rep, "", "  ")
+	enc, err := marshalIndentJSON(rep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 1
 	}
-	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	// Every real measurement also extends the trajectory, unless the
+	// caller opted out (-history ""). The record is stamped with the
+	// current commit so -trend can label the x axis.
+	if history != "" {
+		rec := rep.ToRecord(set, gitSHA(), time.Now().Unix())
+		if err := benchhist.Append(history, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: history:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: appended %s record @%s to %s\n", set, shortSHA(rec.SHA), history)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+	return 0
 }
 
-// runCompare loads the baseline and candidate reports and emits one
-// GitHub workflow-command warning per benchmark whose ns/op grew by at
-// least the threshold factor. It returns an error only for unreadable
-// or unparsable files; timing regressions never fail the build —
-// shared CI runners are far too noisy for a hard gate, which is why
-// the threshold is a generous 3x and the output is `::warning::`.
-func runCompare(basePath, candPath string, threshold float64) error {
-	load := func(path string) (*report, error) {
-		data, err := os.ReadFile(path)
+func runTrend(history, set string) int {
+	if history == "" {
+		history = defaultHistory
+	}
+	recs, err := benchhist.ReadFile(history)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if len(recs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no history at %s (run a measurement first)\n", history)
+		return 1
+	}
+	if err := benchhist.WriteTrend(os.Stdout, recs, set); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// runCompare loads the committed baseline, the candidate, and the
+// measurement history, and judges every overlapping measurement with
+// benchhist's noise-aware bands. Warn-band findings annotate the run
+// (::warning::); fail-band findings — only reachable with enough
+// same-environment history — annotate as ::error:: and make the exit
+// status non-zero, so a genuine regression against a quiet trajectory
+// gates the build while cross-machine or noisy numbers stay advisory.
+func runCompare(basePath, candPath, historyPath, set string, threshold float64) int {
+	base, err := loadReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	cand, err := loadReport(candPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var history []benchhist.Record
+	if historyPath != "" {
+		history, err = benchhist.ReadFile(historyPath)
 		if err != nil {
-			return nil, err
-		}
-		var r report
-		if err := json.Unmarshal(data, &r); err != nil {
-			return nil, fmt.Errorf("%s: %v", path, err)
-		}
-		return &r, nil
-	}
-	base, err := load(basePath)
-	if err != nil {
-		return err
-	}
-	cand, err := load(candPath)
-	if err != nil {
-		return err
-	}
-	if base.Context["cpus"] != cand.Context["cpus"] || base.Context["goarch"] != cand.Context["goarch"] {
-		fmt.Printf("benchjson: baseline context %v differs from candidate %v; cross-environment numbers, warnings are advisory\n",
-			base.Context, cand.Context)
-	}
-	baseline := make(map[string]benchResult, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
-		baseline[b.Pkg+"/"+b.Name] = b
-	}
-	compared, warned := 0, 0
-	for _, c := range cand.Benchmarks {
-		b, ok := baseline[c.Pkg+"/"+c.Name]
-		if !ok || b.NsPerOp <= 0 || c.NsPerOp <= 0 {
-			continue
-		}
-		compared++
-		if ratio := c.NsPerOp / b.NsPerOp; ratio >= threshold {
-			warned++
-			fmt.Printf("::warning title=bench regression (advisory)::%s/%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx >= %.2fx); refresh %s with 'make bench' on a quiet machine if intentional\n",
-				c.Pkg, c.Name, c.NsPerOp, b.NsPerOp, ratio, threshold, basePath)
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
 		}
 	}
-	if base.Suite != nil && cand.Suite != nil && base.Suite.WallSeconds > 0 {
-		compared++
-		if ratio := cand.Suite.WallSeconds / base.Suite.WallSeconds; ratio >= threshold {
-			warned++
-			fmt.Printf("::warning title=suite regression (advisory)::%s: %.1fs vs baseline %.1fs (%.2fx >= %.2fx)\n",
-				cand.Suite.Command, cand.Suite.WallSeconds, base.Suite.WallSeconds, ratio, threshold)
+
+	opt := benchhist.Options{}
+	if threshold > 1 {
+		opt.Time = benchhist.Band{WarnMargin: threshold - 1, FailMargin: 2 * (threshold - 1)}
+	}
+	res := benchhist.Compare(base, cand, history, set, opt)
+
+	if res.ContextMismatch {
+		// The full context blocks, not just a "differs" note: which
+		// axis differs (cpu count? go version? arch?) decides how much
+		// the baseline numbers are worth.
+		fmt.Printf("benchjson: baseline %s measured in a different environment than the candidate; baseline-sourced findings are advisory\n", basePath)
+		fmt.Printf("  baseline context:  %s\n", formatContext(base.Context))
+		fmt.Printf("  candidate context: %s\n", formatContext(cand.Context))
+	}
+
+	fails := 0
+	for _, f := range res.Findings {
+		switch f.Level {
+		case benchhist.LevelFail:
+			fails++
+			fmt.Printf("::error title=bench regression (fail band)::%s %s: %.4g vs %s center %.4g (%.2fx >= %.2fx limit, noise ±%.0f%%); if intentional, refresh %s and the history with 'make bench' and explain in the PR\n",
+				f.Key, f.Metric, f.Value, f.Source, f.Center, f.Ratio, f.Limit, 100*f.Noise, basePath)
+		case benchhist.LevelWarn:
+			fmt.Printf("::warning title=bench regression (advisory)::%s %s: %.4g vs %s center %.4g (%.2fx >= %.2fx limit); refresh %s with 'make bench' on a quiet machine if intentional\n",
+				f.Key, f.Metric, f.Value, f.Source, f.Center, f.Ratio, f.Limit, basePath)
 		}
 	}
-	fmt.Printf("benchjson: compared %d measurement(s) against %s: %d warning(s) at >=%.1fx\n",
-		compared, basePath, warned, threshold)
-	if compared == 0 {
-		fmt.Printf("::warning title=bench guard::no overlapping benchmarks between %s and %s; guard is vacuous\n",
+	fmt.Printf("benchjson: compared %d measurement(s) for set %q (%d same-environment history record(s)): %d warn, %d fail\n",
+		res.Compared, set, res.HistoryUsed, len(res.Findings)-fails, fails)
+	if res.Compared == 0 {
+		fmt.Printf("::warning title=bench guard::no overlapping measurements between %s and %s; guard is vacuous\n",
 			basePath, candPath)
 	}
-	return nil
+	if fails > 0 {
+		return 1
+	}
+	return 0
+}
+
+func unmarshalJSON(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+func marshalIndentJSON(v any) ([]byte, error) {
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}
+
+func loadReport(path string) (*benchhist.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchhist.Report
+	if err := unmarshalJSON(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// formatContext renders a context map with sorted keys, stable enough
+// to read in CI logs.
+func formatContext(ctx map[string]string) string {
+	keys := []string{"goos", "goarch", "cpus", "go"}
+	var parts []string
+	for _, k := range keys {
+		if v, ok := ctx[k]; ok {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	for k, v := range ctx {
+		known := false
+		for _, kk := range keys {
+			if k == kk {
+				known = true
+			}
+		}
+		if !known {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// gitSHA returns the current commit, or "unknown" outside a git
+// checkout — history records stay useful either way.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
 }
 
 // runBench executes `go test -bench` for one package and parses the
 // standard benchmark output lines.
-func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
+func runBench(pkg, pattern, benchtime string) ([]benchhist.Bench, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
 		"-benchtime", benchtime, "-benchmem", "-count", "1", pkg)
 	var buf bytes.Buffer
@@ -262,7 +358,7 @@ func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("%v\n%s", err, buf.String())
 	}
-	var out []benchResult
+	var out []benchhist.Bench
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
 		line := sc.Text()
@@ -274,7 +370,7 @@ func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
 		if len(f) < 4 || f[3] != "ns/op" {
 			continue
 		}
-		r := benchResult{Pkg: strings.TrimPrefix(pkg, "./")}
+		r := benchhist.Bench{Pkg: strings.TrimPrefix(pkg, "./")}
 		r.Name = strings.SplitN(f[0], "-", 2)[0]
 		r.Iterations, _ = strconv.ParseInt(f[1], 10, 64)
 		r.NsPerOp, _ = strconv.ParseFloat(f[2], 64)
@@ -294,7 +390,7 @@ func runBench(pkg, pattern, benchtime string) ([]benchResult, error) {
 // runSuite builds coarsebench and times one serial quick pass — the
 // end-to-end wall-clock number the ROADMAP's "as fast as the hardware
 // allows" goal is tracked by.
-func runSuite() (*suiteResult, error) {
+func runSuite() (*benchhist.Suite, error) {
 	tmp, err := os.MkdirTemp("", "benchjson-*")
 	if err != nil {
 		return nil, err
@@ -313,7 +409,7 @@ func runSuite() (*suiteResult, error) {
 	if err := run.Run(); err != nil {
 		return nil, fmt.Errorf("coarsebench -quick: %v", err)
 	}
-	return &suiteResult{
+	return &benchhist.Suite{
 		Command:     "coarsebench -quick -parallel 1",
 		WallSeconds: time.Since(start).Seconds(),
 	}, nil

@@ -23,15 +23,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"coarse/internal/experiments"
 	"coarse/internal/metrics"
+	"coarse/internal/telemetry/serve"
 )
 
 func main() {
@@ -49,6 +53,9 @@ func run() int {
 		"include per-experiment wall time in output (wall time varies run to run, so output is no longer byte-stable)")
 	traceDir := flag.String("trace-dir", "",
 		"write per-cell telemetry dumps (<id>.telemetry.json) and Perfetto traces (<id>.trace.json) into this directory")
+	serveAddr := flag.String("serve", "",
+		"serve live cell status and telemetry snapshots over HTTP on this address (e.g. :8080) while the grid runs; "+
+			"keeps serving after the run until SIGINT/SIGTERM. Read-only: stdout stays byte-identical")
 	flag.Parse()
 
 	if *list {
@@ -64,6 +71,21 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "coarsebench:", err)
 			return 1
 		}
+	}
+
+	// Live serving: the server observes the runner pools (read-only,
+	// outside the simulations) and forces per-cell telemetry snapshots;
+	// results and stdout stay byte-identical with the server attached.
+	var srv *serve.Server
+	if *serveAddr != "" {
+		srv = serve.New()
+		if err := srv.Start(*serveAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "coarsebench: -serve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "# serving live status on http://%s/ (endpoints: /cells /telemetry/ /bench)\n", srv.Addr())
+		cfg.Observer = srv
+		cfg.Telemetry = true
 	}
 	todo := experiments.All()
 	if *only != "" {
@@ -94,7 +116,13 @@ func run() int {
 		var out []jsonExp
 		for _, e := range todo {
 			start := time.Now()
+			if srv != nil {
+				srv.ExperimentStarted(e.ID, e.Title)
+			}
 			rep, err := runExperiment(e, cfg)
+			if srv != nil {
+				srv.ExperimentFinished(e.ID, tableStrings(rep), errText(err))
+			}
 			je := jsonExp{ID: e.ID, Title: e.Title, Paper: e.Paper}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "coarsebench: %v\n", err)
@@ -120,7 +148,13 @@ func run() int {
 			start := time.Now()
 			fmt.Printf("\n################ %s\n", e.Title)
 			fmt.Printf("# paper: %s\n\n", e.Paper)
+			if srv != nil {
+				srv.ExperimentStarted(e.ID, e.Title)
+			}
 			rep, err := runExperiment(e, cfg)
+			if srv != nil {
+				srv.ExperimentFinished(e.ID, tableStrings(rep), errText(err))
+			}
 			if err != nil {
 				// Keep stdout byte-stable: failures go to stderr and the
 				// run continues with the next experiment.
@@ -140,11 +174,49 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "# suite: %d experiments in %.1fs (parallel=%d)\n",
 			len(todo), time.Since(suiteStart).Seconds(), *parallel)
 	}
+	status := 0
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "coarsebench: %d experiment(s) failed\n", failed)
-		return 1
+		status = 1
 	}
-	return 0
+
+	// With -serve, keep the dashboard up after the grid so results stay
+	// inspectable; SIGINT/SIGTERM triggers a graceful shutdown.
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "# grid complete; still serving on http://%s/ — Ctrl-C to exit\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "coarsebench: shutdown:", err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	return status
+}
+
+// tableStrings renders a report's tables for the live /bench endpoint;
+// nil-safe for failed experiments.
+func tableStrings(rep *experiments.Report) []string {
+	if rep == nil {
+		return nil
+	}
+	out := make([]string, 0, len(rep.Tables))
+	for _, tab := range rep.Tables {
+		out = append(out, tab.String())
+	}
+	return out
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // runExperiment regenerates one experiment, converting a panic anywhere

@@ -7,60 +7,330 @@
 //
 //	coarsestat out.json
 //	coarsestat -top 10 runs/*.telemetry.json
+//	coarsestat -json out.json              # machine-readable stats
+//	coarsestat -diff runA/ runB/           # cross-run regression report
+//	coarsestat -diff -json a.json b.json
+//
+// -diff compares two dumps (or two -trace-dir directories, paired by
+// matching *.telemetry.json filenames) and reports which links, device
+// tiers and workers regressed, sorted by magnitude of the change.
+//
+// Missing, corrupt or empty dumps are a hard error: clear message on
+// stderr and a non-zero exit, so scripted pipelines fail loudly instead
+// of reporting statistics about nothing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	top := flag.Int("top", 5, "how many links to list, most saturated first")
 	csvOut := flag.String("csv", "", "also write the time series as wide CSV to this path (single dump)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	diff := flag.Bool("diff", false, "compare two dumps or two dump directories: coarsestat -diff A B")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: coarsestat -diff [-json] [-top N] A B  (each a dump file or a -trace-dir directory)")
+			return 2
+		}
+		return runDiff(flag.Arg(0), flag.Arg(1), *top, *asJSON)
+	}
+
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: coarsestat [-top N] [-csv out.csv] dump.json...")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: coarsestat [-top N] [-csv out.csv] [-json] dump.json...")
+		return 2
 	}
 	if *csvOut != "" && flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "coarsestat: -csv takes a single dump")
-		os.Exit(2)
+		return 2
 	}
+
+	var jsonOut []dumpJSON
 	for i, path := range flag.Args() {
-		if i > 0 {
-			fmt.Println()
-		}
-		f, err := os.Open(path)
+		d, err := loadDump(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coarsestat:", err)
-			os.Exit(1)
+			return 1
 		}
-		d, err := telemetry.ReadDump(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "coarsestat:", err)
-			os.Exit(1)
+		if *asJSON {
+			jsonOut = append(jsonOut, statsJSON(d, path))
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			report(d, path, *top)
 		}
-		report(d, path, *top)
 		if *csvOut != "" {
 			out, err := os.Create(*csvOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "coarsestat:", err)
-				os.Exit(1)
+				return 1
 			}
 			err = d.WriteCSV(out)
 			out.Close()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "coarsestat:", err)
-				os.Exit(1)
+				return 1
 			}
-			fmt.Printf("\ncsv: %d series x %d samples -> %s\n", len(d.Series), len(d.TimesNS), *csvOut)
+			if !*asJSON {
+				fmt.Printf("\ncsv: %d series x %d samples -> %s\n", len(d.Series), len(d.TimesNS), *csvOut)
+			}
 		}
 	}
+	if *asJSON {
+		if err := writeJSON(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "coarsestat:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// loadDump reads and validates one dump; every failure mode names the
+// path so batch invocations point at the offending file.
+func loadDump(path string) (*telemetry.Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := telemetry.ReadDump(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: corrupt dump: %v", path, err)
+	}
+	if len(d.Series) == 0 || len(d.TimesNS) == 0 {
+		return nil, fmt.Errorf("%s: empty dump (no series or samples)", path)
+	}
+	return d, nil
+}
+
+// --- machine-readable single-dump stats -----------------------------
+
+type dumpJSON struct {
+	Path        string                 `json:"path"`
+	Labels      []telemetry.Label      `json:"labels,omitempty"`
+	TotalTimeNS sim.Time               `json:"total_time_ns"`
+	Samples     int                    `json:"samples"`
+	PeriodNS    sim.Time               `json:"period_ns"`
+	Links       []telemetry.LinkStat   `json:"links,omitempty"`
+	Workers     []telemetry.WorkerStat `json:"workers,omitempty"`
+}
+
+func statsJSON(d *telemetry.Dump, path string) dumpJSON {
+	return dumpJSON{
+		Path:        path,
+		Labels:      d.Labels,
+		TotalTimeNS: d.TotalTimeNS,
+		Samples:     len(d.TimesNS),
+		PeriodNS:    d.PeriodNS,
+		Links:       d.LinkStats(),
+		Workers:     d.WorkerStats(),
+	}
+}
+
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+// --- cross-run diff -------------------------------------------------
+
+type diffPair struct {
+	Name  string `json:"cell"`
+	PathA string `json:"path_a"`
+	PathB string `json:"path_b"`
+}
+
+type diffJSON struct {
+	diffPair
+	Diff *telemetry.DumpDiff `json:"diff"`
+}
+
+func runDiff(a, b string, top int, asJSON bool) int {
+	pairs, onlyA, onlyB, err := diffPairs(a, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coarsestat:", err)
+		return 1
+	}
+	for _, name := range onlyA {
+		fmt.Fprintf(os.Stderr, "coarsestat: cell %s only in %s — skipping\n", name, a)
+	}
+	for _, name := range onlyB {
+		fmt.Fprintf(os.Stderr, "coarsestat: cell %s only in %s — skipping\n", name, b)
+	}
+
+	var out []diffJSON
+	for i, p := range pairs {
+		da, err := loadDump(p.PathA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsestat:", err)
+			return 1
+		}
+		db, err := loadDump(p.PathB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsestat:", err)
+			return 1
+		}
+		d := telemetry.DiffDumps(da, db)
+		if asJSON {
+			out = append(out, diffJSON{diffPair: p, Diff: d})
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			reportDiff(p, d, top)
+		}
+	}
+	if asJSON {
+		if err := writeJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "coarsestat:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// diffPairs resolves the A/B operands: two files form a single pair,
+// two directories are joined on their *.telemetry.json basenames.
+func diffPairs(a, b string) (pairs []diffPair, onlyA, onlyB []string, err error) {
+	ia, err := os.Stat(a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ib, err := os.Stat(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if ia.IsDir() != ib.IsDir() {
+		return nil, nil, nil, fmt.Errorf("-diff operands must both be files or both be directories (%s vs %s)", a, b)
+	}
+	if !ia.IsDir() {
+		name := filepath.Base(a)
+		if name != filepath.Base(b) {
+			name = filepath.Base(a) + " vs " + filepath.Base(b)
+		}
+		return []diffPair{{Name: name, PathA: a, PathB: b}}, nil, nil, nil
+	}
+
+	listDumps := func(dir string) (map[string]string, error) {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.telemetry.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no *.telemetry.json dumps (is this a -trace-dir output?)", dir)
+		}
+		byName := make(map[string]string, len(matches))
+		for _, m := range matches {
+			byName[filepath.Base(m)] = m
+		}
+		return byName, nil
+	}
+	dumpsA, err := listDumps(a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dumpsB, err := listDumps(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for name, pa := range dumpsA {
+		if pb, ok := dumpsB[name]; ok {
+			pairs = append(pairs, diffPair{Name: name, PathA: pa, PathB: pb})
+		} else {
+			onlyA = append(onlyA, name)
+		}
+	}
+	for name := range dumpsB {
+		if _, ok := dumpsA[name]; !ok {
+			onlyB = append(onlyB, name)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	if len(pairs) == 0 {
+		return nil, nil, nil, fmt.Errorf("no common *.telemetry.json dumps between %s and %s", a, b)
+	}
+	return pairs, onlyA, onlyB, nil
+}
+
+func reportDiff(p diffPair, d *telemetry.DumpDiff, top int) {
+	fmt.Printf("== %s ==\n", p.Name)
+	fmt.Printf("  A %s\n  B %s\n", p.PathA, p.PathB)
+	fmt.Printf("  total time  %v -> %v  (%s)\n\n", d.TotalTimeA, d.TotalTimeB,
+		fmtPct(relDelta(d.TotalTimeA.ToSeconds(), d.TotalTimeB.ToSeconds())))
+
+	if len(d.Links) > 0 {
+		fmt.Printf("links (by |Δ mean util|, B - A):\n")
+		fmt.Printf("  %-34s %8s %8s %8s %12s %12s\n", "link", "Δutil", "meanA", "meanB", "rateA", "rateB")
+		for i, l := range d.Links {
+			if i == top {
+				fmt.Printf("  ... %d more\n", len(d.Links)-top)
+				break
+			}
+			fmt.Printf("  %-34s %+7.1f%% %7.1f%% %7.1f%% %11s/s %11s/s%s\n",
+				l.Link, 100*l.Delta, 100*l.MeanUtilA, 100*l.MeanUtilB,
+				fmtBytes(l.RateA), fmtBytes(l.RateB), missingSide(l.InA, l.InB))
+		}
+		fmt.Println()
+	}
+
+	if len(d.Tiers) > 0 {
+		fmt.Printf("tiers (link classes, by |Δ mean util|):\n")
+		fmt.Printf("  %-20s %6s %8s %8s %8s\n", "tier", "links", "Δutil", "meanA", "meanB")
+		for _, t := range d.Tiers {
+			fmt.Printf("  %-20s %6d %+7.1f%% %7.1f%% %7.1f%%\n",
+				t.Tier, t.Links, 100*t.Delta, 100*t.MeanUtilA, 100*t.MeanUtilB)
+		}
+		fmt.Println()
+	}
+
+	if len(d.Workers) > 0 {
+		fmt.Printf("workers (by |Δ stall|, B - A):\n")
+		fmt.Printf("  %-8s %14s %14s %14s %7s %7s\n", "worker", "Δstall", "stallA", "stallB", "itersA", "itersB")
+		for _, w := range d.Workers {
+			fmt.Printf("  %-8d %+14v %14v %14v %7.0f %7.0f%s\n",
+				w.Worker, w.Delta, w.StallA, w.StallB, w.ItersA, w.ItersB, missingSide(w.InA, w.InB))
+		}
+	}
+}
+
+func missingSide(inA, inB bool) string {
+	switch {
+	case !inA:
+		return "  (only in B)"
+	case !inB:
+		return "  (only in A)"
+	}
+	return ""
+}
+
+func relDelta(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a
+}
+
+func fmtPct(f float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*f)
 }
 
 func report(d *telemetry.Dump, path string, top int) {

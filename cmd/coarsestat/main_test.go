@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func touch(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffPairsDirectories(t *testing.T) {
+	a := t.TempDir()
+	b := t.TempDir()
+	touch(t, filepath.Join(a, "cell1.telemetry.json"))
+	touch(t, filepath.Join(a, "cell2.telemetry.json"))
+	touch(t, filepath.Join(a, "cell1.trace.json")) // not a dump; ignored
+	touch(t, filepath.Join(b, "cell2.telemetry.json"))
+	touch(t, filepath.Join(b, "cell3.telemetry.json"))
+
+	pairs, onlyA, onlyB, err := diffPairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Name != "cell2.telemetry.json" {
+		t.Fatalf("pairs: %+v", pairs)
+	}
+	if len(onlyA) != 1 || onlyA[0] != "cell1.telemetry.json" {
+		t.Fatalf("onlyA: %v", onlyA)
+	}
+	if len(onlyB) != 1 || onlyB[0] != "cell3.telemetry.json" {
+		t.Fatalf("onlyB: %v", onlyB)
+	}
+}
+
+func TestDiffPairsNoCommonDumps(t *testing.T) {
+	a := t.TempDir()
+	b := t.TempDir()
+	touch(t, filepath.Join(a, "x.telemetry.json"))
+	touch(t, filepath.Join(b, "y.telemetry.json"))
+	if _, _, _, err := diffPairs(a, b); err == nil ||
+		!strings.Contains(err.Error(), "no common") {
+		t.Fatalf("want no-common error, got %v", err)
+	}
+}
+
+func TestDiffPairsMixedOperands(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "dump.telemetry.json")
+	touch(t, file)
+	if _, _, _, err := diffPairs(dir, file); err == nil ||
+		!strings.Contains(err.Error(), "both") {
+		t.Fatalf("want mixed-operand error, got %v", err)
+	}
+}
+
+func TestDiffPairsFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	touch(t, a)
+	touch(t, b)
+	pairs, _, _, err := diffPairs(a, b)
+	if err != nil || len(pairs) != 1 {
+		t.Fatalf("pairs %+v err %v", pairs, err)
+	}
+	if pairs[0].Name != "a.json vs b.json" {
+		t.Fatalf("pair name: %q", pairs[0].Name)
+	}
+}
+
+func TestLoadDumpErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadDump(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing dump: want error")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDump(corrupt); err == nil ||
+		!strings.Contains(err.Error(), "corrupt dump") {
+		t.Fatalf("corrupt dump: got %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"series":[],"times_ns":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDump(empty); err == nil ||
+		!strings.Contains(err.Error(), "empty dump") {
+		t.Fatalf("empty dump: got %v", err)
+	}
+}

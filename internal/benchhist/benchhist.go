@@ -1,0 +1,511 @@
+// Package benchhist is the performance-trajectory layer behind
+// cmd/benchjson: benchmark records appended per PR to a JSONL history
+// file, a noise-aware comparator that derives per-benchmark tolerance
+// bands from the history's own repeated-run variance, and a trend
+// renderer that shows how each benchmark moved across commits.
+//
+// The committed BENCH_*.json files pin one snapshot each; the history
+// file (BENCH_history.jsonl) keeps every snapshot, so a regression is
+// judged against the *distribution* of recent measurements instead of
+// a single possibly-lucky baseline. A benchmark whose history swings
+// ±30% run to run earns a wide band; one that repeats within 2% earns
+// a tight one — so noisy benchmarks stay green while a genuine 1.5x
+// drift on a stable benchmark is flagged, which a flat 3x threshold
+// can never do.
+//
+// Comparison verdicts come in two bands: warn (advisory, a ::warning::
+// annotation in CI) and fail (the candidate is outside any plausible
+// noise envelope; cmd/benchjson exits non-zero). Fail-band enforcement
+// requires history measured in the *same* environment as the
+// candidate (goarch/cpus/go version all matching): cross-machine
+// numbers are only ever advisory, because a laptop baseline says
+// nothing hard about a CI runner.
+package benchhist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Bench is one benchmark measurement. The JSON shape matches the
+// entries inside the committed BENCH_*.json files.
+type Bench struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Key identifies the benchmark across records and reports.
+func (b Bench) Key() string { return b.Pkg + "/" + b.Name }
+
+// Suite is the end-to-end wall-clock measurement that rides along with
+// the fabric set.
+type Suite struct {
+	Command     string  `json:"command"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Report is the committed snapshot format (BENCH_fabric.json,
+// BENCH_core.json): context + benchmarks + optional suite timing, plus
+// a hand-pinned reference block benchjson preserves verbatim.
+type Report struct {
+	Schema     int               `json:"schema"`
+	Context    map[string]string `json:"context"`
+	Benchmarks []Bench           `json:"benchmarks"`
+	Suite      *Suite            `json:"suite,omitempty"`
+	Reference  json.RawMessage   `json:"reference,omitempty"`
+}
+
+// Record is one history entry: a Report snapshot stamped with the
+// commit and set it was measured at. One JSON object per line in the
+// history file.
+type Record struct {
+	Schema     int               `json:"schema"`
+	SHA        string            `json:"sha"`
+	Set        string            `json:"set"`
+	UnixTime   int64             `json:"unix_time,omitempty"`
+	Context    map[string]string `json:"context"`
+	Benchmarks []Bench           `json:"benchmarks"`
+	Suite      *Suite            `json:"suite,omitempty"`
+}
+
+// ToRecord stamps a report into a history record.
+func (r *Report) ToRecord(set, sha string, unixTime int64) Record {
+	return Record{
+		Schema:     1,
+		SHA:        sha,
+		Set:        set,
+		UnixTime:   unixTime,
+		Context:    r.Context,
+		Benchmarks: r.Benchmarks,
+		Suite:      r.Suite,
+	}
+}
+
+// Append writes one record as a single JSON line at the end of the
+// history file, creating it when absent.
+func Append(path string, rec Record) error {
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(enc, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// Read parses a JSONL history stream. Blank lines are skipped; a
+// malformed line is a hard error naming its line number, because a
+// silently-dropped record would quietly re-widen every tolerance band.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("benchhist: line %d: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadFile reads a history file. A missing file is not an error: it
+// returns an empty history, so the comparator degrades to
+// baseline-only mode.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// ContextMatches reports whether two measurement contexts are
+// comparable hardware-for-hardware: same goarch, cpu count and Go
+// version. Only matching contexts feed the fail band.
+func ContextMatches(a, b map[string]string) bool {
+	for _, k := range []string{"goarch", "cpus", "go"} {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Level is a comparison verdict band.
+type Level int
+
+const (
+	LevelOK   Level = iota
+	LevelWarn       // advisory: outside the warn band
+	LevelFail       // outside any plausible noise envelope; gate-worthy
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelWarn:
+		return "warn"
+	case LevelFail:
+		return "fail"
+	}
+	return "ok"
+}
+
+// Finding is one flagged measurement.
+type Finding struct {
+	Level  Level
+	Key    string  // pkg/BenchmarkName, or the suite command
+	Metric string  // "ns/op", "B/op", "allocs/op", "suite-seconds"
+	Value  float64 // candidate measurement
+	Center float64 // comparison center (history median or baseline)
+	Ratio  float64 // Value / Center
+	Limit  float64 // the ratio limit that was crossed
+	Noise  float64 // relative spread of the history samples (0 without history)
+	Source string  // "history(n=K)" or "baseline"
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s %s %s: %.4g vs %s center %.4g (%.2fx >= %.2fx limit, noise ±%.0f%%)",
+		f.Level, f.Key, f.Metric, f.Value, f.Source, f.Center, f.Ratio, f.Limit, 100*f.Noise)
+}
+
+// Band holds the flat floor margins for one metric kind: the warn/fail
+// ratio limits are 1 + max(margin, noiseMult·noise), so the floor
+// applies to perfectly stable benchmarks and the band widens with
+// measured run-to-run spread.
+type Band struct {
+	WarnMargin float64
+	FailMargin float64
+}
+
+// Options tunes the comparator. The zero value selects the defaults.
+type Options struct {
+	// Tail is how many of the newest matching history records feed the
+	// tolerance bands (default 20).
+	Tail int
+	// MinSamples is how many matching history samples a benchmark needs
+	// before history (rather than the committed baseline) judges it
+	// (default 3 — fewer can't distinguish noise from drift).
+	MinSamples int
+	// NoiseMult scales the measured relative spread into the band
+	// margin (default 4: the limit sits 4 spreads above center).
+	NoiseMult float64
+	// Time/Bytes/Allocs are the per-metric flat floors. Defaults: time
+	// warn 1.5x / fail 3x; bytes and allocs (deterministic counters)
+	// warn 1.25x / fail 2x.
+	Time, Bytes, Allocs Band
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tail <= 0 {
+		o.Tail = 20
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	if o.NoiseMult <= 0 {
+		o.NoiseMult = 4
+	}
+	if o.Time == (Band{}) {
+		o.Time = Band{WarnMargin: 0.5, FailMargin: 2.0}
+	}
+	if o.Bytes == (Band{}) {
+		o.Bytes = Band{WarnMargin: 0.25, FailMargin: 1.0}
+	}
+	if o.Allocs == (Band{}) {
+		o.Allocs = Band{WarnMargin: 0.25, FailMargin: 1.0}
+	}
+	return o
+}
+
+// Result is a full comparison outcome.
+type Result struct {
+	// Findings holds every warn- or fail-band measurement, fails first,
+	// then by descending ratio.
+	Findings []Finding
+	// Compared counts measurements that had a comparison point.
+	Compared int
+	// HistoryUsed counts history records that matched the candidate's
+	// set and context and fed the tolerance bands.
+	HistoryUsed int
+	// ContextMismatch is set when the committed baseline was measured
+	// in a different environment than the candidate; baseline-sourced
+	// findings are then advisory at best.
+	ContextMismatch bool
+}
+
+// MaxLevel returns the most severe finding level.
+func (r Result) MaxLevel() Level {
+	max := LevelOK
+	for _, f := range r.Findings {
+		if f.Level > max {
+			max = f.Level
+		}
+	}
+	return max
+}
+
+// samples is one benchmark metric's history.
+type samples struct{ vals []float64 }
+
+// centerSpread returns the median and a robust relative spread (median
+// absolute deviation from the median, scaled by the median). The
+// median resists the single garbage run a mean would chase.
+func centerSpread(vals []float64) (center, spread float64) {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	center = s[len(s)/2]
+	if len(s)%2 == 0 {
+		center = (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	if center <= 0 {
+		return center, 0
+	}
+	dev := make([]float64, len(s))
+	for i, v := range s {
+		dev[i] = math.Abs(v - center)
+	}
+	sort.Float64s(dev)
+	mad := dev[len(dev)/2]
+	if len(dev)%2 == 0 {
+		mad = (dev[len(dev)/2-1] + dev[len(dev)/2]) / 2
+	}
+	// 1.4826 rescales MAD to a normal-equivalent standard deviation.
+	return center, 1.4826 * mad / center
+}
+
+// Compare judges a candidate report against the committed baseline and
+// the measurement history. History that matches the candidate's set
+// and context drives noise-aware warn/fail bands; benchmarks without
+// enough matching history fall back to the committed baseline,
+// warn-only (a single cross-or-same-machine point cannot support a
+// hard gate).
+func Compare(baseline, cand *Report, history []Record, set string, opt Options) Result {
+	opt = opt.withDefaults()
+	var res Result
+
+	// Gather matching history samples per benchmark metric.
+	matching := make([]Record, 0, len(history))
+	for _, rec := range history {
+		if rec.Set == set && ContextMatches(rec.Context, cand.Context) {
+			matching = append(matching, rec)
+		}
+	}
+	if len(matching) > opt.Tail {
+		matching = matching[len(matching)-opt.Tail:]
+	}
+	res.HistoryUsed = len(matching)
+
+	hist := map[string]*[3]samples{} // key -> ns, bytes, allocs
+	var suiteHist samples
+	for _, rec := range matching {
+		for _, b := range rec.Benchmarks {
+			e := hist[b.Key()]
+			if e == nil {
+				e = &[3]samples{}
+				hist[b.Key()] = e
+			}
+			e[0].vals = append(e[0].vals, b.NsPerOp)
+			e[1].vals = append(e[1].vals, float64(b.BytesPerOp))
+			e[2].vals = append(e[2].vals, float64(b.AllocsPerOp))
+		}
+		if rec.Suite != nil {
+			suiteHist.vals = append(suiteHist.vals, rec.Suite.WallSeconds)
+		}
+	}
+
+	base := map[string]Bench{}
+	if baseline != nil {
+		for _, b := range baseline.Benchmarks {
+			base[b.Key()] = b
+		}
+		res.ContextMismatch = !ContextMatches(baseline.Context, cand.Context)
+	}
+
+	// judge one metric of one benchmark.
+	judge := func(key, metric string, cand float64, histSamples []float64, baseVal float64, band Band) {
+		if cand <= 0 {
+			return
+		}
+		var f Finding
+		if len(histSamples) >= opt.MinSamples {
+			center, noise := centerSpread(histSamples)
+			if center <= 0 {
+				return
+			}
+			res.Compared++
+			ratio := cand / center
+			warnLimit := 1 + math.Max(band.WarnMargin, opt.NoiseMult*noise)
+			failLimit := 1 + math.Max(band.FailMargin, 2*opt.NoiseMult*noise)
+			f = Finding{Key: key, Metric: metric, Value: cand, Center: center,
+				Ratio: ratio, Noise: noise, Source: fmt.Sprintf("history(n=%d)", len(histSamples))}
+			switch {
+			case ratio >= failLimit:
+				f.Level, f.Limit = LevelFail, failLimit
+			case ratio >= warnLimit:
+				f.Level, f.Limit = LevelWarn, warnLimit
+			default:
+				return
+			}
+		} else {
+			if baseVal <= 0 {
+				return
+			}
+			res.Compared++
+			ratio := cand / baseVal
+			warnLimit := 1 + band.WarnMargin
+			if metric == "ns/op" || metric == "suite-seconds" {
+				// Without history the old flat 3x advisory threshold
+				// stands for timing: a single baseline point plus CI
+				// jitter can't support anything tighter.
+				warnLimit = 3.0
+			}
+			if ratio < warnLimit {
+				return
+			}
+			f = Finding{Level: LevelWarn, Key: key, Metric: metric, Value: cand,
+				Center: baseVal, Ratio: ratio, Limit: warnLimit, Source: "baseline"}
+		}
+		res.Findings = append(res.Findings, f)
+	}
+
+	for _, c := range cand.Benchmarks {
+		key := c.Key()
+		var h *[3]samples
+		if e, ok := hist[key]; ok {
+			h = e
+		} else {
+			h = &[3]samples{}
+		}
+		b := base[key]
+		judge(key, "ns/op", c.NsPerOp, h[0].vals, b.NsPerOp, opt.Time)
+		judge(key, "B/op", float64(c.BytesPerOp), h[1].vals, float64(b.BytesPerOp), opt.Bytes)
+		judge(key, "allocs/op", float64(c.AllocsPerOp), h[2].vals, float64(b.AllocsPerOp), opt.Allocs)
+	}
+	if cand.Suite != nil {
+		var baseSuite float64
+		if baseline != nil && baseline.Suite != nil {
+			baseSuite = baseline.Suite.WallSeconds
+		}
+		judge(cand.Suite.Command, "suite-seconds", cand.Suite.WallSeconds, suiteHist.vals, baseSuite, opt.Time)
+	}
+
+	sort.SliceStable(res.Findings, func(i, j int) bool {
+		if res.Findings[i].Level != res.Findings[j].Level {
+			return res.Findings[i].Level > res.Findings[j].Level
+		}
+		return res.Findings[i].Ratio > res.Findings[j].Ratio
+	})
+	return res
+}
+
+// WriteTrend renders the per-benchmark trajectory across the history's
+// records (oldest first): one block per benchmark with ns/op per
+// commit and the step-to-step delta, so "when did this get slow" is
+// answered by reading down a column. Records from other sets are
+// ignored; records from other contexts are marked, not hidden —
+// cross-machine points still show where the line moved.
+func WriteTrend(w io.Writer, history []Record, set string) error {
+	var recs []Record
+	for _, r := range history {
+		if r.Set == set {
+			recs = append(recs, r)
+		}
+	}
+	if len(recs) == 0 {
+		_, err := fmt.Fprintf(w, "benchhist: no records for set %q\n", set)
+		return err
+	}
+	latest := recs[len(recs)-1].Context
+
+	keys := map[string]bool{}
+	for _, r := range recs {
+		for _, b := range r.Benchmarks {
+			keys[b.Key()] = true
+		}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "trend for set %q: %d record(s)\n", set, len(recs))
+	row := func(sha string, v, prev float64, foreign bool) {
+		mark := ""
+		if foreign {
+			mark = "  [other env]"
+		}
+		if prev > 0 && v > 0 {
+			fmt.Fprintf(w, "  %-12s %14.4g  %+7.1f%%%s\n", sha, v, 100*(v/prev-1), mark)
+		} else {
+			fmt.Fprintf(w, "  %-12s %14.4g        —%s\n", sha, v, mark)
+		}
+	}
+	for _, key := range sorted {
+		fmt.Fprintf(w, "\n%s (ns/op)\n", key)
+		prev := 0.0
+		for _, r := range recs {
+			for _, b := range r.Benchmarks {
+				if b.Key() != key {
+					continue
+				}
+				row(shortSHA(r.SHA), b.NsPerOp, prev, !ContextMatches(r.Context, latest))
+				prev = b.NsPerOp
+			}
+		}
+	}
+	hasSuite := false
+	prev := 0.0
+	for _, r := range recs {
+		if r.Suite == nil {
+			continue
+		}
+		if !hasSuite {
+			fmt.Fprintf(w, "\n%s (seconds)\n", r.Suite.Command)
+			hasSuite = true
+		}
+		row(shortSHA(r.SHA), r.Suite.WallSeconds, prev, !ContextMatches(r.Context, latest))
+		prev = r.Suite.WallSeconds
+	}
+	return nil
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	if sha == "" {
+		return "(unknown)"
+	}
+	return sha
+}

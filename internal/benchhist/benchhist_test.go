@@ -1,0 +1,246 @@
+package benchhist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ctx() map[string]string {
+	return map[string]string{"goos": "linux", "goarch": "amd64", "cpus": "8", "go": "go1.22.0"}
+}
+
+func otherCtx() map[string]string {
+	return map[string]string{"goos": "linux", "goarch": "arm64", "cpus": "2", "go": "go1.22.0"}
+}
+
+// mkHistory builds n records for one benchmark whose ns/op comes from
+// vals[i]; bytes/allocs stay constant unless overridden.
+func mkHistory(vals []float64, context map[string]string) []Record {
+	var recs []Record
+	for i, v := range vals {
+		recs = append(recs, Record{
+			Schema:  1,
+			SHA:     fmt.Sprintf("sha%04d", i),
+			Set:     "fabric",
+			Context: context,
+			Benchmarks: []Bench{
+				{Name: "BenchmarkIncast", Pkg: "internal/fabric", NsPerOp: v, BytesPerOp: 1024, AllocsPerOp: 10},
+			},
+			Suite: &Suite{Command: "coarsebench -quick -parallel 1", WallSeconds: 3.0 + float64(i)*0.01},
+		})
+	}
+	return recs
+}
+
+func candidate(ns float64, bytesOp, allocs int64) *Report {
+	return &Report{
+		Schema:  1,
+		Context: ctx(),
+		Benchmarks: []Bench{
+			{Name: "BenchmarkIncast", Pkg: "internal/fabric", NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocs},
+		},
+	}
+}
+
+func baseline(ns float64) *Report {
+	r := candidate(ns, 1024, 10)
+	return r
+}
+
+func TestStableHistoryTightBand(t *testing.T) {
+	// A benchmark that repeats within ~1% earns a tight band: +10% is
+	// still green (floor margin is 50%), but +60% warns and +4x fails.
+	hist := mkHistory([]float64{1000, 1005, 995, 1002, 998}, ctx())
+
+	res := Compare(baseline(1000), candidate(1100, 1024, 10), hist, "fabric", Options{})
+	if got := res.MaxLevel(); got != LevelOK {
+		t.Fatalf("stable +10%% flagged %v: %+v", got, res.Findings)
+	}
+	if res.HistoryUsed != 5 {
+		t.Fatalf("HistoryUsed = %d, want 5", res.HistoryUsed)
+	}
+
+	res = Compare(baseline(1000), candidate(1600, 1024, 10), hist, "fabric", Options{})
+	if got := res.MaxLevel(); got != LevelWarn {
+		t.Fatalf("stable +60%% level %v, want warn: %+v", got, res.Findings)
+	}
+
+	res = Compare(baseline(1000), candidate(4000, 1024, 10), hist, "fabric", Options{})
+	if got := res.MaxLevel(); got != LevelFail {
+		t.Fatalf("stable 4x level %v, want fail: %+v", got, res.Findings)
+	}
+	f := res.Findings[0]
+	if f.Metric != "ns/op" || !strings.HasPrefix(f.Source, "history") {
+		t.Fatalf("unexpected finding %+v", f)
+	}
+}
+
+func TestNoisyHistoryWideBand(t *testing.T) {
+	// ±35% run-to-run spread: a 1.6x candidate is inside the noise
+	// envelope and must stay green, where the stable history warns.
+	hist := mkHistory([]float64{700, 1350, 900, 1300, 750, 1250, 800}, ctx())
+	res := Compare(baseline(1000), candidate(1600, 1024, 10), hist, "fabric", Options{})
+	for _, f := range res.Findings {
+		if f.Metric == "ns/op" {
+			t.Fatalf("noisy-but-stable benchmark flagged: %+v", f)
+		}
+	}
+}
+
+func TestDriftingRegressionFails(t *testing.T) {
+	// Low-noise history around 1000; candidate at 3.5x is a genuine
+	// regression and must land in the fail band.
+	hist := mkHistory([]float64{990, 1010, 1000, 1005, 995, 1008}, ctx())
+	res := Compare(baseline(1000), candidate(3500, 1024, 10), hist, "fabric", Options{})
+	if res.MaxLevel() != LevelFail {
+		t.Fatalf("3.5x on stable history: level %v, want fail: %+v", res.MaxLevel(), res.Findings)
+	}
+}
+
+func TestBytesAndAllocsBands(t *testing.T) {
+	hist := mkHistory([]float64{1000, 1000, 1000, 1000}, ctx())
+
+	// +30% bytes/op warns (floor 25%), 2.5x allocs fails (floor 2x).
+	res := Compare(baseline(1000), candidate(1000, 1331, 25), hist, "fabric", Options{})
+	var gotBytes, gotAllocs *Finding
+	for i := range res.Findings {
+		switch res.Findings[i].Metric {
+		case "B/op":
+			gotBytes = &res.Findings[i]
+		case "allocs/op":
+			gotAllocs = &res.Findings[i]
+		}
+	}
+	if gotBytes == nil || gotBytes.Level != LevelWarn {
+		t.Fatalf("bytes growth not warned: %+v", res.Findings)
+	}
+	if gotAllocs == nil || gotAllocs.Level != LevelFail {
+		t.Fatalf("allocs 2.5x not failed: %+v", res.Findings)
+	}
+	// Fails sort before warns.
+	if res.Findings[0].Level != LevelFail {
+		t.Fatalf("findings not sorted fails-first: %+v", res.Findings)
+	}
+}
+
+func TestCrossEnvironmentHistoryIgnored(t *testing.T) {
+	// History from different hardware must not feed the fail band: a
+	// 4x candidate falls back to the baseline comparison, warn-only.
+	hist := mkHistory([]float64{1000, 1001, 999, 1000, 1002}, otherCtx())
+	res := Compare(baseline(1000), candidate(4000, 1024, 10), hist, "fabric", Options{})
+	if res.HistoryUsed != 0 {
+		t.Fatalf("foreign-context history used: %d", res.HistoryUsed)
+	}
+	if res.MaxLevel() != LevelWarn {
+		t.Fatalf("cross-env 4x level %v, want warn (advisory only): %+v", res.MaxLevel(), res.Findings)
+	}
+	if res.Findings[0].Source != "baseline" {
+		t.Fatalf("finding source %q, want baseline", res.Findings[0].Source)
+	}
+}
+
+func TestOtherSetIgnored(t *testing.T) {
+	hist := mkHistory([]float64{1, 1, 1, 1}, ctx()) // would fail anything
+	res := Compare(baseline(1000), candidate(1000, 1024, 10), hist, "core", Options{})
+	if res.HistoryUsed != 0 || res.MaxLevel() != LevelOK {
+		t.Fatalf("records from another set leaked into comparison: %+v", res)
+	}
+}
+
+func TestTooFewSamplesFallsBackToBaseline(t *testing.T) {
+	hist := mkHistory([]float64{1000, 1000}, ctx()) // below MinSamples=3
+	res := Compare(baseline(1000), candidate(4000, 1024, 10), hist, "fabric", Options{})
+	if res.MaxLevel() != LevelFail {
+		// Fine: should not fail without history...
+		for _, f := range res.Findings {
+			if f.Metric == "ns/op" && f.Source != "baseline" {
+				t.Fatalf("ns/op judged by %q with only 2 samples", f.Source)
+			}
+		}
+	} else {
+		t.Fatalf("fail band reached without enough history: %+v", res.Findings)
+	}
+}
+
+func TestSuiteJudged(t *testing.T) {
+	hist := mkHistory([]float64{1000, 1000, 1000, 1000}, ctx())
+	cand := candidate(1000, 1024, 10)
+	cand.Suite = &Suite{Command: "coarsebench -quick -parallel 1", WallSeconds: 12.0}
+	res := Compare(baseline(1000), cand, hist, "fabric", Options{})
+	found := false
+	for _, f := range res.Findings {
+		if f.Metric == "suite-seconds" && f.Level == LevelFail {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("4x suite wall time not failed: %+v", res.Findings)
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	recs := mkHistory([]float64{100, 200, 300}, ctx())
+	for _, r := range recs {
+		if err := Append(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records, want 3", len(got))
+	}
+	for i := range got {
+		if got[i].SHA != recs[i].SHA || got[i].Benchmarks[0].NsPerOp != recs[i].Benchmarks[0].NsPerOp {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadMissingFileIsEmpty(t *testing.T) {
+	got, err := ReadFile(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing file: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestReadCorruptLineErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := os.WriteFile(path, []byte("{\"schema\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("corrupt line error = %v, want line-numbered parse error", err)
+	}
+}
+
+func TestWriteTrend(t *testing.T) {
+	hist := mkHistory([]float64{1000, 900, 1100}, ctx())
+	var buf bytes.Buffer
+	if err := WriteTrend(&buf, hist, "fabric"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"internal/fabric/BenchmarkIncast", "sha0000", "sha0002",
+		"-10.0%", "+22.2%", "coarsebench -quick -parallel 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trend output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteTrend(&buf, hist, "nope"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no records") {
+		t.Fatalf("empty-set trend: %q", buf.String())
+	}
+}

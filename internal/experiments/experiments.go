@@ -49,6 +49,16 @@ type Config struct {
 	// cross-experiment memoization cache, and because sampling rides
 	// daemon events the rendered tables stay byte-identical.
 	TraceDir string
+	// Observer, when non-nil, receives cell lifecycle notifications
+	// from every runner pool the experiments build (coarsebench -serve
+	// streams them over HTTP). Observation is read-only and happens
+	// outside the simulations, so it never changes an output byte.
+	Observer runner.Observer
+	// Telemetry forces the virtual-time metrics layer on for every
+	// cell, so observers see telemetry snapshots without a TraceDir's
+	// file writes. Like tracing it bypasses the memoization cache;
+	// sampling rides daemon events, so tables stay byte-identical.
+	Telemetry bool
 }
 
 func (c Config) iterations() int {
@@ -58,7 +68,9 @@ func (c Config) iterations() int {
 	return 4
 }
 
-func (c Config) pool() *runner.Pool { return &runner.Pool{Parallel: c.Parallel} }
+func (c Config) pool() *runner.Pool {
+	return &runner.Pool{Parallel: c.Parallel, Observer: c.Observer}
+}
 
 // Report is one experiment's output: rendered tables plus the
 // machine-readable per-run records they were rendered from.
@@ -173,10 +185,16 @@ func (rs *runSet) add(s runner.Spec) string {
 // lookup-by-ID view plus the records in registration order.
 func (rs *runSet) results(cfg Config) (map[string]*runner.Result, []metrics.Result) {
 	specs := rs.specs
-	if cfg.TraceDir != "" {
+	if cfg.TraceDir != "" || cfg.Telemetry {
 		specs = make([]runner.Spec, len(rs.specs))
 		for i, s := range rs.specs {
-			specs[i] = withTracing(s, cfg.TraceDir)
+			if cfg.Telemetry {
+				s.Telemetry = true
+			}
+			if cfg.TraceDir != "" {
+				s = withTracing(s, cfg.TraceDir)
+			}
+			specs[i] = s
 		}
 	}
 	out := cfg.pool().Train(specs)

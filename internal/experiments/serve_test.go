@@ -1,0 +1,193 @@
+// Serve-mode byte-identity: attaching the live telemetry server (with
+// forced per-cell telemetry snapshots, exactly what coarsebench -serve
+// does) must not move a single byte of experiment output, at any
+// parallelism — the acceptance contract of the observability layer.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"coarse/internal/runner"
+	"coarse/internal/telemetry/serve"
+)
+
+func renderTables(t *testing.T, id string, cfg Config) string {
+	t.Helper()
+	runner.ClearCache()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	rep := e.Run(cfg)
+	if rep == nil || len(rep.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var b strings.Builder
+	for _, tab := range rep.Tables {
+		b.WriteString(tab.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestServeModeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders real experiment cells")
+	}
+	const id = "fig16"
+	baseline := renderTables(t, id, Config{Quick: true, Parallel: 1})
+
+	for _, parallel := range []int{1, 4} {
+		s := serve.New()
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+
+		// Poll the live endpoints while the grid runs, as a real
+		// dashboard would; polling must not perturb anything either.
+		stop := make(chan struct{})
+		polled := make(chan int, 1)
+		go func() {
+			n := 0
+			for {
+				select {
+				case <-stop:
+					polled <- n
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + s.Addr() + "/cells")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					n++
+				}
+			}
+		}()
+
+		s.ExperimentStarted(id, "byte-identity check")
+		got := renderTables(t, id, Config{Quick: true, Parallel: parallel, Observer: s, Telemetry: true})
+		s.ExperimentFinished(id, nil, "")
+		close(stop)
+		nPolls := <-polled
+
+		if got != baseline {
+			t.Fatalf("parallel=%d: tables differ with serve observer attached\nbaseline %d bytes, serve-mode %d bytes",
+				parallel, len(baseline), len(got))
+		}
+
+		// The observer really saw the grid: every cell finished, and
+		// the forced telemetry produced at least one snapshot.
+		resp, err := http.Get("http://" + s.Addr() + "/cells")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cells struct {
+			Total, Done, Failed, Running int
+			Cells                        []struct {
+				ID        string
+				State     string
+				Telemetry bool
+			}
+		}
+		err = json.NewDecoder(resp.Body).Decode(&cells)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Some fig16 cells fail by design (the OOM points of the
+		// figure); every cell must have finished one way or the other.
+		if cells.Total == 0 || cells.Running != 0 || cells.Done+cells.Failed != cells.Total {
+			t.Fatalf("parallel=%d: observer saw %d done + %d failed + %d running of %d cells",
+				parallel, cells.Done, cells.Failed, cells.Running, cells.Total)
+		}
+		snapshots := 0
+		for _, c := range cells.Cells {
+			if c.Telemetry {
+				snapshots++
+			}
+		}
+		if snapshots != cells.Done {
+			t.Fatalf("parallel=%d: %d snapshots for %d successful cells (Config.Telemetry should force all)",
+				parallel, snapshots, cells.Done)
+		}
+		t.Logf("parallel=%d: %d cells observed, %d live polls", parallel, cells.Total, nPolls)
+
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServeSnapshotMatchesTraceDirDump pins that the snapshot a live
+// server would hand out is the byte-identical twin of the dump a
+// -trace-dir run writes to disk for the same cell: one telemetry
+// truth, whether it reaches the user over HTTP or as a file.
+func TestServeSnapshotMatchesTraceDirDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders real experiment cells")
+	}
+	const id = "fig16"
+
+	type capture struct {
+		specIDs []string
+		dumps   map[string][]byte
+	}
+	run := func(parallel int) capture {
+		runner.ClearCache()
+		s := serve.New()
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown(context.Background())
+		e, _ := ByID(id)
+		e.Run(Config{Quick: true, Parallel: parallel, Observer: s, Telemetry: true})
+
+		resp, err := http.Get("http://" + s.Addr() + "/telemetry/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Cells []string `json:"cells"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := capture{specIDs: list.Cells, dumps: map[string][]byte{}}
+		for _, cell := range list.Cells {
+			resp, err := http.Get(fmt.Sprintf("http://%s/telemetry/%s", s.Addr(), cell))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("snapshot %s: status %d err %v", cell, resp.StatusCode, err)
+			}
+			c.dumps[cell] = body
+		}
+		return c
+	}
+
+	serial := run(1)
+	if len(serial.specIDs) == 0 {
+		t.Fatal("no telemetry snapshots served")
+	}
+	parallel := run(4)
+	if len(parallel.specIDs) != len(serial.specIDs) {
+		t.Fatalf("snapshot sets differ: %v vs %v", serial.specIDs, parallel.specIDs)
+	}
+	for _, cell := range serial.specIDs {
+		if string(serial.dumps[cell]) != string(parallel.dumps[cell]) {
+			t.Fatalf("cell %s: served snapshot differs between -parallel 1 and -parallel 4", cell)
+		}
+	}
+}

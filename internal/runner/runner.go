@@ -189,11 +189,31 @@ func Records(results []*Result) []metrics.Result {
 	return recs
 }
 
+// Observer receives cell lifecycle notifications from a Pool. Both
+// hooks run on pool worker goroutines — possibly several concurrently —
+// so implementations must be safe for concurrent use. The hooks are
+// strictly observational: the Result handed to CellFinished is the
+// same immutable value the caller receives (cache hits included), and
+// observers must not mutate it. Because observation happens outside
+// the simulation, attaching an observer can never change a single
+// output byte — the property coarsebench -serve is built on.
+type Observer interface {
+	// CellStarted fires just before the cell executes (or is served
+	// from the memoization cache).
+	CellStarted(s Spec)
+	// CellFinished fires once the cell's Result exists; res is non-nil
+	// even for failed cells (Result.Err carries the failure).
+	CellFinished(s Spec, res *Result)
+}
+
 // Pool executes independent simulation cells on a bounded set of worker
 // goroutines. The zero value runs with GOMAXPROCS workers.
 type Pool struct {
 	// Parallel is the worker count; <= 0 means GOMAXPROCS.
 	Parallel int
+	// Observer, when non-nil, is notified as cells start and finish.
+	// See the Observer contract; it never affects results.
+	Observer Observer
 }
 
 func (p *Pool) workers() int {
@@ -207,8 +227,19 @@ func (p *Pool) workers() int {
 // byte-identical regardless of Parallel: cells share no mutable state
 // and seeds derive from the specs, so ordering cannot leak into values.
 func (p *Pool) Train(specs []Spec) []*Result {
+	var obs Observer
+	if p != nil {
+		obs = p.Observer
+	}
 	return Map(p.workers(), len(specs), func(i int) *Result {
-		return runCached(specs[i])
+		if obs != nil {
+			obs.CellStarted(specs[i])
+		}
+		res := runCached(specs[i])
+		if obs != nil {
+			obs.CellFinished(specs[i], res)
+		}
+		return res
 	})
 }
 

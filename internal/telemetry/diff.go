@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+
+	"coarse/internal/sim"
+)
+
+// DumpDiff is the structured comparison of two telemetry dumps — the
+// artifact behind `coarsestat -diff A B`, which answers "what got
+// slower and where" from committed dumps alone. Entries are sorted by
+// descending |delta| inside each section, so the biggest movement
+// reads first.
+type DumpDiff struct {
+	// TotalTime per side: the run-length regression headline.
+	TotalTimeA sim.Time `json:"total_time_a_ns"`
+	TotalTimeB sim.Time `json:"total_time_b_ns"`
+
+	Links   []LinkDelta   `json:"links,omitempty"`
+	Tiers   []TierDelta   `json:"tiers,omitempty"`
+	Workers []WorkerDelta `json:"workers,omitempty"`
+}
+
+// LinkDelta compares one link across the two dumps. A link present in
+// only one dump (topology changed between runs) reports the missing
+// side as zero with InA/InB false.
+type LinkDelta struct {
+	Link string `json:"link"`
+	InA  bool   `json:"in_a"`
+	InB  bool   `json:"in_b"`
+
+	MeanUtilA float64 `json:"mean_util_a"`
+	MeanUtilB float64 `json:"mean_util_b"`
+	// Delta is B − A mean utilization: positive = more saturated in B.
+	Delta float64 `json:"delta"`
+
+	PeakUtilA float64 `json:"peak_util_a"`
+	PeakUtilB float64 `json:"peak_util_b"`
+
+	BytesA float64 `json:"bytes_a"`
+	BytesB float64 `json:"bytes_b"`
+	// RateA/B are mean carried rates in bytes/second of virtual time.
+	RateA float64 `json:"rate_a"`
+	RateB float64 `json:"rate_b"`
+}
+
+// TierDelta aggregates link deltas by device class — the two endpoint
+// device names with instance digits stripped ("gpu<->port",
+// "mem<->port", "nic<->tor", ...), a naming-scheme-independent stand-in
+// for the topology tier.
+type TierDelta struct {
+	Tier  string `json:"tier"`
+	Links int    `json:"links"`
+
+	MeanUtilA float64 `json:"mean_util_a"`
+	MeanUtilB float64 `json:"mean_util_b"`
+	Delta     float64 `json:"delta"`
+}
+
+// WorkerDelta compares one worker's virtual-time breakdown.
+type WorkerDelta struct {
+	Worker int  `json:"worker"`
+	InA    bool `json:"in_a"`
+	InB    bool `json:"in_b"`
+
+	StallA sim.Time `json:"stall_a_ns"`
+	StallB sim.Time `json:"stall_b_ns"`
+	// Delta is B − A stall time: positive = more stalled in B.
+	Delta sim.Time `json:"delta_ns"`
+
+	ComputeA sim.Time `json:"compute_a_ns"`
+	ComputeB sim.Time `json:"compute_b_ns"`
+	ItersA   float64  `json:"iters_a"`
+	ItersB   float64  `json:"iters_b"`
+}
+
+// DiffDumps compares two dumps of (usually) the same cell from
+// different runs: per-link saturation/byte/rate deltas, per-tier
+// aggregates, and per-worker stall deltas, each sorted by magnitude.
+// It is pure data extraction — rendering and exit-status policy live
+// in cmd/coarsestat.
+func DiffDumps(a, b *Dump) *DumpDiff {
+	d := &DumpDiff{TotalTimeA: a.TotalTimeNS, TotalTimeB: b.TotalTimeNS}
+
+	secsA := a.TotalTimeNS.ToSeconds()
+	secsB := b.TotalTimeNS.ToSeconds()
+
+	statsA := linkStatsByName(a)
+	statsB := linkStatsByName(b)
+	for _, name := range unionKeys(statsA, statsB) {
+		sa, inA := statsA[name]
+		sb, inB := statsB[name]
+		ld := LinkDelta{Link: name, InA: inA, InB: inB}
+		if inA {
+			ld.MeanUtilA, ld.PeakUtilA, ld.BytesA = sa.MeanUtil, sa.PeakUtil, sa.Bytes
+			if secsA > 0 {
+				ld.RateA = sa.Bytes / secsA
+			}
+		}
+		if inB {
+			ld.MeanUtilB, ld.PeakUtilB, ld.BytesB = sb.MeanUtil, sb.PeakUtil, sb.Bytes
+			if secsB > 0 {
+				ld.RateB = sb.Bytes / secsB
+			}
+		}
+		ld.Delta = ld.MeanUtilB - ld.MeanUtilA
+		d.Links = append(d.Links, ld)
+	}
+	sortByMagnitude(d.Links, func(l LinkDelta) (float64, string) { return l.Delta, l.Link })
+
+	// Tier aggregates: mean of member-link mean utilizations per side.
+	type acc struct {
+		n          int
+		sumA, sumB float64
+	}
+	tiers := map[string]*acc{}
+	for _, l := range d.Links {
+		t := tiers[LinkClass(l.Link)]
+		if t == nil {
+			t = &acc{}
+			tiers[LinkClass(l.Link)] = t
+		}
+		t.n++
+		t.sumA += l.MeanUtilA
+		t.sumB += l.MeanUtilB
+	}
+	for name, t := range tiers {
+		td := TierDelta{Tier: name, Links: t.n,
+			MeanUtilA: t.sumA / float64(t.n), MeanUtilB: t.sumB / float64(t.n)}
+		td.Delta = td.MeanUtilB - td.MeanUtilA
+		d.Tiers = append(d.Tiers, td)
+	}
+	sortByMagnitude(d.Tiers, func(t TierDelta) (float64, string) { return t.Delta, t.Tier })
+
+	workersA := workerStatsByID(a)
+	workersB := workerStatsByID(b)
+	n := len(workersA)
+	if len(workersB) > n {
+		n = len(workersB)
+	}
+	for w := 0; w < n; w++ {
+		wa, inA := workersA[w]
+		wb, inB := workersB[w]
+		wd := WorkerDelta{Worker: w, InA: inA, InB: inB}
+		if inA {
+			wd.StallA, wd.ComputeA, wd.ItersA = wa.Stall, wa.Compute, wa.Iters
+		}
+		if inB {
+			wd.StallB, wd.ComputeB, wd.ItersB = wb.Stall, wb.Compute, wb.Iters
+		}
+		wd.Delta = wd.StallB - wd.StallA
+		d.Workers = append(d.Workers, wd)
+	}
+	sortByMagnitude(d.Workers, func(w WorkerDelta) (float64, string) {
+		return float64(w.Delta), "" // worker index breaks ties below via stable sort order
+	})
+
+	return d
+}
+
+// LinkClass reduces a link name to its endpoint device classes:
+// "n0/gpu0<->n0/port4" → "gpu<->port". Digits are instance numbers;
+// stripping them groups every edge-bus link together, every CCI port
+// link together, and so on, independent of topology size.
+func LinkClass(link string) string {
+	parts := strings.SplitN(link, "<->", 2)
+	classOf := func(endpoint string) string {
+		if i := strings.LastIndex(endpoint, "/"); i >= 0 {
+			endpoint = endpoint[i+1:]
+		}
+		return strings.TrimRight(endpoint, "0123456789")
+	}
+	if len(parts) != 2 {
+		return classOf(link)
+	}
+	a, b := classOf(parts[0]), classOf(parts[1])
+	if a > b {
+		a, b = b, a
+	}
+	return a + "<->" + b
+}
+
+func linkStatsByName(d *Dump) map[string]LinkStat {
+	out := map[string]LinkStat{}
+	for _, ls := range d.LinkStats() {
+		out[ls.Link] = ls
+	}
+	return out
+}
+
+func workerStatsByID(d *Dump) map[int]WorkerStat {
+	out := map[int]WorkerStat{}
+	for _, ws := range d.WorkerStats() {
+		out[ws.Worker] = ws
+	}
+	return out
+}
+
+func unionKeys(a, b map[string]LinkStat) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortByMagnitude sorts descending by |delta|, breaking ties by the
+// secondary key so the order is total (JSON output stays byte-stable).
+func sortByMagnitude[T any](s []T, key func(T) (delta float64, tie string)) {
+	sort.SliceStable(s, func(i, j int) bool {
+		di, ti := key(s[i])
+		dj, tj := key(s[j])
+		ai, aj := abs(di), abs(dj)
+		if ai != aj {
+			return ai > aj
+		}
+		return ti < tj
+	})
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

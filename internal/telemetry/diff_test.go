@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"sort"
+	"testing"
+
+	"coarse/internal/sim"
+)
+
+// mkDump builds a minimal dump with the series shapes the stats
+// helpers expect; values holds the final sample per series name.
+func mkDump(totalNS sim.Time, values map[string]float64) *Dump {
+	d := &Dump{TotalTimeNS: totalNS, TimesNS: []sim.Time{0, totalNS}}
+	for name, v := range values {
+		d.Series = append(d.Series, Series{Name: name, Values: []float64{0, v}})
+	}
+	sort.Slice(d.Series, func(i, j int) bool { return d.Series[i].Name < d.Series[j].Name })
+	return d
+}
+
+func linkSeries(link string, mean, peak, bytes float64) map[string]float64 {
+	return map[string]float64{
+		"fabric/" + link + "/fwd/mean_util": mean,
+		"fabric/" + link + "/rev/mean_util": mean,
+		"fabric/" + link + "/fwd/util":      peak,
+		"fabric/" + link + "/rev/util":      peak / 2,
+		"fabric/" + link + "/fwd/cum_bytes": bytes / 2,
+		"fabric/" + link + "/rev/cum_bytes": bytes / 2,
+	}
+}
+
+func workerSeries(w int, compute, stall, iters float64) map[string]float64 {
+	prefix := "train/worker" + string(rune('0'+w)) + "/"
+	return map[string]float64{
+		prefix + "compute_ns": compute,
+		prefix + "stall_ns":   stall,
+		prefix + "iters_done": iters,
+	}
+}
+
+func merge(ms ...map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range ms {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func TestDiffDumpsLinksSortedByMagnitude(t *testing.T) {
+	a := mkDump(1_000_000_000, merge(
+		linkSeries("n0/gpu0<->n0/port0", 0.50, 0.9, 1e9),
+		linkSeries("n0/gpu1<->n0/port1", 0.40, 0.8, 1e9),
+		linkSeries("n0/mem0<->n0/port2", 0.10, 0.3, 2e8),
+	))
+	b := mkDump(2_000_000_000, merge(
+		linkSeries("n0/gpu0<->n0/port0", 0.55, 0.9, 1e9), // +0.05
+		linkSeries("n0/gpu1<->n0/port1", 0.90, 1.0, 4e9), // +0.50 — the regression
+		linkSeries("n0/mem0<->n0/port2", 0.10, 0.3, 2e8), // unchanged
+	))
+
+	d := DiffDumps(a, b)
+	if d.TotalTimeA != 1_000_000_000 || d.TotalTimeB != 2_000_000_000 {
+		t.Fatalf("total times: %+v", d)
+	}
+	if len(d.Links) != 3 {
+		t.Fatalf("links: %+v", d.Links)
+	}
+	if d.Links[0].Link != "n0/gpu1<->n0/port1" {
+		t.Fatalf("biggest delta not first: %+v", d.Links)
+	}
+	top := d.Links[0]
+	if !top.InA || !top.InB || abs(top.Delta-0.50) > 1e-12 {
+		t.Fatalf("top delta: %+v", top)
+	}
+	// Rates: bytes over each side's own virtual run length.
+	if abs(top.RateA-1e9) > 1 || abs(top.RateB-2e9) > 1 {
+		t.Fatalf("rates: %+v", top)
+	}
+}
+
+func TestDiffDumpsTierAggregation(t *testing.T) {
+	a := mkDump(1e9, merge(
+		linkSeries("n0/gpu0<->n0/port0", 0.2, 0.5, 1e6),
+		linkSeries("n0/gpu1<->n0/port1", 0.4, 0.5, 1e6),
+		linkSeries("n0/mem0<->n0/port9", 0.1, 0.2, 1e5),
+	))
+	b := mkDump(1e9, merge(
+		linkSeries("n0/gpu0<->n0/port0", 0.4, 0.5, 1e6),
+		linkSeries("n0/gpu1<->n0/port1", 0.6, 0.5, 1e6),
+		linkSeries("n0/mem0<->n0/port9", 0.1, 0.2, 1e5),
+	))
+	d := DiffDumps(a, b)
+	if len(d.Tiers) != 2 {
+		t.Fatalf("tiers: %+v", d.Tiers)
+	}
+	top := d.Tiers[0]
+	if top.Tier != "gpu<->port" || top.Links != 2 || abs(top.Delta-0.2) > 1e-12 {
+		t.Fatalf("gpu tier aggregate: %+v", top)
+	}
+	if d.Tiers[1].Tier != "mem<->port" || abs(d.Tiers[1].Delta) > 1e-12 {
+		t.Fatalf("mem tier aggregate: %+v", d.Tiers[1])
+	}
+}
+
+func TestDiffDumpsWorkersAndMissingSides(t *testing.T) {
+	a := mkDump(1e9, merge(
+		workerSeries(0, 8e8, 1e8, 4),
+		workerSeries(1, 8e8, 2e8, 4),
+		linkSeries("n0/gpu0<->n0/port0", 0.2, 0.5, 1e6),
+	))
+	// B has an extra worker and a different link set.
+	b := mkDump(1e9, merge(
+		workerSeries(0, 8e8, 5e8, 3),
+		workerSeries(1, 8e8, 2e8, 4),
+		workerSeries(2, 8e8, 1e8, 4),
+		linkSeries("n0/gpu9<->n0/port9", 0.3, 0.5, 1e6),
+	))
+	d := DiffDumps(a, b)
+
+	if d.Workers[0].Worker != 0 || d.Workers[0].Delta != 4e8 {
+		t.Fatalf("worker stall regression not first: %+v", d.Workers)
+	}
+	var w2 *WorkerDelta
+	for i := range d.Workers {
+		if d.Workers[i].Worker == 2 {
+			w2 = &d.Workers[i]
+		}
+	}
+	if w2 == nil || w2.InA || !w2.InB {
+		t.Fatalf("worker present only in B: %+v", d.Workers)
+	}
+
+	for _, l := range d.Links {
+		switch l.Link {
+		case "n0/gpu0<->n0/port0":
+			if !l.InA || l.InB || l.Delta != -0.2 {
+				t.Fatalf("A-only link: %+v", l)
+			}
+		case "n0/gpu9<->n0/port9":
+			if l.InA || !l.InB || l.Delta != 0.3 {
+				t.Fatalf("B-only link: %+v", l)
+			}
+		}
+	}
+}
+
+func TestLinkClass(t *testing.T) {
+	for link, want := range map[string]string{
+		"n0/gpu0<->n0/port4":    "gpu<->port",
+		"n0/port4<->n0/gpu0":    "gpu<->port", // order-insensitive
+		"rack1/nic3<->tor0":     "nic<->tor",
+		"n12/mem3<->n12/port99": "mem<->port",
+		"standalone-device7":    "standalone-device",
+	} {
+		if got := LinkClass(link); got != want {
+			t.Fatalf("LinkClass(%q) = %q, want %q", link, got, want)
+		}
+	}
+}

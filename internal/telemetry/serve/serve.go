@@ -1,0 +1,414 @@
+// Package serve is the live inspection path into a running experiment
+// grid: an HTTP server that streams runner cell status and telemetry
+// snapshots while coarsebench regenerates the evaluation.
+//
+// The server is strictly an observer. It implements runner.Observer,
+// so the pool notifies it as cells start and finish; everything it
+// serves is read from immutable Results after the fact (telemetry
+// dumps are built once at cell completion and never mutated), and it
+// schedules nothing inside any simulation. Attaching it therefore
+// cannot move a single output byte — experiment tables are
+// byte-identical with the server on or off, pinned by test in
+// internal/experiments.
+//
+// Endpoints (all JSON unless noted):
+//
+//	/            minimal self-contained HTML index (polls the JSON)
+//	/cells       every simulation cell: state, seed, headline metrics
+//	/telemetry/  cell IDs that have a telemetry snapshot
+//	/telemetry/<cell-id>  the cell's full telemetry dump
+//	/bench       per-experiment status: state, wall time, rendered tables
+//
+// Cell IDs contain '/' (e.g. "p100-half/BERT/b2/COARSE/i2"); the
+// /telemetry/ handler treats the entire remaining path as the ID, so
+// no escaping is needed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"coarse/internal/runner"
+	"coarse/internal/telemetry"
+)
+
+// Cell is one simulation cell's externally visible state.
+type Cell struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "running", "done" or "failed"
+	Seed  int64  `json:"seed,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	Strategy string `json:"strategy,omitempty"`
+	Machine  string `json:"machine,omitempty"`
+	Model    string `json:"model,omitempty"`
+
+	// Headline metrics from the finished run (virtual time).
+	TotalTimeS    float64 `json:"total_time_s,omitempty"`
+	ThroughputSPS float64 `json:"throughput_sps,omitempty"`
+
+	// WallMS is real elapsed time between the start and finish
+	// notifications (cache hits report ~0).
+	WallMS float64 `json:"wall_ms"`
+
+	// Telemetry reports whether /telemetry/<id> serves a snapshot.
+	Telemetry bool `json:"telemetry"`
+}
+
+// Experiment is one experiment's externally visible state.
+type Experiment struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	State  string   `json:"state"` // "running", "done" or "failed"
+	Error  string   `json:"error,omitempty"`
+	WallMS float64  `json:"wall_ms"`
+	Tables []string `json:"tables,omitempty"`
+}
+
+type cellState struct {
+	cell  Cell
+	start time.Time
+	dump  *telemetry.Dump
+}
+
+type expState struct {
+	exp   Experiment
+	start time.Time
+}
+
+// Server tracks grid progress and serves it over HTTP. All methods are
+// safe for concurrent use; the zero value is not usable, construct
+// with New.
+type Server struct {
+	mu      sync.Mutex
+	cells   []*cellState
+	cellIdx map[string]int
+	exps    []*expState
+	expIdx  map[string]int
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New returns an idle server; call Start to listen.
+func New() *Server {
+	return &Server{cellIdx: map[string]int{}, expIdx: map[string]int{}}
+}
+
+var _ runner.Observer = (*Server)(nil)
+
+// CellStarted implements runner.Observer.
+func (s *Server) CellStarted(spec runner.Spec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.cell(spec.ID)
+	cs.cell.State = "running"
+	cs.start = time.Now()
+}
+
+// CellFinished implements runner.Observer. The Result is immutable
+// from here on (the runner hands the same pointer to the caller), so
+// keeping the telemetry dump for serving is read-only sharing.
+func (s *Server) CellFinished(spec runner.Spec, res *runner.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.cell(spec.ID)
+	c := &cs.cell
+	if !cs.start.IsZero() {
+		c.WallMS = float64(time.Since(cs.start).Microseconds()) / 1000
+	}
+	if res == nil {
+		c.State = "failed"
+		c.Error = "no result"
+		return
+	}
+	c.Seed = res.Seed
+	if !res.OK() {
+		c.State = "failed"
+		c.Error = res.Err
+	} else {
+		c.State = "done"
+		if t := res.Train; t != nil {
+			c.Strategy, c.Machine, c.Model = t.Strategy, t.Machine, t.Model
+			c.TotalTimeS = t.TotalTime.ToSeconds()
+			c.ThroughputSPS = t.Throughput()
+		}
+	}
+	if res.Telemetry != nil {
+		cs.dump = res.Telemetry
+		c.Telemetry = true
+	}
+}
+
+// cell returns (creating if needed) the state slot for an ID. Caller
+// holds s.mu. Re-registering an ID (the same cached cell appearing in
+// two experiments) reuses the slot, so /cells lists each cell once.
+func (s *Server) cell(id string) *cellState {
+	if i, ok := s.cellIdx[id]; ok {
+		return s.cells[i]
+	}
+	cs := &cellState{cell: Cell{ID: id, State: "running"}}
+	s.cellIdx[id] = len(s.cells)
+	s.cells = append(s.cells, cs)
+	return cs
+}
+
+// ExperimentStarted records that an experiment began regenerating.
+func (s *Server) ExperimentStarted(id, title string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	es := s.experiment(id)
+	es.exp.Title = title
+	es.exp.State = "running"
+	es.start = time.Now()
+}
+
+// ExperimentFinished records an experiment's outcome and its rendered
+// tables (verbatim — the same bytes the CLI prints).
+func (s *Server) ExperimentFinished(id string, tables []string, errText string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	es := s.experiment(id)
+	if !es.start.IsZero() {
+		es.exp.WallMS = float64(time.Since(es.start).Microseconds()) / 1000
+	}
+	es.exp.Tables = tables
+	if errText != "" {
+		es.exp.State = "failed"
+		es.exp.Error = errText
+	} else {
+		es.exp.State = "done"
+	}
+}
+
+func (s *Server) experiment(id string) *expState {
+	if i, ok := s.expIdx[id]; ok {
+		return s.exps[i]
+	}
+	es := &expState{exp: Experiment{ID: id, State: "running"}}
+	s.expIdx[id] = len(s.exps)
+	s.exps = append(s.exps, es)
+	return es
+}
+
+// Start begins listening on addr (host:port; ":0" picks a free port —
+// read it back with Addr) and serves until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	srv := s.srv
+	s.mu.Unlock()
+	go func() {
+		// ErrServerClosed is the clean-shutdown path; anything else is
+		// surfaced on stderr by the caller's Shutdown error instead.
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the HTTP server (no-op before Start).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Handler returns the server's HTTP handler (exported so tests can
+// drive it without a real listener).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/cells", s.handleCells)
+	mux.HandleFunc("/telemetry/", s.handleTelemetry)
+	mux.HandleFunc("/bench", s.handleBench)
+	return mux
+}
+
+// cellsPayload is the /cells response.
+type cellsPayload struct {
+	Total   int    `json:"total"`
+	Running int    `json:"running"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	Cells   []Cell `json:"cells"`
+}
+
+func (s *Server) snapshotCells() cellsPayload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := cellsPayload{Total: len(s.cells), Cells: make([]Cell, 0, len(s.cells))}
+	for _, cs := range s.cells {
+		switch cs.cell.State {
+		case "running":
+			p.Running++
+		case "done":
+			p.Done++
+		case "failed":
+			p.Failed++
+		}
+		p.Cells = append(p.Cells, cs.cell)
+	}
+	return p
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.snapshotCells())
+}
+
+// benchPayload is the /bench response.
+type benchPayload struct {
+	Total       int          `json:"total"`
+	Running     int          `json:"running"`
+	Done        int          `json:"done"`
+	Failed      int          `json:"failed"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	p := benchPayload{Total: len(s.exps), Experiments: make([]Experiment, 0, len(s.exps))}
+	for _, es := range s.exps {
+		switch es.exp.State {
+		case "running":
+			p.Running++
+		case "done":
+			p.Done++
+		case "failed":
+			p.Failed++
+		}
+		p.Experiments = append(p.Experiments, es.exp)
+	}
+	s.mu.Unlock()
+	writeJSON(w, p)
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/telemetry/")
+	if id == "" {
+		// List the cells that have snapshots.
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.cells))
+		for _, cs := range s.cells {
+			if cs.dump != nil {
+				ids = append(ids, cs.cell.ID)
+			}
+		}
+		s.mu.Unlock()
+		sort.Strings(ids)
+		writeJSON(w, map[string]any{"cells": ids})
+		return
+	}
+	s.mu.Lock()
+	var dump *telemetry.Dump
+	if i, ok := s.cellIdx[id]; ok {
+		dump = s.cells[i].dump
+	}
+	s.mu.Unlock()
+	if dump == nil {
+		http.Error(w, fmt.Sprintf("no telemetry snapshot for cell %q", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// The dump is immutable after the cell finished; WriteJSON only
+	// reads it, so no lock is held across the (possibly slow) write.
+	if err := dump.WriteJSON(w); err != nil {
+		// Client went away mid-body; nothing useful to do.
+		return
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// indexHTML is the whole dashboard: no assets, no dependencies, just
+// fetch polling against /cells and /bench.
+const indexHTML = `<!doctype html>
+<meta charset="utf-8">
+<title>coarsebench live</title>
+<style>
+body { font: 13px/1.5 ui-monospace, monospace; margin: 1.5rem; color: #222; }
+h1 { font-size: 16px; } h2 { font-size: 14px; margin-top: 1.5rem; }
+table { border-collapse: collapse; } td, th { padding: 2px 10px; text-align: left; }
+th { border-bottom: 1px solid #999; }
+.done { color: #1a7f37; } .running { color: #9a6700; } .failed { color: #cf222e; }
+pre { background: #f6f8fa; padding: 8px; overflow-x: auto; }
+a { color: inherit; }
+</style>
+<h1>coarsebench live</h1>
+<p id="summary">loading…</p>
+<h2>experiments (<a href="/bench">/bench</a>)</h2>
+<div id="bench"></div>
+<h2>cells (<a href="/cells">/cells</a>)</h2>
+<div id="cells"></div>
+<script>
+const esc = t => t.replace(/[&<>]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;'}[c]));
+async function tick() {
+  try {
+    const [cells, bench] = await Promise.all([
+      fetch('/cells').then(r => r.json()),
+      fetch('/bench').then(r => r.json()),
+    ]);
+    document.getElementById('summary').textContent =
+      bench.done + '/' + bench.total + ' experiments, ' +
+      cells.done + '/' + cells.total + ' cells done' +
+      (cells.failed || bench.failed ? ' — FAILURES' : '');
+    let b = '<table><tr><th>experiment</th><th>state</th><th>wall ms</th></tr>';
+    for (const e of bench.experiments)
+      b += '<tr><td>' + esc(e.id) + ' — ' + esc(e.title) + '</td><td class="' + e.state +
+           '">' + e.state + (e.error ? ': ' + esc(e.error) : '') + '</td><td>' +
+           e.wall_ms.toFixed(0) + '</td></tr>';
+    document.getElementById('bench').innerHTML = b + '</table>';
+    let c = '<table><tr><th>cell</th><th>state</th><th>sim s</th><th>samples/s</th><th>wall ms</th><th>telemetry</th></tr>';
+    for (const x of cells.cells)
+      c += '<tr><td>' + esc(x.id) + '</td><td class="' + x.state + '">' + x.state +
+           (x.error ? ': ' + esc(x.error) : '') + '</td><td>' +
+           (x.total_time_s || 0).toFixed(3) + '</td><td>' + (x.throughput_sps || 0).toFixed(1) +
+           '</td><td>' + x.wall_ms.toFixed(0) + '</td><td>' +
+           (x.telemetry ? '<a href="/telemetry/' + x.id + '">dump</a>' : '—') + '</td></tr>';
+    document.getElementById('cells').innerHTML = c + '</table>';
+  } catch (e) {
+    document.getElementById('summary').textContent = 'poll failed: ' + e;
+  }
+}
+tick(); setInterval(tick, 2000);
+</script>
+`
