@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-core bench-smoke bench-compare trend serve-smoke suite golden-drift telemetry-smoke cover fuzz-smoke race-partitioned ci
+.PHONY: all build test race vet lint bench bench-core bench-smoke bench-compare trend serve-smoke suite golden-drift telemetry-smoke cover fuzz-smoke race-partitioned scale-smoke ci
 
 # Coverage floor for `make cover` (total statement coverage, percent,
 # measured under -short so the floor tracks the fast deterministic
@@ -46,11 +46,23 @@ bench:
 	$(GO) run ./cmd/benchjson
 
 # Engine-core performance tracking: the BenchmarkEngine* set, each
-# benchmark once per event-queue kind (binary heap, timing wheel), and
+# benchmark once per event-queue kind (binary heap, timing wheel),
+# plus the end-to-end BenchmarkScaleCell* pairs (rack-scale COARSE
+# cells with the flow-aggregation/fast-forward accelerations on and
+# off; benchjson pins their iteration count — see cmd/benchjson), and
 # rewrite BENCH_core.json — the committed record the wheel-vs-heap
-# cancel-churn ratio is pinned in.
+# cancel-churn ratio and the accel-vs-baseline scale ratio are pinned
+# in.
 bench-core:
 	$(GO) run ./cmd/benchjson -set core
+
+# Scale smoke: one accelerated 1024-worker COARSE scale cell end to
+# end (the BenchmarkScaleCell1024/accel path). The ceiling is the
+# -timeout, deliberately generous for a run that takes seconds with
+# the accelerations on: it catches the rack-scale cell falling off the
+# aggregation/fast-forward fast path entirely, not timing noise.
+scale-smoke:
+	$(GO) test ./internal/experiments -run '^$$' -bench 'BenchmarkScaleCell1024/accel' -benchtime 1x -count=1 -timeout 10m
 
 # CI guard: every microbenchmark must still compile and run. One
 # iteration each, no file rewritten, no timing claims.

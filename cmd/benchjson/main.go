@@ -105,31 +105,49 @@ func main() {
 	}
 }
 
-// benchSet describes one committed benchmark record: which packages to
-// measure, the -bench filter, whether the end-to-end suite timing
-// belongs in it, and the default output file.
+// benchSet describes one committed benchmark record: which package
+// runs to measure, whether the end-to-end suite timing belongs in it,
+// and the default output file.
 type benchSet struct {
-	pkgs    []string
-	pattern string
-	suite   bool
-	out     string
+	runs  []benchRun
+	suite bool
+	out   string
+}
+
+// benchRun is one `go test -bench` invocation of a set: a package, a
+// -bench filter, and an optional fixed benchtime. Most runs leave
+// benchtime empty and take the -benchtime flag; the end-to-end scale
+// cells pin a small count — a single op simulates a full rack-scale
+// training cell (seconds, not nanoseconds), so the microbenchmark
+// counts that stabilize BenchmarkEngine* would turn a measurement into
+// an hour.
+type benchRun struct {
+	pkg       string
+	pattern   string
+	benchtime string
 }
 
 var benchSets = map[string]benchSet{
 	"fabric": {
-		pkgs:    []string{"./internal/fabric", "./internal/sim"},
-		pattern: ".",
-		suite:   true,
-		out:     "BENCH_fabric.json",
+		runs: []benchRun{
+			{pkg: "./internal/fabric", pattern: "."},
+			{pkg: "./internal/sim", pattern: "."},
+		},
+		suite: true,
+		out:   "BENCH_fabric.json",
 	},
 	// The engine-core record: every BenchmarkEngine* runs once per
 	// queue kind (heap, wheel), so this file is where the
-	// wheel-vs-heap churn ratio is pinned.
+	// wheel-vs-heap churn ratio is pinned — plus the end-to-end
+	// BenchmarkScaleCell* pairs, where the committed
+	// accel-vs-baseline ratio of the fabric scale accelerations
+	// (flow aggregation + steady-state fast-forward) is recorded.
 	"core": {
-		pkgs:    []string{"./internal/sim"},
-		pattern: "^BenchmarkEngine",
-		suite:   false,
-		out:     "BENCH_core.json",
+		runs: []benchRun{
+			{pkg: "./internal/sim", pattern: "^BenchmarkEngine"},
+			{pkg: "./internal/experiments", pattern: "^BenchmarkScaleCell", benchtime: "3x"},
+		},
+		out: "BENCH_core.json",
 	},
 }
 
@@ -151,10 +169,14 @@ func runMeasure(bs benchSet, set, out, history, benchtime string, skipSuite bool
 		}
 	}
 
-	for _, pkg := range bs.pkgs {
-		results, err := runBench(pkg, bs.pattern, benchtime)
+	for _, br := range bs.runs {
+		bt := benchtime
+		if br.benchtime != "" {
+			bt = br.benchtime
+		}
+		results, err := runBench(br.pkg, br.pattern, bt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", br.pkg, err)
 			return 1
 		}
 		rep.Benchmarks = append(rep.Benchmarks, results...)
@@ -265,11 +287,11 @@ func runCompare(basePath, candPath, historyPath, set string, threshold float64) 
 		switch f.Level {
 		case benchhist.LevelFail:
 			fails++
-			fmt.Printf("::error title=bench regression (fail band)::%s %s: %.4g vs %s center %.4g (%.2fx >= %.2fx limit, noise ±%.0f%%); if intentional, refresh %s and the history with 'make bench' and explain in the PR\n",
-				f.Key, f.Metric, f.Value, f.Source, f.Center, f.Ratio, f.Limit, 100*f.Noise, basePath)
+			fmt.Printf("::error title=bench regression (fail band)::%s %s: observed %.4g vs %s noise band %.4g ± %.0f%% (allowed <= %.4g, i.e. %.2fx; observed %.2fx, noise ±%.0f%%); if intentional, refresh %s and the history with 'make bench' and explain in the PR\n",
+				f.Key, f.Metric, f.Value, f.Source, f.Center, 100*(f.Limit-1), f.Center*f.Limit, f.Limit, f.Ratio, 100*f.Noise, basePath)
 		case benchhist.LevelWarn:
-			fmt.Printf("::warning title=bench regression (advisory)::%s %s: %.4g vs %s center %.4g (%.2fx >= %.2fx limit); refresh %s with 'make bench' on a quiet machine if intentional\n",
-				f.Key, f.Metric, f.Value, f.Source, f.Center, f.Ratio, f.Limit, basePath)
+			fmt.Printf("::warning title=bench regression (advisory)::%s %s: observed %.4g vs %s noise band %.4g ± %.0f%% (allowed <= %.4g, i.e. %.2fx; observed %.2fx); refresh %s with 'make bench' on a quiet machine if intentional\n",
+				f.Key, f.Metric, f.Value, f.Source, f.Center, 100*(f.Limit-1), f.Center*f.Limit, f.Limit, f.Ratio, basePath)
 		}
 	}
 	fmt.Printf("benchjson: compared %d measurement(s) for set %q (%d same-environment history record(s)): %d warn, %d fail\n",

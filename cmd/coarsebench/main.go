@@ -16,6 +16,8 @@
 //	coarsebench -parallel 1   # force serial execution
 //	coarsebench -json         # tables + structured per-run records
 //	coarsebench -timing       # include wall-clock timing (not byte-stable)
+//	coarsebench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                          # pprof profiles of the run (go tool pprof)
 //
 // A panicking experiment is reported to stderr with its id and the
 // remaining experiments still run; the exit status is non-zero when any
@@ -30,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -56,7 +59,42 @@ func run() int {
 	serveAddr := flag.String("serve", "",
 		"serve live cell status and telemetry snapshots over HTTP on this address (e.g. :8080) while the grid runs; "+
 			"keeps serving after the run until SIGINT/SIGTERM. Read-only: stdout stays byte-identical")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a pprof CPU profile of the whole run to this file (inspect with 'go tool pprof')")
+	memProfile := flag.String("memprofile", "",
+		"write a pprof allocation profile (inuse + alloc space) to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsebench: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "coarsebench: -cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coarsebench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so inuse numbers are meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coarsebench: -memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

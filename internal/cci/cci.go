@@ -24,6 +24,7 @@ package cci
 import (
 	"fmt"
 
+	"coarse/internal/fabric"
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
 	"coarse/internal/topology"
@@ -217,6 +218,18 @@ func (f *Fabric) accountCopy(src, dst *topology.Device, size int64) {
 // machines without it (the paper's T4 instance) the copy bounces through
 // CPU memory, pipelined in StageChunks chunks.
 func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
+	f.DMACopyTagged(nil, src, dst, size, onDone)
+}
+
+// DMACopyTagged is DMACopy for one member of a symmetric fan: callers
+// that launch several DMAs with the same src, dst, and size
+// back-to-back (a sharded gradient push, a collective phase) pass one
+// fabric.AggTag per fan so the fabric may aggregate the members into
+// one multiplicity-counted flow — byte-identical to untagged copies,
+// cheaper at scale. A nil tag is exactly DMACopy. The bounced path
+// tags its own staging chunks regardless of the caller's tag: the
+// chunk fan of one copy is itself symmetric per size class.
+func (f *Fabric) DMACopyTagged(tag *fabric.AggTag, src, dst *topology.Device, size int64, onDone func()) {
 	if size < 0 {
 		panic("cci: negative copy size")
 	}
@@ -232,11 +245,18 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 	eng := f.Topo.Eng
 	if f.Topo.P2PSupported || src.Kind == topology.KindCPU || dst.Kind == topology.KindCPU {
 		eng.Schedule(f.Params.DMASetup, func() {
+			if tag != nil {
+				f.Topo.TransferEphemeralTagged(tag, src, dst, size, onDone)
+				return
+			}
 			f.Topo.TransferEphemeral(src, dst, size, onDone)
 		})
 		return
 	}
-	// Bounce through the CPU on src's node.
+	// Bounce through the CPU on src's node. The staging chunks of one
+	// copy share a path and differ in size by at most one byte, so each
+	// leg is tagged as its own fan (members of one size class
+	// aggregate; the odd-remainder class simply starts a second group).
 	f.bounceOps.Inc()
 	cpu := f.Topo.CPUs[src.Node]
 	chunks := int64(f.Params.StageChunks)
@@ -252,6 +272,7 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 			onDone()
 		}
 	}
+	var stageTag, deliverTag fabric.AggTag
 	eng.Schedule(f.Params.DMASetup, func() {
 		for i := int64(0); i < chunks; i++ {
 			sz := base
@@ -261,9 +282,9 @@ func (f *Fabric) DMACopy(src, dst *topology.Device, size int64, onDone func()) {
 			if size == 0 && i > 0 {
 				break
 			}
-			f.Topo.TransferEphemeral(src, cpu, sz, func() {
+			f.Topo.TransferEphemeralTagged(&stageTag, src, cpu, sz, func() {
 				eng.Schedule(f.Params.DMASetup, func() {
-					f.Topo.TransferEphemeral(cpu, dst, sz, done)
+					f.Topo.TransferEphemeralTagged(&deliverTag, cpu, dst, sz, done)
 				})
 			})
 		}

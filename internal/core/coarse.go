@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"coarse/internal/collective"
+	"coarse/internal/fabric"
 	"coarse/internal/memdev"
 	"coarse/internal/model"
 	"coarse/internal/profiler"
@@ -638,6 +639,11 @@ func (s *Strategy) pushToProxies(it, w, layer int) {
 		st.workersLeft[layer] = ctx.NumWorkers()
 	}
 
+	// One worker's partition pushes are a symmetric fan: size-based
+	// routing sends equal-size shards to the same proxy over the same
+	// route, back-to-back, so the fabric may carry each size class as
+	// one aggregated flow (byte-identical; see fabric.AggTag).
+	var tag fabric.AggTag
 	for idx, shardSize := range shardSizes {
 		dst := sh.localProxy[w]
 		if s.Opts.Routing {
@@ -651,7 +657,7 @@ func (s *Strategy) pushToProxies(it, w, layer int) {
 		key := fmt.Sprintf("%d/%d/%d", it, layer, idx)
 		shardSize := shardSize
 		idx := idx
-		ctx.CCI.DMACopy(ctx.Workers[w].Dev, sh.pool.Devices[dst].Dev, shardSize, func() {
+		ctx.CCI.DMACopyTagged(&tag, ctx.Workers[w].Dev, sh.pool.Devices[dst].Dev, shardSize, func() {
 			s.onProxyArrival(it, w, layer, idx, shardSize, dst, key)
 		})
 	}

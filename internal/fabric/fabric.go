@@ -47,11 +47,61 @@
 // any foreign event took a rank since the block was reserved, in which
 // case (and only then) the block is re-reserved. See
 // refreshCompletions and scheduleCompletions.
+//
+// # Opt-in scale accelerations
+//
+// Two further optimizations are off by default and enabled per network
+// (COARSE_FLOW_AGG / COARSE_FASTFORWARD, or the corresponding
+// setters), because each reshapes the hot path enough that the
+// byte-identity argument deserves its own paragraph:
+//
+// Flow aggregation (COARSE_FLOW_AGG): collective phases emit fans of
+// pairwise-identical transfers — same path, same size, admitted
+// back-to-back at one instant. Callers mark such fans with an AggTag;
+// members after the first fold into the first member's Flow entry as a
+// multiplicity count instead of new entries, provided no foreign
+// admission interleaved (the lastAdmitted check — an interleaved entry
+// would change gather order and therefore float fold order). The
+// progressive-filling pass charges a group's bottleneck m times by
+// repeated subtraction (never share*m: float multiply is not repeated
+// addition), so residuals, rates, and stall decisions are bitwise what
+// m separate entries produce. Completion fans back out: the group's
+// carrier event fires at the first of the m consecutive ranks reserved
+// for the group and re-materializes one event per remaining member at
+// the following ranks, so per-member completion dispatches — count,
+// order, and interleaving with everything else — are exactly the
+// unaggregated schedule's.
+//
+// Steady-state fast-forward (COARSE_FASTFORWARD): between collective
+// boundaries the fabric sees long completion-only cascades whose
+// surviving allocation is provably constant, yet each completion pays
+// a full filling pass to rediscover it. Every pass records which
+// channel froze each flow; a pass whose triggers since the previous
+// pass were completions only may be skipped when no surviving flow was
+// frozen on (and no flow stalled across) any channel of the completed
+// flows' paths — then no surviving filling round's bottleneck changed,
+// so every surviving rate is bitwise the cached one and only the
+// utilization fold needs to run. The fold itself walks a maintained
+// list of non-idle channels (rather than all channels) and reuses the
+// cached channel rate wherever the completion touched none of the
+// channel's flows; a re-sum would add the same float64 summands in the
+// same order, so the reuse is exact. An admission burst whose entrants
+// are channel-disjoint from every survivor (each channel an entrant
+// crosses carries only this instant's entrants) is also served without
+// a full pass: max-min filling decomposes over connected components,
+// so survivors replay their cached rates and the entrants fill locally
+// from full-capacity residuals with identical float operations
+// (ffAdmitPass). Everything else — overlapping admissions, a member
+// joining a group a mid-instant pass already rated, stalled flows,
+// capacity changes, and chaos actuations (which arrive as capacity
+// changes) — forces a full pass, which is what makes the skip exact
+// rather than approximate.
 package fabric
 
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
 
 	"coarse/internal/sim"
@@ -77,6 +127,8 @@ type Channel struct {
 	busyIntegral float64  // integral of allocated rate over time, bytes
 	lastAccount  sim.Time // last time busyIntegral was folded
 	currentRate  float64  // sum of allocated flow rates right now
+
+	inActive bool // member of the network's non-idle channel list
 }
 
 // Name returns the channel's diagnostic name.
@@ -151,17 +203,22 @@ func (l *Link) Fwd() *Channel { return l.fwd }
 // Rev returns the reverse-direction channel (B to A).
 func (l *Link) Rev() *Channel { return l.rev }
 
-// Flow is a single in-flight transfer across a path of channels.
+// Flow is a single in-flight transfer across a path of channels — or,
+// when flow aggregation folded symmetric siblings into it, the shared
+// entry for a whole group of them (mult > 1). Per-member state that
+// matters for byte identity (completion dispatch position, onDone,
+// per-channel byte accounting) is re-materialized at completion; all
+// other state is provably identical across members and stored once.
 type Flow struct {
 	id        uint64
 	path      []*Channel
 	pathIDs   []int32 // dense channel ids of path, the reallocate view
-	size      float64
-	remaining float64
-	rate      float64
+	size      float64 // per member
+	remaining float64 // per member (members stay bitwise identical)
+	rate      float64 // per member
 	lastTick  sim.Time
 	admitEv   *sim.Event
-	done      *sim.Event
+	done      *sim.Event // group carrier when mult > 1
 	onDone    func()
 	started   bool
 	finished  bool
@@ -170,6 +227,27 @@ type Flow struct {
 	net       *Network
 	start     sim.Time
 	finish    sim.Time
+
+	mult     int      // live members sharing this entry (1 = plain flow)
+	pending  bool     // admitted since the last pass (in Network.instAdmits)
+	dones    []func() // per-member onDone once a second member joins
+	doneBase int      // index into dones of the first still-live member
+	doneRank uint64   // rank of done; members fan out at doneRank+1..+mult-1
+	tag      *AggTag  // aggregation tag carried from emission to admit
+	bneck    int32    // channel that froze this entry in the last full pass, -1 none
+}
+
+// AggTag marks a fan of transfers as aggregation candidates: callers
+// that emit several transfers with the same path, size, and start
+// instant pass one tag (zero value, one per fan) to
+// StartEphemeralTagged and the fabric folds the fan into a single
+// multiplicity-counted entry when flow aggregation is enabled. The tag
+// is only a hint — members that turn out not to be symmetric, or that
+// get interleaved with foreign admissions, are admitted individually
+// and the simulation is byte-identical either way.
+type AggTag struct {
+	group *Flow    // candidate entry, valid only while at == now
+	at    sim.Time // admission instant group was recorded at
 }
 
 // Size returns the flow's total payload in bytes.
@@ -214,6 +292,8 @@ type Network struct {
 	chEpoch      []uint64
 	chResidual   []float64
 	chUnassigned []int32
+	chRound      []uint64 // round stamp: channel's share already examined
+	roundSeq     uint64   // current bottleneck-scan round
 
 	// Flow SoA scratch, rebuilt each pass from the live flows in
 	// admission order: parallel rate array, concatenated path ids with
@@ -234,6 +314,7 @@ type Network struct {
 	rankBase     uint64   // first rank of the block reserved at the last refresh
 	rankReserved int      // ranks reserved in the current block
 	dueInstant   sim.Time // instant whose due-event park scan has run
+	dueFloor     sim.Time // no live completion event is due before this
 
 	// hot-path telemetry
 	requests    uint64 // reshare triggers observed
@@ -241,8 +322,69 @@ type Network struct {
 	rescheduled uint64 // completion events moved by a pass
 	skipped     uint64 // completion events left in place by a pass
 
+	// Flow aggregation (COARSE_FLOW_AGG; see the package comment).
+	aggregate    bool
+	lastAdmitted *Flow  // last entry admitted; joins require no interleaving
+	aggregated   uint64 // members folded into a group entry instead of admitted
+	groupObs     func(int)
+
+	// Steady-state fast-forward (COARSE_FASTFORWARD).
+	fastForward bool
+	trigMask    uint8   // trigger kinds observed since the last pass
+	ffValid     bool    // freeze bookkeeping below reflects the last pass
+	stalled     int     // entries the last full pass left with rate 0
+	frozenCount []int32 // live entries frozen per channel, dense id
+	frozenList  []int32 // channels with frozenCount != 0
+	ffPaths     []int32 // path ids of members completed since the last pass
+	chTouched   []uint64
+	ffEpoch     uint64
+	activeCh    []*Channel // non-idle channels, the fold worklist
+	ffPasses    uint64     // passes served by the fast-forward skip
+	ffAdmits    uint64     // fast-forward passes that filled an entrant burst
+
+	// Admission fast-forward bookkeeping: the entries admitted since
+	// the last pass, in admission order, plus per-channel scratch for
+	// the disjointness check (entrantCnt is always zero between
+	// checks; entrantIDs carries the burst's channel set to the fold).
+	instAdmits []*Flow
+	entrantCnt []int32
+	entrantIDs []int32
+	joinedLate bool // a member joined a group that already holds a rate
+
+	passBneck []int32 // per-gathered-flow freezing channel, full pass scratch
+
 	flowPool []*Flow // recycled ephemeral flows
 }
+
+// Trigger kinds accumulated in trigMask between reallocation passes.
+const (
+	trigAdmit uint8 = 1 << iota
+	trigComplete
+	trigCapacity
+)
+
+// Environment switches for the opt-in scale accelerations, read once
+// per NewNetwork (mirroring COARSE_EVENT_QUEUE / COARSE_PARTITION).
+const (
+	flowAggEnv     = "COARSE_FLOW_AGG"
+	fastForwardEnv = "COARSE_FASTFORWARD"
+)
+
+func envEnabled(name string) bool {
+	switch os.Getenv(name) {
+	case "1", "on", "true":
+		return true
+	}
+	return false
+}
+
+// DefaultFlowAggregation reports whether COARSE_FLOW_AGG asks for flow
+// aggregation ("1", "on", or "true").
+func DefaultFlowAggregation() bool { return envEnabled(flowAggEnv) }
+
+// DefaultFastForward reports whether COARSE_FASTFORWARD asks for
+// steady-state fast-forward ("1", "on", or "true").
+func DefaultFastForward() bool { return envEnabled(fastForwardEnv) }
 
 // maxFlowPool bounds the network's flow free-list.
 const maxFlowPool = 4096
@@ -257,9 +399,40 @@ const listCompactMin = 16
 const farFuture = sim.Time(math.MaxInt64)
 
 // NewNetwork creates an empty network bound to a simulation engine.
+// The opt-in scale accelerations start from their environment
+// defaults (COARSE_FLOW_AGG, COARSE_FASTFORWARD).
 func NewNetwork(eng *sim.Engine) *Network {
-	return &Network{eng: eng, lastSettle: -1, dueInstant: -1}
+	return &Network{
+		eng:         eng,
+		lastSettle:  -1,
+		dueInstant:  -1,
+		aggregate:   DefaultFlowAggregation(),
+		fastForward: DefaultFastForward(),
+	}
 }
+
+// EnableFlowAggregation switches symmetric-fan aggregation on or off.
+// Safe at any point: already-admitted groups drain normally, and
+// toggling changes nothing observable (aggregation is byte-exact).
+func (n *Network) EnableFlowAggregation(on bool) { n.aggregate = on }
+
+// FlowAggregationEnabled reports whether tagged symmetric fans are
+// being folded into multiplicity-counted entries.
+func (n *Network) FlowAggregationEnabled() bool { return n.aggregate }
+
+// EnableFastForward switches the steady-state pass skip on or off.
+// Safe at any point: the first pass after enabling is always a full
+// pass (the skip needs freeze bookkeeping only full passes record).
+func (n *Network) EnableFastForward(on bool) {
+	n.fastForward = on
+	if !on {
+		n.ffValid = false
+	}
+}
+
+// FastForwardEnabled reports whether completion-only instants may skip
+// the progressive-filling pass.
+func (n *Network) FastForwardEnabled() bool { return n.fastForward }
 
 // Engine returns the simulation engine the network schedules on.
 func (n *Network) Engine() *sim.Engine { return n.eng }
@@ -294,6 +467,26 @@ func (n *Network) CompletionsRescheduled() uint64 { return n.rescheduled }
 // left untouched because the flow's completion instant did not move
 // (exact integer-nanosecond comparison).
 func (n *Network) CompletionsSkipped() uint64 { return n.skipped }
+
+// FlowsAggregated returns how many transfers were folded into an
+// existing group entry instead of admitted as their own flow. Zero
+// unless flow aggregation is enabled and callers tag symmetric fans.
+func (n *Network) FlowsAggregated() uint64 { return n.aggregated }
+
+// FastForwardPasses returns how many reallocation passes were served
+// by the steady-state skip (they are included in Reshares, whose count
+// is identical with the optimization on or off).
+func (n *Network) FastForwardPasses() uint64 { return n.ffPasses }
+
+// FastForwardAdmissions counts the fast-forward passes that filled a
+// disjoint entrant burst (ffAdmitPass), a subset of
+// FastForwardPasses.
+func (n *Network) FastForwardAdmissions() uint64 { return n.ffAdmits }
+
+// OnGroupComplete registers an observer called with the member count
+// of every aggregated group as its completion fans out; telemetry uses
+// it for the group-size histogram. Only one observer is kept.
+func (n *Network) OnGroupComplete(fn func(members int)) { n.groupObs = fn }
 
 // NewLink creates a full-duplex link. fwdCap and revCap are bytes per
 // second for the two directions; most physical links are symmetric but
@@ -349,6 +542,21 @@ func (n *Network) StartEphemeral(path []*Channel, size float64, onDone func()) {
 	n.start(f, path, size, onDone)
 }
 
+// StartEphemeralTagged is StartEphemeral for a member of a symmetric
+// fan: every transfer started with the same tag that shares the fan's
+// path (the same path slice — routes from a topology cache qualify),
+// size, and admission instant may be aggregated into one
+// multiplicity-counted entry when flow aggregation is enabled. The tag
+// must be zero-valued at the fan's first transfer and must not be
+// shared across fans that could interleave with each other's
+// admissions; a fresh tag per fan is always correct.
+func (n *Network) StartEphemeralTagged(tag *AggTag, path []*Channel, size float64, onDone func()) {
+	f := n.newFlow()
+	f.ephemeral = true
+	f.tag = tag
+	n.start(f, path, size, onDone)
+}
+
 func (n *Network) start(f *Flow, path []*Channel, size float64, onDone func()) {
 	if len(path) == 0 {
 		panic("fabric: flow with empty path")
@@ -367,6 +575,8 @@ func (n *Network) start(f *Flow, path []*Channel, size float64, onDone func()) {
 	f.remaining = size
 	f.onDone = onDone
 	f.net = n
+	f.mult = 1
+	f.bneck = -1
 	lat := PathLatency(path)
 	f.admitEv = n.eng.Schedule(lat, func() { n.admit(f) })
 }
@@ -382,12 +592,20 @@ func (n *Network) TransferEphemeral(path []*Channel, size int64, onDone func()) 
 	n.StartEphemeral(path, float64(size), onDone)
 }
 
+// TransferEphemeralTagged is a convenience wrapper for
+// StartEphemeralTagged with an int64 size.
+func (n *Network) TransferEphemeralTagged(tag *AggTag, path []*Channel, size int64, onDone func()) {
+	n.StartEphemeralTagged(tag, path, float64(size), onDone)
+}
+
 func (n *Network) admit(f *Flow) {
 	now := n.eng.Now()
 	n.eng.Recycle(f.admitEv)
 	f.admitEv = nil
 	f.started = true
 	f.start = now
+	tag := f.tag
+	f.tag = nil
 	if f.remaining == 0 {
 		f.finished = true
 		f.finish = now
@@ -401,14 +619,60 @@ func (n *Network) admit(f *Flow) {
 	}
 	n.requests++
 	n.settle(now)
+	if tag != nil && n.aggregate {
+		// Join the tag's group if this admission is exactly a repeat of
+		// the group's: same instant, same path slice, same size, and —
+		// load-bearing for byte identity — no foreign admission in
+		// between (an interleaved entry would sit between the members in
+		// gather order, changing per-channel float fold order). The
+		// instant check runs first: it proves tag.group was recorded at
+		// this very instant, so the pointer is alive (a non-empty flow
+		// admitted now cannot complete, compact, and be recycled before
+		// now ends — its deadline rounds up to at least one nanosecond).
+		if g := tag.group; g != nil && tag.at == now && g == n.lastAdmitted &&
+			g.size == f.size && len(g.path) == len(f.path) && &g.path[0] == &f.path[0] {
+			if len(g.dones) == 0 {
+				g.dones = append(g.dones[:0], g.onDone)
+				g.onDone = nil
+			}
+			g.dones = append(g.dones, f.onDone)
+			g.mult++
+			n.liveFlows++
+			for _, c := range g.path {
+				c.live++
+			}
+			n.aggregated++
+			n.trigMask |= trigAdmit
+			if !g.pending {
+				// A mid-instant pass already rated the group; growing its
+				// multiplicity invalidates that rate, which only a full
+				// pass re-derives.
+				n.joinedLate = true
+			}
+			n.recycleFlow(f)
+			n.refreshCompletions(now)
+			n.markDirty()
+			return
+		}
+		tag.group = f
+		tag.at = now
+	}
 	n.flows = append(n.flows, f)
 	n.liveFlows++
+	n.lastAdmitted = f
 	f.lastTick = now
+	f.pending = true
+	n.instAdmits = append(n.instAdmits, f)
 	f.listRefs = len(f.path) + 1
 	for _, c := range f.path {
 		c.active = append(c.active, f)
 		c.live++
+		if !c.inActive {
+			c.inActive = true
+			n.activeCh = append(n.activeCh, c)
+		}
 	}
+	n.trigMask |= trigAdmit
 	n.refreshCompletions(now)
 	n.markDirty()
 }
@@ -474,12 +738,19 @@ func (n *Network) settle(now sim.Time) {
 func (n *Network) refreshCompletions(now sim.Time) {
 	if n.dueInstant != now {
 		n.dueInstant = now
-		for _, f := range n.flows {
-			if f.finished || f.done == nil || f.done.Cancelled() {
-				continue
-			}
-			if f.done.Time() <= now && (f.remaining != 0 || f.rate <= 0) {
-				n.eng.Retime(f.done, farFuture)
+		// The scan has work only when some live deadline has been
+		// reached: dueFloor is the minimum the last flush placed, so a
+		// later instant means nothing can be due (events only move
+		// later between flushes — parking and chaos retiming both push
+		// toward the far future).
+		if n.dueFloor <= now {
+			for _, f := range n.flows {
+				if f.finished || f.done == nil || f.done.Cancelled() {
+					continue
+				}
+				if f.done.Time() <= now && (f.remaining != 0 || f.rate <= 0) {
+					n.eng.Retime(f.done, farFuture)
+				}
 			}
 		}
 	}
@@ -497,8 +768,14 @@ func (n *Network) refreshCompletions(now sim.Time) {
 		}
 		if f.done.Time() <= now {
 			// Due at this instant and still able to fire at it: re-rank
-			// above the foreign events, in flow-admission order.
+			// above the foreign events, in flow-admission order. A group
+			// carrier consumes one fresh rank per member — exactly what
+			// the members' own reschedules would — and keeps the member
+			// ranks consecutive behind it for the completion fan-out.
 			n.eng.Reschedule(f.done, now)
+			if f.mult > 1 {
+				f.doneRank = n.eng.ReserveSeq(f.mult-1) - 1
+			}
 		}
 	}
 	n.rankBase = n.eng.ReserveSeq(n.liveFlows)
@@ -559,34 +836,116 @@ func (n *Network) flush() {
 // so every rate — and every golden downstream of one — is
 // bit-identical.
 func (n *Network) reallocate(now sim.Time) {
+	if n.fastForward && n.ffValid && n.stalled == 0 && n.ffStable() {
+		if n.trigMask == trigComplete {
+			n.ffPass(now)
+			n.passDone()
+			return
+		}
+		if n.trigMask&^(trigAdmit|trigComplete) == 0 && n.entrantsDisjoint() {
+			n.ffAdmitPass(now)
+			n.passDone()
+			return
+		}
+	}
+	n.passDone()
 	n.passes++
 	n.epoch++
-	ep := n.epoch
 	if len(n.chEpoch) < len(n.channels) {
 		n.chEpoch = make([]uint64, len(n.channels))
 		n.chResidual = make([]float64, len(n.channels))
 		n.chUnassigned = make([]int32, len(n.channels))
+		n.chRound = make([]uint64, len(n.channels))
+		n.roundSeq = 0
+		n.frozenCount = make([]int32, len(n.channels))
+		n.chTouched = make([]uint64, len(n.channels))
+		n.frozenList = n.frozenList[:0]
+		n.ffValid = false
 	}
+	pf, pr, pb := n.fill(n.flows)
+	if n.fastForward {
+		// Record which channel froze each entry: the steady-state skip
+		// is legal only while completions depart channels nobody
+		// surviving was frozen on. Rebuilt from scratch every full pass.
+		for _, id := range n.frozenList {
+			n.frozenCount[id] = 0
+		}
+		n.frozenList = n.frozenList[:0]
+		n.stalled = 0
+		for i, f := range pf {
+			if pr[i] <= 0 {
+				n.stalled++
+				f.bneck = -1
+				continue
+			}
+			b := pb[i]
+			f.bneck = b
+			if n.frozenCount[b] == 0 {
+				n.frozenList = append(n.frozenList, b)
+			}
+			n.frozenCount[b]++
+		}
+		n.ffValid = true
+	} else {
+		n.ffValid = false
+	}
+	// Fold per-channel utilization accounting. A channel with no live
+	// flows and a zero current rate is skipped outright: folding it
+	// would add rate*dt = 0 to the integral and re-store a zero rate,
+	// and IntegratedBytes extrapolates the zero rate past the stale
+	// lastAccount stamp, so the skip is exact. Every other channel is
+	// visited so one that just went idle stops accumulating busy time.
+	// Summation order is the channel's active list in admission order —
+	// the same order the eager implementation summed — so the folded
+	// integrals are bit-identical. With fast-forward on, the fold walks
+	// the maintained non-idle channel list instead of every channel;
+	// the skipped channels are exactly those the full scan skips, and
+	// channels are independent, so the result is unchanged.
+	if n.fastForward {
+		n.foldActive(now)
+		return
+	}
+	for _, c := range n.channels {
+		if c.live == 0 && c.currentRate == 0 {
+			continue
+		}
+		c.account(now, channelRate(c))
+	}
+}
+
+// fill runs one progressive filling over the given entries (admission
+// order), assigning every live one a rate. It is the shared core of
+// the full pass (every live flow) and of the admission fast-forward
+// (only the instant's entrant burst): per-channel scratch is
+// epoch-stamped on first touch, so filling a subset performs exactly
+// the subset's operations. Returns the gathered entries with their
+// parallel rate and freezing-channel arrays (channel -1 = stalled).
+func (n *Network) fill(src []*Flow) ([]*Flow, []float64, []int32) {
+	ep := n.epoch
 	// Gather live flows (admission order) and stamp the channels they
-	// touch with fresh scratch.
+	// touch with fresh scratch. A group entry counts with its live
+	// multiplicity: each member crosses its channels once.
 	pf := n.passFlows[:0]
 	pr := n.passRate[:0]
+	pb := n.passBneck[:0]
 	off := n.passOff[:0]
 	pp := n.passPath[:0]
-	for _, f := range n.flows {
+	for _, f := range src {
 		if f.finished {
 			continue
 		}
 		off = append(off, int32(len(pp)))
 		pf = append(pf, f)
 		pr = append(pr, -1) // unassigned marker
+		pb = append(pb, -1)
+		m := int32(f.mult)
 		for _, id := range f.pathIDs {
 			if n.chEpoch[id] != ep {
 				n.chEpoch[id] = ep
 				n.chResidual[id] = n.channels[id].capacity
 				n.chUnassigned[id] = 0
 			}
-			n.chUnassigned[id]++
+			n.chUnassigned[id] += m
 			pp = append(pp, id)
 		}
 	}
@@ -598,11 +957,22 @@ func (n *Network) reallocate(now sim.Time) {
 	for len(work) > 0 {
 		// Find the bottleneck: the channel with the smallest fair share.
 		// Deterministic order: unassigned flows (admission order), then
-		// their paths hop by hop.
+		// their paths hop by hop. A channel's share is constant within
+		// the scan, and a repeated comparison of an identical value
+		// cannot change a strict-< winner — group members scanning m
+		// times in a row and popular channels crossed by many flows
+		// both reduce to the first occurrence — so each channel is
+		// examined once per round, at its first appearance.
+		n.roundSeq++
+		round := n.roundSeq
 		bneck := int32(-1)
 		share := math.Inf(1)
 		for _, i := range work {
 			for _, id := range pp[off[i]:off[i+1]] {
+				if n.chRound[id] == round {
+					continue
+				}
+				n.chRound[id] = round
 				if n.chUnassigned[id] == 0 {
 					continue
 				}
@@ -617,7 +987,10 @@ func (n *Network) reallocate(now sim.Time) {
 			break
 		}
 		// Every unassigned flow crossing the bottleneck gets the share;
-		// the rest stay on the worklist, order preserved.
+		// the rest stay on the worklist, order preserved. A group entry
+		// charges its channels once per member by repeated subtraction —
+		// residual - m*share would round differently; m sequential
+		// clamped subtractions are bitwise what m member entries do.
 		rest := work[:0]
 		for _, i := range work {
 			crosses := false
@@ -632,12 +1005,27 @@ func (n *Network) reallocate(now sim.Time) {
 				continue
 			}
 			pr[i] = share
-			for _, id := range pp[off[i]:off[i+1]] {
-				n.chResidual[id] -= share
-				if n.chResidual[id] < 0 {
-					n.chResidual[id] = 0
+			pb[i] = bneck
+			if m := pf[i].mult; m == 1 {
+				for _, id := range pp[off[i]:off[i+1]] {
+					n.chResidual[id] -= share
+					if n.chResidual[id] < 0 {
+						n.chResidual[id] = 0
+					}
+					n.chUnassigned[id]--
 				}
-				n.chUnassigned[id]--
+			} else {
+				for _, id := range pp[off[i]:off[i+1]] {
+					r := n.chResidual[id]
+					for j := 0; j < m; j++ {
+						r -= share
+						if r < 0 {
+							r = 0
+						}
+					}
+					n.chResidual[id] = r
+					n.chUnassigned[id] -= int32(m)
+				}
 			}
 		}
 		work = rest
@@ -650,30 +1038,233 @@ func (n *Network) reallocate(now sim.Time) {
 	}
 	n.passFlows = pf
 	n.passRate = pr
+	n.passBneck = pb
 	n.passOff = off
 	n.passPath = pp
 	n.passWork = work[:0]
-	// Fold per-channel utilization accounting. A channel with no live
-	// flows and a zero current rate is skipped outright: folding it
-	// would add rate*dt = 0 to the integral and re-store a zero rate,
-	// and IntegratedBytes extrapolates the zero rate past the stale
-	// lastAccount stamp, so the skip is exact. Every other channel is
-	// visited so one that just went idle stops accumulating busy time.
-	// Summation order is the channel's active list in admission order —
-	// the same order the eager implementation summed — so the folded
-	// integrals are bit-identical.
-	for _, c := range n.channels {
-		if c.live == 0 && c.currentRate == 0 {
+	return pf, pr, pb
+}
+
+// passDone closes the trigger window: every pass — full or
+// fast-forwarded — consumes the accumulated trigger mask, the
+// completed-path list, and the pending-entrant list.
+func (n *Network) passDone() {
+	n.trigMask = 0
+	n.ffPaths = n.ffPaths[:0]
+	for _, f := range n.instAdmits {
+		f.pending = false
+	}
+	n.instAdmits = n.instAdmits[:0]
+	n.joinedLate = false
+}
+
+// entrantsDisjoint reports whether every channel crossed by the
+// entrants admitted since the last pass carries only those entrants —
+// no surviving flow shares a channel with the burst — and no member
+// joined an already-rated group. It leaves the burst's channel set in
+// n.entrantIDs for ffAdmitPass. entrantCnt is zeroed on the way out,
+// so the scratch never needs a bulk clear.
+func (n *Network) entrantsDisjoint() bool {
+	if n.joinedLate {
+		return false
+	}
+	if len(n.entrantCnt) < len(n.channels) {
+		n.entrantCnt = make([]int32, len(n.channels))
+	}
+	ids := n.entrantIDs[:0]
+	for _, f := range n.instAdmits {
+		m := int32(f.mult)
+		for _, id := range f.pathIDs {
+			if n.entrantCnt[id] == 0 {
+				ids = append(ids, id)
+			}
+			n.entrantCnt[id] += m
+		}
+	}
+	ok := true
+	for _, id := range ids {
+		if n.channels[id].live != int(n.entrantCnt[id]) {
+			ok = false
+		}
+		n.entrantCnt[id] = 0
+	}
+	n.entrantIDs = ids
+	return ok
+}
+
+// ffAdmitPass serves a pass whose only rate changes are this instant's
+// entrants, admitted onto channels that carry no surviving flow
+// (entrantsDisjoint). Max-min filling decomposes over connected
+// components: the survivors' component replays the cached allocation
+// bitwise — the ffPass argument, extended by the entrant burst sharing
+// no channel with it — while the entrant component is filled locally
+// from full-capacity residuals, performing float-for-float the
+// operations the full pass would perform for exactly those channels.
+// Completions in the same window are covered by the ffStable guard,
+// as in ffPass.
+func (n *Network) ffAdmitPass(now sim.Time) {
+	n.passes++
+	n.ffPasses++
+	n.ffAdmits++
+	if len(n.instAdmits) == 1 {
+		// Singleton burst — one entry, alone on its channels: filling
+		// is a single round whose share is the smallest per-member
+		// capacity along the path. Channel scan order and the strict-<
+		// winner are exactly fill's; capacity/float64(m) is the very
+		// division fill performs on freshly stamped scratch.
+		f := n.instAdmits[0]
+		m := float64(f.mult)
+		share := math.Inf(1)
+		bneck := int32(-1)
+		for _, id := range f.pathIDs {
+			if s := n.channels[id].capacity / m; s < share {
+				share = s
+				bneck = id
+			}
+		}
+		f.rate = share
+		n.freezeEntrant(f, share, bneck)
+	} else {
+		n.epoch++
+		pf, pr, pb := n.fill(n.instAdmits)
+		// The entrants extend the last full pass's freeze bookkeeping
+		// incrementally; survivors' entries are untouched.
+		for i, f := range pf {
+			n.freezeEntrant(f, pr[i], pb[i])
+		}
+	}
+	n.ffEpoch++
+	ep := n.ffEpoch
+	for _, id := range n.ffPaths {
+		n.chTouched[id] = ep
+	}
+	for _, id := range n.entrantIDs {
+		n.chTouched[id] = ep
+	}
+	n.ffFold(now, ep)
+}
+
+// freezeEntrant extends the last full pass's freeze bookkeeping with
+// one rated entrant (rate <= 0 means stalled, as in the full pass).
+func (n *Network) freezeEntrant(f *Flow, rate float64, bneck int32) {
+	if rate <= 0 {
+		n.stalled++
+		f.bneck = -1
+		return
+	}
+	f.bneck = bneck
+	if n.frozenCount[bneck] == 0 {
+		n.frozenList = append(n.frozenList, bneck)
+	}
+	n.frozenCount[bneck]++
+}
+
+// channelRate sums the live flow rates crossing a channel, walking the
+// active list in admission order — the bitwise-pinned fold order. A
+// group entry contributes per member by repeated addition (rate*m
+// would round differently from m member entries summing in sequence).
+func channelRate(c *Channel) float64 {
+	rate := 0.0
+	for _, f := range c.active {
+		if f.finished || f.rate <= 0 {
 			continue
 		}
-		rate := 0.0
-		for _, f := range c.active {
-			if !f.finished && f.rate > 0 {
+		if f.mult == 1 {
+			rate += f.rate
+		} else {
+			for j := 0; j < f.mult; j++ {
 				rate += f.rate
 			}
 		}
-		c.account(now, rate)
 	}
+	return rate
+}
+
+// foldActive is the utilization fold over the maintained non-idle
+// channel list. A channel leaves the list exactly when the full scan's
+// skip condition first holds for it (no live flows, zero folded rate);
+// it re-enters on the next admission that crosses it. Idle-at-entry
+// channels are dropped without accounting — the same no-op the full
+// scan's skip is.
+func (n *Network) foldActive(now sim.Time) {
+	keep := n.activeCh[:0]
+	for _, c := range n.activeCh {
+		if c.live == 0 && c.currentRate == 0 {
+			c.inActive = false
+			continue
+		}
+		c.account(now, channelRate(c))
+		if c.live == 0 && c.currentRate == 0 {
+			c.inActive = false
+			continue
+		}
+		keep = append(keep, c)
+	}
+	for i := len(keep); i < len(n.activeCh); i++ {
+		n.activeCh[i] = nil
+	}
+	n.activeCh = keep
+}
+
+// ffStable reports whether no surviving entry was frozen on any
+// channel of the paths completed since the last pass. Combined with
+// completion-only triggers and no stalled entries, this proves every
+// surviving filling round replays bitwise: completed flows never
+// crossed a surviving round's bottleneck (their shares were never
+// subtracted there and their members never counted there), so each
+// surviving share's dividend and divisor are unchanged.
+func (n *Network) ffStable() bool {
+	for _, id := range n.ffPaths {
+		if n.frozenCount[id] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ffPass is the steady-state fast-forward: the allocation is provably
+// the last full pass's, so only the utilization fold runs. Channels
+// untouched by the departed flows keep their cached folded rate — a
+// re-sum would add the identical float64 summands in the identical
+// order — and channels on the departed paths are re-summed from their
+// active lists.
+func (n *Network) ffPass(now sim.Time) {
+	n.passes++
+	n.ffPasses++
+	n.ffEpoch++
+	ep := n.ffEpoch
+	for _, id := range n.ffPaths {
+		n.chTouched[id] = ep
+	}
+	n.ffFold(now, ep)
+}
+
+// ffFold is the fast-forward utilization fold: channels stamped with
+// the current touch epoch re-sum their active lists; the rest keep
+// their cached folded rate (a re-sum would add the identical float64
+// summands in the identical order).
+func (n *Network) ffFold(now sim.Time, ep uint64) {
+	keep := n.activeCh[:0]
+	for _, c := range n.activeCh {
+		if c.live == 0 && c.currentRate == 0 {
+			c.inActive = false
+			continue
+		}
+		rate := c.currentRate
+		if n.chTouched[c.id] == ep {
+			rate = channelRate(c)
+		}
+		c.account(now, rate)
+		if c.live == 0 && c.currentRate == 0 {
+			c.inActive = false
+			continue
+		}
+		keep = append(keep, c)
+	}
+	for i := len(keep); i < len(n.activeCh); i++ {
+		n.activeCh[i] = nil
+	}
+	n.activeCh = keep
 }
 
 // scheduleCompletions settles every live flow's completion deadline
@@ -689,12 +1280,13 @@ func (n *Network) reallocate(now sim.Time) {
 // flush after the trigger that un-stalls it.
 func (n *Network) scheduleCompletions(now sim.Time) {
 	rank := n.rankBase
+	floor := farFuture
 	for _, f := range n.flows {
 		if f.finished {
 			continue
 		}
 		r := rank
-		rank++
+		rank += uint64(f.mult) // a group entry owns one rank per member
 		if f.rate <= 0 {
 			if f.done != nil && !f.done.Cancelled() {
 				n.eng.Cancel(f.done)
@@ -703,53 +1295,123 @@ func (n *Network) scheduleCompletions(now sim.Time) {
 		}
 		secs := f.remaining / f.rate
 		target := now + sim.Time(math.Ceil(secs*1e9))
+		if target < floor {
+			floor = target
+		}
 		if f.done == nil {
 			// Newly admitted this instant: materialize the event directly
 			// at its deadline with its reserved rank.
 			ff := f
 			f.done = n.eng.AtRanked(target, r, func() { n.complete(ff) })
-			n.rescheduled++
+			f.doneRank = r
+			n.rescheduled += uint64(f.mult)
 			continue
 		}
 		if !f.done.Cancelled() && f.done.Time() == target {
-			n.skipped++
+			n.skipped += uint64(f.mult)
 		} else {
-			n.rescheduled++
+			n.rescheduled += uint64(f.mult)
 		}
 		n.eng.PlaceRanked(f.done, target, r)
+		f.doneRank = r
+	}
+	n.dueFloor = floor
+}
+
+// complete handles the entry's completion event. For a plain flow it
+// completes the one member; for an aggregated group it is the carrier:
+// the first live member completes immediately, and the rest fan out as
+// completion events at the consecutive reserved ranks doneRank+1.. —
+// exactly the positions the unaggregated members' events held, with
+// nothing able to interleave between consecutive ranks.
+//
+// The fan-out is conditional on the settle leaving the representative's
+// remaining at exactly zero. When rate*dt lands short by float dust,
+// the unaggregated world parks the not-yet-fired sibling events
+// (refreshCompletions' due-instant walk sees remaining != 0) and the
+// flush re-places them one deadline tick later — so the group must do
+// the same: no echoes, and the entry (done == nil, mult counting the
+// survivors) gets a fresh carrier from the next flush at the dust
+// deadline, resuming from doneBase. A member's own onDone may also
+// force a pass mid-fan-out (exactly as it could between unaggregated
+// completions); the partially-drained entry represents that correctly.
+func (n *Network) complete(f *Flow) {
+	n.eng.Recycle(f.done)
+	f.done = nil
+	base := f.doneBase
+	f.doneBase++
+	rank := f.doneRank
+	n.completeMember(f, base)
+	if f.mult > 0 && f.remaining == 0 {
+		now := n.eng.Now()
+		k := f.mult
+		for j := 1; j <= k; j++ {
+			idx := base + j
+			n.eng.AtRanked(now, rank+uint64(j), func() { n.completeMember(f, idx) })
+		}
+		f.doneBase += k
 	}
 }
 
-func (n *Network) complete(f *Flow) {
+// completeMember retires one member of an entry — the whole entry when
+// it is a plain flow. j indexes the member's callback in f.dones. The
+// operation sequence per member is exactly the historical complete()'s,
+// so counters, settle points, rank refreshes, and onDone ordering are
+// byte-identical to the unaggregated schedule.
+func (n *Network) completeMember(f *Flow, j int) {
 	now := n.eng.Now()
 	n.requests++
 	n.settle(now)
-	f.remaining = 0
-	f.finished = true
-	f.finish = now
-	n.eng.Recycle(f.done)
-	f.done = nil
-	// Leave the active lists by tombstone: iteration skips finished
-	// flows, and lists compact once tombstones reach half their length.
 	n.liveFlows--
-	n.deadFlows++
+	f.mult--
 	for _, c := range f.path {
 		c.bytesCarried += f.size
 		c.live--
-		c.dead++
-		if c.dead >= listCompactMin && c.dead*2 > len(c.active) {
-			c.active = n.compactList(c.active)
-			c.dead = 0
-		}
 	}
-	if n.deadFlows >= listCompactMin && n.deadFlows*2 > len(n.flows) {
-		n.flows = n.compactList(n.flows)
-		n.deadFlows = 0
+	if n.fastForward {
+		// The member's departure invalidates cached allocations along its
+		// path unless no survivor was frozen there; record the path for
+		// the skip check regardless of whether the entry is drained.
+		n.ffPaths = append(n.ffPaths, f.pathIDs...)
+	}
+	n.trigMask |= trigComplete
+	if f.mult == 0 {
+		if n.groupObs != nil && len(f.dones) > 1 {
+			n.groupObs(len(f.dones))
+		}
+		f.remaining = 0
+		f.finished = true
+		f.finish = now
+		if f.bneck >= 0 {
+			n.frozenCount[f.bneck]--
+			f.bneck = -1
+		}
+		// Leave the active lists by tombstone: iteration skips finished
+		// flows, and lists compact once tombstones reach half their length.
+		n.deadFlows++
+		for _, c := range f.path {
+			c.dead++
+			if c.dead >= listCompactMin && c.dead*2 > len(c.active) {
+				c.active = n.compactList(c.active)
+				c.dead = 0
+			}
+		}
+		if n.deadFlows >= listCompactMin && n.deadFlows*2 > len(n.flows) {
+			n.flows = n.compactList(n.flows)
+			n.deadFlows = 0
+		}
 	}
 	n.refreshCompletions(now)
 	n.markDirty()
-	if f.onDone != nil {
-		f.onDone()
+	var done func()
+	if len(f.dones) > 0 {
+		done = f.dones[j]
+		f.dones[j] = nil
+	} else {
+		done = f.onDone
+	}
+	if done != nil {
+		done()
 	}
 }
 
@@ -781,8 +1443,10 @@ func (n *Network) newFlow() *Flow {
 		n.flowPool[k-1] = nil
 		n.flowPool = n.flowPool[:k-1]
 		ids := f.pathIDs[:0] // keep the path-id buffer across recycles
+		dones := f.dones[:0] // likewise the member-onDone buffer
 		*f = Flow{}
 		f.pathIDs = ids
+		f.dones = dones
 		return f
 	}
 	return &Flow{}
@@ -817,6 +1481,7 @@ func (n *Network) SetLinkCapacity(l *Link, fwdCap, revCap float64) {
 	l.rev.account(now, l.rev.currentRate)
 	l.fwd.capacity = fwdCap
 	l.rev.capacity = revCap
+	n.trigMask |= trigCapacity
 	n.refreshCompletions(now)
 	n.markDirty()
 }

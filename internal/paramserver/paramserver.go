@@ -18,6 +18,7 @@ package paramserver
 import (
 	"fmt"
 
+	"coarse/internal/fabric"
 	"coarse/internal/model"
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
@@ -122,6 +123,11 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 			if ctx.Cfg.Numeric {
 				averageGrads(ctx, layer)
 			}
+			// The push-back fan is emitted in one burst and may be
+			// tagged: pulls sharing a source CPU, route, and size can
+			// ride one aggregated flow (workers on distinct devices
+			// route differently and simply stay separate).
+			var tag fabric.AggTag
 			for dst := 0; dst < ctx.NumWorkers(); dst++ {
 				dst := dst
 				dstCPU := cpu
@@ -129,7 +135,7 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 					dstCPU = ctx.Machine.CPUs[ctx.Workers[dst].Dev.Node]
 				}
 				s.pulls.Inc()
-				ctx.CCI.DMACopy(dstCPU, ctx.Workers[dst].Dev, size, func() {
+				ctx.CCI.DMACopyTagged(&tag, dstCPU, ctx.Workers[dst].Dev, size, func() {
 					// A silenced worker cannot accept its pull; the
 					// hand-off defers until it wakes. Other workers'
 					// pulls proceed independently.

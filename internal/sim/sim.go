@@ -463,6 +463,10 @@ func (e *Engine) PlaceRanked(ev *Event, t Time, seq uint64) {
 		if !ev.daemon {
 			e.foreground++
 		}
+	} else if ev.at == t && ev.seq == seq {
+		// Already queued at exactly this (time, rank): the sift could
+		// only put it back where it sits.
+		return
 	}
 	ev.at = t
 	ev.seq = seq

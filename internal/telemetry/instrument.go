@@ -80,6 +80,14 @@ func RegisterHotPath(r *Registry, eng *sim.Engine, n *fabric.Network) {
 		r.GaugeFunc("fabric/reshares_coalesced", "count", func() float64 { return float64(n.ResharesCoalesced()) })
 		r.GaugeFunc("fabric/completions_rescheduled", "count", func() float64 { return float64(n.CompletionsRescheduled()) })
 		r.GaugeFunc("fabric/completions_skipped", "count", func() float64 { return float64(n.CompletionsSkipped()) })
+		r.GaugeFunc("fabric/flows_aggregated", "count", func() float64 { return float64(n.FlowsAggregated()) })
+		r.GaugeFunc("fabric/fastforward_passes", "count", func() float64 { return float64(n.FastForwardPasses()) })
+		r.GaugeFunc("fabric/fastforward_admissions", "count", func() float64 { return float64(n.FastForwardAdmissions()) })
+		// Group-size distribution of aggregated fans: bucket bounds
+		// track the power-of-two fan widths the strategies produce
+		// (ring fragments up to full all-to-one fans at cell scale).
+		gh := r.Histogram("fabric/group_size", "members", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096})
+		n.OnGroupComplete(func(members int) { gh.Observe(float64(members)) })
 	}
 	if eng != nil {
 		r.GaugeFunc("sim/events_tombstoned", "count", func() float64 { return float64(eng.EventsTombstoned()) })

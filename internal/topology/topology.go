@@ -81,6 +81,16 @@ type Topology struct {
 	routes   map[int]*sourceRoutes
 	linkEnds map[*fabric.Link][2]*Device
 
+	// BFS scratch, reused across route queries: a generated multi-rack
+	// cell runs one BFS per source device, and per-call allocation of
+	// the visited set and frontiers is measurable at thousands of
+	// devices. visitGen stamps visitMark entries so the mark array
+	// never needs clearing between calls.
+	visitMark []uint64
+	visitGen  uint64
+	frontier  []int32
+	frontier2 []int32
+
 	// Convenience slices populated by presets, in index order.
 	GPUs    []*Device
 	MemDevs []*Device
@@ -100,9 +110,20 @@ type Topology struct {
 // predecessor array over all reachable devices, plus per-destination
 // channel paths materialized on first use. One BFS serves every
 // destination a source ever routes to, instead of one BFS per pair.
+//
+// The predecessor array stores bare device IDs rather than edges: a
+// generated multi-rack machine keeps one tree per source, and
+// pointer-free storage is a quarter the size and invisible to the
+// garbage collector's scan. The claiming edge is recovered during path
+// materialization as the predecessor's first adjacency entry pointing
+// at the device — adjacency lists are sorted with parallel links in
+// stable creation order, so that first entry is exactly the one whose
+// visit set the predecessor. Materialized paths live in a map because
+// a source routes to a handful of destinations, not to every device
+// on the machine.
 type sourceRoutes struct {
-	prev  []edge // predecessor edge per device ID; peer == nil if unreached
-	paths [][]*fabric.Channel
+	prev  []int32 // predecessor device ID per device ID; -1 if unreached
+	paths map[int32][]*fabric.Channel
 }
 
 // New creates an empty topology bound to a fresh network on eng.
@@ -197,29 +218,39 @@ func (t *Topology) Path(a, b *Device) []*fabric.Channel {
 		sr = t.bfs(a)
 		t.routes[a.ID] = sr
 	}
-	if p := sr.paths[b.ID]; p != nil {
+	if p, ok := sr.paths[int32(b.ID)]; ok {
 		return p
 	}
-	if sr.prev[b.ID].peer == nil {
+	if sr.prev[b.ID] < 0 {
 		panic(fmt.Sprintf("topology: no route %s -> %s", a, b))
 	}
-	// Walk back from b.
+	// Walk back from b, recovering each hop's claiming edge as the
+	// predecessor's first adjacency entry pointing at the device.
 	var rev []*fabric.Channel
-	cur := b
-	for cur != a {
-		e := sr.prev[cur.ID]
+	cur := int32(b.ID)
+	src := int32(a.ID)
+	for cur != src {
+		pred := sr.prev[cur]
+		adj := t.adj[pred]
+		var e *edge
+		for i := range adj {
+			if int32(adj[i].peer.ID) == cur {
+				e = &adj[i]
+				break
+			}
+		}
 		if e.fwd {
 			rev = append(rev, e.link.Fwd())
 		} else {
 			rev = append(rev, e.link.Rev())
 		}
-		cur = e.peer
+		cur = pred
 	}
 	path := make([]*fabric.Channel, len(rev))
 	for i := range rev {
 		path[i] = rev[len(rev)-1-i]
 	}
-	sr.paths[b.ID] = path
+	sr.paths[int32(b.ID)] = path
 	return path
 }
 
@@ -232,29 +263,40 @@ func (t *Topology) Path(a, b *Device) []*fabric.Channel {
 // router's lower-ID tie-break exactly.
 func (t *Topology) bfs(a *Device) *sourceRoutes {
 	sr := &sourceRoutes{
-		prev:  make([]edge, len(t.devices)),
-		paths: make([][]*fabric.Channel, len(t.devices)),
+		prev:  make([]int32, len(t.devices)),
+		paths: make(map[int32][]*fabric.Channel),
 	}
-	visited := make([]bool, len(t.devices))
-	visited[a.ID] = true
-	frontier := []*Device{a}
+	for i := range sr.prev {
+		sr.prev[i] = -1
+	}
+	if len(t.visitMark) < len(t.devices) {
+		t.visitMark = make([]uint64, len(t.devices))
+	}
+	t.visitGen++
+	gen := t.visitGen
+	t.visitMark[a.ID] = gen
+	frontier := append(t.frontier[:0], int32(a.ID))
+	next := t.frontier2[:0]
 	for len(frontier) > 0 {
-		var next []*Device
-		for _, d := range frontier {
+		next = next[:0]
+		for _, id := range frontier {
+			d := t.devices[id]
 			if d != a && !transitKind(d.Kind) {
 				continue
 			}
-			for _, e := range t.adj[d.ID] {
-				if visited[e.peer.ID] {
+			for _, e := range t.adj[id] {
+				p := int32(e.peer.ID)
+				if t.visitMark[p] == gen {
 					continue
 				}
-				visited[e.peer.ID] = true
-				sr.prev[e.peer.ID] = edge{link: e.link, peer: d, fwd: e.fwd}
-				next = append(next, e.peer)
+				t.visitMark[p] = gen
+				sr.prev[p] = id
+				next = append(next, p)
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	t.frontier, t.frontier2 = frontier, next
 	return sr
 }
 
@@ -270,6 +312,16 @@ func (t *Topology) Transfer(a, b *Device, size int64, onDone func()) *fabric.Flo
 // that need Rate/Remaining or flow identity must use Transfer.
 func (t *Topology) TransferEphemeral(a, b *Device, size int64, onDone func()) {
 	t.Net.TransferEphemeral(t.Path(a, b), size, onDone)
+}
+
+// TransferEphemeralTagged is TransferEphemeral for one member of a
+// symmetric fan — several transfers sharing a tag, an a→b route, a
+// size, and a start instant — which the fabric may aggregate into one
+// multiplicity-counted flow (byte-identical either way; see
+// fabric.AggTag). The route cache guarantees members see the same path
+// slice, which is the identity aggregation keys on.
+func (t *Topology) TransferEphemeralTagged(tag *fabric.AggTag, a, b *Device, size int64, onDone func()) {
+	t.Net.TransferEphemeralTagged(tag, t.Path(a, b), size, onDone)
 }
 
 // PathBandwidth returns the zero-load bandwidth of the a→b route: the

@@ -2,6 +2,7 @@ package train
 
 import (
 	"coarse/internal/collective"
+	"coarse/internal/fabric"
 	"coarse/internal/model"
 )
 
@@ -56,21 +57,30 @@ func (a *AllReduce) Setup(ctx *Ctx) error {
 	a.ctx = ctx
 	a.iter = make(map[int]*arIterState)
 	n := ctx.NumWorkers()
+	// Concurrent fusion buckets drive independent ring operations whose
+	// same-step hops share one worker-to-neighbor route and one chunk
+	// size, emitted in a burst — a symmetric fan the fabric may carry
+	// as a single aggregated flow. One long-lived tag per (worker,
+	// direction) edge marks them (fabric.AggTag is instant-scoped and
+	// only a hint: byte-identical whether or not anything aggregates).
+	tags := make([][2]fabric.AggTag, n)
 	send := func(i int, reverse bool, size int64, onDone func()) {
 		if n == 1 {
 			ctx.Eng.Schedule(0, onDone)
 			return
 		}
 		j := (i + 1) % n
+		dir := 0
 		if reverse {
 			j = (i - 1 + n) % n
+			dir = 1
 		}
 		// Ring hops go through the CCI fabric so machines without
 		// peer-to-peer support (the T4 instance) pay the host bounce.
 		// A hop involving a chaos-silenced endpoint cannot complete
 		// until it wakes — the ring is fully synchronous, so one silent
 		// worker freezes the whole collective step.
-		ctx.CCI.DMACopy(ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, func() {
+		ctx.CCI.DMACopyTagged(&tags[i][dir], ctx.Workers[i].Dev, ctx.Workers[j].Dev, size, func() {
 			ctx.RunAwake(onDone, i, j)
 		})
 	}
@@ -91,8 +101,18 @@ func (a *AllReduce) Setup(ctx *Ctx) error {
 				groups = append(groups, nodes[node])
 			}
 		}
+		// Same-pair hops of concurrent buckets fan the same way; the
+		// lazily-grown per-pair tag map is tiny (leader ring + each
+		// leader's own members, not n²).
+		pairTags := make(map[[2]int]*fabric.AggTag)
 		pairSend := func(from, to int, size int64, onDone func()) {
-			ctx.CCI.DMACopy(ctx.Workers[from].Dev, ctx.Workers[to].Dev, size, func() {
+			key := [2]int{from, to}
+			tag := pairTags[key]
+			if tag == nil {
+				tag = new(fabric.AggTag)
+				pairTags[key] = tag
+			}
+			ctx.CCI.DMACopyTagged(tag, ctx.Workers[from].Dev, ctx.Workers[to].Dev, size, func() {
 				ctx.RunAwake(onDone, from, to)
 			})
 		}
