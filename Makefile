@@ -6,7 +6,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-core bench-smoke bench-compare trend serve-smoke suite golden-drift telemetry-smoke cover fuzz-smoke race-partitioned scale-smoke ci
+# Single source of truth for the staticcheck pin; CI's lint lane runs
+# `make lint`, so bumping the version here is the whole upgrade.
+STATICCHECK_VERSION = 2024.1.1
+
+.PHONY: all build test race vet lint bench bench-core bench-smoke bench-compare trend serve-smoke serve-family-smoke serve-golden suite golden-drift telemetry-smoke cover fuzz-smoke race-partitioned scale-smoke ci
 
 # Coverage floor for `make cover` (total statement coverage, percent,
 # measured under -short so the floor tracks the fast deterministic
@@ -35,7 +39,7 @@ vet:
 # gofmt/vet run fine offline.
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
-	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Hot-path performance tracking: run the fabric/sim microbenchmarks
 # plus a serial quick-suite timing and rewrite BENCH_fabric.json (the
@@ -49,8 +53,9 @@ bench:
 # benchmark once per event-queue kind (binary heap, timing wheel),
 # plus the end-to-end BenchmarkScaleCell* pairs (rack-scale COARSE
 # cells with the flow-aggregation/fast-forward accelerations on and
-# off; benchjson pins their iteration count — see cmd/benchjson), and
-# rewrite BENCH_core.json — the committed record the wheel-vs-heap
+# off; benchjson pins their iteration count — see cmd/benchjson) and
+# the BenchmarkServeCell* inference-serving pair (local vs pooled KV),
+# and rewrite BENCH_core.json — the committed record the wheel-vs-heap
 # cancel-churn ratio and the accel-vs-baseline scale ratio are pinned
 # in.
 bench-core:
@@ -76,11 +81,11 @@ bench-smoke:
 suite:
 	$(GO) run ./cmd/coarsebench -quick -timing
 
-# Golden-drift gate: regenerate the fig8/fig16/resilience/scale
+# Golden-drift gate: regenerate the fig8/fig16/resilience/scale/serve
 # families at -parallel 1 and -parallel 4 and compare byte-for-byte
-# against the committed goldens (tables verbatim, fig16/resilience
-# telemetry dumps via sha256 manifest; the scale family pins tables
-# only — its rack-size cells are too large to trace). After an
+# against the committed goldens (tables verbatim, fig16/resilience/
+# serve telemetry dumps via sha256 manifest; the scale family pins
+# tables only — its rack-size cells are too large to trace). After an
 # intentional output change, refresh with
 #   go test ./internal/experiments -run TestGoldenDeterminism -update-goldens
 golden-drift:
@@ -134,6 +139,19 @@ trend:
 # byte-identical to a serverless run (needs curl + python3).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Same smoke on the inference-serving family: its cells carry no
+# training strategy, so this exercises the dashboard's workload-
+# agnostic cell handling end to end (distinct port: both smokes may
+# run in one CI job).
+serve-family-smoke:
+	EXP=serve PORT=18735 sh scripts/serve_smoke.sh
+
+# Golden-drift gate for the serving family alone (the full golden-drift
+# target includes it too): regenerate the serve tables + telemetry
+# dumps at -parallel 1 and 4 and compare against the committed goldens.
+serve-golden:
+	$(GO) test ./internal/experiments -run TestGoldenDeterminismServe -count=1 -v
 
 # Race gate for the partitioned engine core: run the engine, fabric
 # and training suites under -race with rack partitioning forced on

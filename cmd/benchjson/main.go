@@ -141,11 +141,15 @@ var benchSets = map[string]benchSet{
 	// wheel-vs-heap churn ratio is pinned — plus the end-to-end
 	// BenchmarkScaleCell* pairs, where the committed
 	// accel-vs-baseline ratio of the fabric scale accelerations
-	// (flow aggregation + steady-state fast-forward) is recorded.
+	// (flow aggregation + steady-state fast-forward) is recorded, and
+	// the BenchmarkServeCell* pair timing the inference-serving hot
+	// path under both KV placements (local compute-bound, pooled
+	// fabric-bound).
 	"core": {
 		runs: []benchRun{
 			{pkg: "./internal/sim", pattern: "^BenchmarkEngine"},
 			{pkg: "./internal/experiments", pattern: "^BenchmarkScaleCell", benchtime: "3x"},
+			{pkg: "./internal/experiments", pattern: "^BenchmarkServeCell", benchtime: "3x"},
 		},
 		out: "BENCH_core.json",
 	},

@@ -1,6 +1,8 @@
 // Command coarsebench regenerates the paper's evaluation: every figure
-// and table of Section V plus the design ablations, printed as aligned
-// text tables or machine-readable JSON.
+// and table of Section V plus the design ablations and the
+// inference-serving extension (KV-cache pooling over the CCI memory
+// pool, -only serve), printed as aligned text tables or
+// machine-readable JSON.
 //
 // Independent simulation cells fan out across a worker pool
 // (internal/runner); output is byte-identical at any -parallel setting,

@@ -1,10 +1,14 @@
-// Command coarsesim runs a single training simulation: one machine, one
-// model, one batch size, one or more synchronization strategies.
+// Command coarsesim runs a single simulation: a training run (one
+// machine, one model, one batch size, one or more synchronization
+// strategies) or, with -workload serve, an inference-serving run (an
+// open-loop request stream through continuous-batching prefill/decode
+// pools with local or CCI-pooled KV caches).
 //
 // Usage:
 //
 //	coarsesim -machine v100 -model bert-base -batch 2 -iters 4
 //	coarsesim -machine sdsc -model resnet50 -batch 64 -strategy COARSE
+//	coarsesim -workload serve -rate 28 -requests 144 -kv pooled
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"coarse/internal/config"
 	"coarse/internal/core"
 	"coarse/internal/paramserver"
+	"coarse/internal/serve"
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
 	"coarse/internal/trace"
@@ -64,6 +69,15 @@ func main() {
 	chaosKinds := flag.String("chaos-kinds", "link,cci,stall", "comma-separated fault kinds to inject: link, cci, stall")
 	chaosFaults := flag.Int("chaos-faults", 2, "fault windows per kind in the chaos profile")
 	chaosHorizon := flag.Float64("chaos-horizon", 1.0, "virtual-time span (seconds) the chaos windows spread over")
+	workload := flag.String("workload", "train", "workload family: train or serve")
+	arrival := flag.String("arrival", "poisson", "serve: arrival process (poisson, diurnal, bursty)")
+	rate := flag.Float64("rate", 28, "serve: offered load, requests/sec")
+	requests := flag.Int("requests", 144, "serve: total request count")
+	kvPlacement := flag.String("kv", "pooled", "serve: KV-cache placement (local, pooled)")
+	prefetch := flag.Bool("prefetch", false, "serve: prefetch the next decode step's pooled KV pages under compute")
+	promptMean := flag.Int("prompt-mean", 0, "serve: mean prompt tokens (0 = default)")
+	outputMean := flag.Int("output-mean", 0, "serve: mean output tokens (0 = default)")
+	seed := flag.Int64("seed", 1, "serve: trace/chaos seed")
 	flag.Parse()
 
 	var chaosSpec *chaos.Spec
@@ -79,6 +93,36 @@ func main() {
 			Kinds:         kinds,
 			FaultsPerKind: *chaosFaults,
 		}}
+	}
+
+	if *workload == "serve" {
+		mk, ok := machines[*machine]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coarsesim: unknown machine %q (have %s)\n", *machine, keys(machines))
+			os.Exit(1)
+		}
+		mdl, ok := models[*modelName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coarsesim: unknown model %q (have %s)\n", *modelName, keys(models))
+			os.Exit(1)
+		}
+		serveMain(mk(), mdl(), serveFlags{
+			arrival:    *arrival,
+			rate:       *rate,
+			requests:   *requests,
+			placement:  *kvPlacement,
+			prefetch:   *prefetch,
+			promptMean: *promptMean,
+			outputMean: *outputMean,
+			seed:       *seed,
+			chaos:      chaosSpec,
+			telemetry:  *telemetryFile,
+		})
+		return
+	}
+	if *workload != "train" {
+		fmt.Fprintf(os.Stderr, "coarsesim: unknown workload %q (train, serve)\n", *workload)
+		os.Exit(1)
 	}
 
 	var spec coarse.MachineSpec
@@ -212,6 +256,93 @@ func main() {
 			}
 			fmt.Printf("           perfetto trace: %d events -> %s\n", rec.Len(), *traceOut)
 		}
+	}
+}
+
+// serveFlags carries the serve-mode flag values.
+type serveFlags struct {
+	arrival    string
+	rate       float64
+	requests   int
+	placement  string
+	prefetch   bool
+	promptMean int
+	outputMean int
+	seed       int64
+	chaos      *chaos.Spec
+	telemetry  string
+}
+
+// serveMain runs one inference-serving simulation and prints its
+// summary: goodput, SLO attainment, and the TTFT/TPOT percentile rows.
+func serveMain(spec coarse.MachineSpec, m *coarse.Model, f serveFlags) {
+	kind, err := serve.ParseArrival(f.arrival)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coarsesim:", err)
+		os.Exit(1)
+	}
+	placement, err := serve.ParseKVPlacement(f.placement)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coarsesim:", err)
+		os.Exit(1)
+	}
+	cfg := serve.DefaultConfig(spec, m, serve.Workload{
+		Arrival:    kind,
+		RatePerSec: f.rate,
+		Requests:   f.requests,
+		PromptMean: f.promptMean,
+		OutputMean: f.outputMean,
+	})
+	cfg.KVPlacement = placement
+	cfg.Prefetch = f.prefetch
+	cfg.Seed = f.seed
+	cfg.Chaos = f.chaos
+	if f.telemetry != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	sv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coarsesim:", err)
+		os.Exit(1)
+	}
+	res, err := sv.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coarsesim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine=%s model=%s workload=serve arrival=%s kv=%s prefetch=%v\n",
+		res.Machine, res.Model, res.Arrival, res.Placement, res.Prefetch)
+	fmt.Printf("pools: %d prefill + %d decode workers\n\n", res.PrefillWorkers, res.DecodeWorkers)
+	fmt.Printf("requests: %d offered @ %.1f rps -> %d completed in %v\n",
+		res.Requests, res.OfferedRPS, res.Completed, res.TotalTime)
+	fmt.Printf("achieved %.1f rps, goodput %.1f rps (SLO attainment %.1f%%), mean decode batch %.2f\n\n",
+		res.AchievedRPS, res.GoodputRPS, 100*res.SLOAttainment, res.MeanBatch)
+	fmt.Printf("%-6s %14s %14s %14s\n", "", "p50", "p99", "p99.9")
+	fmt.Printf("%-6s %14v %14v %14v\n", "ttft", res.TTFT.P50, res.TTFT.P99, res.TTFT.P999)
+	fmt.Printf("%-6s %14v %14v %14v\n", "tpot", res.TPOT.P50, res.TPOT.P99, res.TPOT.P999)
+	fmt.Printf("\nfabric: %.1f MB KV, %.1f MB params; edge bus %.1f%%, cci ports %.1f%%\n",
+		float64(res.KVFabricBytes)/1e6, float64(res.ParamFabricBytes)/1e6,
+		100*res.EdgeBusUtil, 100*res.CCIBusUtil)
+	if res.ChaosFaults > 0 {
+		fmt.Printf("chaos: %d fault windows, %v attributed stall\n", res.ChaosFaults, res.ChaosStall)
+	}
+	if f.telemetry != "" {
+		dump := sv.TelemetryDump()
+		out, err := os.Create(f.telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsesim:", err)
+			os.Exit(1)
+		}
+		err = dump.WriteJSON(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coarsesim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: %d series, %d samples -> %s\n",
+			len(dump.Series), len(dump.TimesNS), f.telemetry)
 	}
 }
 

@@ -179,3 +179,17 @@ func TestGoldenDeterminismScale(t *testing.T) {
 	}
 	goldenFamily(t, "scale", false)
 }
+
+// TestGoldenDeterminismServe pins the inference-serving family: the
+// KV-placement load sweep, the arrival-shape cells, and the brownout
+// chaos variant (which, like resilience cells, carries no memo key and
+// re-executes in every regeneration) all replay byte-identically at
+// -parallel 1 and -parallel 4, tables and telemetry dumps both. The
+// arrival traces themselves are pure functions of (workload, seed), so
+// this also pins the open-loop request streams.
+func TestGoldenDeterminismServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs serving cells; skipped under -short")
+	}
+	goldenFamily(t, "serve", true)
+}

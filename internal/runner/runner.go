@@ -30,6 +30,7 @@ import (
 	"coarse/internal/chaos"
 	"coarse/internal/metrics"
 	"coarse/internal/model"
+	"coarse/internal/serve"
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
 	"coarse/internal/topology"
@@ -122,6 +123,7 @@ type Result struct {
 	Seed  int64             `json:"seed"`
 	Err   string            `json:"error,omitempty"`
 	Train *train.Result     `json:"train,omitempty"`
+	Serve *serve.Result     `json:"serve,omitempty"`
 	Extra map[string]string `json:"extra,omitempty"`
 	// Telemetry is the sampled time-series dump; non-nil only when the
 	// spec asked for it.
@@ -142,6 +144,9 @@ func (r *Result) OK() bool { return r.Err == "" }
 // Record flattens the result into the machine-readable record
 // coarsebench emits under -json.
 func (r *Result) Record() metrics.Result {
+	if r.Serve != nil {
+		return serveRecord(r)
+	}
 	rec := metrics.Result{ID: r.ID, Err: r.Err, Extra: r.Extra}
 	if t := r.Train; t != nil {
 		rec.Labels = map[string]string{

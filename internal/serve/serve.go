@@ -1,0 +1,823 @@
+// Package serve is the inference-serving workload family: an open-loop
+// request stream (internal/serve/arrival.go) driven through a
+// continuous-batching scheduler over disaggregated prefill and decode
+// GPU pools, with per-sequence KV caches placed either in worker HBM
+// (KVLocal) or pooled in the machine's CCI memory devices (KVPooled).
+//
+// The serving model follows the CXL/CCI-pool inference literature the
+// roadmap cites (XL-Share's shared parameter copy with local caching;
+// disaggregated prefill/decode with KV pooling):
+//
+//   - One shared parameter copy lives in the CCI pool. Every worker
+//     holds a local coherent cache of a ParamCacheFraction of it; the
+//     miss remainder streams over the fabric (cci.Fabric.DMACopy) once
+//     per prefill and once per decode iteration — amortized across the
+//     batch, which is what makes batching pay.
+//   - With KVPooled, each sequence's KV cache lives in a CCI memory
+//     device: every decode step writes the new token's KV page to the
+//     pool and reads back the (1-KVHitRate) slice of the growing
+//     context that missed the worker's local page cache. Prefetch
+//     overlaps the next step's reads under compute instead of gating
+//     the iteration on them (the bandwidth is still spent).
+//   - With KVLocal, KV pages stay in worker HBM: no per-step fabric
+//     traffic (beyond the shared parameter stream), but admission into
+//     a decode batch reserves the sequence's full-context KV footprint
+//     against LocalKVBudget — the HBM wall that caps concurrency.
+//
+// Decode iterations are the continuous-batching boundary: sequences
+// join and leave a worker's batch only between iterations, one token
+// per active sequence per iteration. Per-request lifecycle metrics
+// (TTFT, TPOT) roll up into p50/p99/p99.9 and goodput-vs-offered-load,
+// the serving side of the paper's "millions of users" story.
+//
+// Everything runs on the deterministic DES: arrivals are foreground
+// engine events scheduled from the pre-generated trace (daemon events
+// would let Run return with requests still in flight), fabric traffic
+// uses the same flow machinery training does, and chaos windows
+// (notably CCI brownouts browning out the pool's ports under live
+// traffic) compose exactly as in training.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"coarse/internal/cci"
+	"coarse/internal/chaos"
+	"coarse/internal/fabric"
+	"coarse/internal/gpu"
+	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/telemetry"
+	"coarse/internal/topology"
+)
+
+// KVPlacement says where per-sequence KV caches live.
+type KVPlacement int
+
+const (
+	// KVLocal keeps KV pages in the decode worker's HBM, capacity-capped
+	// by LocalKVBudget.
+	KVLocal KVPlacement = iota
+	// KVPooled allocates KV in CCI memory devices, traded for per-step
+	// fabric traffic.
+	KVPooled
+)
+
+// String returns the lower-case placement name.
+func (p KVPlacement) String() string {
+	if p == KVPooled {
+		return "pooled"
+	}
+	return "local"
+}
+
+// ParseKVPlacement maps a placement name to its KVPlacement.
+func ParseKVPlacement(s string) (KVPlacement, error) {
+	switch s {
+	case "local":
+		return KVLocal, nil
+	case "pooled":
+		return KVPooled, nil
+	}
+	return 0, fmt.Errorf("serve: unknown KV placement %q (local, pooled)", s)
+}
+
+// Config describes one serving run.
+type Config struct {
+	Spec     topology.Spec
+	Model    *model.Model
+	Workload Workload
+
+	CCIParams cci.Params
+
+	// PrefillWorkers is the size of the prefill pool (the first N
+	// worker GPUs); the rest decode. Zero derives max(1, workers/4).
+	PrefillWorkers int
+	// MaxBatch caps the sequences a decode worker batches per
+	// iteration; zero means 8.
+	MaxBatch int
+
+	KVPlacement KVPlacement
+	// Prefetch (KVPooled only) issues the next decode step's KV page
+	// reads under the current step's compute instead of gating the
+	// iteration barrier on them.
+	Prefetch bool
+	// KVBytesPerToken is the KV-cache footprint of one token; zero
+	// means 4 MiB (a large-decoder surrogate: the model graph stands in
+	// for a much bigger network's compute, the KV page size for its
+	// memory footprint).
+	KVBytesPerToken int64
+	// LocalKVBudget is the per-decode-worker HBM set aside for KV pages
+	// under KVLocal; zero means 1 GiB.
+	LocalKVBudget int64
+	// KVHitRate is the fraction of a pooled sequence's context KV that
+	// hits the worker's local page cache each step; the miss slice is
+	// read over the fabric. Zero means 0.95.
+	KVHitRate float64
+	// ParamCacheFraction is the slice of the shared parameter copy each
+	// worker caches locally; the rest streams from the pool per prefill
+	// and per decode iteration. Zero means 0.95.
+	ParamCacheFraction float64
+
+	// SLOTTFT / SLOTPOT define goodput: a request is "good" when its
+	// TTFT and TPOT both meet the objective. Zeros mean 25 ms / 20 ms.
+	SLOTTFT sim.Time
+	SLOTPOT sim.Time
+
+	// Chaos compiles into a deterministic fault plan (using Seed)
+	// injected during the run, exactly as in training: CCI brownouts
+	// throttle the pool ports pooled KV and the parameter stream cross,
+	// worker stalls pause prefill/decode compute. A spec compiling to
+	// nothing observable leaves every output byte unchanged.
+	Chaos *chaos.Spec
+
+	// Telemetry, when non-nil, receives fabric/CCI/chaos series plus
+	// serving counters (arrivals, tokens, queue depths, TTFT/TPOT
+	// histograms), sampled on daemon events only.
+	Telemetry           *telemetry.Registry
+	TelemetryPeriod     sim.Time
+	TelemetryMaxSamples int
+
+	Seed int64
+}
+
+// DefaultConfig fills in the standard serving constants.
+func DefaultConfig(spec topology.Spec, m *model.Model, w Workload) Config {
+	return Config{
+		Spec:      spec,
+		Model:     m,
+		Workload:  w,
+		CCIParams: cci.DefaultParams(),
+		Seed:      1,
+	}
+}
+
+// withDefaults resolves zero-valued knobs.
+func (c Config) withDefaults(workers int) Config {
+	if c.PrefillWorkers <= 0 {
+		c.PrefillWorkers = workers / 4
+		if c.PrefillWorkers < 1 {
+			c.PrefillWorkers = 1
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.KVBytesPerToken <= 0 {
+		c.KVBytesPerToken = 4 << 20
+	}
+	if c.LocalKVBudget <= 0 {
+		c.LocalKVBudget = 1 << 30
+	}
+	if c.KVHitRate <= 0 {
+		c.KVHitRate = 0.95
+	}
+	if c.ParamCacheFraction <= 0 {
+		c.ParamCacheFraction = 0.95
+	}
+	if c.SLOTTFT <= 0 {
+		c.SLOTTFT = 25 * 1_000_000
+	}
+	if c.SLOTPOT <= 0 {
+		c.SLOTPOT = 20 * 1_000_000
+	}
+	return c
+}
+
+// LatencyStats is one latency distribution's summary. Percentiles are
+// nearest-rank over the completed requests.
+type LatencyStats struct {
+	Mean sim.Time `json:"mean_ns"`
+	P50  sim.Time `json:"p50_ns"`
+	P99  sim.Time `json:"p99_ns"`
+	P999 sim.Time `json:"p999_ns"`
+}
+
+func summarize(xs []sim.Time) LatencyStats {
+	if len(xs) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]sim.Time, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum sim.Time
+	for _, x := range sorted {
+		sum += x
+	}
+	return LatencyStats{
+		Mean: sum / sim.Time(len(sorted)),
+		P50:  percentile(sorted, 0.50),
+		P99:  percentile(sorted, 0.99),
+		P999: percentile(sorted, 0.999),
+	}
+}
+
+// percentile is the nearest-rank percentile of a sorted slice.
+func percentile(sorted []sim.Time, q float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Result summarizes one serving run.
+type Result struct {
+	Machine   string `json:"machine"`
+	Model     string `json:"model"`
+	Placement string `json:"placement"`
+	Arrival   string `json:"arrival"`
+	Prefetch  bool   `json:"prefetch,omitempty"`
+
+	Workers        int `json:"workers"`
+	PrefillWorkers int `json:"prefill_workers"`
+	DecodeWorkers  int `json:"decode_workers"`
+
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+
+	// OfferedRPS is the workload's nominal arrival rate; AchievedRPS is
+	// completions over the makespan; GoodputRPS counts only requests
+	// meeting both SLOs.
+	OfferedRPS    float64 `json:"offered_rps"`
+	AchievedRPS   float64 `json:"achieved_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	SLOAttainment float64 `json:"slo_attainment"`
+
+	TotalTime sim.Time     `json:"total_time_ns"`
+	TTFT      LatencyStats `json:"ttft"`
+	TPOT      LatencyStats `json:"tpot"`
+
+	// MeanBatch is the mean decode batch size over iterations — the
+	// continuous-batching occupancy the KV placement caps or frees.
+	MeanBatch float64 `json:"mean_batch"`
+
+	// KVFabricBytes / ParamFabricBytes are the fabric volumes the KV
+	// pages (pool writes + miss reads + prefill handoffs) and the
+	// shared parameter stream moved.
+	KVFabricBytes    int64 `json:"kv_fabric_bytes"`
+	ParamFabricBytes int64 `json:"param_fabric_bytes"`
+
+	// EdgeBusUtil / CCIBusUtil mirror the training metrics: mean
+	// utilization of the worker edge links and the CCI pool's memory-
+	// device port links (the DMA paths serving traffic actually takes).
+	EdgeBusUtil float64 `json:"edge_bus_util"`
+	CCIBusUtil  float64 `json:"cci_bus_util"`
+
+	// Events fingerprints the whole simulation (see train.RunMetrics).
+	Events uint64 `json:"events"`
+
+	ChaosFaults uint64   `json:"chaos_faults,omitempty"`
+	ChaosStall  sim.Time `json:"chaos_stall_ns,omitempty"`
+}
+
+// seqState tracks one request through its lifecycle.
+type seqState struct {
+	req       Request
+	kvDev     *topology.Device // pool home (KVPooled)
+	decoder   int              // global worker index
+	generated int
+	reserved  int64 // local-HBM KV bytes held (KVLocal)
+	firstTok  sim.Time
+	done      sim.Time
+	finished  bool
+}
+
+// Sim is one serving simulation: machine, pools, queues, measurements.
+type Sim struct {
+	cfg     Config
+	eng     *sim.Engine
+	machine *topology.Machine
+	fab     *cci.Fabric
+	gpus    []*gpu.GPU
+	chaos   *chaos.Injector
+
+	paramDev  *topology.Device
+	paramMiss int64 // per-pass fabric stream of the shared copy
+
+	trace []Request
+	seqs  []seqState
+
+	prefillQ    []int // request indices, FIFO
+	prefillBusy []bool
+
+	decodeQ      [][]int // per decode worker, FIFO
+	decodeActive [][]int
+	decodeBusy   []bool
+	kvUsed       []int64 // per decode worker, KVLocal reservations
+
+	completed  int
+	iterations int
+	batchSum   int
+	kvBytes    int64
+	paramBytes int64
+
+	// tokenFLOPs is the per-token forward cost: the model graph's
+	// per-sample FLOPs spread over TokensPerSample. Decode is one token
+	// per sequence per iteration; prefill is PromptTokens at once.
+	tokenFLOPs float64
+	layerCount int
+	weightPass sim.Time // full parameter read from HBM, amortized per batch
+
+	reg      *telemetry.Registry
+	ttftHist *telemetry.Histogram
+	tpotHist *telemetry.Histogram
+	cArrived *telemetry.Counter
+	cTokens  *telemetry.Counter
+	dump     *telemetry.Dump
+}
+
+// tokensPerSample is the sequence length one model "sample" stands
+// for: model.FwdFLOPs is per training sample, serving charges it per
+// that many tokens.
+const tokensPerSample = 128
+
+// envPartition mirrors train's COARSE_PARTITION hook so CI can force
+// the partitioned engine core process-wide; serving machines are
+// single-rack (partitioning requires Racks > 1), so the setting is
+// accepted and inert — the byte-identity replays still cover it.
+const envPartition = "COARSE_PARTITION"
+
+// New builds a serving simulation. It fails when the machine cannot
+// host the configuration: fewer than two workers (the pools must
+// disaggregate), no CCI memory device for the shared parameter copy,
+// or a LocalKVBudget too small for one maximal sequence.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serve: no model")
+	}
+	eng := sim.NewEngine()
+	machine := topology.Build(eng, cfg.Spec)
+	if len(machine.Workers) < 2 {
+		return nil, fmt.Errorf("serve: %s has %d worker GPUs; disaggregated pools need at least 2",
+			cfg.Spec.Label, len(machine.Workers))
+	}
+	if len(machine.Devs) == 0 {
+		return nil, fmt.Errorf("serve: %s has no CCI memory devices to hold the shared parameter copy", cfg.Spec.Label)
+	}
+	cfg = cfg.withDefaults(len(machine.Workers))
+	if cfg.PrefillWorkers >= len(machine.Workers) {
+		return nil, fmt.Errorf("serve: %d prefill workers leave no decode pool on %d GPUs",
+			cfg.PrefillWorkers, len(machine.Workers))
+	}
+	w := cfg.Workload.withDefaults()
+	cfg.Workload = w
+	maxSeqKV := int64(w.PromptMax+w.OutputMax) * cfg.KVBytesPerToken
+	if cfg.KVPlacement == KVLocal && maxSeqKV > cfg.LocalKVBudget {
+		return nil, fmt.Errorf("serve: local KV budget %d cannot hold one maximal sequence (%d bytes)",
+			cfg.LocalKVBudget, maxSeqKV)
+	}
+
+	s := &Sim{
+		cfg:      cfg,
+		eng:      eng,
+		machine:  machine,
+		fab:      cci.NewFabric(machine.Topology, cfg.CCIParams),
+		paramDev: machine.Devs[0],
+	}
+	s.paramMiss = int64((1 - cfg.ParamCacheFraction) * float64(cfg.Model.ParamBytes()))
+	s.tokenFLOPs = cfg.Model.FwdFLOPs() / tokensPerSample
+	s.layerCount = len(cfg.Model.Layers)
+
+	// Worker GPUs; the locally cached parameter slice is a permanent
+	// allocation on every worker, KV reservations come and go on the
+	// decode pool under KVLocal.
+	paramCache := int64(cfg.ParamCacheFraction * float64(cfg.Model.ParamBytes()))
+	for _, dev := range machine.Workers {
+		g := gpu.New(dev, cfg.Spec.GPU)
+		if err := g.Alloc(paramCache); err != nil {
+			return nil, fmt.Errorf("serve: parameter cache does not fit: %w", err)
+		}
+		s.gpus = append(s.gpus, g)
+	}
+	s.weightPass = sim.Seconds(float64(cfg.Model.ParamBytes()) / cfg.Spec.GPU.MemBW)
+
+	decode := len(machine.Workers) - cfg.PrefillWorkers
+	s.prefillBusy = make([]bool, cfg.PrefillWorkers)
+	s.decodeQ = make([][]int, decode)
+	s.decodeActive = make([][]int, decode)
+	s.decodeBusy = make([]bool, decode)
+	s.kvUsed = make([]int64, decode)
+
+	if cfg.Chaos != nil {
+		plan := cfg.Chaos.Compile(cfg.Seed, chaos.EnvOf(machine))
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.chaos = chaos.NewInjector(plan, machine)
+	}
+	// COARSE_PARTITION handling mirrors train: parsed for parity, but
+	// single-rack serving machines never enable partitions.
+	if v, err := strconv.Atoi(os.Getenv(envPartition)); err == nil && v > 0 && machine.Spec.Racks > 1 {
+		if la := machine.MinLinkLatency(); la > 0 {
+			eng.EnablePartitions(machine.Spec.Racks, la, v)
+		}
+	}
+	if cfg.Telemetry != nil {
+		s.registerTelemetry()
+	}
+	return s, nil
+}
+
+// kvHome returns the pool device holding a sequence's KV cache: spread
+// round-robin over the devices after the parameter home (all of them
+// when there is only one).
+func (s *Sim) kvHome(id int) *topology.Device {
+	devs := s.machine.Devs
+	if len(devs) == 1 {
+		return devs[0]
+	}
+	return devs[1+id%(len(devs)-1)]
+}
+
+// decodeStepTime is one decode iteration over batch sequences, one
+// token each: per-token compute against the full-weight HBM pass
+// (amortized across the batch — the reason continuous batching pays),
+// plus per-layer launch overhead.
+func (s *Sim) decodeStepTime(g *gpu.GPU, batch int) sim.Time {
+	compute := s.tokenFLOPs * float64(batch) / (g.Spec.TFLOPS * 1e12 * g.Efficiency)
+	t := sim.Seconds(compute)
+	if s.weightPass > t {
+		t = s.weightPass
+	}
+	return sim.Time(s.layerCount)*g.KernelOverhead + t
+}
+
+// prefillTime is the whole-prompt forward: all prompt tokens in one
+// pass, against the same weight-pass floor.
+func (s *Sim) prefillTime(g *gpu.GPU, promptTokens int) sim.Time {
+	return s.decodeStepTime(g, promptTokens)
+}
+
+// barrier counts outstanding contributions to one scheduling step;
+// fn runs when the last lands. All contributions are registered before
+// any completion can fire (flows and compute both resolve at future
+// virtual times), so the count never reaches zero early.
+type barrier struct {
+	n  int
+	fn func()
+}
+
+func (b *barrier) add() { b.n++ }
+func (b *barrier) done() {
+	b.n--
+	if b.n == 0 {
+		b.fn()
+	}
+}
+
+// Run executes the serving simulation.
+func (s *Sim) Run() (*Result, error) {
+	cfg := s.cfg
+	s.trace = GenerateTrace(cfg.Workload, cfg.Seed)
+	s.seqs = make([]seqState, len(s.trace))
+	decode := len(s.machine.Workers) - cfg.PrefillWorkers
+	for i, q := range s.trace {
+		s.seqs[i] = seqState{
+			req:     q,
+			kvDev:   s.kvHome(q.ID),
+			decoder: cfg.PrefillWorkers + q.ID%decode,
+		}
+	}
+	// Arrivals are foreground events: they must keep Run alive until
+	// the last request drains.
+	for i := range s.seqs {
+		i := i
+		s.eng.At(s.seqs[i].req.Arrival, func() { s.arrive(i) })
+	}
+	s.chaos.Arm(s.eng)
+	var sampler *telemetry.Sampler
+	if cfg.Telemetry != nil {
+		period := cfg.TelemetryPeriod
+		if period <= 0 {
+			period = telemetry.DefaultSamplePeriod
+		}
+		max := cfg.TelemetryMaxSamples
+		if max <= 0 {
+			max = telemetry.DefaultMaxSamples
+		}
+		sampler = telemetry.NewSampler(s.eng, cfg.Telemetry, period, max)
+		sampler.Start()
+	}
+	s.eng.Run()
+	if s.completed != len(s.trace) {
+		return nil, fmt.Errorf("serve: stalled: %d of %d requests completed", s.completed, len(s.trace))
+	}
+	if sampler != nil {
+		sampler.Finish()
+		s.dump = telemetry.BuildDump(sampler)
+		s.dump.SetLabel("machine", cfg.Spec.Label)
+		s.dump.SetLabel("model", cfg.Model.Name)
+		s.dump.SetLabel("placement", cfg.KVPlacement.String())
+		s.dump.SetLabel("arrival", cfg.Workload.Arrival.String())
+		s.dump.SetLabel("requests", fmt.Sprint(len(s.trace)))
+	}
+	return s.result(), nil
+}
+
+// TelemetryDump returns the time-series dump built by Run, or nil when
+// Config.Telemetry was not set.
+func (s *Sim) TelemetryDump() *telemetry.Dump { return s.dump }
+
+// arrive enqueues a request on the prefill pool.
+func (s *Sim) arrive(i int) {
+	if s.cArrived != nil {
+		s.cArrived.Inc()
+	}
+	s.prefillQ = append(s.prefillQ, i)
+	s.kickPrefill()
+}
+
+// kickPrefill hands queued requests to idle prefill workers in worker
+// order — one request per worker at a time (prefill batches of one).
+func (s *Sim) kickPrefill() {
+	for pw := range s.prefillBusy {
+		if len(s.prefillQ) == 0 {
+			return
+		}
+		if s.prefillBusy[pw] {
+			continue
+		}
+		i := s.prefillQ[0]
+		s.prefillQ = s.prefillQ[1:]
+		s.prefillBusy[pw] = true
+		s.startPrefill(pw, i)
+	}
+}
+
+// startPrefill runs one request's prefill on prefill worker pw: the
+// prompt forward overlapped with the shared-parameter miss stream from
+// the pool. Completion is the first response token (TTFT), after which
+// the prompt's KV ships to the decode side and the worker frees.
+func (s *Sim) startPrefill(pw, i int) {
+	seq := &s.seqs[i]
+	g := s.gpus[pw]
+	start := s.eng.Now()
+	b := &barrier{fn: func() { s.finishPrefill(pw, i) }}
+	b.add()
+	dur := s.prefillTime(g, seq.req.PromptTokens)
+	s.eng.At(s.chaos.AdvanceCompute(pw, start, dur), b.done)
+	if s.paramMiss > 0 {
+		b.add()
+		s.paramBytes += s.paramMiss
+		s.fab.DMACopy(s.paramDev, g.Dev, s.paramMiss, b.done)
+	}
+}
+
+// finishPrefill emits the first token, ships the prompt KV, and frees
+// the prefill worker.
+func (s *Sim) finishPrefill(pw, i int) {
+	seq := &s.seqs[i]
+	seq.firstTok = s.eng.Now()
+	if s.ttftHist != nil {
+		s.ttftHist.Observe(float64(seq.firstTok-seq.req.Arrival) / 1e6)
+	}
+	// Prompt KV leaves the prefill worker either way: to the pool
+	// device (KVPooled) or to the decode worker's HBM (KVLocal). The
+	// sequence joins the decode queue when the pages land.
+	kv := int64(seq.req.PromptTokens) * s.cfg.KVBytesPerToken
+	dst := seq.kvDev
+	if s.cfg.KVPlacement == KVLocal {
+		dst = s.machine.Workers[seq.decoder]
+	}
+	s.kvBytes += kv
+	s.fab.DMACopy(s.gpus[pw].Dev, dst, kv, func() { s.enqueueDecode(i) })
+	s.prefillBusy[pw] = false
+	s.kickPrefill()
+}
+
+// enqueueDecode adds a prefilled sequence to its decode worker's queue.
+func (s *Sim) enqueueDecode(i int) {
+	seq := &s.seqs[i]
+	d := seq.decoder - s.cfg.PrefillWorkers
+	s.decodeQ[d] = append(s.decodeQ[d], i)
+	if !s.decodeBusy[d] {
+		s.startIteration(d)
+	}
+}
+
+// admit moves queued sequences into decode worker d's active batch up
+// to MaxBatch; under KVLocal each admission reserves the sequence's
+// full-context KV footprint against the budget, and the queue blocks
+// head-of-line when the next sequence does not fit (FIFO admission
+// keeps the schedule deterministic and models the HBM wall as
+// queueing, not reordering).
+func (s *Sim) admit(d int) {
+	for len(s.decodeActive[d]) < s.cfg.MaxBatch && len(s.decodeQ[d]) > 0 {
+		i := s.decodeQ[d][0]
+		seq := &s.seqs[i]
+		if s.cfg.KVPlacement == KVLocal {
+			need := int64(seq.req.PromptTokens+seq.req.OutputTokens) * s.cfg.KVBytesPerToken
+			if s.kvUsed[d]+need > s.cfg.LocalKVBudget {
+				return
+			}
+			s.kvUsed[d] += need
+			seq.reserved = need
+		}
+		s.decodeQ[d] = s.decodeQ[d][1:]
+		s.decodeActive[d] = append(s.decodeActive[d], i)
+	}
+}
+
+// startIteration runs one continuous-batching decode iteration on
+// decode worker d: admit at the boundary, then one token per active
+// sequence gated on compute, the shared-parameter stream, and (pooled,
+// unprefetched) the context KV miss reads.
+func (s *Sim) startIteration(d int) {
+	s.admit(d)
+	if len(s.decodeActive[d]) == 0 {
+		s.decodeBusy[d] = false
+		return
+	}
+	s.decodeBusy[d] = true
+	w := s.cfg.PrefillWorkers + d
+	g := s.gpus[w]
+	batch := len(s.decodeActive[d])
+	s.iterations++
+	s.batchSum += batch
+
+	b := &barrier{fn: func() { s.finishIteration(d) }}
+	start := s.eng.Now()
+	b.add()
+	dur := s.decodeStepTime(g, batch)
+	s.eng.At(s.chaos.AdvanceCompute(w, start, dur), b.done)
+	if s.paramMiss > 0 {
+		b.add()
+		s.paramBytes += s.paramMiss
+		s.fab.DMACopy(s.paramDev, g.Dev, s.paramMiss, b.done)
+	}
+	if s.cfg.KVPlacement == KVPooled {
+		for _, i := range s.decodeActive[d] {
+			seq := &s.seqs[i]
+			// The new token's KV page goes to the pool.
+			b.add()
+			s.kvBytes += s.cfg.KVBytesPerToken
+			s.fab.DMACopy(g.Dev, seq.kvDev, s.cfg.KVBytesPerToken, b.done)
+			// The context slice that missed the local page cache comes
+			// back. Prefetched reads overlap compute (they are the
+			// *next* step's pages, issued now) and do not gate the
+			// barrier; the fabric still carries them.
+			ctx := seq.req.PromptTokens + seq.generated
+			miss := int64((1 - s.cfg.KVHitRate) * float64(int64(ctx)*s.cfg.KVBytesPerToken))
+			if miss <= 0 {
+				continue
+			}
+			s.kvBytes += miss
+			if s.cfg.Prefetch {
+				s.fab.DMACopy(seq.kvDev, g.Dev, miss, func() {})
+			} else {
+				b.add()
+				s.fab.DMACopy(seq.kvDev, g.Dev, miss, b.done)
+			}
+		}
+	}
+}
+
+// finishIteration retires one token per active sequence, completes
+// finished sequences, and immediately starts the next iteration.
+func (s *Sim) finishIteration(d int) {
+	now := s.eng.Now()
+	active := s.decodeActive[d][:0]
+	for _, i := range s.decodeActive[d] {
+		seq := &s.seqs[i]
+		seq.generated++
+		if s.cTokens != nil {
+			s.cTokens.Inc()
+		}
+		if seq.generated < seq.req.OutputTokens {
+			active = append(active, i)
+			continue
+		}
+		seq.finished = true
+		seq.done = now
+		s.completed++
+		if s.cfg.KVPlacement == KVLocal {
+			s.kvUsed[d] -= seq.reserved
+		}
+		if s.tpotHist != nil {
+			s.tpotHist.Observe(tpot(seq).ToSeconds() * 1e3)
+		}
+	}
+	s.decodeActive[d] = active
+	s.startIteration(d)
+}
+
+// tpot is a finished sequence's mean time per output token: decode
+// makespan over decode-generated tokens.
+func tpot(seq *seqState) sim.Time {
+	return (seq.done - seq.firstTok) / sim.Time(seq.req.OutputTokens)
+}
+
+// registerTelemetry wires the serving layer into the registry next to
+// the fabric/CCI/chaos series training registers.
+func (s *Sim) registerTelemetry() {
+	reg := s.cfg.Telemetry
+	s.reg = reg
+	// Serving traffic crosses the worker edge links and the pool's
+	// memdev ports (DMA paths), not the memdev↔memdev ring collectives
+	// use — instrument the links the workload actually exercises.
+	edge := s.machine.LinksBetween(topology.KindGPU, topology.KindPort)
+	ports := s.machine.LinksBetween(topology.KindMemDev, topology.KindPort)
+	links := append(append([]*fabric.Link{}, edge...), ports...)
+	telemetry.RegisterLinks(reg, s.eng, links)
+	telemetry.RegisterNetwork(reg, s.machine.Net)
+	s.fab.AttachTelemetry(reg)
+	s.chaos.AttachTelemetry(reg)
+	s.cArrived = reg.Counter("serve/requests_arrived", "reqs")
+	s.cTokens = reg.Counter("serve/tokens_generated", "tokens")
+	reg.GaugeFunc("serve/prefill_queue", "reqs", func() float64 { return float64(len(s.prefillQ)) })
+	reg.GaugeFunc("serve/decode_queued", "reqs", func() float64 {
+		n := 0
+		for _, q := range s.decodeQ {
+			n += len(q)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("serve/decode_active", "seqs", func() float64 {
+		n := 0
+		for _, a := range s.decodeActive {
+			n += len(a)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("serve/completed", "reqs", func() float64 { return float64(s.completed) })
+	s.ttftHist = reg.Histogram("serve/ttft_ms", "ms", telemetry.ExpBuckets(0.25, 2, 14))
+	s.tpotHist = reg.Histogram("serve/tpot_ms", "ms", telemetry.ExpBuckets(0.25, 2, 14))
+}
+
+// result rolls per-request lifecycles into the run summary.
+func (s *Sim) result() *Result {
+	cfg := s.cfg
+	total := s.eng.Now()
+	ttfts := make([]sim.Time, 0, len(s.seqs))
+	tpots := make([]sim.Time, 0, len(s.seqs))
+	good := 0
+	for i := range s.seqs {
+		seq := &s.seqs[i]
+		if !seq.finished {
+			continue
+		}
+		ttft := seq.firstTok - seq.req.Arrival
+		tp := tpot(seq)
+		ttfts = append(ttfts, ttft)
+		tpots = append(tpots, tp)
+		if ttft <= cfg.SLOTTFT && tp <= cfg.SLOTPOT {
+			good++
+		}
+	}
+	res := &Result{
+		Machine:          cfg.Spec.Label,
+		Model:            cfg.Model.Name,
+		Placement:        cfg.KVPlacement.String(),
+		Arrival:          cfg.Workload.Arrival.String(),
+		Prefetch:         cfg.Prefetch,
+		Workers:          len(s.machine.Workers),
+		PrefillWorkers:   cfg.PrefillWorkers,
+		DecodeWorkers:    len(s.machine.Workers) - cfg.PrefillWorkers,
+		Requests:         len(s.trace),
+		Completed:        s.completed,
+		OfferedRPS:       cfg.Workload.RatePerSec,
+		TotalTime:        total,
+		TTFT:             summarize(ttfts),
+		TPOT:             summarize(tpots),
+		KVFabricBytes:    s.kvBytes,
+		ParamFabricBytes: s.paramBytes,
+		Events:           s.eng.Dispatched(),
+		ChaosFaults:      s.chaos.FaultsOpened(),
+		ChaosStall:       s.chaos.AttributedStall(),
+	}
+	if total > 0 {
+		res.AchievedRPS = float64(s.completed) / total.ToSeconds()
+		res.GoodputRPS = float64(good) / total.ToSeconds()
+		edge := s.machine.LinksBetween(topology.KindGPU, topology.KindPort)
+		ports := s.machine.LinksBetween(topology.KindMemDev, topology.KindPort)
+		res.EdgeBusUtil = topology.MeanUtilization(edge, total)
+		res.CCIBusUtil = topology.MeanUtilization(ports, total)
+	}
+	if s.completed > 0 {
+		res.SLOAttainment = float64(good) / float64(s.completed)
+	}
+	if s.iterations > 0 {
+		res.MeanBatch = float64(s.batchSum) / float64(s.iterations)
+	}
+	return res
+}
+
+// Run is the convenience entry point: build a simulation and run it.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

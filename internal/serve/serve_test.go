@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"coarse/internal/chaos"
+	"coarse/internal/model"
+	"coarse/internal/sim"
+	"coarse/internal/topology"
+)
+
+func testConfig(placement KVPlacement) Config {
+	cfg := DefaultConfig(topology.AWSV100(), model.BERTBase(), Workload{
+		Arrival:    Poisson,
+		RatePerSec: 40,
+		Requests:   48,
+	})
+	cfg.KVPlacement = placement
+	cfg.PrefillWorkers = 2
+	return cfg
+}
+
+// TestServeCompletes: every request finishes, latencies are positive,
+// and the bookkeeping adds up — for both placements.
+func TestServeCompletes(t *testing.T) {
+	for _, placement := range []KVPlacement{KVLocal, KVPooled} {
+		placement := placement
+		t.Run(placement.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(testConfig(placement))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != res.Requests || res.Requests != 48 {
+				t.Fatalf("completed %d of %d requests", res.Completed, res.Requests)
+			}
+			if res.TTFT.P50 <= 0 || res.TPOT.P50 <= 0 {
+				t.Fatalf("non-positive latency: TTFT p50 %d TPOT p50 %d", res.TTFT.P50, res.TPOT.P50)
+			}
+			if res.TTFT.P50 > res.TTFT.P99 || res.TTFT.P99 > res.TTFT.P999 {
+				t.Fatalf("TTFT percentiles out of order: %+v", res.TTFT)
+			}
+			if res.AchievedRPS <= 0 || res.GoodputRPS > res.AchievedRPS {
+				t.Fatalf("rps bookkeeping wrong: achieved %.2f goodput %.2f", res.AchievedRPS, res.GoodputRPS)
+			}
+			if res.MeanBatch < 1 {
+				t.Fatalf("mean decode batch %.2f < 1", res.MeanBatch)
+			}
+			if res.KVFabricBytes <= 0 {
+				t.Fatalf("no KV bytes crossed the fabric")
+			}
+			if res.ParamFabricBytes <= 0 {
+				t.Fatalf("no shared-parameter bytes crossed the fabric")
+			}
+		})
+	}
+}
+
+// TestServeDeterministic: the same config replays to byte-identical
+// results (JSON compared), and a different seed changes the outcome.
+func TestServeDeterministic(t *testing.T) {
+	run := func(seed int64) string {
+		cfg := testConfig(KVPooled)
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := run(5), run(5)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if run(6) == a {
+		t.Fatalf("seed 5 and 6 produced identical results")
+	}
+}
+
+// TestServePooledVsLocal: the placements genuinely trade off — pooled
+// moves per-step KV traffic over the fabric (more KV bytes), local
+// caps decode concurrency at the HBM budget. Their latency profiles
+// must differ measurably.
+func TestServePooledVsLocal(t *testing.T) {
+	local, err := Run(testConfig(KVLocal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Run(testConfig(KVPooled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.KVFabricBytes <= local.KVFabricBytes {
+		t.Fatalf("pooled KV fabric bytes %d not above local %d",
+			pooled.KVFabricBytes, local.KVFabricBytes)
+	}
+	if pooled.TPOT.P99 == local.TPOT.P99 && pooled.TTFT.P99 == local.TTFT.P99 {
+		t.Fatalf("placements produced identical tails: TTFT p99 %d TPOT p99 %d",
+			pooled.TTFT.P99, pooled.TPOT.P99)
+	}
+}
+
+// TestServeZeroTrafficIdle: a zero-traffic serve cell is byte-identical
+// to an idle machine — zero events, zero virtual time — even with a
+// chaos spec attached (fault daemons never fire without foreground
+// work, mirroring the nil-injector convention).
+func TestServeZeroTrafficIdle(t *testing.T) {
+	cfg := testConfig(KVPooled)
+	cfg.Workload.Requests = 0
+	cfg.Chaos = &chaos.Spec{Faults: []chaos.Fault{{
+		Kind:     chaos.CCIBrownout,
+		Start:    sim.Seconds(0.1),
+		Duration: sim.Seconds(1),
+		Factor:   0.3,
+	}}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 0 || res.TotalTime != 0 {
+		t.Fatalf("zero-traffic run dispatched %d events over %d ns; want an idle machine",
+			res.Events, res.TotalTime)
+	}
+	if res.ChaosFaults != 0 || res.ChaosStall != 0 {
+		t.Fatalf("chaos fired on an idle machine: %d faults, %d ns stall",
+			res.ChaosFaults, res.ChaosStall)
+	}
+	if res.KVFabricBytes != 0 || res.ParamFabricBytes != 0 {
+		t.Fatalf("idle machine moved bytes: kv %d param %d", res.KVFabricBytes, res.ParamFabricBytes)
+	}
+}
+
+// TestServeBrownoutInflatesTails: a CCI brownout throttling the pool's
+// ports during the run inflates pooled-KV tail latency.
+func TestServeBrownoutInflatesTails(t *testing.T) {
+	base, err := Run(testConfig(KVPooled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(KVPooled)
+	cfg.Chaos = &chaos.Spec{Faults: []chaos.Fault{
+		{Kind: chaos.CCIBrownout, Start: 0, Duration: base.TotalTime, Factor: 0.25, Target: 0},
+		{Kind: chaos.CCIBrownout, Start: 0, Duration: base.TotalTime, Factor: 0.25, Target: 1},
+		{Kind: chaos.CCIBrownout, Start: 0, Duration: base.TotalTime, Factor: 0.25, Target: 2},
+		{Kind: chaos.CCIBrownout, Start: 0, Duration: base.TotalTime, Factor: 0.25, Target: 3},
+	}}
+	browned, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if browned.ChaosFaults == 0 {
+		t.Fatalf("brownout plan compiled to nothing")
+	}
+	if browned.TPOT.P99 <= base.TPOT.P99 {
+		t.Fatalf("brownout did not inflate TPOT p99: %d <= %d", browned.TPOT.P99, base.TPOT.P99)
+	}
+}
+
+// TestServeConfigValidation: impossible configurations fail loudly at
+// construction, not mid-run.
+func TestServeConfigValidation(t *testing.T) {
+	cfg := testConfig(KVLocal)
+	cfg.LocalKVBudget = 1 << 20 // one maximal sequence cannot fit
+	if _, err := New(cfg); err == nil {
+		t.Fatalf("tiny local KV budget accepted")
+	}
+
+	cfg = testConfig(KVPooled)
+	cfg.PrefillWorkers = 4 // all four GPUs prefill, no decode pool
+	if _, err := New(cfg); err == nil {
+		t.Fatalf("empty decode pool accepted")
+	}
+
+	cfg = testConfig(KVPooled)
+	cfg.Model = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatalf("nil model accepted")
+	}
+}
+
+// TestParseKVPlacement round-trips both names.
+func TestParseKVPlacement(t *testing.T) {
+	for _, p := range []KVPlacement{KVLocal, KVPooled} {
+		got, err := ParseKVPlacement(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseKVPlacement(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseKVPlacement("remote"); err == nil {
+		t.Fatalf("ParseKVPlacement accepted an unknown placement")
+	}
+}

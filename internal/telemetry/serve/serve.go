@@ -140,6 +140,13 @@ func (s *Server) CellFinished(spec runner.Spec, res *runner.Result) {
 			c.TotalTimeS = t.TotalTime.ToSeconds()
 			c.ThroughputSPS = t.Throughput()
 		}
+		// Serving cells have no training strategy; the throughput slot
+		// carries achieved requests/sec instead of samples/sec.
+		if v := res.Serve; v != nil {
+			c.Machine, c.Model = v.Machine, v.Model
+			c.TotalTimeS = v.TotalTime.ToSeconds()
+			c.ThroughputSPS = v.AchievedRPS
+		}
 	}
 	if res.Telemetry != nil {
 		cs.dump = res.Telemetry

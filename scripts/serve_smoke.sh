@@ -60,8 +60,21 @@ assert cells["running"] == 0, cells
 assert cells["done"] + cells["failed"] == cells["total"], cells
 assert bench["total"] >= 1, bench
 assert bench["done"] + bench["failed"] == bench["total"], bench
-print("serve-smoke: %d cells (%d done, %d failed), %d experiment(s)"
-      % (cells["total"], cells["done"], cells["failed"], bench["total"]))
+# Per-cell shape check, workload-agnostic: the grid serves training and
+# serving cells, and serving cells carry no training strategy field —
+# only the generic identity/state/metric fields are required.
+training = serving = 0
+for c in cells["cells"]:
+    assert c.get("id"), c
+    assert c.get("state") in ("done", "failed"), c
+    if c["state"] == "done":
+        assert c.get("total_time_s", 0) > 0, c
+    if c.get("strategy"):
+        training += 1
+    else:
+        serving += 1
+print("serve-smoke: %d cells (%d done, %d failed; %d training, %d strategy-less), %d experiment(s)"
+      % (cells["total"], cells["done"], cells["failed"], training, serving, bench["total"]))
 EOF
 
 # Clean shutdown on SIGTERM.
