@@ -21,6 +21,7 @@ import (
 	"coarse/internal/chaos"
 	"coarse/internal/config"
 	"coarse/internal/core"
+	"coarse/internal/parallel"
 	"coarse/internal/paramserver"
 	"coarse/internal/serve"
 	"coarse/internal/sim"
@@ -69,6 +70,10 @@ func main() {
 	chaosKinds := flag.String("chaos-kinds", "link,cci,stall", "comma-separated fault kinds to inject: link, cci, stall")
 	chaosFaults := flag.Int("chaos-faults", 2, "fault windows per kind in the chaos profile")
 	chaosHorizon := flag.Float64("chaos-horizon", 1.0, "virtual-time span (seconds) the chaos windows spread over")
+	pp := flag.Int("pp", 0, "pipeline-parallel stages (0/1 = off); pp*tp*ep must divide the worker count")
+	tp := flag.Int("tp", 0, "tensor-parallel group size (0/1 = off)")
+	ep := flag.Int("ep", 0, "expert-parallel group size (0/1 = off; needs an MoE model)")
+	micro := flag.Int("micro", 0, "microbatches per pipeline round (0 = one per stage)")
 	workload := flag.String("workload", "train", "workload family: train or serve")
 	arrival := flag.String("arrival", "poisson", "serve: arrival process (poisson, diurnal, bursty)")
 	rate := flag.Float64("rate", 28, "serve: offered load, requests/sec")
@@ -172,14 +177,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "coarsesim: -telemetry/-trace-out are single-strategy outputs; selecting COARSE (pass -strategy to choose)")
 		strategies = []coarse.Strategy{coarse.StrategyCOARSE}
 	}
-	fmt.Printf("machine=%s model=%s (%.1fM params) batch=%d iters=%d\n\n",
+	lay := parallel.Layout{PP: *pp, TP: *tp, EP: *ep, Micro: *micro}
+	fmt.Printf("machine=%s model=%s (%.1fM params) batch=%d iters=%d",
 		spec.Label, m.Name, float64(m.ParamElems())/1e6, *batch, *iters)
+	if !lay.Trivial() {
+		fmt.Printf(" layout=%s", lay.String())
+	}
+	fmt.Printf("\n\n")
 	fmt.Printf("%-10s %14s %14s %14s %8s %14s %10s %10s\n",
 		"strategy", "iter time", "compute", "blocked comm", "util", "throughput", "edge bus", "cci bus")
 	for _, s := range strategies {
 		cfg := train.DefaultConfig(spec, m, *batch, *iters)
 		cfg.ComputeJitter = *jitter
 		cfg.Chaos = chaosSpec
+		cfg.Layout = lay
 		var rec *trace.Recorder
 		if *traceFile != "" || *traceOut != "" {
 			rec = trace.New()

@@ -159,19 +159,21 @@ type iterState struct {
 	shardArrived map[string]int
 	// shardsLeft counts, per (worker, layer), shards not yet pulled back.
 	shardsLeft map[[2]int]int
-	// gpuArrived counts, per layer, workers that produced the gradient
-	// (GPU-synced layers).
-	gpuArrived map[int]int
-	// workersLeft counts, per proxy-synced layer, workers that have not
-	// finished pulling yet.
-	workersLeft map[int]int
+	// gpuArrived counts, per (layer, reduction tree), workers that
+	// produced the gradient (GPU-synced layers). The tree id is 0 on the
+	// trivial data-parallel layout.
+	gpuArrived map[[2]int]int
+	// workersLeft counts, per proxy-synced (layer, reduction tree),
+	// members that have not finished pulling yet.
+	workersLeft map[[2]int]int
 	// averaged marks layers whose gradients have been numerically
 	// averaged (once per layer, at first shard-sync completion — before
 	// any worker can consume them).
 	averaged map[int]bool
-	// layersLeft counts layers not yet synchronized for every worker;
-	// the iteration's state is dropped (and the epoch checkpoint taken)
-	// when it reaches zero.
+	// layersLeft counts (layer, reduction tree) completions still owed
+	// this iteration — the layer count on the trivial layout; the
+	// iteration's state is dropped (and the epoch checkpoint taken) when
+	// it reaches zero.
 	layersLeft int
 	// assign freezes the dual-sync assignment for this iteration, so a
 	// mid-iteration re-profile (which may re-plan the split) cannot put
@@ -563,10 +565,10 @@ func (s *Strategy) state(it int) *iterState {
 		st = &iterState{
 			shardArrived: make(map[string]int),
 			shardsLeft:   make(map[[2]int]int),
-			gpuArrived:   make(map[int]int),
-			workersLeft:  make(map[int]int),
+			gpuArrived:   make(map[[2]int]int),
+			workersLeft:  make(map[[2]int]int),
 			averaged:     make(map[int]bool),
-			layersLeft:   len(s.ctx.Layers()),
+			layersLeft:   s.ctx.SyncTrees(),
 			assign:       append([]bool(nil), s.proxySynced...),
 		}
 		s.iters[it] = st
@@ -587,26 +589,36 @@ func (s *Strategy) GradientReady(it, w, layer int) {
 	}
 }
 
-// gpuSync: the high-priority tail synchronizes directly on worker GPUs.
+// gpuSync: the high-priority tail synchronizes directly on worker GPUs
+// — the flat all-worker ring on the trivial layout, the layer's
+// reduction tree over its planner-chosen communicator under sharding.
 func (s *Strategy) gpuSync(it, w, layer int) {
 	ctx := s.ctx
 	st := s.state(it)
-	st.gpuArrived[layer]++
-	if st.gpuArrived[layer] < ctx.NumWorkers() {
+	gid := ctx.LayerGroupID(w, layer)
+	members := ctx.GroupMembers(gid)
+	gk := [2]int{layer, gid}
+	st.gpuArrived[gk]++
+	if st.gpuArrived[gk] < len(members) {
 		return
 	}
-	size := ctx.Layers()[layer].SizeBytes()
+	size := ctx.LayerSyncBytes(layer)
 	s.GPUSyncedBytes += size
-	s.gpuRing.AllReduceBytes(size, false, func() {
+	done := func() {
 		if ctx.Cfg.Numeric {
 			s.averageGrads(layer)
 			s.captureParam(it, layer)
 		}
-		for dst := 0; dst < ctx.NumWorkers(); dst++ {
+		for _, dst := range members {
 			ctx.MarkReady(it, dst, layer)
 		}
 		s.layerDone(it)
-	})
+	}
+	if ctx.Plan() == nil {
+		s.gpuRing.AllReduceBytes(size, false, done)
+		return
+	}
+	ctx.SyncComm(gid).AllReduceBytes(size, done)
 }
 
 // pushToProxies: partition, route, push; proxies register arrivals and
@@ -614,7 +626,8 @@ func (s *Strategy) gpuSync(it, w, layer int) {
 func (s *Strategy) pushToProxies(it, w, layer int) {
 	ctx := s.ctx
 	sh := s.shardOf(layer)
-	size := ctx.Layers()[layer].SizeBytes()
+	size := ctx.LayerSyncBytes(layer)
+	gid := ctx.LayerGroupID(w, layer)
 	table := sh.tables[w]
 
 	var shardSizes []int64
@@ -635,8 +648,9 @@ func (s *Strategy) pushToProxies(it, w, layer int) {
 
 	st := s.state(it)
 	st.shardsLeft[[2]int{w, layer}] = len(shardSizes)
-	if _, ok := st.workersLeft[layer]; !ok {
-		st.workersLeft[layer] = ctx.NumWorkers()
+	gk := [2]int{layer, gid}
+	if _, ok := st.workersLeft[gk]; !ok {
+		st.workersLeft[gk] = len(ctx.GroupMembers(gid))
 	}
 
 	// One worker's partition pushes are a symmetric fan: size-based
@@ -654,19 +668,19 @@ func (s *Strategy) pushToProxies(it, w, layer int) {
 		} else {
 			s.PushedToBw += shardSize
 		}
-		key := fmt.Sprintf("%d/%d/%d", it, layer, idx)
+		key := fmt.Sprintf("%d/%d/%d/%d", it, layer, gid, idx)
 		shardSize := shardSize
 		idx := idx
 		ctx.CCI.DMACopyTagged(&tag, ctx.Workers[w].Dev, sh.pool.Devices[dst].Dev, shardSize, func() {
-			s.onProxyArrival(it, w, layer, idx, shardSize, dst, key)
+			s.onProxyArrival(it, w, layer, gid, idx, shardSize, dst, key)
 		})
 	}
 }
 
-func (s *Strategy) onProxyArrival(it, w, layer, idx int, shardSize int64, dst int, key string) {
+func (s *Strategy) onProxyArrival(it, w, layer, gid, idx int, shardSize int64, dst int, key string) {
 	px := s.shardOf(layer).prox[dst]
 	register := func() {
-		s.registerShard(it, layer, idx, shardSize, key)
+		s.registerShard(it, layer, gid, idx, shardSize, key)
 	}
 	if s.Opts.Scheduler == QueueBased {
 		// Per-client queues drain concurrently: the arrival registers
@@ -682,13 +696,13 @@ func (s *Strategy) onProxyArrival(it, w, layer, idx int, shardSize int64, dst in
 	}
 }
 
-// registerShard counts a shard copy's arrival; when all clients' copies
-// are in, the shard synchronizes on a sync group.
-func (s *Strategy) registerShard(it, layer, idx int, shardSize int64, key string) {
+// registerShard counts a shard copy's arrival; when all of the layer's
+// tree members' copies are in, the shard synchronizes on a sync group.
+func (s *Strategy) registerShard(it, layer, gid, idx int, shardSize int64, key string) {
 	ctx := s.ctx
 	st := s.state(it)
 	st.shardArrived[key]++
-	if st.shardArrived[key] < ctx.NumWorkers() {
+	if st.shardArrived[key] < len(ctx.GroupMembers(gid)) {
 		return
 	}
 	delete(st.shardArrived, key)
@@ -696,11 +710,11 @@ func (s *Strategy) registerShard(it, layer, idx int, shardSize int64, key string
 	group := sh.pool.Group(sh.rr)
 	sh.rr++
 	group.AllReduceBytes(shardSize, func() {
-		s.onShardSynced(it, layer, idx, shardSize, key)
+		s.onShardSynced(it, layer, gid, idx, shardSize, key)
 	})
 }
 
-func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string) {
+func (s *Strategy) onShardSynced(it, layer, gid, idx int, shardSize int64, key string) {
 	ctx := s.ctx
 	sh := s.shardOf(layer)
 	if ctx.Cfg.Numeric {
@@ -724,11 +738,11 @@ func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string
 			}
 		}
 	}
-	// Pull: every worker retrieves the shard from its routed proxy. The
-	// first pull through a proxy stages the shard out of storage DRAM
-	// into the proxy's parameter cache; later pulls of the same shard
-	// hit the cache (Section III-D).
-	for w := 0; w < ctx.NumWorkers(); w++ {
+	// Pull: every tree member retrieves the shard from its routed proxy.
+	// The first pull through a proxy stages the shard out of storage
+	// DRAM into the proxy's parameter cache; later pulls of the same
+	// shard hit the cache (Section III-D).
+	for _, w := range ctx.GroupMembers(gid) {
 		w := w
 		src := sh.localProxy[w]
 		if s.Opts.Routing {
@@ -745,7 +759,7 @@ func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string
 			}
 		}
 		ctx.Eng.Schedule(stage, func() {
-			s.pullShard(it, w, layer, shardSize, src)
+			s.pullShard(it, w, layer, gid, shardSize, src)
 		})
 	}
 }
@@ -757,14 +771,14 @@ func (s *Strategy) onShardSynced(it, layer, idx int, shardSize int64, key string
 // *silenced* worker's own pull hand-off defers until it wakes — every
 // other worker's pulls land immediately (no head-of-line blocking, the
 // same property that avoids the Figure 10 deadlock).
-func (s *Strategy) pullShard(it, w, layer int, shardSize int64, src int) {
+func (s *Strategy) pullShard(it, w, layer, gid int, shardSize int64, src int) {
 	ctx := s.ctx
 	ctx.CCI.DMACopy(s.shardOf(layer).pool.Devices[src].Dev, ctx.Workers[w].Dev, shardSize, func() {
-		ctx.RunAwake(func() { s.finishPull(it, w, layer) }, w)
+		ctx.RunAwake(func() { s.finishPull(it, w, layer, gid) }, w)
 	})
 }
 
-func (s *Strategy) finishPull(it, w, layer int) {
+func (s *Strategy) finishPull(it, w, layer, gid int) {
 	st := s.state(it)
 	k := [2]int{w, layer}
 	st.shardsLeft[k]--
@@ -773,9 +787,10 @@ func (s *Strategy) finishPull(it, w, layer int) {
 	}
 	delete(st.shardsLeft, k)
 	s.ctx.MarkReady(it, w, layer)
-	st.workersLeft[layer]--
-	if st.workersLeft[layer] == 0 {
-		delete(st.workersLeft, layer)
+	gk := [2]int{layer, gid}
+	st.workersLeft[gk]--
+	if st.workersLeft[gk] == 0 {
+		delete(st.workersLeft, gk)
 		s.layerDone(it)
 	}
 }

@@ -100,7 +100,7 @@ func All() []Experiment {
 		Fig16(), Fig17(), Table1(),
 		AblationRouting(), AblationPartitioning(), AblationDualSync(), AblationSharing(),
 		ExtStraggler(), ExtNVLink(), ExtHierarchical(), ExtSensitivity(), ExtDynamic(), ExtRecovery(),
-		Resilience(), Scale(), Serve(),
+		Resilience(), Scale(), Serve(), Parallelism(),
 	}
 }
 

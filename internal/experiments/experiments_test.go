@@ -39,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig16", "fig17", "tab1",
 		"ablation-routing", "ablation-partition", "ablation-dual", "ablation-sharing",
 		"ext-straggler", "ext-nvlink", "ext-hierarchical", "ext-sensitivity", "ext-dynamic", "ext-recovery",
-		"resilience", "scale", "serve",
+		"resilience", "scale", "serve", "parallelism",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

@@ -1,0 +1,124 @@
+//go:build !race
+
+// Parallelism-family acceptance tests. Excluded under -race like the
+// scale suite: the 128-worker cells would dominate a race lane's
+// budget, and the race lane covers the same sharded machinery through
+// the TestStrategyLayoutSmoke grid.
+package experiments
+
+import (
+	"testing"
+
+	"coarse/internal/parallel"
+	"coarse/internal/runner"
+)
+
+// TestGoldenDeterminismParallelism pins the family: every layout cell
+// regenerates byte-identically at -parallel 1 and -parallel 4, and
+// the quick tables match the committed golden. Tables only, like the
+// scale family — the 128-worker cells are too heavy for span traces.
+func TestGoldenDeterminismParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 128-worker training cells; skipped under -short")
+	}
+	goldenFamily(t, "parallelism", false)
+}
+
+// TestParallelismOrdering pins the planner's headline claim: on the
+// 128-worker machine, pipeline-parallel AllReduce with
+// topology-planned gradient trees (hierarchical/offload for the
+// rack-spanning 32-member trees) beats the same layout with every
+// communicator forced onto a topology-blind flat ring.
+func TestParallelismOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 128-worker training cells; skipped under -short")
+	}
+	runner.ClearCache()
+	d := parallelismRun(Config{Quick: true})
+
+	for _, cells := range [][]parallelismCell{d.dense, d.moe, d.planner} {
+		for _, c := range cells {
+			if d.result(c) == nil {
+				t.Fatalf("cell %s failed: %s", c.ID, d.got[c.ID].Err)
+			}
+		}
+	}
+
+	var planned, flat *runner.Result
+	for _, c := range d.planner {
+		if c.Flat {
+			flat = d.result(c)
+		} else {
+			planned = d.result(c)
+		}
+	}
+	if planned == nil || flat == nil {
+		t.Fatal("planner pair incomplete")
+	}
+	pt := planned.Train.IterTime.ToSeconds()
+	ft := flat.Train.IterTime.ToSeconds()
+	if !(pt < ft) {
+		t.Errorf("planned collectives %.4fs are not strictly faster than flat ring %.4fs", pt, ft)
+	}
+}
+
+// TestParallelismFixedGlobalBatch: the analytic invariant behind the
+// family — every cell's per-worker batch times its effective
+// data-parallel width is the fixed global batch, and the per-replica
+// batch divides into the layout's microbatches.
+func TestParallelismFixedGlobalBatch(t *testing.T) {
+	check := func(l parallel.Layout) {
+		b := parallelismBatch(l)
+		dp := l.DP
+		if dp == 0 {
+			dp = 1
+		}
+		dpEff := dp * (parallelismWorkers / l.Product())
+		if b*dpEff != parallelismGlobalBatch {
+			t.Errorf("%v: batch %d x dpEff %d != global %d", l, b, dpEff, parallelismGlobalBatch)
+		}
+		micro := l.Micro
+		if micro == 0 {
+			if micro = l.PP; micro == 0 {
+				micro = 1
+			}
+		}
+		if b%micro != 0 {
+			t.Errorf("%v: batch %d not divisible into %d microbatches", l, b, micro)
+		}
+	}
+	for _, l := range parallelismDenseLayouts {
+		check(l)
+	}
+	for _, l := range parallelismMoELayouts {
+		check(l)
+	}
+}
+
+// TestParallelismPlannerTable: the analytic decision table is pure —
+// and its policy rows are the ones the tentpole promises: on the
+// 8-rack machine the dense-layout gradient trees span racks and plan
+// the COARSE offload, TP groups stay node-local on a ring.
+func TestParallelismPlannerTable(t *testing.T) {
+	topo := parallelismTopo()
+	p, err := parallel.NewPlan(parallel.Layout{PP: 4, TP: 4}, parallelismWorkers, parallelismDenseModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parallel.Choose(p.TPGroup(0), topo); got != parallel.AlgRing {
+		t.Errorf("node-local TP group planned %v, want ring", got)
+	}
+	if got := parallel.Choose(p.GroupMembers(0), topo); got != parallel.AlgOffload {
+		t.Errorf("rack-spanning gradient tree planned %v, want offload", got)
+	}
+	flat := topo
+	flat.FlatRing = true
+	if got := parallel.Choose(p.GroupMembers(0), flat); got != parallel.AlgRing {
+		t.Errorf("forced-flat gradient tree planned %v, want ring", got)
+	}
+	noDevs := topo
+	noDevs.RackDevs = false
+	if got := parallel.Choose(p.GroupMembers(0), noDevs); got != parallel.AlgHier {
+		t.Errorf("rack-spanning tree without rack devices planned %v, want hier", got)
+	}
+}

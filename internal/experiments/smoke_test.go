@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"coarse/internal/model"
+	"coarse/internal/parallel"
 	"coarse/internal/topology"
 	"coarse/internal/train"
 )
@@ -69,5 +70,88 @@ func TestStrategyTopologySmoke(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// smokeLayouts is the layout-variant extension of the grid. The
+// trivial (pure data-parallel) layout is deliberately absent: the base
+// grid above already runs every cell unsharded, and including it here
+// would quietly re-run the whole base grid a second time — doubling
+// the lane's cost without adding a single new code path. Only sharded
+// variants grow the grid.
+var smokeLayouts = []parallel.Layout{
+	{PP: 2},
+	{TP: 2},
+	{PP: 2, TP: 2},
+}
+
+// TestStrategyLayoutSmoke is the breadth grid for sharded layouts: the
+// smallest pipeline-, tensor- and combined-parallel cell of every
+// strategy on every machine whose world size admits the layout, plus
+// the smallest expert-parallel cell on an MoE model. Race-friendly by
+// size — this is the `make parallel-smoke` lane.
+func TestStrategyLayoutSmoke(t *testing.T) {
+	dense := model.MLP("mlp", 256, 128, 64, 10)
+	moe := model.MoETransformer("moesmoke", 1, 32, 64, 2, 1, 8)
+	for _, spec := range smokeSpecs(t) {
+		spec := spec
+		// Worker count of the machine: per node, each switch's slot
+		// string (cycling spec.Slots) contributes its 'W' endpoints.
+		perNode := 0
+		for sw := 0; sw < spec.Switches; sw++ {
+			for _, c := range spec.Slots[sw%len(spec.Slots)] {
+				if c == 'W' {
+					perNode++
+				}
+			}
+		}
+		nodes := spec.NodeCount
+		if nodes < 1 {
+			nodes = 1
+		}
+		workers := nodes * perNode
+		for _, strat := range smokeStrategies {
+			strat := strat
+			for _, lay := range smokeLayouts {
+				lay := lay
+				if lay.Validate(workers) != nil {
+					continue // machine too small for this layout
+				}
+				t.Run(spec.Label+"/"+strat+"/"+lay.String(), func(t *testing.T) {
+					t.Parallel()
+					cfg := train.DefaultConfig(spec, dense, 2, 1)
+					cfg.Layout = lay
+					runLayoutSmoke(t, cfg, strat)
+				})
+			}
+			// Smallest expert-parallel cell: EP 2 over the MoE model.
+			ep := parallel.Layout{EP: 2}
+			if ep.Validate(workers) == nil {
+				t.Run(spec.Label+"/"+strat+"/"+ep.String(), func(t *testing.T) {
+					t.Parallel()
+					cfg := train.DefaultConfig(spec, moe, 2, 1)
+					cfg.Layout = ep
+					runLayoutSmoke(t, cfg, strat)
+				})
+			}
+		}
+	}
+}
+
+func runLayoutSmoke(t *testing.T, cfg train.Config, strat string) {
+	t.Helper()
+	tr, err := train.New(cfg, newStrategy(strat))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.TotalTime <= 0 || res.Iterations != 1 {
+		t.Fatalf("run did not complete: %+v", res.RunMetrics)
+	}
+	if res.Layout == "" {
+		t.Fatal("sharded run missing layout label")
 	}
 }

@@ -27,6 +27,22 @@ type Layer struct {
 	// ActBytes is the activation memory this layer retains per sample
 	// for the backward pass.
 	ActBytes int64
+	// MoE marks a mixture-of-experts layer; nil (the common case) is a
+	// dense layer. Expert-parallel layouts shard MoE parameters across
+	// the EP dimension and drive all-to-all token exchanges from the
+	// routing spec here (internal/parallel).
+	MoE *MoE
+}
+
+// MoE describes a mixture-of-experts layer's routing shape: ParamElems
+// covers all Experts experts together, and each of the Tokens tokens a
+// sample carries routes to TopK distinct experts.
+type MoE struct {
+	Experts int
+	TopK    int
+	// Tokens is the per-sample token count entering the expert block
+	// (the sequence length for transformer FFNs).
+	Tokens int
 }
 
 // SizeBytes returns the parameter tensor size.
@@ -236,6 +252,36 @@ func MLP(name string, sizes ...int) *Model {
 	var layers []Layer
 	for i := 0; i < len(sizes)-1; i++ {
 		layers = append(layers, dense(fmt.Sprintf("fc%d", i+1), sizes[i], sizes[i+1], 1))
+	}
+	return &Model{Name: name, Layers: layers}
+}
+
+// MoETransformer builds a synthetic mixture-of-experts transformer:
+// blocks of a dense attention layer followed by an MoE feed-forward
+// layer of experts experts with top-k routing. Expert parameters
+// dominate the inventory (the Switch-Transformer shape), which is what
+// makes expert-parallel sharding worthwhile; compute per sample only
+// touches topk of the experts, so FLOPs stay near the dense model's.
+func MoETransformer(name string, blocks, hidden, ffn, experts, topk, seq int) *Model {
+	if blocks < 1 || hidden < 1 || ffn < 1 || experts < 1 || topk < 1 || topk > experts || seq < 1 {
+		panic("model: invalid MoE transformer shape")
+	}
+	var layers []Layer
+	for b := 0; b < blocks; b++ {
+		attn := dense(fmt.Sprintf("blk%02d.attn", b), hidden, hidden, seq)
+		layers = append(layers, attn)
+		moe := Layer{
+			Name: fmt.Sprintf("blk%02d.moe", b),
+			// Every expert is an hidden->ffn->hidden pair (plus biases).
+			ParamElems: experts * (hidden*ffn + ffn + ffn*hidden + hidden),
+			// Each token runs topk experts' pairs.
+			FwdFLOPs: 4 * float64(hidden) * float64(ffn) * float64(seq) * float64(topk),
+			// Input and combined output retained, plus the router's
+			// dispatch indices (negligible, folded in).
+			ActBytes: 2 * int64(seq*hidden) * 4,
+			MoE:      &MoE{Experts: experts, TopK: topk, Tokens: seq},
+		}
+		layers = append(layers, moe)
 	}
 	return &Model{Name: name, Layers: layers}
 }

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"math/big"
+	"testing"
+
+	"coarse/internal/model"
+)
+
+// FuzzLayoutValidate pins the layout calculus against arbitrary int
+// inputs: Validate never panics, accepts exactly when every factor is
+// positive (after zero-defaulting), Micro is non-negative and
+// DP·PP·TP·EP divides the world size (checked here in arbitrary
+// precision, so the production code's overflow guard is itself under
+// test) — and every accepted layout builds a plan whose stage and
+// group maps are exact partitions.
+func FuzzLayoutValidate(f *testing.F) {
+	f.Add(0, 0, 0, 0, 0, 8)          // zero layout
+	f.Add(2, 2, 2, 2, 4, 16)         // full grid
+	f.Add(1, 4, 0, 0, 8, 128)        // pipeline with explicit microbatching
+	f.Add(0, 3, 0, 0, 0, 8)          // non-dividing
+	f.Add(-1, 1, 1, 1, 0, 8)         // negative factor
+	f.Add(0, 0, 0, 0, -1, 8)         // negative micro
+	f.Add(0, 0, 0, 0, 0, 0)          // empty world
+	f.Add(1<<62, 1<<62, 2, 2, 0, 64) // overflow bait
+
+	f.Fuzz(func(t *testing.T, dp, pp, tp, ep, micro, world int) {
+		l := Layout{DP: dp, PP: pp, TP: tp, EP: ep, Micro: micro}
+		err := l.Validate(world) // must not panic
+
+		// Reference semantics in arbitrary precision.
+		one := func(v int) int {
+			if v == 0 {
+				return 1
+			}
+			return v
+		}
+		ndp, npp, ntp, nep := one(dp), one(pp), one(tp), one(ep)
+		wantOK := world >= 1 && ndp >= 1 && npp >= 1 && ntp >= 1 && nep >= 1 && micro >= 0
+		if wantOK {
+			prod := new(big.Int).SetInt64(int64(ndp))
+			for _, v := range []int{npp, ntp, nep} {
+				prod.Mul(prod, big.NewInt(int64(v)))
+			}
+			bigWorld := big.NewInt(int64(world))
+			if prod.Cmp(bigWorld) > 0 || new(big.Int).Mod(bigWorld, prod).Sign() != 0 {
+				wantOK = false
+			}
+		}
+		if gotOK := err == nil; gotOK != wantOK {
+			t.Fatalf("Validate(%+v, %d) = %v, reference says ok=%v", l, world, err, wantOK)
+		}
+		if err != nil || world > 1024 {
+			return
+		}
+
+		// Accepted and small enough to materialize: the plan's maps must
+		// be exact partitions. The model carries MoE layers sized to the
+		// normalized EP so expert divisibility never rejects.
+		m := denseModel(6)
+		if nep > 1 {
+			for _, i := range []int{1, 4} {
+				m.Layers[i].MoE = &model.MoE{Experts: 2 * nep, TopK: 1, Tokens: 4}
+			}
+		}
+		p, err := NewPlan(l, world, m)
+		if err != nil {
+			// Legitimately rejected at plan level (more stages than
+			// layers); everything else must construct.
+			if npp > len(m.Layers) {
+				return
+			}
+			t.Fatalf("NewPlan(%+v, %d) = %v for a validated layout", l, world, err)
+		}
+
+		// Stages flatten to the identity permutation of layers.
+		next := 0
+		for s, layers := range p.Stages {
+			for _, layer := range layers {
+				if layer != next {
+					t.Fatalf("stage %d holds layer %d, want %d", s, layer, next)
+				}
+				next++
+			}
+		}
+		if next != len(m.Layers) {
+			t.Fatalf("stages cover %d layers, want %d", next, len(m.Layers))
+		}
+
+		// Every (worker, layer) with ownership lands in exactly one tree;
+		// non-owners land in none.
+		for layer := range m.Layers {
+			covered := make(map[int]int)
+			for _, gid := range p.LayerGroups(layer) {
+				for _, w := range p.GroupMembers(gid) {
+					covered[w]++
+				}
+			}
+			for w := 0; w < world; w++ {
+				want := 0
+				if p.OwnsLayer(w, layer) {
+					want = 1
+				}
+				if covered[w] != want {
+					t.Fatalf("layout %+v world %d: layer %d covers worker %d %d times, want %d",
+						l, world, layer, w, covered[w], want)
+				}
+			}
+		}
+	})
+}

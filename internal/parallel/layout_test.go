@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLayoutDefaults(t *testing.T) {
+	var l Layout
+	if got := l.Product(); got != 1 {
+		t.Errorf("zero layout Product = %d, want 1", got)
+	}
+	if !l.Trivial() {
+		t.Error("zero layout not Trivial")
+	}
+	if got := l.String(); got != "dp1-pp1-tp1-ep1" {
+		t.Errorf("zero layout String = %q", got)
+	}
+	if err := l.Validate(1); err != nil {
+		t.Errorf("zero layout invalid on world 1: %v", err)
+	}
+}
+
+func TestLayoutTrivial(t *testing.T) {
+	cases := []struct {
+		l    Layout
+		want bool
+	}{
+		{Layout{}, true},
+		{Layout{DP: 8}, true}, // pure data parallelism of any width is trivial
+		{Layout{DP: 8, Micro: 4}, true},
+		{Layout{PP: 2}, false},
+		{Layout{TP: 2}, false},
+		{Layout{EP: 2}, false},
+		{Layout{PP: 1, TP: 1, EP: 1}, true},
+	}
+	for _, c := range cases {
+		if got := c.l.Trivial(); got != c.want {
+			t.Errorf("%v.Trivial() = %v, want %v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		l     Layout
+		world int
+		ok    bool
+	}{
+		{"zero layout", Layout{}, 8, true},
+		{"exact product", Layout{DP: 2, PP: 2, TP: 2}, 8, true},
+		{"leftover folds into DP", Layout{PP: 2}, 8, true},
+		{"full 4D", Layout{DP: 2, PP: 2, TP: 2, EP: 2}, 16, true},
+		{"micro set", Layout{PP: 2, Micro: 8}, 8, true},
+		{"world too small", Layout{PP: 4}, 2, false},
+		{"non-dividing", Layout{PP: 3}, 8, false},
+		{"world zero", Layout{}, 0, false},
+		{"world negative", Layout{}, -4, false},
+		{"negative DP", Layout{DP: -1}, 8, false},
+		{"negative PP", Layout{PP: -2}, 8, false},
+		{"negative TP", Layout{TP: -2}, 8, false},
+		{"negative EP", Layout{EP: -2}, 8, false},
+		{"negative micro", Layout{PP: 2, Micro: -1}, 8, false},
+		// The stepwise product guard must reject would-be overflows
+		// rather than wrapping into an accidental accept.
+		{"overflow pair", Layout{DP: math.MaxInt, PP: math.MaxInt}, 8, false},
+		{"overflow quad", Layout{DP: 1 << 20, PP: 1 << 20, TP: 1 << 20, EP: 1 << 20}, 1 << 30, false},
+	}
+	for _, c := range cases {
+		err := c.l.Validate(c.world)
+		if c.ok && err != nil {
+			t.Errorf("%s: Validate(%d) = %v, want ok", c.name, c.world, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: Validate(%d) accepted, want error", c.name, c.world)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+
+	"coarse/internal/model"
+)
+
+func denseModel(layers int) *model.Model {
+	m := &model.Model{Name: "dense"}
+	for i := 0; i < layers; i++ {
+		m.Layers = append(m.Layers, model.Layer{
+			Name:       "l",
+			ParamElems: 1000,
+			FwdFLOPs:   1e6,
+			ActBytes:   4096,
+		})
+	}
+	return m
+}
+
+func moeModel() *model.Model {
+	return model.MoETransformer("moe", 2, 64, 128, 4, 2, 16)
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		l     Layout
+		world int
+		m     *model.Model
+	}{
+		{"nil model", Layout{}, 4, nil},
+		{"empty model", Layout{}, 4, &model.Model{Name: "empty"}},
+		{"invalid layout", Layout{PP: 3}, 4, denseModel(4)},
+		{"more stages than layers", Layout{PP: 8}, 8, denseModel(4)},
+		{"EP without MoE layers", Layout{EP: 2}, 4, denseModel(4)},
+		{"EP not dividing experts", Layout{EP: 3}, 6, model.MoETransformer("m", 1, 8, 8, 4, 2, 4)},
+	}
+	for _, c := range cases {
+		if _, err := NewPlan(c.l, c.world, c.m); err == nil {
+			t.Errorf("%s: NewPlan accepted", c.name)
+		}
+	}
+}
+
+// TestPlanCoordsBijective: the coordinate grid and its inverse agree,
+// and every coordinate tuple is hit exactly once.
+func TestPlanCoordsBijective(t *testing.T) {
+	p, err := NewPlan(Layout{PP: 2, TP: 2, EP: 2}, 16, moeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DPEff != 2 {
+		t.Fatalf("DPEff = %d, want 2", p.DPEff)
+	}
+	seen := map[Coord]bool{}
+	for w, c := range p.Coords {
+		if seen[c] {
+			t.Fatalf("coordinate %+v assigned twice", c)
+		}
+		seen[c] = true
+		if got := p.worker(c.DP, c.PP, c.TP, c.EP); got != w {
+			t.Fatalf("worker(%+v) = %d, want %d", c, got, w)
+		}
+	}
+}
+
+// TestPlanStagePartition: stages are a contiguous exact partition of
+// the layer list, consistent with StageOf and OwnsLayer.
+func TestPlanStagePartition(t *testing.T) {
+	for _, pp := range []int{1, 2, 3, 5} {
+		p, err := NewPlan(Layout{PP: pp}, 2*3*5, denseModel(5))
+		if err != nil {
+			t.Fatalf("pp=%d: %v", pp, err)
+		}
+		var flat []int
+		for s, layers := range p.Stages {
+			for _, l := range layers {
+				flat = append(flat, l)
+				if p.StageOf(l) != s {
+					t.Fatalf("pp=%d: StageOf(%d) = %d, want %d", pp, l, p.StageOf(l), s)
+				}
+			}
+		}
+		want := []int{0, 1, 2, 3, 4}
+		if !reflect.DeepEqual(flat, want) {
+			t.Fatalf("pp=%d: stages flatten to %v, want %v", pp, flat, want)
+		}
+	}
+}
+
+// TestPlanGroupPartition: for every layer, its reduction trees'
+// memberships are disjoint and their union is exactly the set of
+// workers whose stage owns the layer.
+func TestPlanGroupPartition(t *testing.T) {
+	layouts := []Layout{
+		{},
+		{PP: 2},
+		{TP: 2},
+		{EP: 2},
+		{PP: 2, TP: 2},
+		{PP: 2, TP: 2, EP: 2},
+	}
+	for _, lay := range layouts {
+		p, err := NewPlan(lay, 16, moeModel())
+		if err != nil {
+			t.Fatalf("%v: %v", lay, err)
+		}
+		for layer := range p.Model.Layers {
+			covered := map[int]int{}
+			for _, gid := range p.LayerGroups(layer) {
+				for _, w := range p.GroupMembers(gid) {
+					covered[w]++
+					if got := p.GroupID(w, layer); got != gid {
+						t.Fatalf("%v: GroupID(%d, %d) = %d, member of tree %d", lay, w, layer, got, gid)
+					}
+				}
+			}
+			for w := 0; w < p.World; w++ {
+				want := 0
+				if p.OwnsLayer(w, layer) {
+					want = 1
+				} else if got := p.GroupID(w, layer); got != -1 {
+					t.Fatalf("%v: non-owner GroupID(%d, %d) = %d, want -1", lay, w, layer, got)
+				}
+				if covered[w] != want {
+					t.Fatalf("%v: layer %d covers worker %d %d times, want %d",
+						lay, layer, w, covered[w], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanSyncBytesConservation: summed over a layer's trees, the
+// per-tree gradient volume re-covers the full layer within per-tree
+// ceil rounding — for every layout shape.
+func TestPlanSyncBytesConservation(t *testing.T) {
+	layouts := []Layout{{}, {PP: 2}, {TP: 2}, {EP: 2}, {PP: 2, TP: 2, EP: 2}}
+	for _, lay := range layouts {
+		p, err := NewPlan(lay, 16, moeModel())
+		if err != nil {
+			t.Fatalf("%v: %v", lay, err)
+		}
+		for layer, l := range p.Model.Layers {
+			trees := len(p.LayerGroups(layer))
+			total := int64(trees) * p.SyncBytes(layer)
+			lo, hi := l.SizeBytes(), l.SizeBytes()+int64(4*trees)
+			if total < lo || total > hi {
+				t.Errorf("%v layer %d: tree volumes sum to %d, want within [%d, %d]",
+					lay, layer, total, lo, hi)
+			}
+		}
+	}
+}
+
+// TestPlanNeighborhoods: TP peers are adjacent, EP peers stride by TP,
+// pipeline neighbors stride by TP·EP, and the chain ends at the edges.
+func TestPlanNeighborhoods(t *testing.T) {
+	p, err := NewPlan(Layout{PP: 2, TP: 2, EP: 2}, 16, moeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TPGroup(5); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Errorf("TPGroup(5) = %v", got)
+	}
+	if got := p.EPGroup(5); !reflect.DeepEqual(got, []int{5, 7}) {
+		t.Errorf("EPGroup(5) = %v", got)
+	}
+	if got := p.PPNext(1); got != 5 {
+		t.Errorf("PPNext(1) = %d, want 5", got)
+	}
+	if got := p.PPPrev(5); got != 1 {
+		t.Errorf("PPPrev(5) = %d, want 1", got)
+	}
+	if got := p.PPNext(5); got != -1 {
+		t.Errorf("PPNext at last stage = %d, want -1", got)
+	}
+	if got := p.PPPrev(1); got != -1 {
+		t.Errorf("PPPrev at first stage = %d, want -1", got)
+	}
+}
+
+// TestPlanShardsAndLabel: parameter/compute shards divide by the shard
+// factor, activations split TP ways, and the label renders the
+// effective DP width.
+func TestPlanShardsAndLabel(t *testing.T) {
+	p, err := NewPlan(Layout{PP: 2}, 8, denseModel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Label(); got != "dp4-pp2-tp1-ep1" {
+		t.Errorf("Label = %q", got)
+	}
+	if p.Micro != 2 {
+		t.Errorf("default Micro = %d, want PP", p.Micro)
+	}
+	wm := p.WorkerModel(0)
+	if len(wm.Layers) != 2 {
+		t.Fatalf("stage-0 worker model has %d layers, want 2", len(wm.Layers))
+	}
+	if wm.Layers[0].ParamElems != 1000 {
+		t.Errorf("PP-only shard changed params: %d", wm.Layers[0].ParamElems)
+	}
+
+	tp, err := NewPlan(Layout{TP: 4}, 8, denseModel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := tp.LayerShard(0)
+	if sh.ParamElems != 250 || sh.ActBytes != 1024 || sh.FwdFLOPs != 0.25e6 {
+		t.Errorf("TP4 shard = %+v", sh)
+	}
+	if got := tp.BoundaryBytes(0); got != 1024 {
+		t.Errorf("BoundaryBytes = %d, want 1024", got)
+	}
+	if got := tp.SyncBytes(0); got != 4*250 {
+		t.Errorf("SyncBytes = %d, want 1000", got)
+	}
+}
+
+// TestPlanExpertTreesShareDenseWhenEP1: with EP == 1, expert layers
+// use the dense trees and volumes — the equivalence that keeps MoE
+// models on the plain data-parallel path when no expert sharding is
+// requested.
+func TestPlanExpertTreesShareDenseWhenEP1(t *testing.T) {
+	p, err := NewPlan(Layout{PP: 2}, 8, moeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for layer, l := range p.Model.Layers {
+		gids := p.LayerGroups(layer)
+		if len(gids) != 1 {
+			t.Fatalf("layer %d has %d trees, want 1", layer, len(gids))
+		}
+		if gids[0] >= p.PP*p.TP {
+			t.Errorf("layer %d (MoE=%v) assigned expert tree %d under EP=1", layer, l.MoE != nil, gids[0])
+		}
+		if got := p.SyncBytes(layer); got != l.SizeBytes() {
+			t.Errorf("layer %d sync bytes %d != full %d", layer, got, l.SizeBytes())
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package parallel
+
+// Alg names the collective algorithm the planner picked for one
+// communicator.
+type Alg int
+
+// The planner's algorithm menu.
+const (
+	// AlgNone: a single-member communicator needs no communication.
+	AlgNone Alg = iota
+	// AlgRing: one flat ring over the members — optimal when every hop
+	// is the same intra-node fabric, and the forced baseline under
+	// FlatRing.
+	AlgRing
+	// AlgHier: hierarchical reduce — intra-node rings, then a leader
+	// ring, then broadcast — when members span nodes, so the slow tier
+	// carries 2(g-1)/g·n instead of a flat ring's every-round crossing.
+	AlgHier
+	// AlgOffload: the COARSE-style path for rack-spanning trees on
+	// machines whose CCI memory devices pool at the rack tier: members
+	// push to their rack's device, the device ring reduces across racks
+	// on fabric the workers never touch, members pull the result.
+	AlgOffload
+)
+
+// String returns the lower-case algorithm name used in decision tables.
+func (a Alg) String() string {
+	switch a {
+	case AlgNone:
+		return "none"
+	case AlgRing:
+		return "ring"
+	case AlgHier:
+		return "hier"
+	case AlgOffload:
+		return "offload"
+	}
+	return "alg(?)"
+}
+
+// CommTopo is the placement oracle the planner consults: where each
+// worker sits and whether pooled CCI devices sit on cross-rack paths.
+type CommTopo struct {
+	// Node returns a worker's server-node index.
+	Node func(w int) int
+	// Rack returns a worker's rack index.
+	Rack func(w int) int
+	// RackDevs reports that CCI memory devices pool at the rack tier —
+	// the configuration where a rack-spanning reduction can offload onto
+	// the device ring instead of hammering the spine from every worker.
+	RackDevs bool
+	// FlatRing forces AlgRing for every multi-member communicator: the
+	// topology-blind baseline the ordering test compares against.
+	FlatRing bool
+}
+
+// Choose picks the collective algorithm for one communicator from its
+// membership span: ring within a node, hierarchical across nodes and
+// racks, COARSE offload where rack-tier CCI devices sit on the path.
+func Choose(members []int, t CommTopo) Alg {
+	if len(members) <= 1 {
+		return AlgNone
+	}
+	if t.FlatRing {
+		return AlgRing
+	}
+	sameNode, sameRack := true, true
+	n0, r0 := t.Node(members[0]), t.Rack(members[0])
+	for _, w := range members[1:] {
+		if t.Node(w) != n0 {
+			sameNode = false
+		}
+		if t.Rack(w) != r0 {
+			sameRack = false
+		}
+	}
+	switch {
+	case sameNode:
+		return AlgRing
+	case sameRack || !t.RackDevs:
+		return AlgHier
+	default:
+		return AlgOffload
+	}
+}
+
+// GroupBy splits members into sub-groups sharing a key, groups ordered
+// by first appearance, members keeping their relative order — the
+// shape collective.NewHierarchy consumes.
+func GroupBy(members []int, key func(int) int) [][]int {
+	idx := make(map[int]int)
+	var out [][]int
+	for _, w := range members {
+		k := key(w)
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], w)
+	}
+	return out
+}

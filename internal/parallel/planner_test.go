@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// gridTopo places workers on a synthetic grid: gpusPerNode consecutive
+// workers per node, nodesPerRack nodes per rack — the same shape the
+// trainer derives from a generated machine.
+func gridTopo(gpusPerNode, nodesPerRack int, rackDevs bool) CommTopo {
+	return CommTopo{
+		Node:     func(w int) int { return w / gpusPerNode },
+		Rack:     func(w int) int { return w / (gpusPerNode * nodesPerRack) },
+		RackDevs: rackDevs,
+	}
+}
+
+func TestChoose(t *testing.T) {
+	// 4 GPUs per node, 4 nodes per rack => workers 0-15 rack 0, 16-31
+	// rack 1.
+	topo := gridTopo(4, 4, true)
+	cases := []struct {
+		name    string
+		members []int
+		topo    CommTopo
+		want    Alg
+	}{
+		{"empty", nil, topo, AlgNone},
+		{"single", []int{3}, topo, AlgNone},
+		{"same node", []int{0, 1, 2, 3}, topo, AlgRing},
+		{"same rack", []int{0, 4, 8, 12}, topo, AlgHier},
+		{"cross rack with devices", []int{0, 16}, topo, AlgOffload},
+		{"cross rack no devices", []int{0, 16}, gridTopo(4, 4, false), AlgHier},
+		{"flat ring forced", []int{0, 16}, CommTopo{
+			Node: topo.Node, Rack: topo.Rack, RackDevs: true, FlatRing: true,
+		}, AlgRing},
+		{"flat ring leaves single alone", []int{5}, CommTopo{
+			Node: topo.Node, Rack: topo.Rack, FlatRing: true,
+		}, AlgNone},
+	}
+	for _, c := range cases {
+		if got := Choose(c.members, c.topo); got != c.want {
+			t.Errorf("%s: Choose = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAlgString(t *testing.T) {
+	want := map[Alg]string{
+		AlgNone:    "none",
+		AlgRing:    "ring",
+		AlgHier:    "hier",
+		AlgOffload: "offload",
+	}
+	for a, s := range want {
+		if got := a.String(); got != s {
+			t.Errorf("%v.String() = %q, want %q", int(a), got, s)
+		}
+	}
+	if got := Alg(99).String(); got != "alg(?)" {
+		t.Errorf("unknown alg String = %q", got)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	members := []int{7, 1, 5, 3, 9}
+	got := GroupBy(members, func(w int) int { return w % 2 })
+	// All odd: one group, original order preserved.
+	if !reflect.DeepEqual(got, [][]int{{7, 1, 5, 3, 9}}) {
+		t.Errorf("single-key GroupBy = %v", got)
+	}
+	got = GroupBy([]int{4, 1, 6, 3, 8}, func(w int) int { return w % 2 })
+	// Groups ordered by first appearance (even seen first), members in
+	// relative order.
+	if !reflect.DeepEqual(got, [][]int{{4, 6, 8}, {1, 3}}) {
+		t.Errorf("two-key GroupBy = %v", got)
+	}
+	if got := GroupBy(nil, func(int) int { return 0 }); len(got) != 0 {
+		t.Errorf("empty GroupBy = %v", got)
+	}
+}

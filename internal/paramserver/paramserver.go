@@ -44,8 +44,11 @@ type CentralPS struct {
 	// UpdateBytesPerSec.
 	Shards int
 
-	ctx     *train.Ctx
-	arrived map[[2]int]int
+	ctx *train.Ctx
+	// arrived counts pushes per (iteration, layer, reduction tree); the
+	// tree id is always 0 on the trivial data-parallel layout, where the
+	// single tree holds every worker.
+	arrived map[[3]int]int
 	servers []*psServer // nil in the Shards == 0 legacy mode
 
 	pushes, pulls *telemetry.Counter
@@ -74,7 +77,7 @@ func (s *CentralPS) WorkerStateBytes(m *model.Model) int64 { return 2 * m.ParamB
 // Setup implements train.Strategy.
 func (s *CentralPS) Setup(ctx *train.Ctx) error {
 	s.ctx = ctx
-	s.arrived = make(map[[2]int]int)
+	s.arrived = make(map[[3]int]int)
 	s.pushes = ctx.Cfg.Telemetry.Counter("ps/pushes", "ops")
 	s.pulls = ctx.Cfg.Telemetry.Counter("ps/pulls", "ops")
 	if s.Shards >= 1 {
@@ -100,10 +103,14 @@ func (s *CentralPS) Setup(ctx *train.Ctx) error {
 }
 
 // GradientReady implements train.Strategy: push to the CPU; once every
-// worker's copy arrives the server updates and pushes back.
+// member of the layer's reduction tree arrives the server updates and
+// pushes back. On the trivial layout the single tree is every worker
+// and the volume is the full tensor — the historical behavior exactly.
 func (s *CentralPS) GradientReady(it, w, layer int) {
 	ctx := s.ctx
-	size := ctx.Layers()[layer].SizeBytes()
+	size := ctx.LayerSyncBytes(layer)
+	gid := ctx.LayerGroupID(w, layer)
+	members := ctx.GroupMembers(gid)
 	cpu := ctx.Machine.CPUs[ctx.Workers[w].Dev.Node]
 	var srv *psServer
 	if len(s.servers) > 0 {
@@ -112,9 +119,9 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 	}
 	s.pushes.Inc()
 	ctx.CCI.DMACopy(ctx.Workers[w].Dev, cpu, size, func() {
-		key := [2]int{it, layer}
+		key := [3]int{it, layer, gid}
 		s.arrived[key]++
-		if s.arrived[key] < ctx.NumWorkers() {
+		if s.arrived[key] < len(members) {
 			return
 		}
 		delete(s.arrived, key)
@@ -128,7 +135,7 @@ func (s *CentralPS) GradientReady(it, w, layer int) {
 			// ride one aggregated flow (workers on distinct devices
 			// route differently and simply stay separate).
 			var tag fabric.AggTag
-			for dst := 0; dst < ctx.NumWorkers(); dst++ {
+			for _, dst := range members {
 				dst := dst
 				dstCPU := cpu
 				if srv == nil {
@@ -210,8 +217,10 @@ type DENSE struct {
 	// fan-in per port drops).
 	Shards int
 
-	ctx     *train.Ctx
-	arrived map[[2]int]int
+	ctx *train.Ctx
+	// arrived counts pushes per (iteration, layer, reduction tree), as
+	// in CentralPS.
+	arrived map[[3]int]int
 	// Per-device CCI ports, one pair per shard (a single pair in the
 	// paper's configuration). Coherence overhead scales with the number
 	// of workers sharing the region.
@@ -238,7 +247,7 @@ func (s *DENSE) WorkerStateBytes(m *model.Model) int64 { return 2 * m.ParamBytes
 // Setup implements train.Strategy.
 func (s *DENSE) Setup(ctx *train.Ctx) error {
 	s.ctx = ctx
-	s.arrived = make(map[[2]int]int)
+	s.arrived = make(map[[3]int]int)
 	p := ctx.Cfg.CCIParams
 	sharers := ctx.NumWorkers()
 	k := s.Shards
@@ -298,7 +307,9 @@ func (s *DENSE) PortRate(write bool) float64 {
 // GradientReady implements train.Strategy.
 func (s *DENSE) GradientReady(it, w, layer int) {
 	ctx := s.ctx
-	size := ctx.Layers()[layer].SizeBytes()
+	size := ctx.LayerSyncBytes(layer)
+	gid := ctx.LayerGroupID(w, layer)
+	members := ctx.GroupMembers(gid)
 	writePort := s.writePorts[layer%len(s.writePorts)]
 	readPort := s.readPorts[layer%len(s.readPorts)]
 	// Push: write into the CCI parameter region through the layer's
@@ -306,9 +317,9 @@ func (s *DENSE) GradientReady(it, w, layer int) {
 	s.pushes.Inc()
 	s.pushBytes.Add(float64(size))
 	writePort.transfer(w, size, func() {
-		key := [2]int{it, layer}
+		key := [3]int{it, layer, gid}
 		s.arrived[key]++
-		if s.arrived[key] < ctx.NumWorkers() {
+		if s.arrived[key] < len(members) {
 			return
 		}
 		delete(s.arrived, key)
@@ -317,9 +328,9 @@ func (s *DENSE) GradientReady(it, w, layer int) {
 			if ctx.Cfg.Numeric {
 				averageGrads(ctx, layer)
 			}
-			// Pull: each worker reads the updated parameters back
+			// Pull: each member reads the updated parameters back
 			// through its coherent cache and the same shared port.
-			for dst := 0; dst < ctx.NumWorkers(); dst++ {
+			for _, dst := range members {
 				dst := dst
 				s.pulls.Inc()
 				s.pullBytes.Add(float64(size))

@@ -30,6 +30,7 @@ import (
 	"coarse/internal/chaos"
 	"coarse/internal/metrics"
 	"coarse/internal/model"
+	"coarse/internal/parallel"
 	"coarse/internal/serve"
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
@@ -67,6 +68,16 @@ type Spec struct {
 	// inside the cell; experiments use it to pull strategy-internal
 	// counters (routed bytes, checkpoint stats) into Result.Extra.
 	Probe func(*Probe)
+
+	// Layout declares the cell's parallelism factors; the zero value is
+	// the historical pure-data-parallel path, byte for byte. Non-trivial
+	// layouts change the simulation, so fold them into ID (and Key) the
+	// way batch and strategy already are.
+	Layout parallel.Layout
+	// FlatCollectives forces every planned communicator onto a flat
+	// ring — the topology-blind baseline the planner-ordering
+	// experiments compare against.
+	FlatCollectives bool
 
 	// Chaos, when non-nil, injects the compiled fault plan into the
 	// cell's run. The plan compiles from the cell's derived seed, so
@@ -180,6 +191,18 @@ func (r *Result) Record() metrics.Result {
 		if t.ChaosFaults > 0 {
 			rec.Values["chaos_faults"] = float64(t.ChaosFaults)
 			rec.Values["chaos_stall_s"] = t.ChaosStall.ToSeconds()
+		}
+		// Layout columns appear only on sharded runs, same convention:
+		// data-parallel records keep the historical byte format.
+		if t.Layout != "" {
+			rec.Labels["layout"] = t.Layout
+			var dp, pp, tp, ep int
+			if _, err := fmt.Sscanf(t.Layout, "dp%d-pp%d-tp%d-ep%d", &dp, &pp, &tp, &ep); err == nil {
+				rec.Values["dp"] = float64(dp)
+				rec.Values["pp"] = float64(pp)
+				rec.Values["tp"] = float64(tp)
+				rec.Values["ep"] = float64(ep)
+			}
 		}
 	}
 	return rec
@@ -334,6 +357,8 @@ func Run(s Spec) (res *Result) {
 	cfg := train.DefaultConfig(s.Topology, s.Model, s.Batch, s.Iterations)
 	cfg.Seed = res.Seed
 	cfg.Chaos = s.Chaos
+	cfg.Layout = s.Layout
+	cfg.FlatCollectives = s.FlatCollectives
 	if s.Telemetry {
 		cfg.Telemetry = telemetry.NewRegistry()
 		cfg.TelemetryPeriod = s.TelemetryPeriod

@@ -49,6 +49,9 @@ type Cell struct {
 	Strategy string `json:"strategy,omitempty"`
 	Machine  string `json:"machine,omitempty"`
 	Model    string `json:"model,omitempty"`
+	// Layout is the effective parallelism label ("dp2-pp2-tp2-ep1");
+	// present only on sharded runs, matching the record convention.
+	Layout string `json:"layout,omitempty"`
 
 	// Headline metrics from the finished run (virtual time).
 	TotalTimeS    float64 `json:"total_time_s,omitempty"`
@@ -137,6 +140,7 @@ func (s *Server) CellFinished(spec runner.Spec, res *runner.Result) {
 		c.State = "done"
 		if t := res.Train; t != nil {
 			c.Strategy, c.Machine, c.Model = t.Strategy, t.Machine, t.Model
+			c.Layout = t.Layout
 			c.TotalTimeS = t.TotalTime.ToSeconds()
 			c.ThroughputSPS = t.Throughput()
 		}

@@ -26,6 +26,17 @@ type AllReduce struct {
 	ring      *collective.Ring
 	hierarchy *collective.Hierarchy
 	iter      map[int]*arIterState
+	// grouped holds per-(iteration, reduction-tree) bucketing state on
+	// sharded layouts; the trivial path never touches it.
+	grouped map[[2]int]*arGroupState
+}
+
+// arGroupState buckets one reduction tree's layers within an iteration.
+type arGroupState struct {
+	arrived map[int]int // layer -> gradients produced so far
+	bucket  []int
+	bytes   int64
+	pending int // (layer) completions this tree still owes
 }
 
 type arIterState struct {
@@ -56,6 +67,12 @@ func (a *AllReduce) WorkerStateBytes(m *model.Model) int64 {
 func (a *AllReduce) Setup(ctx *Ctx) error {
 	a.ctx = ctx
 	a.iter = make(map[int]*arIterState)
+	if ctx.Plan() != nil {
+		// Sharded layouts reduce per tree over planner-chosen
+		// communicators; the flat worker ring below is the trivial path.
+		a.grouped = make(map[[2]int]*arGroupState)
+		return nil
+	}
 	n := ctx.NumWorkers()
 	// Concurrent fusion buckets drive independent ring operations whose
 	// same-step hops share one worker-to-neighbor route and one chunk
@@ -137,6 +154,10 @@ func (a *AllReduce) state(it int) *arIterState {
 // layer's gradient it joins the current fusion bucket; full buckets (or
 // the final partial one) are allreduced over the ring.
 func (a *AllReduce) GradientReady(it, w, layer int) {
+	if a.ctx.Plan() != nil {
+		a.groupedReady(it, w, layer)
+		return
+	}
 	st := a.state(it)
 	st.arrived[layer]++
 	if st.arrived[layer] < a.ctx.NumWorkers() {
@@ -177,6 +198,54 @@ func (a *AllReduce) flush(it int, st *arIterState) {
 		return
 	}
 	a.ring.AllReduceBytes(bytes, false, done)
+}
+
+// groupedReady is GradientReady for sharded layouts: the arrival joins
+// its reduction tree's bucket, and full buckets (or the tree's final
+// partial one) reduce over the tree's planned communicator.
+func (a *AllReduce) groupedReady(it, w, layer int) {
+	gid := a.ctx.LayerGroupID(w, layer)
+	key := [2]int{it, gid}
+	st := a.grouped[key]
+	if st == nil {
+		st = &arGroupState{
+			arrived: make(map[int]int),
+			pending: len(a.ctx.GroupLayers(gid)),
+		}
+		a.grouped[key] = st
+	}
+	st.arrived[layer]++
+	members := a.ctx.GroupMembers(gid)
+	if st.arrived[layer] < len(members) {
+		return
+	}
+	st.pending--
+	st.bucket = append(st.bucket, layer)
+	st.bytes += a.ctx.LayerSyncBytes(layer)
+	if st.bytes >= a.BucketBytes || st.pending == 0 {
+		a.flushGroup(it, gid, st)
+	}
+	if st.pending == 0 {
+		delete(a.grouped, key)
+	}
+}
+
+func (a *AllReduce) flushGroup(it, gid int, st *arGroupState) {
+	if len(st.bucket) == 0 {
+		return
+	}
+	layers := st.bucket
+	bytes := st.bytes
+	st.bucket = nil
+	st.bytes = 0
+	members := a.ctx.GroupMembers(gid)
+	a.ctx.SyncComm(gid).AllReduceBytes(bytes, func() {
+		for _, l := range layers {
+			for _, w := range members {
+				a.ctx.MarkReady(it, w, l)
+			}
+		}
+	})
 }
 
 // averageGrads replaces every worker's gradient with the cross-worker

@@ -1,0 +1,277 @@
+package train
+
+import (
+	"coarse/internal/collective"
+	"coarse/internal/fabric"
+	"coarse/internal/parallel"
+	"coarse/internal/topology"
+)
+
+// commTopo builds the placement oracle the collective planner consults
+// from the machine: worker node/rack positions and whether pooled CCI
+// devices sit at the rack tier (the configuration where a rack-spanning
+// reduction can offload onto the device ring).
+func commTopo(c *Ctx) parallel.CommTopo {
+	m := c.Machine
+	rackDevs := false
+	for _, att := range m.Spec.ExtraMemDevs {
+		if att.Tier == topology.TierRack {
+			rackDevs = true
+			break
+		}
+	}
+	return parallel.CommTopo{
+		Node:     func(w int) int { return m.Workers[w].Node },
+		Rack:     m.RackOf,
+		RackDevs: rackDevs && len(m.Devs) > 0,
+		FlatRing: c.Cfg.FlatCollectives,
+	}
+}
+
+// GroupComm executes collectives for one communicator (a gradient
+// reduction tree, a tensor-parallel group, an expert-parallel group)
+// with the algorithm the topology-aware planner picked for its
+// membership span: a flat ring within a node, a hierarchical reduce
+// across nodes, or the COARSE-style offload — push to the rack's CCI
+// device, reduce on the device ring, pull back — where rack-tier
+// devices sit on the path. Same-step hops across concurrent operations
+// are tagged as symmetric fans for flow aggregation (byte-identical
+// whether or not anything aggregates).
+type GroupComm struct {
+	ctx     *Ctx
+	members []int
+	alg     parallel.Alg
+
+	ring *collective.Ring      // AlgRing
+	hier *collective.Hierarchy // AlgHier
+
+	// AlgOffload state.
+	memberDev []*topology.Device // per member: its rack's pooled device
+	ringDevs  []*topology.Device // distinct devices, Machine.Devs order
+	devRing   *collective.Ring
+	pushTags  []fabric.AggTag
+	pullTags  []fabric.AggTag
+
+	// Lazily grown per-(from,to) tags shared by hierarchy sends and
+	// all-to-all exchanges.
+	pairTags map[[2]int]*fabric.AggTag
+
+	stat *int64 // payload accumulator for CommStats; may be nil
+}
+
+// NewGroupComm plans and builds the communicator for a sorted member
+// set. Strategies use it for grouped gradient reductions (payloads
+// count into CommStats.DPReduce); the pipeline driver builds its TP/EP
+// communicators through the unexported constructor with other
+// accumulators.
+func NewGroupComm(c *Ctx, members []int) *GroupComm {
+	return newGroupComm(c, members, &c.trainer.stats.DPReduce)
+}
+
+func newGroupComm(c *Ctx, members []int, stat *int64) *GroupComm {
+	gc := &GroupComm{
+		ctx:      c,
+		members:  members,
+		alg:      parallel.Choose(members, commTopo(c)),
+		pairTags: make(map[[2]int]*fabric.AggTag),
+		stat:     stat,
+	}
+	switch gc.alg {
+	case parallel.AlgRing:
+		gc.buildRing()
+	case parallel.AlgHier:
+		gc.buildHier()
+	case parallel.AlgOffload:
+		gc.buildOffload()
+	}
+	return gc
+}
+
+// Alg returns the planner's choice for this communicator.
+func (gc *GroupComm) Alg() parallel.Alg { return gc.alg }
+
+func (gc *GroupComm) buildRing() {
+	c := gc.ctx
+	n := len(gc.members)
+	tags := make([][2]fabric.AggTag, n)
+	send := func(i int, reverse bool, size int64, onDone func()) {
+		j := (i + 1) % n
+		dir := 0
+		if reverse {
+			j = (i - 1 + n) % n
+			dir = 1
+		}
+		wi, wj := gc.members[i], gc.members[j]
+		c.CCI.DMACopyTagged(&tags[i][dir], c.Workers[wi].Dev, c.Workers[wj].Dev, size, func() {
+			c.RunAwake(onDone, wi, wj)
+		})
+	}
+	gc.ring = collective.NewRing(c.Eng, n, send)
+}
+
+func (gc *GroupComm) buildHier() {
+	c := gc.ctx
+	groups := parallel.GroupBy(gc.members, func(w int) int { return c.Workers[w].Dev.Node })
+	gc.hier = collective.NewHierarchy(c.Eng, groups, gc.pairSend)
+}
+
+// pairSend moves size bytes between two workers, tagged per route.
+func (gc *GroupComm) pairSend(from, to int, size int64, onDone func()) {
+	c := gc.ctx
+	key := [2]int{from, to}
+	tag := gc.pairTags[key]
+	if tag == nil {
+		tag = new(fabric.AggTag)
+		gc.pairTags[key] = tag
+	}
+	c.CCI.DMACopyTagged(tag, c.Workers[from].Dev, c.Workers[to].Dev, size, func() {
+		c.RunAwake(onDone, from, to)
+	})
+}
+
+// buildOffload resolves each member's rack device (the rack's own
+// pooled device, or the nearest rack-tier device by path latency when
+// its rack has none) and a ring over the distinct devices in
+// Machine.Devs order.
+func (gc *GroupComm) buildOffload() {
+	c := gc.ctx
+	m := c.Machine
+	base := len(m.Devs) - len(m.Spec.ExtraMemDevs)
+	var rackTier []*topology.Device
+	devRack := map[*topology.Device]int{}
+	for i, att := range m.Spec.ExtraMemDevs {
+		if att.Tier == topology.TierRack {
+			d := m.Devs[base+i]
+			rackTier = append(rackTier, d)
+			devRack[d] = att.Rack
+		}
+	}
+	gc.memberDev = make([]*topology.Device, len(gc.members))
+	inRing := map[*topology.Device]bool{}
+	for i, w := range gc.members {
+		var pick *topology.Device
+		for _, d := range rackTier {
+			if devRack[d] == m.RackOf(w) {
+				pick = d
+				break
+			}
+		}
+		if pick == nil {
+			for _, d := range rackTier {
+				if pick == nil || m.PathLatency(c.Workers[w].Dev, d) < m.PathLatency(c.Workers[w].Dev, pick) {
+					pick = d
+				}
+			}
+		}
+		gc.memberDev[i] = pick
+		if !inRing[pick] {
+			inRing[pick] = true
+		}
+	}
+	for _, d := range rackTier {
+		if inRing[d] {
+			gc.ringDevs = append(gc.ringDevs, d)
+		}
+	}
+	gc.pushTags = make([]fabric.AggTag, len(gc.members))
+	gc.pullTags = make([]fabric.AggTag, len(gc.members))
+	devTags := make([][2]fabric.AggTag, len(gc.ringDevs))
+	p := len(gc.ringDevs)
+	send := func(i int, reverse bool, size int64, onDone func()) {
+		j := (i + 1) % p
+		dir := 0
+		if reverse {
+			j = (i - 1 + p) % p
+			dir = 1
+		}
+		c.CCI.DMACopyTagged(&devTags[i][dir], gc.ringDevs[i], gc.ringDevs[j], size, onDone)
+	}
+	gc.devRing = collective.NewRing(c.Eng, p, send)
+}
+
+// AllReduceBytes runs one reduction of bytes payload over the planned
+// algorithm and calls onDone when every member holds the result.
+func (gc *GroupComm) AllReduceBytes(bytes int64, onDone func()) {
+	if gc.stat != nil {
+		*gc.stat += bytes
+	}
+	switch gc.alg {
+	case parallel.AlgNone:
+		gc.ctx.Eng.Schedule(0, onDone)
+	case parallel.AlgRing:
+		gc.ring.AllReduceBytes(bytes, false, onDone)
+	case parallel.AlgHier:
+		gc.hier.AllReduceBytes(bytes, onDone)
+	case parallel.AlgOffload:
+		gc.offloadReduce(bytes, onDone)
+	}
+}
+
+// offloadReduce is the COARSE-style path: every member pushes its
+// contribution to its rack's device, the devices ring-reduce across
+// racks on fabric the workers never touch, and members pull the result.
+func (gc *GroupComm) offloadReduce(bytes int64, onDone func()) {
+	c := gc.ctx
+	pending := len(gc.members)
+	pull := func() {
+		left := len(gc.members)
+		for i, w := range gc.members {
+			i, w := i, w
+			c.CCI.DMACopyTagged(&gc.pullTags[i], gc.memberDev[i], c.Workers[w].Dev, bytes, func() {
+				c.RunAwake(func() {
+					left--
+					if left == 0 {
+						onDone()
+					}
+				}, w)
+			})
+		}
+	}
+	for i, w := range gc.members {
+		i, w := i, w
+		c.CCI.DMACopyTagged(&gc.pushTags[i], c.Workers[w].Dev, gc.memberDev[i], bytes, func() {
+			c.RunAwake(func() {
+				pending--
+				if pending == 0 {
+					gc.devRing.AllReduceBytes(bytes, false, pull)
+				}
+			}, w)
+		})
+	}
+}
+
+// AllToAll issues the pairwise exchange of a routing matrix — m[i][j]
+// bytes from member i to member j — and calls onDone when every
+// off-diagonal payload has landed. Diagonal (self-routed) entries move
+// no fabric bytes. The off-diagonal volume counts into
+// CommStats.EPTokens.
+func (gc *GroupComm) AllToAll(m [][]int64, onDone func()) {
+	c := gc.ctx
+	pending := 0
+	for i, row := range m {
+		for j, v := range row {
+			if i != j && v > 0 {
+				pending++
+			}
+		}
+	}
+	c.trainer.stats.EPTokens += parallel.OffDiagonal(m)
+	if pending == 0 {
+		c.Eng.Schedule(0, onDone)
+		return
+	}
+	for i, row := range m {
+		for j, v := range row {
+			if i == j || v <= 0 {
+				continue
+			}
+			from, to := gc.members[i], gc.members[j]
+			gc.pairSend(from, to, v, func() {
+				pending--
+				if pending == 0 {
+					onDone()
+				}
+			})
+		}
+	}
+}

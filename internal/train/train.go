@@ -32,6 +32,7 @@ import (
 	"coarse/internal/memdev"
 	"coarse/internal/model"
 	"coarse/internal/optim"
+	"coarse/internal/parallel"
 	"coarse/internal/sim"
 	"coarse/internal/telemetry"
 	"coarse/internal/tensor"
@@ -155,6 +156,24 @@ type Config struct {
 	// (fabric.Network.EnableFastForward); false leaves the
 	// COARSE_FASTFORWARD environment default. Byte-exact either way.
 	FastForward bool
+	// Layout shards the model across the workers: pipeline stages (PP)
+	// driven on a microbatched 1F1B schedule, tensor-parallel splits
+	// (TP) with per-layer activation all-reduces inside the TP group,
+	// and expert-parallel MoE layers (EP) with seeded top-k token
+	// routing over all-to-all exchanges; whatever factor of the worker
+	// count the layout leaves over is data-parallel. The zero value (or
+	// any explicitly trivial layout) is pure data parallelism and takes
+	// the historical unsharded path byte for byte. Non-trivial layouts
+	// are timing-only (no Numeric), run the engine unpartitioned (the
+	// 1F1B send/recv chains cross racks inside the lookahead window),
+	// and scope each strategy's gradient synchronization to the plan's
+	// per-layer reduction trees. See internal/parallel.
+	Layout parallel.Layout
+	// FlatCollectives forces the collective planner to a flat ring for
+	// every communicator — the topology-blind baseline the parallelism
+	// ordering experiment compares the planner's choices against. No
+	// effect on trivial layouts (their strategies plan as before).
+	FlatCollectives bool
 	// LR is the SGD learning rate used in numeric mode.
 	LR   float32
 	Seed int64
@@ -348,6 +367,10 @@ type Result struct {
 	Batch      int    `json:"batch"`
 	Workers    int    `json:"workers"`
 	Iterations int    `json:"iterations"`
+	// Layout is the effective parallelism layout ("dp32-pp4-tp1-ep1")
+	// for non-trivial layouts; empty (and omitted from JSON) on the
+	// historical data-parallel path, so existing outputs are unchanged.
+	Layout string `json:"layout,omitempty"`
 
 	RunMetrics
 }
@@ -390,6 +413,22 @@ type Trainer struct {
 	// Cfg.Chaos is nil or compiles to nothing observable.
 	chaos *chaos.Injector
 
+	// Sharded-layout state: the bound plan view (also built, in trivial
+	// form, on the data-parallel path), the grouped-communicator caches,
+	// the pipeline's per-(worker, iteration, microbatch) boundary
+	// latches, and the communication totals. All except groups stay nil
+	// / zero on the trivial path.
+	groups      *groupInfo
+	stats       CommStats
+	syncComms   map[int]*GroupComm
+	tpComms     map[int]*GroupComm
+	epComms     map[int]*GroupComm
+	pipeOps     map[[5]int]*pipeOp
+	pipeLatches []Latch
+	actTags     []fabric.AggTag
+	gradTags    []fabric.AggTag
+	gradCount   [][]int // per worker, per stage-local layer, microbatches done
+
 	dump *telemetry.Dump // built by Run when Cfg.Telemetry is set
 }
 
@@ -405,9 +444,9 @@ func New(cfg Config, strat Strategy) (*Trainer, error) {
 	}
 	eng := sim.NewEngine()
 	machine := topology.Build(eng, cfg.Spec)
-	fabric := cci.NewFabric(machine.Topology, cfg.CCIParams)
+	cciFabric := cci.NewFabric(machine.Topology, cfg.CCIParams)
 
-	ctx := &Ctx{Cfg: cfg, Eng: eng, Machine: machine, CCI: fabric}
+	ctx := &Ctx{Cfg: cfg, Eng: eng, Machine: machine, CCI: cciFabric}
 	for i, w := range machine.Workers {
 		g := gpu.New(w, cfg.Spec.GPU)
 		if cfg.ComputeJitter > 0 && len(machine.Workers) > 1 {
@@ -416,12 +455,47 @@ func New(cfg Config, strat Strategy) (*Trainer, error) {
 		}
 		ctx.Workers = append(ctx.Workers, g)
 	}
-	// Memory feasibility: persistent strategy state + activations.
-	state := strat.WorkerStateBytes(cfg.Model)
-	acts := int64(float64(cfg.Model.ActBytes()*int64(cfg.Batch)) * cfg.FrameworkActOverhead)
-	for _, g := range ctx.Workers {
-		if err := g.Alloc(state + acts); err != nil {
-			return nil, fmt.Errorf("%s replica (batch %d) does not fit: %w", cfg.Model.Name, cfg.Batch, err)
+	// Bind the parallelism plan. Trivial layouts leave plan nil and the
+	// whole trainer on the historical data-parallel path.
+	var plan *parallel.Plan
+	if !cfg.Layout.Trivial() {
+		if cfg.Numeric {
+			return nil, fmt.Errorf("train: numeric mode supports only the data-parallel layout")
+		}
+		p, err := parallel.NewPlan(cfg.Layout, len(machine.Workers), cfg.Model)
+		if err != nil {
+			return nil, fmt.Errorf("train: %w", err)
+		}
+		if cfg.Batch%p.Micro != 0 {
+			return nil, fmt.Errorf("train: batch %d does not split into %d microbatches", cfg.Batch, p.Micro)
+		}
+		plan = p
+	}
+	// Memory feasibility: persistent strategy state + activations. Under
+	// a non-trivial layout each worker holds only its stage's sharded
+	// layers, with 1F1B keeping at most min(micro, PP-stage) microbatches
+	// of activations in flight.
+	if plan == nil {
+		state := strat.WorkerStateBytes(cfg.Model)
+		acts := int64(float64(cfg.Model.ActBytes()*int64(cfg.Batch)) * cfg.FrameworkActOverhead)
+		for _, g := range ctx.Workers {
+			if err := g.Alloc(state + acts); err != nil {
+				return nil, fmt.Errorf("%s replica (batch %d) does not fit: %w", cfg.Model.Name, cfg.Batch, err)
+			}
+		}
+	} else {
+		mbSize := cfg.Batch / plan.Micro
+		for w, g := range ctx.Workers {
+			wm := plan.WorkerModel(w)
+			inflight := plan.PP - plan.Coords[w].PP
+			if plan.Micro < inflight {
+				inflight = plan.Micro
+			}
+			acts := int64(float64(wm.ActBytes()*int64(mbSize*inflight)) * cfg.FrameworkActOverhead)
+			if err := g.Alloc(strat.WorkerStateBytes(wm) + acts); err != nil {
+				return nil, fmt.Errorf("%s shard (batch %d, %s) does not fit on worker %d: %w",
+					cfg.Model.Name, cfg.Batch, plan.Label(), w, err)
+			}
 		}
 	}
 	if cfg.Numeric {
@@ -457,6 +531,20 @@ func New(cfg Config, strat Strategy) (*Trainer, error) {
 		compute:    make([]sim.Time, len(ctx.Workers)),
 		iterEnd:    make([]atomic.Int64, cfg.Iterations),
 		workerDone: make([]int, len(ctx.Workers)),
+		groups:     newGroupInfo(plan, len(ctx.Workers), len(cfg.Model.Layers)),
+	}
+	if plan != nil {
+		tr.syncComms = make(map[int]*GroupComm)
+		tr.tpComms = make(map[int]*GroupComm)
+		tr.epComms = make(map[int]*GroupComm)
+		tr.pipeOps = make(map[[5]int]*pipeOp)
+		tr.pipeLatches = make([]Latch, len(ctx.Workers)*cfg.Iterations*plan.Micro*2)
+		tr.actTags = make([]fabric.AggTag, len(ctx.Workers))
+		tr.gradTags = make([]fabric.AggTag, len(ctx.Workers))
+		tr.gradCount = make([][]int, len(ctx.Workers))
+		for w := range tr.gradCount {
+			tr.gradCount[w] = make([]int, len(plan.Stages[plan.Coords[w].PP]))
+		}
 	}
 	// Rack-partitioned execution: confine each worker's event chain to
 	// its rack's sub-queue and let the engine drain racks in
@@ -480,7 +568,10 @@ func New(cfg Config, strat Strategy) (*Trainer, error) {
 			par = v
 		}
 	}
-	if par > 0 && cfg.Trace == nil && machine.Spec.Racks > 1 {
+	// Non-trivial layouts additionally force partitioning off: the 1F1B
+	// boundary sends and TP/EP rendezvous open latches on cross-rack
+	// workers inside the lookahead window.
+	if par > 0 && cfg.Trace == nil && machine.Spec.Racks > 1 && plan == nil {
 		if la := machine.MinLinkLatency(); la > 0 {
 			eng.EnablePartitions(machine.Spec.Racks, la, par)
 		}
@@ -620,7 +711,11 @@ func (t *Trainer) Run() (*Result, error) {
 		sampler.Start()
 	}
 	for w := range ctx.Workers {
-		t.runWorker(w, 0)
+		if t.groups.plan != nil {
+			t.runPipeWorker(w, 0)
+		} else {
+			t.runWorker(w, 0)
+		}
 	}
 	ctx.Eng.Run()
 	for w, done := range t.workerDone {
@@ -638,6 +733,9 @@ func (t *Trainer) Run() (*Result, error) {
 		t.dump.SetLabel("batch", fmt.Sprint(t.cfg.Batch))
 		t.dump.SetLabel("workers", fmt.Sprint(len(ctx.Workers)))
 		t.dump.SetLabel("iterations", fmt.Sprint(t.cfg.Iterations))
+		if t.groups.plan != nil {
+			t.dump.SetLabel("layout", t.groups.plan.Label())
+		}
 	}
 	return t.result(), nil
 }
@@ -776,6 +874,18 @@ func (t *Trainer) result() *Result {
 
 	g := ctx.Workers[0]
 	compute := g.FwdTime(cfg.Model, cfg.Batch) + g.BwdTime(cfg.Model, cfg.Batch)
+	layout := ""
+	if t.groups.plan != nil {
+		// Sharded layouts: workers run different slices, so the roofline
+		// replica time is meaningless — report the mean per-worker busy
+		// time per iteration instead.
+		layout = t.groups.plan.Label()
+		var busy sim.Time
+		for _, ct := range t.compute {
+			busy += ct
+		}
+		compute = busy / sim.Time(len(t.compute)) / sim.Time(cfg.Iterations)
+	}
 	util := 0.0
 	if iterTime > 0 {
 		util = compute.ToSeconds() / iterTime.ToSeconds()
@@ -808,6 +918,7 @@ func (t *Trainer) result() *Result {
 		Batch:      cfg.Batch,
 		Workers:    len(ctx.Workers),
 		Iterations: cfg.Iterations,
+		Layout:     layout,
 		RunMetrics: RunMetrics{
 			TotalTime:   total,
 			IterTime:    iterTime,

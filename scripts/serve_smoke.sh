@@ -52,7 +52,7 @@ fi
 curl -sf "http://$ADDR/cells" > "$WORK/cells.json"
 curl -sf "http://$ADDR/bench" > "$WORK/bench.json"
 python3 - "$WORK/cells.json" "$WORK/bench.json" <<'EOF'
-import json, sys
+import json, re, sys
 
 cells = json.load(open(sys.argv[1]))
 bench = json.load(open(sys.argv[2]))
@@ -63,7 +63,7 @@ assert bench["done"] + bench["failed"] == bench["total"], bench
 # Per-cell shape check, workload-agnostic: the grid serves training and
 # serving cells, and serving cells carry no training strategy field —
 # only the generic identity/state/metric fields are required.
-training = serving = 0
+training = serving = sharded = 0
 for c in cells["cells"]:
     assert c.get("id"), c
     assert c.get("state") in ("done", "failed"), c
@@ -73,8 +73,14 @@ for c in cells["cells"]:
         training += 1
     else:
         serving += 1
-print("serve-smoke: %d cells (%d done, %d failed; %d training, %d strategy-less), %d experiment(s)"
-      % (cells["total"], cells["done"], cells["failed"], training, serving, bench["total"]))
+    # Layout is present-or-absent, never empty: sharded training cells
+    # carry the full normalized label, everything else omits the key.
+    if "layout" in c:
+        assert re.fullmatch(r"dp\d+-pp\d+-tp\d+-ep\d+", c["layout"]), c
+        assert c.get("strategy"), ("layout on a strategy-less cell", c)
+        sharded += 1
+print("serve-smoke: %d cells (%d done, %d failed; %d training, %d strategy-less, %d sharded), %d experiment(s)"
+      % (cells["total"], cells["done"], cells["failed"], training, serving, sharded, bench["total"]))
 EOF
 
 # Clean shutdown on SIGTERM.
